@@ -1,0 +1,88 @@
+//! Accelerator configuration (paper Fig 1(a)): multiple VPUs around a
+//! network-on-chip and a global on-chip SRAM.
+
+use crate::AccelError;
+
+/// Hardware configuration of the accelerator.
+///
+/// # Example
+///
+/// ```
+/// let cfg = uvpu_accel::config::AcceleratorConfig::default();
+/// assert_eq!(cfg.vpu_count, 8);
+/// assert_eq!(cfg.lanes, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorConfig {
+    /// Number of vector processing units.
+    pub vpu_count: usize,
+    /// Lanes per VPU (the paper's default is 64).
+    pub lanes: usize,
+    /// Global on-chip SRAM capacity in bytes.
+    pub sram_bytes: usize,
+    /// NoC payload bandwidth per link, bytes per cycle.
+    pub noc_bytes_per_cycle: usize,
+    /// NoC per-hop latency in cycles (ring topology).
+    pub noc_hop_latency: u64,
+}
+
+impl AcceleratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::InvalidConfig`] for zero counts or a non-power-of-two
+    /// lane count.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.vpu_count == 0 {
+            return Err(AccelError::InvalidConfig("vpu_count must be positive"));
+        }
+        if !self.lanes.is_power_of_two() || self.lanes < 2 {
+            return Err(AccelError::InvalidConfig(
+                "lanes must be a power of two >= 2",
+            ));
+        }
+        if self.noc_bytes_per_cycle == 0 {
+            return Err(AccelError::InvalidConfig("NoC bandwidth must be positive"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AcceleratorConfig {
+    /// The paper's reference configuration: 8 VPUs × 64 lanes, 64 MiB of
+    /// on-chip SRAM (typical of recent FHE accelerators), a 64 B/cycle
+    /// ring NoC with 2-cycle hops.
+    fn default() -> Self {
+        Self {
+            vpu_count: 8,
+            lanes: 64,
+            sram_bytes: 64 << 20,
+            noc_bytes_per_cycle: 64,
+            noc_hop_latency: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(AcceleratorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut c = AcceleratorConfig::default();
+        c.vpu_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::default();
+        c.lanes = 48;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::default();
+        c.noc_bytes_per_cycle = 0;
+        assert!(c.validate().is_err());
+    }
+}

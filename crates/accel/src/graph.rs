@@ -1,0 +1,312 @@
+//! Dependency-aware scheduling: FHE kernels as a task graph.
+//!
+//! Real FHE programs are DAGs — a rotation consumes the multiply that
+//! produced its input — so the flat list scheduler of
+//! [`machine`](crate::machine) over-estimates the available parallelism.
+//! This module schedules an explicit dependency graph with an
+//! event-driven list scheduler and reports the critical path, exposing
+//! when a workload stops scaling with more VPUs.
+
+use crate::config::AcceleratorConfig;
+use crate::machine::AccelReport;
+use crate::workload::{measure_task, FheOp, Task};
+use crate::AccelError;
+use std::collections::HashMap;
+use uvpu_core::stats::CycleStats;
+
+/// A node handle in the task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A DAG of vector tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task depending on the given predecessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling predecessor handle.
+    pub fn add(&mut self, task: Task, deps: &[NodeId]) -> NodeId {
+        for d in deps {
+            assert!(d.0 < self.tasks.len(), "dangling dependency");
+        }
+        self.tasks.push(task);
+        self.preds.push(deps.iter().map(|d| d.0).collect());
+        NodeId(self.tasks.len() - 1)
+    }
+
+    /// Adds a whole homomorphic op as a sequential stage: all its lowered
+    /// tasks depend on `deps`, and the returned handle stands for the
+    /// stage's completion (a barrier node pattern: every task of the
+    /// stage is a predecessor of whatever depends on the result).
+    pub fn add_op(&mut self, op: FheOp, deps: &[NodeId]) -> Vec<NodeId> {
+        op.lower().into_iter().map(|t| self.add(t, deps)).collect()
+    }
+
+    /// The critical-path length in VPU beats (ignoring NoC), i.e. the
+    /// lower bound on makespan with unlimited VPUs.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors.
+    pub fn critical_path_beats(&self, lanes: usize) -> Result<u64, AccelError> {
+        let mut memo: HashMap<(crate::workload::TaskKind, usize), u64> = HashMap::new();
+        let mut cost = vec![0u64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let own = match memo.get(&(t.kind, t.n)) {
+                Some(&c) => c,
+                None => {
+                    let c = measure_task(t, lanes)?.total();
+                    memo.insert((t.kind, t.n), c);
+                    c
+                }
+            };
+            let pred_max = self.preds[i].iter().map(|&p| cost[p]).max().unwrap_or(0);
+            cost[i] = pred_max + own;
+        }
+        Ok(cost.into_iter().max().unwrap_or(0))
+    }
+
+    /// Event-driven list scheduling onto the machine: a task becomes
+    /// ready when all predecessors finish; ready tasks go to the
+    /// earliest-free VPU (ties by task order). NoC transfer serializes
+    /// with its own task, as in the flat scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors or SRAM overflow.
+    pub fn schedule(&self, config: &AcceleratorConfig) -> Result<AccelReport, AccelError> {
+        config.validate()?;
+        for t in &self.tasks {
+            if t.noc_bytes > config.sram_bytes {
+                return Err(AccelError::SramOverflow {
+                    needed: t.noc_bytes,
+                    capacity: config.sram_bytes,
+                });
+            }
+        }
+        let v = config.vpu_count;
+        let n_tasks = self.tasks.len();
+        let mut memo: HashMap<(crate::workload::TaskKind, usize), CycleStats> = HashMap::new();
+        let mut finish = vec![u64::MAX; n_tasks];
+        let mut scheduled = vec![false; n_tasks];
+        let mut vpu_free = vec![0u64; v];
+        let mut vpu_busy = vec![0u64; v];
+        let mut agg = CycleStats::new();
+        let mut noc_cycles = 0u64;
+        let mut traffic = 0u64;
+        let mut remaining = n_tasks;
+        while remaining > 0 {
+            let mut progressed = false;
+            for i in 0..n_tasks {
+                if scheduled[i] {
+                    continue;
+                }
+                if self.preds[i].iter().any(|&p| finish[p] == u64::MAX) {
+                    continue;
+                }
+                let ready_at = self.preds[i].iter().map(|&p| finish[p]).max().unwrap_or(0);
+                let task = &self.tasks[i];
+                let stats = match memo.get(&(task.kind, task.n)) {
+                    Some(s) => *s,
+                    None => {
+                        let s = measure_task(task, config.lanes)?;
+                        memo.insert((task.kind, task.n), s);
+                        s
+                    }
+                };
+                let (slot, _) = vpu_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &t)| t)
+                    .expect("at least one VPU");
+                let hops = slot % (v / 2 + 1) + 1;
+                let transfer = task.noc_bytes.div_ceil(config.noc_bytes_per_cycle) as u64
+                    + config.noc_hop_latency * hops as u64;
+                let start = vpu_free[slot].max(ready_at);
+                let end = start + transfer + stats.total();
+                vpu_free[slot] = end;
+                vpu_busy[slot] += stats.total();
+                finish[i] = end;
+                scheduled[i] = true;
+                agg += stats;
+                noc_cycles += transfer;
+                traffic += task.noc_bytes as u64;
+                remaining -= 1;
+                progressed = true;
+            }
+            assert!(progressed, "cycle in task graph");
+        }
+        Ok(AccelReport {
+            makespan: finish.into_iter().max().unwrap_or(0),
+            vpu_busy,
+            vpu_stats: agg,
+            noc_cycles,
+            sram_traffic_bytes: traffic,
+            task_count: n_tasks,
+        })
+    }
+}
+
+/// Builds a bootstrapping-shaped dependency graph: `stages` factorized
+/// DFT stages, each of `rotations` HRot-per-limb tasks feeding an
+/// element-wise combine, every stage depending on the previous one — the
+/// rotation-dominated serial/parallel mix of CoeffToSlot.
+#[must_use]
+pub fn bootstrap_graph(n: usize, limbs: usize, stages: usize, rotations: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut stage_barrier: Vec<NodeId> = Vec::new();
+    for _ in 0..stages {
+        let mut stage_nodes = Vec::new();
+        for _ in 0..rotations {
+            for _ in 0..limbs {
+                // HRot = automorphism + keyswitch digit products.
+                let a = g.add(
+                    Task {
+                        kind: crate::workload::TaskKind::Automorphism,
+                        n,
+                        noc_bytes: 2 * n * 8,
+                    },
+                    &stage_barrier,
+                );
+                let k = g.add(
+                    Task {
+                        kind: crate::workload::TaskKind::Ntt,
+                        n,
+                        noc_bytes: 2 * n * 8,
+                    },
+                    &[a],
+                );
+                stage_nodes.push(k);
+            }
+        }
+        // The stage's element-wise combine depends on all its rotations.
+        let combine = g.add(
+            Task {
+                kind: crate::workload::TaskKind::Elementwise { passes: 2 },
+                n,
+                noc_bytes: 3 * n * 8,
+            },
+            &stage_nodes,
+        );
+        stage_barrier = vec![combine];
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(vpus: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            vpu_count: vpus,
+            ..AcceleratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        let r = g.schedule(&config(2)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.task_count, 0);
+    }
+
+    #[test]
+    fn serial_chain_does_not_scale() {
+        // A fully serial graph: extra VPUs cannot help.
+        let mut g = TaskGraph::new();
+        let mut last: Vec<NodeId> = Vec::new();
+        for _ in 0..6 {
+            let id = g.add(
+                Task {
+                    kind: crate::workload::TaskKind::Ntt,
+                    n: 1 << 10,
+                    noc_bytes: 0,
+                },
+                &last,
+            );
+            last = vec![id];
+        }
+        // Zero NoC latency isolates the dependency structure.
+        let cfg = |vpus| AcceleratorConfig {
+            vpu_count: vpus,
+            noc_hop_latency: 0,
+            ..AcceleratorConfig::default()
+        };
+        let r1 = g.schedule(&cfg(1)).unwrap();
+        let r8 = g.schedule(&cfg(8)).unwrap();
+        assert_eq!(r1.makespan, r8.makespan, "serial chains are VPU-bound");
+        assert_eq!(r1.makespan, g.critical_path_beats(64).unwrap());
+    }
+
+    #[test]
+    fn parallel_fanout_scales_until_critical_path() {
+        let g = bootstrap_graph(1 << 10, 2, 3, 4);
+        let r1 = g.schedule(&config(1)).unwrap();
+        let r4 = g.schedule(&config(4)).unwrap();
+        let r64 = g.schedule(&config(64)).unwrap();
+        assert!(r4.makespan < r1.makespan);
+        // With unlimited VPUs the makespan approaches the critical path
+        // (plus NoC overheads).
+        let cp = g.critical_path_beats(64).unwrap();
+        assert!(r64.makespan >= cp);
+        assert!(r64.makespan < r1.makespan / 2);
+    }
+
+    #[test]
+    fn graph_and_flat_agree_on_independent_tasks() {
+        // With no dependencies, the DAG scheduler reduces to the flat one.
+        let tasks: Vec<Task> = FheOp::HAdd { n: 1 << 10, limbs: 4 }.lower();
+        let mut g = TaskGraph::new();
+        for t in &tasks {
+            g.add(*t, &[]);
+        }
+        let flat = crate::machine::Accelerator::new(config(4))
+            .unwrap()
+            .run_tasks(&tasks)
+            .unwrap();
+        let dag = g.schedule(&config(4)).unwrap();
+        assert_eq!(flat.vpu_stats, dag.vpu_stats);
+        assert_eq!(flat.makespan, dag.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling dependency")]
+    fn dangling_dependency_panics() {
+        let mut g = TaskGraph::new();
+        g.add(
+            Task {
+                kind: crate::workload::TaskKind::Ntt,
+                n: 64,
+                noc_bytes: 0,
+            },
+            &[NodeId(5)],
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! The accelerator machine model: VPUs, a ring NoC, global SRAM, and a
+//! list scheduler (paper Fig 1(a)).
+
+use crate::config::AcceleratorConfig;
+use crate::workload::{measure_task, FheOp, Task};
+use crate::AccelError;
+use uvpu_core::stats::CycleStats;
+
+/// Execution report for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelReport {
+    /// Total cycles until the last VPU finishes (makespan).
+    pub makespan: u64,
+    /// Per-VPU busy cycles.
+    pub vpu_busy: Vec<u64>,
+    /// Aggregate VPU pipeline statistics.
+    pub vpu_stats: CycleStats,
+    /// Total NoC transfer cycles (bandwidth + hop latency).
+    pub noc_cycles: u64,
+    /// Total bytes moved between SRAM and VPUs.
+    pub sram_traffic_bytes: u64,
+    /// Number of tasks executed.
+    pub task_count: usize,
+}
+
+impl AccelReport {
+    /// Mean VPU utilization: busy cycles over `makespan × vpu_count`.
+    #[must_use]
+    pub fn vpu_utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let busy: u64 = self.vpu_busy.iter().sum();
+        busy as f64 / (self.makespan as f64 * self.vpu_busy.len() as f64)
+    }
+}
+
+/// The multi-VPU accelerator simulator.
+///
+/// Tasks are scheduled greedily onto the earliest-available VPU; each
+/// task's VPU cost comes from actually running the kernel on the
+/// bit-exact VPU simulator, and its NoC cost from the configured ring
+/// bandwidth and hop latency. NoC transfers overlap with compute of
+/// *other* tasks but serialize with their own task (load → compute →
+/// store).
+///
+/// # Example
+///
+/// ```
+/// use uvpu_accel::config::AcceleratorConfig;
+/// use uvpu_accel::machine::Accelerator;
+/// use uvpu_accel::workload::FheOp;
+///
+/// # fn main() -> Result<(), uvpu_accel::AccelError> {
+/// let mut accel = Accelerator::new(AcceleratorConfig::default())?;
+/// let report = accel.run(&[FheOp::HMult { n: 1 << 12, limbs: 3 }])?;
+/// assert!(report.makespan > 0);
+/// assert!(report.vpu_utilization() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::InvalidConfig`] on a bad configuration.
+    pub fn new(config: AcceleratorConfig) -> Result<Self, AccelError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub const fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// NoC cycles for one transfer of `bytes` between the SRAM and a VPU
+    /// `hops` ring positions away.
+    #[must_use]
+    pub fn noc_cycles(&self, bytes: usize, hops: usize) -> u64 {
+        bytes.div_ceil(self.config.noc_bytes_per_cycle) as u64
+            + self.config.noc_hop_latency * hops as u64
+    }
+
+    /// Runs a workload and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator, or a working set
+    /// exceeding the SRAM capacity.
+    pub fn run(&mut self, ops: &[FheOp]) -> Result<AccelReport, AccelError> {
+        let tasks: Vec<Task> = ops.iter().flat_map(FheOp::lower).collect();
+        self.run_tasks(&tasks)
+    }
+
+    /// Runs an explicit task list.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::run`].
+    pub fn run_tasks(&mut self, tasks: &[Task]) -> Result<AccelReport, AccelError> {
+        // Working-set check: the largest single task operand must fit.
+        for t in tasks {
+            if t.noc_bytes > self.config.sram_bytes {
+                return Err(AccelError::SramOverflow {
+                    needed: t.noc_bytes,
+                    capacity: self.config.sram_bytes,
+                });
+            }
+        }
+        let v = self.config.vpu_count;
+        let mut vpu_free_at = vec![0u64; v];
+        let mut vpu_busy = vec![0u64; v];
+        let mut agg = CycleStats::new();
+        let mut noc_cycles = 0u64;
+        let mut traffic = 0u64;
+        // Memoize kernel measurements: tasks of the same shape cost the
+        // same cycles (the simulator is deterministic).
+        let mut memo: std::collections::HashMap<(crate::workload::TaskKind, usize), CycleStats> =
+            std::collections::HashMap::new();
+        for task in tasks {
+            let stats = match memo.get(&(task.kind, task.n)) {
+                Some(s) => *s,
+                None => {
+                    let s = measure_task(task, self.config.lanes)?;
+                    memo.insert((task.kind, task.n), s);
+                    s
+                }
+            };
+            // Earliest-available VPU (list scheduling).
+            let (slot, _) = vpu_free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .expect("at least one VPU");
+            let hops = slot % (v / 2 + 1) + 1; // ring distance from the SRAM port
+            let transfer = self.noc_cycles(task.noc_bytes, hops);
+            let compute = stats.total();
+            vpu_free_at[slot] += transfer + compute;
+            vpu_busy[slot] += compute;
+            noc_cycles += transfer;
+            traffic += task.noc_bytes as u64;
+            agg += stats;
+        }
+        Ok(AccelReport {
+            makespan: vpu_free_at.iter().copied().max().unwrap_or(0),
+            vpu_busy,
+            vpu_stats: agg,
+            noc_cycles,
+            sram_traffic_bytes: traffic,
+            task_count: tasks.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(vpus: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            vpu_count: vpus,
+            ..AcceleratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn more_vpus_shrink_makespan() {
+        let ops = [FheOp::HMult { n: 1 << 10, limbs: 3 }];
+        let r1 = Accelerator::new(config(1)).unwrap().run(&ops).unwrap();
+        let r4 = Accelerator::new(config(4)).unwrap().run(&ops).unwrap();
+        let r8 = Accelerator::new(config(8)).unwrap().run(&ops).unwrap();
+        assert!(r4.makespan < r1.makespan);
+        assert!(r8.makespan <= r4.makespan);
+        // Total work is conserved regardless of the VPU count.
+        assert_eq!(r1.vpu_stats, r4.vpu_stats);
+        assert_eq!(r1.sram_traffic_bytes, r4.sram_traffic_bytes);
+    }
+
+    #[test]
+    fn hadd_is_cheap_hmult_is_not() {
+        let mut accel = Accelerator::new(config(4)).unwrap();
+        let add = accel.run(&[FheOp::HAdd { n: 1 << 10, limbs: 3 }]).unwrap();
+        let mult = accel.run(&[FheOp::HMult { n: 1 << 10, limbs: 3 }]).unwrap();
+        // HMult's keyswitch pipeline dwarfs HAdd's element-wise passes
+        // (NoC transfer time is common to both, so the gap is bounded).
+        assert!(mult.makespan > 3 * add.makespan);
+    }
+
+    #[test]
+    fn rotation_workload_is_movement_heavy() {
+        let mut accel = Accelerator::new(config(2)).unwrap();
+        let r = accel
+            .run(&[FheOp::Automorphism { n: 1 << 12 }])
+            .unwrap();
+        assert_eq!(r.vpu_stats.compute(), 0);
+        assert!(r.vpu_stats.network_move > 0);
+    }
+
+    #[test]
+    fn determinism_and_memoization() {
+        let ops = [
+            FheOp::HRot { n: 1 << 10, limbs: 2 },
+            FheOp::HAdd { n: 1 << 10, limbs: 2 },
+        ];
+        let a = Accelerator::new(config(3)).unwrap().run(&ops).unwrap();
+        let b = Accelerator::new(config(3)).unwrap().run(&ops).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sram_overflow_is_reported() {
+        let mut cfg = config(2);
+        cfg.sram_bytes = 1024;
+        let mut accel = Accelerator::new(cfg).unwrap();
+        let err = accel.run(&[FheOp::Ntt { n: 1 << 12 }]);
+        assert!(matches!(err, Err(AccelError::SramOverflow { .. })));
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let mut accel = Accelerator::new(config(4)).unwrap();
+        let r = accel.run(&[FheOp::HMult { n: 1 << 12, limbs: 2 }]).unwrap();
+        let u = r.vpu_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+}

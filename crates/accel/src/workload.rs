@@ -1,0 +1,310 @@
+//! FHE workload description and its lowering to per-VPU tasks.
+//!
+//! Homomorphic operations decompose naturally along the RNS dimension
+//! (paper §II-A: a ciphertext is a `2 × N × L` tensor): every residue
+//! polynomial's NTT, automorphism, or element-wise pass is an independent
+//! vector task — exactly the parallelism the multi-VPU accelerator of
+//! Fig 1(a) exploits.
+
+use crate::AccelError;
+use uvpu_core::auto_map::AutomorphismMapping;
+use uvpu_core::ntt_map::NttPlan;
+use uvpu_core::stats::CycleStats;
+use uvpu_core::vpu::Vpu;
+use uvpu_math::modular::Modulus;
+use uvpu_math::primes::ntt_prime;
+
+/// A high-level homomorphic operation (one paper §II-A primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FheOp {
+    /// Homomorphic addition of two ciphertexts.
+    HAdd {
+        /// Ring degree.
+        n: usize,
+        /// RNS limb count `L + 1`.
+        limbs: usize,
+    },
+    /// Homomorphic multiplication with relinearization and rescale.
+    HMult {
+        /// Ring degree.
+        n: usize,
+        /// RNS limb count.
+        limbs: usize,
+    },
+    /// Homomorphic rotation (automorphism + keyswitch).
+    HRot {
+        /// Ring degree.
+        n: usize,
+        /// RNS limb count.
+        limbs: usize,
+    },
+    /// A bare forward NTT (for microbenchmarks).
+    Ntt {
+        /// Transform length.
+        n: usize,
+    },
+    /// A bare automorphism (for microbenchmarks).
+    Automorphism {
+        /// Element count.
+        n: usize,
+    },
+}
+
+/// One schedulable unit of vector work: a single residue polynomial's
+/// pass through a VPU, plus the bytes it moves over the NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// What the VPU executes.
+    pub kind: TaskKind,
+    /// Ring degree the task operates on.
+    pub n: usize,
+    /// Bytes fetched from / written to the global SRAM over the NoC.
+    pub noc_bytes: usize,
+}
+
+/// The vector kernel a task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Forward or inverse negacyclic NTT.
+    Ntt,
+    /// Automorphism (single-pass-per-column permutation).
+    Automorphism,
+    /// `passes` element-wise vector passes over the polynomial.
+    Elementwise {
+        /// Number of full-polynomial element-wise passes.
+        passes: usize,
+    },
+}
+
+impl FheOp {
+    /// Lowers the operation to independent tasks (one per residue
+    /// polynomial pass), following the standard CKKS dataflow:
+    ///
+    /// - `HAdd`: 2 element-wise passes per limb;
+    /// - `HMult`: 4 forward NTTs (both ciphertexts' parts), 3 Hadamard
+    ///   passes, `limbs` keyswitch digit NTTs + 2·`limbs` accumulation
+    ///   passes, 2 inverse NTTs, and 2 rescale passes per limb;
+    /// - `HRot`: 2 automorphism passes per limb plus the same keyswitch
+    ///   pipeline as `HMult`'s relinearization.
+    #[must_use]
+    pub fn lower(&self) -> Vec<Task> {
+        let poly_bytes = |n: usize| n * 8;
+        match *self {
+            FheOp::HAdd { n, limbs } => (0..2 * limbs)
+                .map(|_| Task {
+                    kind: TaskKind::Elementwise { passes: 1 },
+                    n,
+                    noc_bytes: 3 * poly_bytes(n), // two reads + one write
+                })
+                .collect(),
+            FheOp::HMult { n, limbs } => {
+                let mut tasks = Vec::new();
+                for _ in 0..limbs {
+                    // Forward NTTs of the four input polynomials.
+                    for _ in 0..4 {
+                        tasks.push(Task {
+                            kind: TaskKind::Ntt,
+                            n,
+                            noc_bytes: 2 * poly_bytes(n),
+                        });
+                    }
+                    // Tensor product (d0, d1, d2).
+                    tasks.push(Task {
+                        kind: TaskKind::Elementwise { passes: 3 },
+                        n,
+                        noc_bytes: 3 * poly_bytes(n),
+                    });
+                    // Keyswitch: one digit NTT + two key-product
+                    // accumulations per digit.
+                    for _ in 0..limbs {
+                        tasks.push(Task {
+                            kind: TaskKind::Ntt,
+                            n,
+                            noc_bytes: 2 * poly_bytes(n),
+                        });
+                        tasks.push(Task {
+                            kind: TaskKind::Elementwise { passes: 2 },
+                            n,
+                            noc_bytes: 3 * poly_bytes(n),
+                        });
+                    }
+                    // Back to coefficients + rescale.
+                    for _ in 0..2 {
+                        tasks.push(Task {
+                            kind: TaskKind::Ntt,
+                            n,
+                            noc_bytes: 2 * poly_bytes(n),
+                        });
+                    }
+                    tasks.push(Task {
+                        kind: TaskKind::Elementwise { passes: 2 },
+                        n,
+                        noc_bytes: 2 * poly_bytes(n),
+                    });
+                }
+                tasks
+            }
+            FheOp::HRot { n, limbs } => {
+                let mut tasks = Vec::new();
+                for _ in 0..limbs {
+                    // Automorphism on both ciphertext polynomials.
+                    for _ in 0..2 {
+                        tasks.push(Task {
+                            kind: TaskKind::Automorphism,
+                            n,
+                            noc_bytes: 2 * poly_bytes(n),
+                        });
+                    }
+                    // Keyswitch pipeline, as in HMult.
+                    for _ in 0..limbs {
+                        tasks.push(Task {
+                            kind: TaskKind::Ntt,
+                            n,
+                            noc_bytes: 2 * poly_bytes(n),
+                        });
+                        tasks.push(Task {
+                            kind: TaskKind::Elementwise { passes: 2 },
+                            n,
+                            noc_bytes: 3 * poly_bytes(n),
+                        });
+                    }
+                }
+                tasks
+            }
+            FheOp::Ntt { n } => vec![Task {
+                kind: TaskKind::Ntt,
+                n,
+                noc_bytes: 2 * poly_bytes(n),
+            }],
+            FheOp::Automorphism { n } => vec![Task {
+                kind: TaskKind::Automorphism,
+                n,
+                noc_bytes: 2 * poly_bytes(n),
+            }],
+        }
+    }
+}
+
+impl FheOp {
+    /// Single-VPU latency of the whole operation in pipeline beats: the
+    /// sum of its lowered tasks' measured cycles (every task executes on
+    /// the bit-exact simulator). At the paper's 1 GHz clock one beat is
+    /// one nanosecond.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator.
+    pub fn latency_beats(&self, lanes: usize) -> Result<u64, AccelError> {
+        let mut memo: std::collections::HashMap<(TaskKind, usize), u64> =
+            std::collections::HashMap::new();
+        let mut total = 0u64;
+        for task in self.lower() {
+            let key = (task.kind, task.n);
+            let beats = match memo.get(&key) {
+                Some(&b) => b,
+                None => {
+                    let b = measure_task(&task, lanes)?.total();
+                    memo.insert(key, b);
+                    b
+                }
+            };
+            total += beats;
+        }
+        Ok(total)
+    }
+}
+
+/// Measures one task's VPU cycle cost by actually executing the kernel on
+/// a simulated VPU (bit-exact; the returned stats are the real pass
+/// counts, not an estimate).
+///
+/// # Errors
+///
+/// [`AccelError::Core`] when the kernel cannot be mapped (e.g. `n`
+/// smaller than the lane count for automorphism).
+pub fn measure_task(task: &Task, lanes: usize) -> Result<CycleStats, AccelError> {
+    let n = task.n;
+    let q = Modulus::new(ntt_prime(50, n.max(lanes * 2)).map_err(uvpu_core::CoreError::Math)?)
+        .map_err(uvpu_core::CoreError::Math)?;
+    let mut vpu = Vpu::new(lanes, q, 8)?;
+    match task.kind {
+        TaskKind::Ntt => {
+            let plan = NttPlan::new(q, n, lanes)?;
+            let data: Vec<u64> = (0..n as u64).collect();
+            let run = plan.execute_forward_negacyclic(&mut vpu, &data)?;
+            Ok(run.stats)
+        }
+        TaskKind::Automorphism => {
+            let plan = AutomorphismMapping::new(n, lanes, 5, 0)?;
+            let data: Vec<u64> = (0..n as u64).collect();
+            let run = plan.execute(&mut vpu, &data)?;
+            Ok(run.stats)
+        }
+        TaskKind::Elementwise { passes } => {
+            // One element-wise beat per lane-width column per pass.
+            let cols = (n / lanes).max(1) as u64;
+            Ok(CycleStats {
+                butterfly: 0,
+                elementwise: cols * passes as u64,
+                network_move: 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadd_lowers_to_elementwise_only() {
+        let tasks = FheOp::HAdd { n: 1 << 12, limbs: 3 }.lower();
+        assert_eq!(tasks.len(), 6);
+        assert!(tasks
+            .iter()
+            .all(|t| matches!(t.kind, TaskKind::Elementwise { passes: 1 })));
+    }
+
+    #[test]
+    fn hmult_task_count_scales_quadratically_with_limbs() {
+        let t2 = FheOp::HMult { n: 1 << 10, limbs: 2 }.lower().len();
+        let t4 = FheOp::HMult { n: 1 << 10, limbs: 4 }.lower().len();
+        // Keyswitch digits make the count quadratic in limbs.
+        assert!(t4 > 2 * t2);
+    }
+
+    #[test]
+    fn measured_ntt_matches_plan_stats() {
+        let task = Task {
+            kind: TaskKind::Ntt,
+            n: 1 << 10,
+            noc_bytes: 0,
+        };
+        let stats = measure_task(&task, 64).unwrap();
+        assert!(stats.butterfly > 0);
+        assert!(stats.utilization() > 0.6 && stats.utilization() < 0.95);
+    }
+
+    #[test]
+    fn measured_automorphism_is_pure_movement() {
+        let task = Task {
+            kind: TaskKind::Automorphism,
+            n: 1 << 10,
+            noc_bytes: 0,
+        };
+        let stats = measure_task(&task, 64).unwrap();
+        assert_eq!(stats.compute(), 0);
+        assert_eq!(stats.network_move, (1 << 10) / 64);
+    }
+
+    #[test]
+    fn elementwise_task_cost_is_column_count() {
+        let task = Task {
+            kind: TaskKind::Elementwise { passes: 3 },
+            n: 1 << 10,
+            noc_bytes: 0,
+        };
+        let stats = measure_task(&task, 64).unwrap();
+        assert_eq!(stats.elementwise, 3 * (1 << 10) / 64);
+    }
+}

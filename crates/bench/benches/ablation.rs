@@ -1,0 +1,117 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. **Barrett vs Montgomery vs Shoup** modular multiplication — the
+//!    paper picks Barrett lanes (§III-A) because keyswitch base
+//!    conversions arrive in plain representation; Montgomery would pay
+//!    domain conversions around each. The bench shows the raw multiplier
+//!    costs and the conversion-laden pattern.
+//! 2. **Merged vs sequential automorphism shifts** — the §IV-B merging
+//!    collapses the recursive shift levels into one traversal; the
+//!    unmerged alternative pays one traversal per level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uvpu_core::control::ShiftControls;
+use uvpu_core::network::InterLaneNetwork;
+use uvpu_math::automorphism::{AffineMap, ShiftDecomposition};
+use uvpu_math::modular::{Modulus, ShoupMul};
+use uvpu_math::montgomery::MontgomeryContext;
+
+fn modular_multiplier_ablation(c: &mut Criterion) {
+    let q = 0x0fff_ffff_fffc_0001u64;
+    let barrett = Modulus::new(q).unwrap();
+    let mont = MontgomeryContext::new(q).unwrap();
+    let xs: Vec<u64> = (0..4096u64).map(|i| i * 0x9e37_79b9 % q).collect();
+    let w = barrett.reduce_u64(0x1234_5678_9abc_def0);
+    let shoup = ShoupMul::new(w, &barrett);
+
+    let mut group = c.benchmark_group("modmul_4096");
+    group.bench_function("barrett", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &xs {
+                acc ^= barrett.mul(x, w);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("shoup_const", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &xs {
+                acc ^= shoup.mul(x, &barrett);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("montgomery_resident", |b| {
+        // Operands already in Montgomery form (best case for Montgomery).
+        let wm = mont.to_montgomery(w);
+        let xm: Vec<u64> = xs.iter().map(|&x| mont.to_montgomery(x)).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &xm {
+                acc ^= mont.mul(x, wm);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("montgomery_base_conversion", |b| {
+        // The FHE keyswitch pattern the paper cites: operands arrive in
+        // plain representation per base conversion, forcing domain
+        // conversions around every multiply.
+        let wm = mont.to_montgomery(w);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &xs {
+                let xm = mont.to_montgomery(x);
+                acc ^= mont.from_montgomery(mont.mul(xm, wm));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn merged_vs_sequential_automorphism(c: &mut Criterion) {
+    let m = 64;
+    let net = InterLaneNetwork::new(m).unwrap();
+    let map = AffineMap::new(m, 5, 7).unwrap();
+    let data: Vec<u64> = (0..m as u64).collect();
+
+    let mut group = c.benchmark_group("automorphism_pass_64");
+    group.bench_function("merged_single_traversal", |b| {
+        let controls = ShiftControls::from_affine(&map);
+        b.iter(|| black_box(net.shift_pass(&data, &controls)));
+    });
+    group.bench_function("sequential_per_level_traversals", |b| {
+        // One traversal per recursion level: the cost the merging avoids.
+        let dec = ShiftDecomposition::decompose(&map);
+        let levels = 6usize;
+        let per_level: Vec<ShiftControls> = (0..levels)
+            .map(|l| {
+                let bits: Vec<Vec<bool>> = (0..levels)
+                    .map(|k| {
+                        if k == l {
+                            dec.level_bits(k).to_vec()
+                        } else {
+                            vec![false; 1 << k]
+                        }
+                    })
+                    .collect();
+                ShiftControls::from_bits(m, bits).unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            let mut cur = data.clone();
+            for controls in per_level.iter().rev() {
+                cur = net.shift_pass(&cur, controls);
+            }
+            black_box(cur)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, modular_multiplier_ablation, merged_vs_sequential_automorphism);
+criterion_main!(benches);

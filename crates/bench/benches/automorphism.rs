@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the automorphism path: control-word
+//! generation (the §IV-B decomposition), single-pass execution on the
+//! VPU, and the coefficient-domain golden model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uvpu_core::auto_map::AutomorphismMapping;
+use uvpu_core::control::{AutomorphismControlTable, ShiftControls};
+use uvpu_core::vpu::Vpu;
+use uvpu_math::automorphism::{apply_galois_coeff, AffineMap};
+use uvpu_math::modular::Modulus;
+use uvpu_math::primes::ntt_prime;
+
+fn control_word_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_word");
+    for m in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("from_affine", m), &m, |b, &m| {
+            let map = AffineMap::new(m, 5, 3).unwrap();
+            b.iter(|| black_box(ShiftControls::from_affine(&map)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_table", m), &m, |b, &m| {
+            b.iter(|| black_box(AutomorphismControlTable::new(m).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn vpu_automorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vpu_automorphism");
+    group.sample_size(10);
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let m = 64;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let plan = AutomorphismMapping::new(n, m, 5, 0).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let data: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(plan.execute(&mut vpu, &data).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn golden_model_galois(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+    let data: Vec<u64> = (0..n as u64).collect();
+    c.bench_function("galois_coeff_4096", |b| {
+        b.iter(|| black_box(apply_galois_coeff(&data, 5, &q)));
+    });
+}
+
+criterion_group!(benches, control_word_generation, vpu_automorphism, golden_model_galois);
+criterion_main!(benches);

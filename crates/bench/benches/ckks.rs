@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the CKKS workload generator: the homomorphic
+//! primitives whose kernels the VPU accelerates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uvpu_ckks::encoder::{C64, Encoder};
+use uvpu_ckks::keys::KeyGenerator;
+use uvpu_ckks::ops::Evaluator;
+use uvpu_ckks::params::{CkksContext, CkksParams};
+
+fn ckks_primitives(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::new(1 << 8, 3, 40).unwrap()).unwrap();
+    let encoder = Encoder::new(&ctx);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk).unwrap();
+    let rlk = kg.relin_key(&sk).unwrap();
+    let gks = kg.galois_keys(&sk, &[1]).unwrap();
+    let eval = Evaluator::new(&ctx);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let values: Vec<C64> = (0..encoder.slot_count())
+        .map(|j| C64::from(j as f64 * 0.01))
+        .collect();
+    let pt = encoder.encode(&ctx, 3, &values).unwrap();
+    let ct = eval.encrypt(&pk, &pt, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("ckks_n256_l3");
+    group.sample_size(10);
+    group.bench_function("hadd", |b| {
+        b.iter(|| black_box(eval.add(&ct, &ct).unwrap()));
+    });
+    group.bench_function("hmult_relin", |b| {
+        b.iter(|| black_box(eval.mul(&ct, &ct, &rlk).unwrap()));
+    });
+    group.bench_function("hrot", |b| {
+        b.iter(|| black_box(eval.rotate(&ct, 1, &gks).unwrap()));
+    });
+    group.bench_function("rescale", |b| {
+        let prod = eval.mul(&ct, &ct, &rlk).unwrap();
+        b.iter(|| black_box(eval.rescale(&prod).unwrap()));
+    });
+    group.bench_function("encrypt", |b| {
+        b.iter(|| black_box(eval.encrypt(&pk, &pt, &mut rng).unwrap()));
+    });
+    group.bench_function("decrypt", |b| {
+        b.iter(|| black_box(eval.decrypt(&sk, &ct).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ckks_primitives);
+criterion_main!(benches);

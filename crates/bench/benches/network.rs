@@ -1,0 +1,25 @@
+//! Criterion benchmarks of the inter-lane network primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uvpu_core::control::ShiftControls;
+use uvpu_core::network::{CgDirection, InterLaneNetwork};
+
+fn network_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_pass");
+    for m in [64usize, 256] {
+        let net = InterLaneNetwork::new(m).unwrap();
+        let data: Vec<u64> = (0..m as u64).collect();
+        let controls = ShiftControls::from_rotation(m, 13);
+        group.bench_with_input(BenchmarkId::new("cg", m), &m, |b, _| {
+            b.iter(|| black_box(net.cg_pass(&data, CgDirection::Dif)));
+        });
+        group.bench_with_input(BenchmarkId::new("shift", m), &m, |b, _| {
+            b.iter(|| black_box(net.shift_pass(&data, &controls)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, network_passes);
+criterion_main!(benches);

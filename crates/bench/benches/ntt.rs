@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the NTT kernels: the golden-model transform,
+//! the VPU-simulated multi-dimensional pipeline, and the lane-resident
+//! small NTT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uvpu_core::ntt_map::{NttPlan, SmallNtt};
+use uvpu_core::vpu::Vpu;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::NttTable;
+use uvpu_math::primes::ntt_prime;
+
+fn golden_model_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_ntt_forward");
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let data: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                table.forward_inplace(&mut a);
+                black_box(a)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn vpu_simulated_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vpu_ntt_negacyclic");
+    group.sample_size(10);
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        let m = 64;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let data: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(plan.execute_forward_negacyclic(&mut vpu, &data).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn lane_resident_small_ntt(c: &mut Criterion) {
+    let m = 64;
+    let q = Modulus::new(ntt_prime(50, m).unwrap()).unwrap();
+    let ntt = SmallNtt::new(q, m).unwrap();
+    let mut vpu = Vpu::new(m, q, 4).unwrap();
+    let data: Vec<u64> = (0..m as u64).collect();
+    c.bench_function("small_ntt_64_lanes", |b| {
+        b.iter(|| {
+            vpu.load(0, &data).unwrap();
+            ntt.run_forward(&mut vpu, 0).unwrap();
+            black_box(vpu.store(0).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, golden_model_ntt, vpu_simulated_ntt, lane_resident_small_ntt);
+criterion_main!(benches);

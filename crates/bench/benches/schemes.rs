@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the integer schemes (BFV/BGV) and the
+//! accelerator scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uvpu_accel::config::AcceleratorConfig;
+use uvpu_accel::machine::Accelerator;
+use uvpu_accel::workload::FheOp;
+use uvpu_bfv::bgv::BgvEvaluator;
+use uvpu_bfv::cipher::Evaluator as BfvEvaluator;
+use uvpu_bfv::encoder::BatchEncoder;
+use uvpu_bfv::keys::KeyGenerator;
+use uvpu_bfv::params::BfvParams;
+
+fn bfv_and_bgv(c: &mut Criterion) {
+    let params = BfvParams::new(1 << 8, 50).unwrap();
+    let enc = BatchEncoder::new(&params).unwrap();
+    let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(1));
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk).unwrap();
+    let rlk = kg.relin_key(&sk).unwrap();
+    let bfv = BfvEvaluator::new(&params);
+    let bgv = BgvEvaluator::new(&params);
+    let mut rng = StdRng::seed_from_u64(2);
+    let bgv_pk = bgv.public_key(&sk, &mut rng).unwrap();
+    let bgv_rlk = bgv.relin_key(&sk, &mut rng).unwrap();
+
+    let values: Vec<u64> = (0..256u64).collect();
+    let pt = enc.encode(&values).unwrap();
+    let bfv_ct = bfv.encrypt(&pk, &pt, &mut rng).unwrap();
+    let bgv_ct = bgv.encrypt(&bgv_pk, &pt, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("integer_schemes_n256");
+    group.sample_size(10);
+    group.bench_function("bfv_mul_relin", |b| {
+        b.iter(|| black_box(bfv.mul(&bfv_ct, &bfv_ct, &rlk).unwrap()));
+    });
+    group.bench_function("bgv_mul_relin", |b| {
+        b.iter(|| black_box(bgv.mul(&bgv_ct, &bgv_ct, &bgv_rlk).unwrap()));
+    });
+    group.bench_function("bfv_decrypt", |b| {
+        b.iter(|| black_box(bfv.decrypt(&sk, &bfv_ct).unwrap()));
+    });
+    group.bench_function("batch_encode", |b| {
+        b.iter(|| black_box(enc.encode(&values).unwrap()));
+    });
+    group.finish();
+}
+
+fn accelerator_scheduling(c: &mut Criterion) {
+    let ops = [
+        FheOp::HMult { n: 1 << 10, limbs: 3 },
+        FheOp::HRot { n: 1 << 10, limbs: 3 },
+        FheOp::HAdd { n: 1 << 10, limbs: 3 },
+    ];
+    let mut group = c.benchmark_group("accelerator");
+    group.sample_size(10);
+    group.bench_function("schedule_trace_8vpu", |b| {
+        let mut accel = Accelerator::new(AcceleratorConfig::default()).unwrap();
+        b.iter(|| black_box(accel.run(&ops).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bfv_and_bgv, accelerator_scheduling);
+criterion_main!(benches);

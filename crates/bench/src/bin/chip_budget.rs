@@ -1,0 +1,46 @@
+//! **Extension experiment**: the chip-level area/power budget of a full
+//! Fig 1(a) accelerator (8 × 64-lane VPUs + 64 MiB SRAM + ring NoC) for
+//! every permutation-hardware choice — how far the network savings carry
+//! at whole-chip scope.
+
+use uvpu_hw_model::chip::{ChipConfig, ChipModel};
+use uvpu_hw_model::designs::DesignKind;
+use uvpu_hw_model::tech::TechParams;
+
+fn main() {
+    let tech = TechParams::asap7();
+    let cfg = ChipConfig::default();
+    println!(
+        "EXTENSION — CHIP BUDGET: {} x {}-lane VPUs, {} MiB SRAM, {}-bit ring NoC",
+        cfg.vpus,
+        cfg.lanes,
+        cfg.sram_bytes >> 20,
+        cfg.noc_link_bits
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "Design", "VPUs mm²", "SRAM mm²", "NoC mm²", "Total mm²", "ratio", "Power W", "perm share"
+    );
+    println!("{}", "-".repeat(96));
+    let ours_total = ChipModel::new(cfg, DesignKind::Ours).total_area(&tech);
+    for kind in DesignKind::ALL {
+        let chip = ChipModel::new(cfg, kind);
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>9.3}x {:>10.2} {:>11.2}%",
+            kind.name(),
+            chip.vpus_area(&tech) / 1e6,
+            chip.sram_area(&tech) / 1e6,
+            chip.noc_area(&tech) / 1e6,
+            chip.total_area(&tech) / 1e6,
+            chip.total_area(&tech) / ours_total,
+            chip.total_power(&tech) / 1e3,
+            100.0 * chip.permutation_share(&tech),
+        );
+    }
+    println!();
+    println!(
+        "the network savings dilute from 9.4x (network scope) to 1.2x (VPU scope) to the\n\
+         chip ratios above — consistent with the paper's 'lanes dominate' observation,\n\
+         and still meaningful silicon at 7 nm prices."
+    );
+}

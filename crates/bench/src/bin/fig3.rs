@@ -1,0 +1,66 @@
+//! Regenerates paper **Fig 3**: the dimension transposes of the NTT
+//! decomposition, routed beat-by-beat through the VPU's shift network and
+//! per-lane register addressing.
+//!
+//! - Fig 3(a): the regular column→diagonal→row transpose (2 passes per
+//!   column), shown on an m×m tile.
+//! - Fig 3(b): the paper's worked irregular example (m = 4, dims x=4,
+//!   y=4, z=2), where restoring the canonical layout from the mixed
+//!   layout needs a constant-geometry pass first — 3 passes per column.
+
+use uvpu_core::transpose::{fig3b_mixed_transpose, transpose_square};
+use uvpu_core::vpu::Vpu;
+use uvpu_math::modular::Modulus;
+
+fn main() {
+    let q = Modulus::new(0x0fff_ffff_fffc_0001).expect("prime modulus");
+
+    println!("FIG 3(a) — regular transpose on the shift network (m = 4 tile)");
+    let m = 4;
+    let mut vpu = Vpu::new(m, q, 2 * m).expect("vpu");
+    for c in 0..m {
+        let col: Vec<u64> = (0..m).map(|r| (r * m + c) as u64).collect();
+        vpu.load(c, &col).expect("load");
+        println!("  source column {c}: {col:?}");
+    }
+    transpose_square(&mut vpu, 0, m).expect("transpose");
+    for r in 0..m {
+        println!("  target row    {r}: {:?}", vpu.store(m + r).expect("store"));
+    }
+    println!(
+        "  cost: {} network beats = 2 passes per column (shift down by y, then up by x)",
+        vpu.stats().network_move
+    );
+    println!();
+
+    println!("FIG 3(b) — irregular transpose from the mixed layout y|x1 × x0|z");
+    let mut vpu = Vpu::new(4, q, 32).expect("vpu");
+    let idx = |x: usize, y: usize, z: usize| ((z * 4 + y) * 4 + x) as u64;
+    for reg in 0..8usize {
+        let (y, x1) = (reg >> 1, reg & 1);
+        let col: Vec<u64> = (0..4)
+            .map(|lane| {
+                let (x0, z) = (lane >> 1, lane & 1);
+                idx(x1 * 2 + x0, y, z)
+            })
+            .collect();
+        vpu.load(reg, &col).expect("load");
+    }
+    println!(
+        "  first mixed column (paper's example): {:?} — irregular shift distances, not realizable by shifts alone",
+        vpu.store(0).expect("store")
+    );
+    fig3b_mixed_transpose(&mut vpu, 0, 8).expect("transpose");
+    println!("  after one DIT constant-geometry pass + two shift passes per column:");
+    for reg in 0..8usize {
+        let (z, y) = (reg >> 2, reg & 3);
+        println!(
+            "  canonical column z={z} y={y}: {:?}",
+            vpu.store(8 + reg).expect("store")
+        );
+    }
+    println!(
+        "  cost: {} network beats over 8 columns = 2 + (log2 m - log2 z) = 3 passes per column",
+        vpu.stats().network_move
+    );
+}

@@ -1,0 +1,38 @@
+//! **Extension experiment**: the single-VPU latency census of the FHE
+//! primitives — the cycles each homomorphic operation spends in a 64-lane
+//! unified VPU across ring degrees and RNS limb counts (1 beat = 1 ns at
+//! the paper's 1 GHz clock). The HRot column is the workload the paper's
+//! automorphism hardware accelerates; note it is keyswitch-dominated,
+//! which is exactly why the network must not add *extra* passes.
+
+use uvpu_accel::workload::FheOp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lanes = 64;
+    println!("EXTENSION — SINGLE-VPU OPERATION LATENCY (beats = ns @ 1 GHz), {lanes} lanes");
+    println!(
+        "{:<8} {:<7} {:>12} {:>14} {:>14} {:>12} {:>14}",
+        "N", "limbs", "HAdd", "HMult", "HRot", "NTT", "Automorphism"
+    );
+    println!("{}", "-".repeat(88));
+    for log_n in [12u32, 13, 14] {
+        let n = 1usize << log_n;
+        for limbs in [2usize, 4, 8] {
+            let hadd = FheOp::HAdd { n, limbs }.latency_beats(lanes)?;
+            let hmult = FheOp::HMult { n, limbs }.latency_beats(lanes)?;
+            let hrot = FheOp::HRot { n, limbs }.latency_beats(lanes)?;
+            let ntt = FheOp::Ntt { n }.latency_beats(lanes)?;
+            let auto = FheOp::Automorphism { n }.latency_beats(lanes)?;
+            println!(
+                "2^{:<6} {:<7} {:>12} {:>14} {:>14} {:>12} {:>14}",
+                log_n, limbs, hadd, hmult, hrot, ntt, auto
+            );
+        }
+    }
+    println!();
+    println!(
+        "observations: HMult/HRot scale ~quadratically with limbs (keyswitch digits);\n\
+         the bare automorphism is N/64 beats — data crosses the network exactly once."
+    );
+    Ok(())
+}

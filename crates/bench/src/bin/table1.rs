@@ -1,0 +1,17 @@
+//! Regenerates paper **Table I**: the qualitative comparison of how
+//! related FHE accelerator designs handle the NTT transpose and the
+//! automorphism.
+
+use uvpu_hw_model::tables::table1;
+
+fn main() {
+    println!("TABLE I — COMPARISON OF RELATED DESIGNS");
+    println!("{:<8} {:<42} Automorphism", "Design", "Transpose in NTT");
+    println!("{}", "-".repeat(100));
+    for row in table1() {
+        println!(
+            "{:<8} {:<42} {}",
+            row.design, row.transpose_in_ntt, row.automorphism
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates paper **Table II**: area and power of the permutation
+//! network and the full VPU for F1 / BTS / ARK / SHARP / Ours, all
+//! ported to the same 64-lane VPU, printed next to the paper's values.
+
+use uvpu_bench::{delta_cell, PAPER_TABLE2};
+use uvpu_hw_model::tables::table2;
+use uvpu_hw_model::tech::TechParams;
+
+fn main() {
+    let tech = TechParams::asap7();
+    let rows = table2(&tech, 64);
+    if uvpu_bench::json::json_requested() {
+        use uvpu_bench::json::Value;
+        let json_rows: Vec<Vec<(&str, Value)>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    ("design", Value::Str(r.design.to_string())),
+                    ("network_area_um2", Value::Num(r.network_area_um2)),
+                    ("network_area_ratio", Value::Num(r.network_area_ratio)),
+                    ("vpu_area_um2", Value::Num(r.vpu_area_um2)),
+                    ("network_power_mw", Value::Num(r.network_power_mw)),
+                    ("vpu_power_mw", Value::Num(r.vpu_power_mw)),
+                ]
+            })
+            .collect();
+        println!("{}", uvpu_bench::json::rows_to_json(&json_rows));
+        return;
+    }
+    println!("TABLE II — AREA AND POWER COMPARISON, 64 LANES (model vs paper)");
+    println!(
+        "{:<7} {:>14} {:>7} {:>7} | {:>14} {:>7} {:>7} | {:>10} {:>7} {:>7} | {:>10} {:>7} {:>7}",
+        "Design",
+        "Net um^2", "ratio", "Δpaper",
+        "VPU um^2", "ratio", "Δpaper",
+        "Net mW", "ratio", "Δpaper",
+        "VPU mW", "ratio", "Δpaper",
+    );
+    println!("{}", "-".repeat(150));
+    for (row, paper) in rows.iter().zip(PAPER_TABLE2) {
+        assert_eq!(row.design, paper.0, "row order must match the paper");
+        println!(
+            "{:<7} {:>14.2} {:>6.2}x {:>7} | {:>14.2} {:>6.2}x {:>7} | {:>10.2} {:>6.2}x {:>7} | {:>10.2} {:>6.2}x {:>7}",
+            row.design,
+            row.network_area_um2,
+            row.network_area_ratio,
+            delta_cell(row.network_area_um2, paper.1),
+            row.vpu_area_um2,
+            row.vpu_area_ratio,
+            delta_cell(row.vpu_area_um2, paper.2),
+            row.network_power_mw,
+            row.network_power_ratio,
+            delta_cell(row.network_power_mw, paper.3),
+            row.vpu_power_mw,
+            row.vpu_power_ratio,
+            delta_cell(row.vpu_power_mw, paper.4),
+        );
+    }
+    let f1 = &rows[0];
+    let ours = &rows[4];
+    println!();
+    println!(
+        "headline: up to {:.1}x network area and {:.1}x network power savings; up to {:.2}x VPU area and {:.2}x VPU power (paper: 9.4x / 6.0x / 1.20x / 1.10x)",
+        f1.network_area_ratio,
+        f1.network_power_ratio,
+        f1.vpu_area_um2 / ours.vpu_area_um2,
+        f1.vpu_power_mw / ours.vpu_power_mw,
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates paper **Table III**: throughput utilization of NTT and
+//! automorphism on the cycle-level VPU simulator (m = 64), printed next
+//! to the paper's values.
+
+use uvpu_bench::{delta_cell, measure_table3, PAPER_TABLE3};
+
+fn main() {
+    let m = 64;
+    let log_sizes: Vec<u32> = PAPER_TABLE3.iter().map(|&(l, _, _)| l).collect();
+    let rows = measure_table3(m, &log_sizes);
+    if uvpu_bench::json::json_requested() {
+        use uvpu_bench::json::Value;
+        let json_rows: Vec<Vec<(&str, Value)>> = rows
+            .iter()
+            .zip(PAPER_TABLE3)
+            .map(|(r, p)| {
+                vec![
+                    ("log_n", Value::Int(i64::from(r.log_n))),
+                    ("ntt_utilization", Value::Num(100.0 * r.ntt_utilization)),
+                    ("paper_ntt", Value::Num(p.1)),
+                    ("automorphism_utilization", Value::Num(100.0 * r.automorphism_utilization)),
+                ]
+            })
+            .collect();
+        println!("{}", uvpu_bench::json::rows_to_json(&json_rows));
+        return;
+    }
+    println!("TABLE III — THROUGHPUT UTILIZATION, m = {m} (measured vs paper)");
+    println!(
+        "{:<6} {:<18} {:>10} {:>10} {:>8} | {:>14} {:>12}",
+        "N", "dims", "NTT", "paper", "Δ", "Automorphism", "paper"
+    );
+    println!("{}", "-".repeat(88));
+    for (row, paper) in rows.iter().zip(PAPER_TABLE3) {
+        let dims: Vec<String> = row.dims[..row.dim_count]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        println!(
+            "2^{:<4} {:<18} {:>9.2}% {:>9.2}% {:>8} | {:>13.0}% {:>11.0}%",
+            row.log_n,
+            dims.join("x"),
+            100.0 * row.ntt_utilization,
+            paper.1,
+            delta_cell(100.0 * row.ntt_utilization, paper.1),
+            100.0 * row.automorphism_utilization,
+            paper.2,
+        );
+    }
+    println!();
+    println!("shape checks: dip entering a new dimension after 2^12 and 2^18; automorphism always 100% (single network pass per column).");
+}

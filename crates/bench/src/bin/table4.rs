@@ -1,0 +1,54 @@
+//! Regenerates paper **Table IV**: area/power scalability of the unified
+//! inter-lane network from 4 to 256 lanes (the model's calibration
+//! fixture — residuals show the fit quality).
+
+use uvpu_bench::{delta_cell, PAPER_TABLE4};
+use uvpu_hw_model::tables::table4;
+use uvpu_hw_model::tech::TechParams;
+
+fn main() {
+    let rows = table4(&TechParams::asap7());
+    if uvpu_bench::json::json_requested() {
+        use uvpu_bench::json::Value;
+        let json_rows: Vec<Vec<(&str, Value)>> = rows
+            .iter()
+            .zip(PAPER_TABLE4)
+            .map(|(r, p)| {
+                vec![
+                    ("lanes", Value::Int(r.lanes as i64)),
+                    ("area_um2", Value::Num(r.area_um2)),
+                    ("paper_area_um2", Value::Num(p.1)),
+                    ("power_mw", Value::Num(r.power_mw)),
+                    ("paper_power_mw", Value::Num(p.2)),
+                ]
+            })
+            .collect();
+        println!("{}", uvpu_bench::json::rows_to_json(&json_rows));
+        return;
+    }
+    println!("TABLE IV — INTER-LANE NETWORK SCALABILITY (model vs paper)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} | {:>10} {:>10} {:>8}",
+        "Lanes", "Area um^2", "paper", "Δ", "Power mW", "paper", "Δ"
+    );
+    println!("{}", "-".repeat(78));
+    for (row, paper) in rows.iter().zip(PAPER_TABLE4) {
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>8} | {:>10.2} {:>10.2} {:>8}",
+            row.lanes,
+            row.area_um2,
+            paper.1,
+            delta_cell(row.area_um2, paper.1),
+            row.power_mw,
+            paper.2,
+            delta_cell(row.power_mw, paper.2),
+        );
+    }
+    let growth_area = rows.last().unwrap().area_um2 / rows[0].area_um2;
+    let growth_power = rows.last().unwrap().power_mw / rows[0].power_mw;
+    println!();
+    println!(
+        "4 -> 256 lanes (64x): area x{growth_area:.0} (paper ~135x), power x{growth_power:.0} (paper ~127x) — slightly super-linear, ~{:.2}x per lane doubling",
+        growth_area.powf(1.0 / 6.0)
+    );
+}

@@ -1,0 +1,222 @@
+//! Evaluation harness for the `uvpu` paper reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section, printing measured values next to the
+//! published ones (recorded in `EXPERIMENTS.md`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — qualitative comparison of related designs |
+//! | `table2` | Table II — area/power of network and VPU, 5 designs, 64 lanes |
+//! | `table3` | Table III — NTT/automorphism throughput utilization |
+//! | `table4` | Table IV — network scalability, m = 4 … 256 |
+//! | `fig2`   | Fig 2 — inter-lane network structure and control budget |
+//! | `fig3`   | Fig 3 — the worked transpose examples, fully routed |
+//!
+//! The `benches/` directory adds Criterion microbenchmarks of the
+//! simulator's kernels and the Barrett-vs-Montgomery lane ablation.
+
+use uvpu_core::auto_map::AutomorphismMapping;
+use uvpu_core::ntt_map::NttPlan;
+use uvpu_core::vpu::Vpu;
+use uvpu_math::modular::Modulus;
+use uvpu_math::primes::ntt_prime;
+
+/// Paper Table III reference values: `(log₂ N, NTT %, automorphism %)`.
+pub const PAPER_TABLE3: [(u32, f64, f64); 6] = [
+    (10, 74.77, 100.0),
+    (12, 85.14, 100.0),
+    (14, 77.63, 100.0),
+    (16, 79.96, 100.0),
+    (18, 81.81, 100.0),
+    (20, 80.80, 100.0),
+];
+
+/// Paper Table II reference values:
+/// `(design, network µm², vpu µm², network mW, vpu mW)`.
+pub const PAPER_TABLE2: [(&str, f64, f64, f64, f64); 5] = [
+    ("F1", 55_616.42, 300_306.61, 93.50, 842.12),
+    ("BTS", 19_405.16, 264_095.35, 45.13, 793.75),
+    ("ARK", 9_480.50, 254_170.69, 46.35, 794.97),
+    ("SHARP", 44_453.51, 289_143.70, 44.04, 792.66),
+    ("Ours", 5_913.62, 250_603.81, 15.59, 764.21),
+];
+
+/// Paper Table IV reference values: `(lanes, µm², mW)`.
+pub const PAPER_TABLE4: [(usize, f64, f64); 7] = [
+    (4, 208.99, 0.59),
+    (8, 509.45, 1.38),
+    (16, 1_180.83, 3.13),
+    (32, 2_664.50, 7.02),
+    (64, 5_913.62, 15.59),
+    (128, 12_975.47, 34.28),
+    (256, 28_226.38, 75.02),
+];
+
+/// One measured row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationRow {
+    /// log₂ of the operation length.
+    pub log_n: u32,
+    /// Dimension decomposition used.
+    pub dims: [usize; 4],
+    /// Number of dimensions actually used.
+    pub dim_count: usize,
+    /// Measured NTT throughput utilization (0–1).
+    pub ntt_utilization: f64,
+    /// Measured automorphism throughput utilization (0–1).
+    pub automorphism_utilization: f64,
+}
+
+/// Measures Table III on the cycle-level simulator: a full negacyclic
+/// NTT and an automorphism at each size, `m = 64` lanes.
+///
+/// # Panics
+///
+/// Panics if a plan cannot be built (prime generation never fails for
+/// these sizes).
+#[must_use]
+pub fn measure_table3(m: usize, log_sizes: &[u32]) -> Vec<UtilizationRow> {
+    log_sizes
+        .iter()
+        .map(|&log_n| {
+            let n = 1usize << log_n;
+            let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+            let plan = NttPlan::new(q, n, m).expect("plan");
+            let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+            let data: Vec<u64> = (0..n as u64).collect();
+            let ntt = plan
+                .execute_forward_negacyclic(&mut vpu, &data)
+                .expect("ntt run");
+            let auto = AutomorphismMapping::new(n, m, 5, 0)
+                .expect("auto plan")
+                .execute(&mut vpu, &data)
+                .expect("auto run");
+            let mut dims = [0usize; 4];
+            for (i, &d) in plan.dims().iter().enumerate() {
+                dims[i] = d;
+            }
+            UtilizationRow {
+                log_n,
+                dims,
+                dim_count: plan.dims().len(),
+                ntt_utilization: ntt.stats.utilization(),
+                automorphism_utilization: auto.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Formats a ratio column like the paper: `5913.62 | 1.00x`.
+#[must_use]
+pub fn ratio_cell(value: f64, baseline: f64) -> String {
+    format!("{value:>12.2} | {:>5.2}x", value / baseline)
+}
+
+/// Formats a signed percentage delta against a paper reference.
+#[must_use]
+pub fn delta_cell(measured: f64, paper: f64) -> String {
+    let delta = 100.0 * (measured - paper) / paper;
+    format!("{delta:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper_shape() {
+        let rows = measure_table3(64, &[10, 12, 14]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].ntt_utilization > rows[0].ntt_utilization);
+        assert!(rows[2].ntt_utilization < rows[1].ntt_utilization);
+        for r in &rows {
+            assert_eq!(r.automorphism_utilization, 1.0);
+        }
+        assert_eq!(rows[0].dims[..2], [64, 16]);
+        assert_eq!(rows[2].dim_count, 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(ratio_cell(10.0, 5.0).contains("2.00x"));
+        assert_eq!(delta_cell(110.0, 100.0), "+10.0%");
+        assert_eq!(delta_cell(95.0, 100.0), "-5.0%");
+    }
+}
+
+/// Minimal JSON emission for the flat table rows (keeps the evaluation
+/// harness dependency-free; all values are numbers or plain strings).
+pub mod json {
+    /// One `"key": value` pair.
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        /// A numeric value.
+        Num(f64),
+        /// An integer value (emitted without a decimal point).
+        Int(i64),
+        /// A string value (escaped minimally; table content is ASCII).
+        Str(String),
+    }
+
+    /// Serializes rows of `(key, value)` pairs as a JSON array of objects.
+    #[must_use]
+    pub fn rows_to_json(rows: &[Vec<(&str, Value)>]) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                match v {
+                    Value::Num(x) => out.push_str(&format!("\"{k}\": {x:.4}")),
+                    Value::Int(x) => out.push_str(&format!("\"{k}\": {x}")),
+                    Value::Str(s) => {
+                        let escaped = s.replace('\\', "\\\\").replace('"', "\\\"");
+                        out.push_str(&format!("\"{k}\": \"{escaped}\""));
+                    }
+                }
+            }
+            out.push('}');
+            if i + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Whether the process was invoked with `--json`.
+    #[must_use]
+    pub fn json_requested() -> bool {
+        std::env::args().any(|a| a == "--json")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn emits_valid_flat_json() {
+            let rows = vec![
+                vec![("design", Value::Str("F1".into())), ("area", Value::Num(1.5))],
+                vec![("design", Value::Str("Ours".into())), ("lanes", Value::Int(64))],
+            ];
+            let s = rows_to_json(&rows);
+            assert!(s.starts_with('[') && s.ends_with(']'));
+            assert!(s.contains("\"design\": \"F1\""));
+            assert!(s.contains("\"area\": 1.5000"));
+            assert!(s.contains("\"lanes\": 64"));
+            assert_eq!(s.matches('{').count(), 2);
+        }
+
+        #[test]
+        fn escapes_strings() {
+            let rows = vec![vec![("s", Value::Str("a\"b\\c".into()))]];
+            let s = rows_to_json(&rows);
+            assert!(s.contains(r#""s": "a\"b\\c""#));
+        }
+    }
+}

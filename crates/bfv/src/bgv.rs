@@ -1,0 +1,466 @@
+//! A BGV variant sharing the BFV substrate.
+//!
+//! BGV \[Brakerski–Gentry–Vaikuntanathan\] carries the plaintext in the
+//! **least-significant bits** (`c₀ + c₁s = m + t·e (mod q)`), where BFV
+//! scales it to the most-significant bits (`Δ·m + e`). Computationally the
+//! two are the same workload — the same ring products, the same NTTs, the
+//! same Galois automorphisms — which is the paper's point when it says
+//! BGV/BFV are "similarly supported" (§II-A). Multiplication in BGV is a
+//! plain mod-`q` tensor (no exact rational rescaling), at the price of
+//! multiplicative noise growth; production BGV manages that with modulus
+//! switching down a prime chain, which this single-modulus variant omits
+//! (depth 1, like single-modulus BFV — the hardware-relevant kernels are
+//! identical).
+//!
+//! Parameter note: [`BfvParams`] already enforces `q ≡ 1 (mod t)`, which
+//! is exactly BGV's requirement for noise-parity under mod-switching, so
+//! the same parameter objects serve both schemes.
+
+use crate::cipher::{b_from_a_s_e, ring_mul_q};
+use crate::encoder::Plaintext;
+use crate::keys::SecretKey;
+use crate::params::BfvParams;
+use crate::BfvError;
+use rand::Rng;
+use std::collections::HashMap;
+use uvpu_math::automorphism::{apply_galois_coeff, conjugation_exponent, galois_exponent};
+use uvpu_math::sampling::{ternary, GaussianSampler};
+
+/// A BGV ciphertext (plaintext in the low bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgvCiphertext {
+    /// The ciphertext polynomials, coefficients in `[0, q)`.
+    pub parts: Vec<Vec<u64>>,
+}
+
+/// A BGV public key: `b = −(a·s) + t·e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgvPublicKey {
+    pub(crate) b: Vec<u64>,
+    pub(crate) a: Vec<u64>,
+}
+
+/// A BGV keyswitching key (base-`2^w` digits, noise scaled by `t`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgvKeySwitchKey {
+    pub(crate) parts: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+/// BGV Galois keys, indexed by Galois element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BgvGaloisKeys {
+    pub(crate) keys: HashMap<u64, BgvKeySwitchKey>,
+}
+
+/// The BGV evaluator (encrypt/decrypt/add/mul/rotate over the BFV
+/// parameter set and encoder).
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use uvpu_bfv::bgv::BgvEvaluator;
+/// use uvpu_bfv::encoder::BatchEncoder;
+/// use uvpu_bfv::keys::KeyGenerator;
+/// use uvpu_bfv::params::BfvParams;
+///
+/// # fn main() -> Result<(), uvpu_bfv::BfvError> {
+/// let params = BfvParams::new(1 << 6, 50)?;
+/// let enc = BatchEncoder::new(&params)?;
+/// let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(1));
+/// let sk = kg.secret_key();
+/// let eval = BgvEvaluator::new(&params);
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let pk = eval.public_key(&sk, &mut rng)?;
+///
+/// let ct = eval.encrypt(&pk, &enc.encode(&[21])?, &mut rng)?;
+/// let doubled = eval.add(&ct, &ct);
+/// assert_eq!(enc.decode(&eval.decrypt(&sk, &doubled)?)[0], 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BgvEvaluator<'a> {
+    params: &'a BfvParams,
+}
+
+impl<'a> BgvEvaluator<'a> {
+    /// Creates a BGV evaluator over a (shared) parameter set.
+    #[must_use]
+    pub const fn new(params: &'a BfvParams) -> Self {
+        Self { params }
+    }
+
+    fn scaled_error<R: Rng>(&self, rng: &mut R) -> Vec<i64> {
+        // BGV noise terms enter as t·e.
+        let t = self.params.plain_modulus().value() as i64;
+        GaussianSampler::new(self.params.error_std())
+            .sample_vec(rng, self.params.n())
+            .into_iter()
+            .map(|e| e * t)
+            .collect()
+    }
+
+    /// Generates the BGV public key `(−a·s + t·e, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn public_key<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Result<BgvPublicKey, BfvError> {
+        let q = self.params.modulus();
+        let a = uvpu_math::sampling::uniform(rng, self.params.n(), q.value());
+        let e = self.scaled_error(rng);
+        let b = b_from_a_s_e(self.params, &a, &sk.signed, &e);
+        Ok(BgvPublicKey { b, a })
+    }
+
+    /// Encryption: `(m + u·b + t·e₁, u·a + t·e₂)`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn encrypt<R: Rng>(
+        &self,
+        pk: &BgvPublicKey,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Result<BgvCiphertext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let n = params.n();
+        let u = ternary(rng, n);
+        let u_q: Vec<u64> = u.iter().map(|&c| q.from_i64(c)).collect();
+        let e1 = self.scaled_error(rng);
+        let e2 = self.scaled_error(rng);
+        let ub = ring_mul_q(params, &pk.b, &u_q);
+        let ua = ring_mul_q(params, &pk.a, &u_q);
+        let c0: Vec<u64> = (0..n)
+            .map(|k| {
+                // The message rides in the low bits, centered mod t.
+                let m = params.plain_modulus().reduce_u64(pt.coeffs[k]);
+                let m_c = q.from_i64(params.plain_modulus().to_centered(m));
+                q.add(q.add(ub[k], q.from_i64(e1[k])), m_c)
+            })
+            .collect();
+        let c1: Vec<u64> = (0..n).map(|k| q.add(ua[k], q.from_i64(e2[k]))).collect();
+        Ok(BgvCiphertext { parts: vec![c0, c1] })
+    }
+
+    /// Decryption: `(Σ c_k·s^k mod q, centered) mod t`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &BgvCiphertext) -> Result<Plaintext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let t = params.plain_modulus();
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let mut acc = ct.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &ct.parts[1..] {
+            let prod = ring_mul_q(params, part, &s_pow);
+            for (a, p) in acc.iter_mut().zip(&prod) {
+                *a = q.add(*a, *p);
+            }
+            s_pow = ring_mul_q(params, &s_pow, &s);
+        }
+        let coeffs: Vec<u64> = acc
+            .iter()
+            .map(|&v| t.from_i64(q.to_centered(v).rem_euclid(t.value() as i64)))
+            .collect();
+        Ok(Plaintext { coeffs })
+    }
+
+    /// Homomorphic addition (exact mod t).
+    #[must_use]
+    pub fn add(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> BgvCiphertext {
+        let q = self.params.modulus();
+        let n = self.params.n();
+        let zero = vec![0u64; n];
+        let size = a.parts.len().max(b.parts.len());
+        BgvCiphertext {
+            parts: (0..size)
+                .map(|k| {
+                    let x = a.parts.get(k).unwrap_or(&zero);
+                    let y = b.parts.get(k).unwrap_or(&zero);
+                    x.iter().zip(y).map(|(&u, &v)| q.add(u, v)).collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Homomorphic multiplication with relinearization: a plain mod-`q`
+    /// tensor (BGV needs no exact rescaling — the LSB encoding makes the
+    /// product land at the right place), then keyswitch of the quadratic
+    /// term.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn mul(
+        &self,
+        a: &BgvCiphertext,
+        b: &BgvCiphertext,
+        rlk: &BgvKeySwitchKey,
+    ) -> Result<BgvCiphertext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let d0 = ring_mul_q(params, &a.parts[0], &b.parts[0]);
+        let mut d1 = ring_mul_q(params, &a.parts[0], &b.parts[1]);
+        let d1b = ring_mul_q(params, &a.parts[1], &b.parts[0]);
+        for (x, y) in d1.iter_mut().zip(&d1b) {
+            *x = q.add(*x, *y);
+        }
+        let d2 = ring_mul_q(params, &a.parts[1], &b.parts[1]);
+        let (ks0, ks1) = self.keyswitch(&d2, rlk);
+        let c0 = d0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
+        let c1 = d1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
+        Ok(BgvCiphertext { parts: vec![c0, c1] })
+    }
+
+    /// The relinearization key (target `s²`, noise `t·e`).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn relin_key<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Result<BgvKeySwitchKey, BfvError> {
+        let q = self.params.modulus();
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let s2 = ring_mul_q(self.params, &s, &s);
+        self.keyswitch_key(sk, &s2, rng)
+    }
+
+    /// Galois keys for row rotations plus the row swap.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn galois_keys<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        steps: &[i64],
+        rng: &mut R,
+    ) -> Result<BgvGaloisKeys, BfvError> {
+        let n = self.params.n();
+        let q = self.params.modulus();
+        let mut elements: Vec<u64> = steps.iter().map(|&s| galois_exponent(s, n)).collect();
+        elements.push(conjugation_exponent(n));
+        elements.sort_unstable();
+        elements.dedup();
+        let mut keys = HashMap::new();
+        for g in elements {
+            let tau = apply_galois_coeff(
+                &sk.signed.iter().map(|&c| q.from_i64(c)).collect::<Vec<_>>(),
+                g,
+                &q,
+            );
+            keys.insert(g, self.keyswitch_key(sk, &tau, rng)?);
+        }
+        Ok(BgvGaloisKeys { keys })
+    }
+
+    fn keyswitch_key<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        target: &[u64],
+        rng: &mut R,
+    ) -> Result<BgvKeySwitchKey, BfvError> {
+        let q = self.params.modulus();
+        let w = self.params.decomp_bits();
+        let digits = self.params.decomp_digits();
+        let mut parts = Vec::with_capacity(digits);
+        let mut base = 1u64;
+        for _ in 0..digits {
+            let a = uvpu_math::sampling::uniform(rng, self.params.n(), q.value());
+            let e = self.scaled_error(rng);
+            let mut b = b_from_a_s_e(self.params, &a, &sk.signed, &e);
+            for (bi, &ti) in b.iter_mut().zip(target) {
+                *bi = q.add(*bi, q.mul(q.reduce_u64(base), ti));
+            }
+            parts.push((b, a));
+            base = base.wrapping_shl(w);
+        }
+        Ok(BgvKeySwitchKey { parts })
+    }
+
+    fn keyswitch(&self, d: &[u64], key: &BgvKeySwitchKey) -> (Vec<u64>, Vec<u64>) {
+        let params = self.params;
+        let q = params.modulus();
+        let n = params.n();
+        let w = params.decomp_bits();
+        let mask = (1u64 << w) - 1;
+        let mut acc0 = vec![0u64; n];
+        let mut acc1 = vec![0u64; n];
+        for (i, (b_i, a_i)) in key.parts.iter().enumerate() {
+            let digit: Vec<u64> = d.iter().map(|&v| (v >> (w * i as u32)) & mask).collect();
+            if digit.iter().all(|&x| x == 0) {
+                continue;
+            }
+            let p0 = ring_mul_q(params, &digit, b_i);
+            let p1 = ring_mul_q(params, &digit, a_i);
+            for k in 0..n {
+                acc0[k] = q.add(acc0[k], p0[k]);
+                acc1[k] = q.add(acc1[k], p1[k]);
+            }
+        }
+        (acc0, acc1)
+    }
+
+    /// Rotates the batched rows by `step` — the same automorphism network
+    /// traffic as BFV's and CKKS's HRot.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::MissingGaloisKey`] or substrate errors.
+    pub fn rotate_rows(
+        &self,
+        ct: &BgvCiphertext,
+        step: i64,
+        gks: &BgvGaloisKeys,
+    ) -> Result<BgvCiphertext, BfvError> {
+        let g = galois_exponent(step, self.params.n());
+        let key = gks
+            .keys
+            .get(&g)
+            .ok_or(BfvError::MissingGaloisKey { step })?;
+        let q = self.params.modulus();
+        let t0 = apply_galois_coeff(&ct.parts[0], g, &q);
+        let t1 = apply_galois_coeff(&ct.parts[1], g, &q);
+        let (ks0, ks1) = self.keyswitch(&t1, key);
+        let c0 = t0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
+        Ok(BgvCiphertext {
+            parts: vec![c0, ks1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fix {
+        params: BfvParams,
+        enc: BatchEncoder,
+        sk: SecretKey,
+        rng: StdRng,
+    }
+
+    fn fix(n: usize) -> Fix {
+        let params = BfvParams::new(n, 50).unwrap();
+        let enc = BatchEncoder::new(&params).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(31));
+        let sk = kg.secret_key();
+        Fix {
+            params,
+            enc,
+            sk,
+            rng: StdRng::seed_from_u64(32),
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut f = fix(1 << 6);
+        let eval = BgvEvaluator::new(&f.params);
+        let pk = eval.public_key(&f.sk, &mut f.rng).unwrap();
+        let values: Vec<u64> = (0..64).map(|i| i * 2027 % 65537).collect();
+        let ct = eval
+            .encrypt(&pk, &f.enc.encode(&values).unwrap(), &mut f.rng)
+            .unwrap();
+        assert_eq!(f.enc.decode(&eval.decrypt(&f.sk, &ct).unwrap()), values);
+    }
+
+    #[test]
+    fn addition_is_exact() {
+        let mut f = fix(1 << 5);
+        let eval = BgvEvaluator::new(&f.params);
+        let pk = eval.public_key(&f.sk, &mut f.rng).unwrap();
+        let a: Vec<u64> = (0..32).map(|i| 60_000 + i).collect();
+        let b: Vec<u64> = (0..32).map(|i| 10_000 + 5 * i).collect();
+        let ca = eval.encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let cb = eval.encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], (a[j] + b[j]) % 65537);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_exact_slotwise() {
+        let mut f = fix(1 << 5);
+        let eval = BgvEvaluator::new(&f.params);
+        let pk = eval.public_key(&f.sk, &mut f.rng).unwrap();
+        let rlk = eval.relin_key(&f.sk, &mut f.rng).unwrap();
+        let a: Vec<u64> = (0..32).map(|i| i + 3).collect();
+        let b: Vec<u64> = (0..32).map(|i| 7 * i + 2).collect();
+        let ca = eval.encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let cb = eval.encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let prod = eval.mul(&ca, &cb, &rlk).unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &prod).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], a[j] * b[j] % 65537, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn rotation_matches_row_semantics() {
+        let mut f = fix(1 << 5);
+        let eval = BgvEvaluator::new(&f.params);
+        let pk = eval.public_key(&f.sk, &mut f.rng).unwrap();
+        let gks = eval.galois_keys(&f.sk, &[2], &mut f.rng).unwrap();
+        let rows = f.enc.row_size();
+        let values: Vec<u64> = (0..32).collect();
+        let ct = eval
+            .encrypt(&pk, &f.enc.encode(&values).unwrap(), &mut f.rng)
+            .unwrap();
+        let rot = eval.rotate_rows(&ct, 2, &gks).unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &rot).unwrap());
+        for j in 0..rows {
+            assert_eq!(out[j], values[(j + 2) % rows]);
+            assert_eq!(out[rows + j], values[rows + (j + 2) % rows]);
+        }
+        assert!(eval.rotate_rows(&ct, 5, &gks).is_err());
+    }
+
+    #[test]
+    fn bgv_and_bfv_agree_on_the_same_program() {
+        // The paper's "similar computation patterns" claim, concretely:
+        // the same plaintext program gives the same result under both
+        // encodings.
+        let mut f = fix(1 << 5);
+        let bgv = BgvEvaluator::new(&f.params);
+        let bfv = crate::cipher::Evaluator::new(&f.params);
+        let mut kg = KeyGenerator::new(&f.params, StdRng::seed_from_u64(33));
+        let bfv_pk = kg.public_key(&f.sk).unwrap();
+        let bfv_rlk = kg.relin_key(&f.sk).unwrap();
+        let bgv_pk = bgv.public_key(&f.sk, &mut f.rng).unwrap();
+        let bgv_rlk = bgv.relin_key(&f.sk, &mut f.rng).unwrap();
+
+        let a: Vec<u64> = (0..32).map(|i| i + 1).collect();
+        let pt = f.enc.encode(&a).unwrap();
+
+        let bgv_ct = bgv.encrypt(&bgv_pk, &pt, &mut f.rng).unwrap();
+        let bgv_sq = bgv.mul(&bgv_ct, &bgv_ct, &bgv_rlk).unwrap();
+        let bgv_out = f.enc.decode(&bgv.decrypt(&f.sk, &bgv_sq).unwrap());
+
+        let bfv_ct = bfv.encrypt(&bfv_pk, &pt, &mut f.rng).unwrap();
+        let bfv_sq = bfv.mul(&bfv_ct, &bfv_ct, &bfv_rlk).unwrap();
+        let bfv_out = f.enc.decode(&bfv.decrypt(&f.sk, &bfv_sq).unwrap());
+
+        assert_eq!(bgv_out, bfv_out, "two encodings, one answer");
+    }
+}

@@ -1,0 +1,565 @@
+//! BFV ciphertexts and the homomorphic evaluator.
+//!
+//! Exact integer arithmetic: decryption recovers `round(t/q · (c₀ + c₁s))
+//! mod t` with zero approximation error as long as the noise stays under
+//! `Δ/2`. Multiplication computes the ciphertext tensor over ℤ (128-bit
+//! exact) and scales by `t/q` — the scale-invariant Fan–Vercauteren
+//! construction.
+
+use crate::encoder::Plaintext;
+use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey, SecretKey};
+use crate::params::BfvParams;
+use crate::BfvError;
+use rand::Rng;
+use uvpu_math::automorphism::apply_galois_coeff;
+
+/// A BFV ciphertext: 2 (or transiently 3) polynomials mod `q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// The ciphertext polynomials (coefficients in `[0, q)`).
+    pub parts: Vec<Vec<u64>>,
+}
+
+impl Ciphertext {
+    /// Number of polynomials.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Ring product mod `q` via the parameter set's NTT.
+#[must_use]
+pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let q = params.modulus();
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    params.ntt().forward_inplace(&mut fa);
+    params.ntt().forward_inplace(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = q.mul(*x, *y);
+    }
+    params.ntt().inverse_inplace(&mut fa);
+    fa
+}
+
+/// `b = −(a·s) + e` (mod q), shared by public-key and keyswitch-key
+/// generation.
+#[must_use]
+pub(crate) fn b_from_a_s_e(params: &BfvParams, a: &[u64], s: &[i64], e: &[i64]) -> Vec<u64> {
+    let q = params.modulus();
+    let s_q: Vec<u64> = s.iter().map(|&c| q.from_i64(c)).collect();
+    let a_s = ring_mul_q(params, a, &s_q);
+    a_s.iter()
+        .zip(e)
+        .map(|(&x, &err)| q.add(q.neg(x), q.from_i64(err)))
+        .collect()
+}
+
+/// Exact negacyclic convolution of centered operands over ℤ (`i128`).
+fn exact_negacyclic(a: &[i64], b: &[i64]) -> Vec<i128> {
+    let n = a.len();
+    let mut out = vec![0i128; n];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            let p = i128::from(x) * i128::from(y);
+            let k = i + j;
+            if k < n {
+                out[k] += p;
+            } else {
+                out[k - n] -= p;
+            }
+        }
+    }
+    out
+}
+
+/// The homomorphic evaluator.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use uvpu_bfv::cipher::Evaluator;
+/// use uvpu_bfv::encoder::BatchEncoder;
+/// use uvpu_bfv::keys::KeyGenerator;
+/// use uvpu_bfv::params::BfvParams;
+///
+/// # fn main() -> Result<(), uvpu_bfv::BfvError> {
+/// let params = BfvParams::new(1 << 6, 50)?;
+/// let enc = BatchEncoder::new(&params)?;
+/// let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(1));
+/// let sk = kg.secret_key();
+/// let pk = kg.public_key(&sk)?;
+/// let eval = Evaluator::new(&params);
+/// let mut rng = StdRng::seed_from_u64(2);
+///
+/// let ct = eval.encrypt(&pk, &enc.encode(&[41])?, &mut rng)?;
+/// let one = eval.encrypt(&pk, &enc.encode(&[1])?, &mut rng)?;
+/// let sum = eval.add(&ct, &one);
+/// assert_eq!(enc.decode(&eval.decrypt(&sk, &sum)?)[0], 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    params: &'a BfvParams,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a parameter set.
+    #[must_use]
+    pub const fn new(params: &'a BfvParams) -> Self {
+        Self { params }
+    }
+
+    /// Public-key encryption: `(Δm + u·b + e₁, u·a + e₂)`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn encrypt<R: Rng>(
+        &self,
+        pk: &PublicKey,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Result<Ciphertext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let n = params.n();
+        let u = uvpu_math::sampling::ternary(rng, n);
+        let u_q: Vec<u64> = u.iter().map(|&c| q.from_i64(c)).collect();
+        let gauss = uvpu_math::sampling::GaussianSampler::new(params.error_std());
+        let e1 = gauss.sample_vec(rng, n);
+        let e2 = gauss.sample_vec(rng, n);
+        let ub = ring_mul_q(params, &pk.b, &u_q);
+        let ua = ring_mul_q(params, &pk.a, &u_q);
+        let delta = params.delta();
+        let c0: Vec<u64> = (0..n)
+            .map(|k| {
+                let dm = q.mul(delta, params.plain_modulus().reduce_u64(pt.coeffs[k]));
+                q.add(q.add(ub[k], q.from_i64(e1[k])), dm)
+            })
+            .collect();
+        let c1: Vec<u64> = (0..n).map(|k| q.add(ua[k], q.from_i64(e2[k]))).collect();
+        Ok(Ciphertext { parts: vec![c0, c1] })
+    }
+
+    /// Decryption: `round(t/q · Σ c_k·s^k) mod t`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<Plaintext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let mut acc = ct.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &ct.parts[1..] {
+            let prod = ring_mul_q(params, part, &s_pow);
+            for (a, p) in acc.iter_mut().zip(&prod) {
+                *a = q.add(*a, *p);
+            }
+            s_pow = ring_mul_q(params, &s_pow, &s);
+        }
+        let t = params.plain_modulus();
+        let t_val = i128::from(t.value());
+        let q_val = i128::from(q.value());
+        let coeffs: Vec<u64> = acc
+            .iter()
+            .map(|&v| {
+                let centered = i128::from(q.to_centered(v));
+                // round(t·v/q) with round-half-up, then mod t.
+                let scaled = (t_val * centered + q_val.div_euclid(2)).div_euclid(q_val);
+                t.from_i64(scaled as i64)
+            })
+            .collect();
+        Ok(Plaintext { coeffs })
+    }
+
+    /// Remaining noise budget in bits: `log₂(q / (2t·|noise|)) `; decryption
+    /// fails when this hits zero.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn noise_budget(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<f64, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let t = params.plain_modulus();
+        // Compute v = Σ c_k s^k, subtract Δ·m, measure the residue.
+        let pt = self.decrypt(sk, ct)?;
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let mut acc = ct.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &ct.parts[1..] {
+            let prod = ring_mul_q(params, part, &s_pow);
+            for (a, p) in acc.iter_mut().zip(&prod) {
+                *a = q.add(*a, *p);
+            }
+            s_pow = ring_mul_q(params, &s_pow, &s);
+        }
+        let mut max_noise = 0f64;
+        for (k, &v) in acc.iter().enumerate() {
+            // noise = v − round(q/t)·m (centered): use exact t·v − q·m.
+            let tv = i128::from(t.value()) * i128::from(q.to_centered(v));
+            let qm = i128::from(q.value()) * i128::from(t.to_centered(pt.coeffs[k]));
+            let r = tv - qm; // ≈ t·noise_k
+            max_noise = max_noise.max((r.abs() as f64) / t.value() as f64);
+        }
+        let budget = (q.value() as f64 / (2.0 * t.value() as f64 * max_noise.max(1.0))).log2();
+        Ok(budget.max(0.0))
+    }
+
+    /// Homomorphic addition (exact).
+    #[must_use]
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let q = self.params.modulus();
+        let size = a.size().max(b.size());
+        let n = self.params.n();
+        let zero = vec![0u64; n];
+        let parts = (0..size)
+            .map(|k| {
+                let x = a.parts.get(k).unwrap_or(&zero);
+                let y = b.parts.get(k).unwrap_or(&zero);
+                x.iter().zip(y).map(|(&u, &v)| q.add(u, v)).collect()
+            })
+            .collect();
+        Ciphertext { parts }
+    }
+
+    /// Homomorphic subtraction (exact).
+    #[must_use]
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let q = self.params.modulus();
+        let neg = Ciphertext {
+            parts: b
+                .parts
+                .iter()
+                .map(|p| p.iter().map(|&v| q.neg(v)).collect())
+                .collect(),
+        };
+        self.add(a, &neg)
+    }
+
+    /// Adds a plaintext: `c₀ += Δ·m`.
+    #[must_use]
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let q = self.params.modulus();
+        let delta = self.params.delta();
+        let mut parts = ct.parts.clone();
+        for (c, &m) in parts[0].iter_mut().zip(&pt.coeffs) {
+            *c = q.add(*c, q.mul(delta, self.params.plain_modulus().reduce_u64(m)));
+        }
+        Ciphertext { parts }
+    }
+
+    /// Multiplies by a plaintext (slot-wise once batched).
+    ///
+    /// Noise note: the multiplication happens in the *ring*, so the noise
+    /// grows with the plaintext polynomial's coefficient norm — which for
+    /// a batched per-slot mask can reach `N·t/2` even when every slot
+    /// value is small. Broadcast (all-slots-equal) masks encode to a
+    /// constant polynomial and only scale noise by that constant; prefer
+    /// them on noisy ciphertexts, or check [`Self::noise_budget`].
+    #[must_use]
+    pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let q = self.params.modulus();
+        let m_q: Vec<u64> = pt
+            .coeffs
+            .iter()
+            .map(|&c| q.from_i64(self.params.plain_modulus().to_centered(
+                self.params.plain_modulus().reduce_u64(c),
+            )))
+            .collect();
+        Ciphertext {
+            parts: ct
+                .parts
+                .iter()
+                .map(|p| ring_mul_q(self.params, p, &m_q))
+                .collect(),
+        }
+    }
+
+    /// Homomorphic multiplication with relinearization: the ciphertext
+    /// tensor over ℤ, scaled by `t/q`, then the quadratic term
+    /// keyswitched away.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &KeySwitchKey,
+    ) -> Result<Ciphertext, BfvError> {
+        let params = self.params;
+        let q = params.modulus();
+        let centered = |p: &[u64]| -> Vec<i64> { p.iter().map(|&v| q.to_centered(v)).collect() };
+        let (a0, a1) = (centered(&a.parts[0]), centered(&a.parts[1]));
+        let (b0, b1) = (centered(&b.parts[0]), centered(&b.parts[1]));
+
+        let d0 = exact_negacyclic(&a0, &b0);
+        let mut d1 = exact_negacyclic(&a0, &b1);
+        for (x, y) in d1.iter_mut().zip(exact_negacyclic(&a1, &b0)) {
+            *x += y;
+        }
+        let d2 = exact_negacyclic(&a1, &b1);
+
+        let t_val = i128::from(params.plain_modulus().value());
+        let q_val = i128::from(q.value());
+        let scale = |v: &[i128]| -> Vec<u64> {
+            v.iter()
+                .map(|&x| {
+                    // round(t·x/q) without overflowing i128: split x = u·q + r.
+                    let u = x.div_euclid(q_val);
+                    let r = x.rem_euclid(q_val);
+                    let rounded = t_val * u + (t_val * r + q_val.div_euclid(2)).div_euclid(q_val);
+                    q.from_i64(rounded.rem_euclid(q_val) as i64)
+                })
+                .collect()
+        };
+        let c0 = scale(&d0);
+        let c1 = scale(&d1);
+        let c2 = scale(&d2);
+
+        let (ks0, ks1) = self.keyswitch(&c2, rlk);
+        let c0: Vec<u64> = c0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
+        let c1: Vec<u64> = c1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
+        Ok(Ciphertext { parts: vec![c0, c1] })
+    }
+
+    /// Base-`2^w` keyswitch of `d` under `key`.
+    fn keyswitch(&self, d: &[u64], key: &KeySwitchKey) -> (Vec<u64>, Vec<u64>) {
+        let params = self.params;
+        let q = params.modulus();
+        let n = params.n();
+        let w = params.decomp_bits();
+        let mask = (1u64 << w) - 1;
+        let mut acc0 = vec![0u64; n];
+        let mut acc1 = vec![0u64; n];
+        for (i, (b_i, a_i)) in key.parts.iter().enumerate() {
+            let digit: Vec<u64> = d.iter().map(|&v| (v >> (w * i as u32)) & mask).collect();
+            if digit.iter().all(|&x| x == 0) {
+                continue;
+            }
+            let p0 = ring_mul_q(params, &digit, b_i);
+            let p1 = ring_mul_q(params, &digit, a_i);
+            for k in 0..n {
+                acc0[k] = q.add(acc0[k], p0[k]);
+                acc1[k] = q.add(acc1[k], p1[k]);
+            }
+        }
+        (acc0, acc1)
+    }
+
+    /// Rotates the batched rows by `step` (HRot): the Galois automorphism
+    /// — the paper's inter-lane-network permutation — plus a keyswitch.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::MissingGaloisKey`] or substrate errors.
+    pub fn rotate_rows(
+        &self,
+        ct: &Ciphertext,
+        step: i64,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, BfvError> {
+        let (g, key) = gks.for_step(self.params, step)?;
+        Ok(self.apply_galois(ct, g, key))
+    }
+
+    /// Swaps the two batched rows (column rotation).
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::MissingGaloisKey`] or substrate errors.
+    pub fn rotate_columns(&self, ct: &Ciphertext, gks: &GaloisKeys) -> Result<Ciphertext, BfvError> {
+        let (g, key) = gks.for_row_swap(self.params)?;
+        Ok(self.apply_galois(ct, g, key))
+    }
+
+    fn apply_galois(&self, ct: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
+        let q = self.params.modulus();
+        let t0 = apply_galois_coeff(&ct.parts[0], g, &q);
+        let t1 = apply_galois_coeff(&ct.parts[1], g, &q);
+        let (ks0, ks1) = self.keyswitch(&t1, key);
+        let c0 = t0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
+        Ciphertext {
+            parts: vec![c0, ks1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fix {
+        params: BfvParams,
+        enc: BatchEncoder,
+        sk: SecretKey,
+        pk: PublicKey,
+        rlk: KeySwitchKey,
+        rng: StdRng,
+    }
+
+    fn fix(n: usize) -> Fix {
+        let params = BfvParams::new(n, 50).unwrap();
+        let enc = BatchEncoder::new(&params).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(11));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).unwrap();
+        let rlk = kg.relin_key(&sk).unwrap();
+        Fix {
+            params,
+            enc,
+            sk,
+            pk,
+            rlk,
+            rng: StdRng::seed_from_u64(12),
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_exact() {
+        let mut f = fix(1 << 6);
+        let eval = Evaluator::new(&f.params);
+        let values: Vec<u64> = (0..64).map(|i| i * 1009 % 65537).collect();
+        let ct = eval
+            .encrypt(&f.pk, &f.enc.encode(&values).unwrap(), &mut f.rng)
+            .unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &ct).unwrap());
+        assert_eq!(out, values, "BFV is exact");
+        assert!(eval.noise_budget(&f.sk, &ct).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn addition_and_subtraction_are_exact_mod_t() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let a: Vec<u64> = (0..32).map(|i| 65_000 + i).collect();
+        let b: Vec<u64> = (0..32).map(|i| 1_000 + 3 * i).collect();
+        let ca = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let cb = eval.encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], (a[j] + b[j]) % 65537);
+        }
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.sub(&ca, &cb)).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], (65537 + a[j] - b[j]) % 65537);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_exact_slotwise() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let a: Vec<u64> = (0..32).map(|i| i + 7).collect();
+        let b: Vec<u64> = (0..32).map(|i| 5 * i + 1).collect();
+        let ca = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let cb = eval.encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let prod = eval.mul(&ca, &cb, &f.rlk).unwrap();
+        assert_eq!(prod.size(), 2, "relinearized back to two parts");
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &prod).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], a[j] * b[j] % 65537, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn plaintext_operations_are_exact() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let a: Vec<u64> = (0..32).map(|i| 11 * i % 65537).collect();
+        let w: Vec<u64> = (0..32).map(|i| i % 9 + 1).collect();
+        let ct = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let out = f
+            .enc
+            .decode(&eval.decrypt(&f.sk, &eval.mul_plain(&ct, &f.enc.encode(&w).unwrap())).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], a[j] * w[j] % 65537);
+        }
+        let out = f
+            .enc
+            .decode(&eval.decrypt(&f.sk, &eval.add_plain(&ct, &f.enc.encode(&w).unwrap())).unwrap());
+        for j in 0..32 {
+            assert_eq!(out[j], (a[j] + w[j]) % 65537);
+        }
+    }
+
+    #[test]
+    fn rotation_matches_row_semantics() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let mut kg = KeyGenerator::new(&f.params, StdRng::seed_from_u64(13));
+        let gks = kg.galois_keys(&f.sk, &[1, 3]).unwrap();
+        let rows = f.enc.row_size();
+        let values: Vec<u64> = (0..32).collect();
+        let ct = eval
+            .encrypt(&f.pk, &f.enc.encode(&values).unwrap(), &mut f.rng)
+            .unwrap();
+        for step in [1usize, 3] {
+            let rot = eval.rotate_rows(&ct, step as i64, &gks).unwrap();
+            let out = f.enc.decode(&eval.decrypt(&f.sk, &rot).unwrap());
+            for j in 0..rows {
+                assert_eq!(out[j], values[(j + step) % rows], "step {step}");
+                assert_eq!(out[rows + j], values[rows + (j + step) % rows]);
+            }
+        }
+        let swapped = eval.rotate_columns(&ct, &gks).unwrap();
+        let out = f.enc.decode(&eval.decrypt(&f.sk, &swapped).unwrap());
+        for j in 0..rows {
+            assert_eq!(out[j], values[rows + j]);
+        }
+    }
+
+    #[test]
+    fn depth_two_multiplication_with_small_plain_modulus() {
+        // Noise grows ~t·N per multiplication; t = 257 buys depth 2 under
+        // a single 50-bit q (t = 65537 supports depth 1).
+        let params = BfvParams::with_plain_modulus(1 << 5, 50, 257).unwrap();
+        let enc = BatchEncoder::new(&params).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(21));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).unwrap();
+        let rlk = kg.relin_key(&sk).unwrap();
+        let eval = Evaluator::new(&params);
+        let mut rng = StdRng::seed_from_u64(22);
+
+        let a: Vec<u64> = (0..32).map(|i| i % 7).collect();
+        let ct = eval.encrypt(&pk, &enc.encode(&a).unwrap(), &mut rng).unwrap();
+        let sq = eval.mul(&ct, &ct, &rlk).unwrap();
+        let quad = eval.mul(&sq, &sq, &rlk).unwrap();
+        let out = enc.decode(&eval.decrypt(&sk, &quad).unwrap());
+        for j in 0..32 {
+            let x = (j % 7) as u64;
+            assert_eq!(out[j], x.pow(4) % 257, "slot {j}");
+        }
+        assert!(eval.noise_budget(&sk, &quad).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn noise_budget_shrinks_with_depth() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let a: Vec<u64> = (0..32).collect();
+        let ct = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let fresh = eval.noise_budget(&f.sk, &ct).unwrap();
+        let sq = eval.mul(&ct, &ct, &f.rlk).unwrap();
+        let after = eval.noise_budget(&f.sk, &sq).unwrap();
+        assert!(fresh > after + 5.0, "fresh {fresh:.1} vs after {after:.1}");
+        assert!(after > 0.0, "depth 1 must still decrypt");
+    }
+}

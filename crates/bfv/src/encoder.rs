@@ -1,0 +1,233 @@
+//! SIMD batching for BFV: `N` integer slots per plaintext.
+//!
+//! With `t ≡ 1 (mod 2N)` the plaintext ring `Z_t[X]/(X^N+1)` splits into
+//! `N` copies of `Z_t`; slot values are evaluations at the odd powers of
+//! a `2N`-th root of unity ψ mod `t`. Slots are arranged in the standard
+//! two-row layout (SEAL semantics): row 0 holds evaluations at `ψ^{5^j}`,
+//! row 1 at `ψ^{−5^j}` — which makes the Galois automorphism `X ↦ X^{5^k}`
+//! a cyclic rotation *within each row*, and `X ↦ X^{−1}` a row swap.
+//! These are precisely the permutations the unified VPU's network routes.
+
+use crate::params::BfvParams;
+use crate::BfvError;
+use std::collections::HashMap;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::NttTable;
+
+/// A BFV plaintext: `N` coefficients modulo `t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    /// Coefficients in `[0, t)`.
+    pub coeffs: Vec<u64>,
+}
+
+/// The batching encoder.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_bfv::encoder::BatchEncoder;
+/// use uvpu_bfv::params::BfvParams;
+///
+/// # fn main() -> Result<(), uvpu_bfv::BfvError> {
+/// let params = BfvParams::new(1 << 6, 50)?;
+/// let enc = BatchEncoder::new(&params)?;
+/// let values: Vec<u64> = (0..64).collect();
+/// let pt = enc.encode(&values)?;
+/// assert_eq!(enc.decode(&pt), values);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    n: usize,
+    t: Modulus,
+    ntt_t: NttTable,
+    /// `slot_to_pos[slot]` = position in the (bit-reversed) NTT output
+    /// that evaluates at that slot's root exponent.
+    slot_to_pos: Vec<usize>,
+}
+
+impl BatchEncoder {
+    /// Builds the encoder, resolving the NTT's output ordering against
+    /// the two-row slot layout by probing (self-verifying construction).
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::Math`] if `t` lacks the required roots (cannot happen
+    /// for parameters built by [`BfvParams::new`]).
+    pub fn new(params: &BfvParams) -> Result<Self, BfvError> {
+        let n = params.n();
+        let t = params.plain_modulus();
+        let ntt_t = NttTable::new(t, n)?;
+        let two_n = 2 * n as u64;
+
+        // Discrete-log table for ψ: ψ^k → k (t is tiny, ψ has order 2N).
+        let psi = ntt_t.psi();
+        let mut dlog = HashMap::with_capacity(2 * n);
+        let mut acc = 1u64;
+        for k in 0..two_n {
+            dlog.insert(acc, k);
+            acc = t.mul(acc, psi);
+        }
+
+        // Probe: forward-transform X; output position p holds ψ^{e(p)}.
+        let mut probe = vec![0u64; n];
+        probe[1] = 1;
+        ntt_t.forward_inplace(&mut probe);
+        let mut exp_to_pos = HashMap::with_capacity(n);
+        for (p, &v) in probe.iter().enumerate() {
+            let e = *dlog.get(&v).expect("output of the probe is a power of ψ");
+            exp_to_pos.insert(e, p);
+        }
+
+        // Two-row slot layout: row 0 at 5^j, row 1 at −5^j (mod 2N).
+        let mut slot_to_pos = Vec::with_capacity(n);
+        let mut g = 1u64;
+        let mut row0 = Vec::with_capacity(n / 2);
+        let mut row1 = Vec::with_capacity(n / 2);
+        for _ in 0..n / 2 {
+            row0.push(*exp_to_pos.get(&g).expect("odd exponent covered"));
+            row1.push(*exp_to_pos.get(&(two_n - g)).expect("odd exponent covered"));
+            g = g * 5 % two_n;
+        }
+        slot_to_pos.extend(row0);
+        slot_to_pos.extend(row1);
+        Ok(Self {
+            n,
+            t,
+            ntt_t,
+            slot_to_pos,
+        })
+    }
+
+    /// Total slot count (`N`: two rows of `N/2`).
+    #[must_use]
+    pub const fn slot_count(&self) -> usize {
+        self.n
+    }
+
+    /// Slots per row (`N/2`).
+    #[must_use]
+    pub const fn row_size(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Encodes up to `N` integers (reduced mod `t`) into a plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::TooManySlots`] for oversized inputs.
+    pub fn encode(&self, values: &[u64]) -> Result<Plaintext, BfvError> {
+        if values.len() > self.n {
+            return Err(BfvError::TooManySlots {
+                provided: values.len(),
+                capacity: self.n,
+            });
+        }
+        let mut evals = vec![0u64; self.n];
+        for (slot, &v) in values.iter().enumerate() {
+            evals[self.slot_to_pos[slot]] = self.t.reduce_u64(v);
+        }
+        self.ntt_t.inverse_inplace(&mut evals);
+        Ok(Plaintext { coeffs: evals })
+    }
+
+    /// Decodes a plaintext back into its `N` slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext degree mismatches the encoder.
+    #[must_use]
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        assert_eq!(pt.coeffs.len(), self.n);
+        let mut evals = pt.coeffs.clone();
+        for c in &mut evals {
+            *c = self.t.reduce_u64(*c);
+        }
+        self.ntt_t.forward_inplace(&mut evals);
+        (0..self.n).map(|s| evals[self.slot_to_pos[s]]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_math::automorphism::apply_galois_coeff;
+
+    fn setup(n: usize) -> (BfvParams, BatchEncoder) {
+        let p = BfvParams::new(n, 50).unwrap();
+        let e = BatchEncoder::new(&p).unwrap();
+        (p, e)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (_, enc) = setup(1 << 6);
+        let values: Vec<u64> = (0..64).map(|i| i * 997 % 65537).collect();
+        assert_eq!(enc.decode(&enc.encode(&values).unwrap()), values);
+        // Partial vectors pad with zeros.
+        let partial = enc.encode(&[1, 2, 3]).unwrap();
+        let out = enc.decode(&partial);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert!(out[3..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn encoding_is_slotwise_multiplicative() {
+        // The whole point of batching: coefficient-domain ring products
+        // are slot-wise integer products.
+        let (p, enc) = setup(1 << 5);
+        let a: Vec<u64> = (0..32).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..32).map(|i| 2 * i + 3).collect();
+        let pa = enc.encode(&a).unwrap();
+        let pb = enc.encode(&b).unwrap();
+        let prod = uvpu_math::ntt::naive_negacyclic_mul(&pa.coeffs, &pb.coeffs, &p.plain_modulus());
+        let out = enc.decode(&Plaintext { coeffs: prod });
+        for j in 0..32 {
+            assert_eq!(out[j], a[j] * b[j] % 65537, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn galois_five_rotates_rows() {
+        let (p, enc) = setup(1 << 5);
+        let rows = enc.row_size();
+        let values: Vec<u64> = (0..32).collect();
+        let pt = enc.encode(&values).unwrap();
+        let rotated = Plaintext {
+            coeffs: apply_galois_coeff(&pt.coeffs, 5, &p.plain_modulus()),
+        };
+        let out = enc.decode(&rotated);
+        for j in 0..rows {
+            assert_eq!(out[j], values[(j + 1) % rows], "row 0 slot {j}");
+            assert_eq!(out[rows + j], values[rows + (j + 1) % rows], "row 1 slot {j}");
+        }
+    }
+
+    #[test]
+    fn galois_inverse_swaps_rows() {
+        let (p, enc) = setup(1 << 5);
+        let rows = enc.row_size();
+        let values: Vec<u64> = (0..32).collect();
+        let pt = enc.encode(&values).unwrap();
+        let g = 2 * 32 - 1; // X ↦ X^{2N−1} = X^{−1}
+        let swapped = Plaintext {
+            coeffs: apply_galois_coeff(&pt.coeffs, g, &p.plain_modulus()),
+        };
+        let out = enc.decode(&swapped);
+        for j in 0..rows {
+            assert_eq!(out[j], values[rows + j]);
+            assert_eq!(out[rows + j], values[j]);
+        }
+    }
+
+    #[test]
+    fn rejects_oversize_vectors() {
+        let (_, enc) = setup(1 << 5);
+        assert!(matches!(
+            enc.encode(&vec![0; 33]),
+            Err(BfvError::TooManySlots { .. })
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! BFV key material: ternary secret, public key, and base-`2^w`
+//! keyswitching keys for relinearization and rotation.
+
+use crate::params::BfvParams;
+use crate::BfvError;
+use rand::Rng;
+use std::collections::HashMap;
+use uvpu_math::automorphism::{conjugation_exponent, galois_exponent};
+
+/// The ternary secret key (signed coefficients in {−1, 0, 1}).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    pub(crate) signed: Vec<i64>,
+}
+
+/// The public key: an encryption of zero `(b, a)` with `b = −(a·s) + e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    pub(crate) b: Vec<u64>,
+    pub(crate) a: Vec<u64>,
+}
+
+/// A keyswitching key: for digit `i` of the base-`2^w` decomposition, an
+/// encryption of `2^{wi} · target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySwitchKey {
+    /// `(b_i, a_i)` pairs, one per digit.
+    pub(crate) parts: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+/// Galois keys indexed by Galois element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GaloisKeys {
+    pub(crate) keys: HashMap<u64, KeySwitchKey>,
+}
+
+impl GaloisKeys {
+    /// Looks up the key for a row-rotation step.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::MissingGaloisKey`] when the step was not generated.
+    pub fn for_step(&self, params: &BfvParams, step: i64) -> Result<(u64, &KeySwitchKey), BfvError> {
+        let g = galois_exponent(step, params.n());
+        self.keys
+            .get(&g)
+            .map(|k| (g, k))
+            .ok_or(BfvError::MissingGaloisKey { step })
+    }
+
+    /// Looks up the row-swap (column rotation) key.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::MissingGaloisKey`] when it was not generated.
+    pub fn for_row_swap(&self, params: &BfvParams) -> Result<(u64, &KeySwitchKey), BfvError> {
+        let g = conjugation_exponent(params.n());
+        self.keys
+            .get(&g)
+            .map(|k| (g, k))
+            .ok_or(BfvError::MissingGaloisKey { step: 0 })
+    }
+}
+
+/// Generates all BFV key material.
+#[derive(Debug)]
+pub struct KeyGenerator<'a, R: Rng> {
+    params: &'a BfvParams,
+    rng: R,
+}
+
+impl<'a, R: Rng> KeyGenerator<'a, R> {
+    /// Creates a generator over the given randomness source.
+    pub fn new(params: &'a BfvParams, rng: R) -> Self {
+        Self { params, rng }
+    }
+
+    /// Samples the ternary secret.
+    pub fn secret_key(&mut self) -> SecretKey {
+        SecretKey {
+            signed: uvpu_math::sampling::ternary(&mut self.rng, self.params.n()),
+        }
+    }
+
+    fn sample_error(&mut self) -> Vec<i64> {
+        uvpu_math::sampling::GaussianSampler::new(self.params.error_std())
+            .sample_vec(&mut self.rng, self.params.n())
+    }
+
+    fn sample_uniform(&mut self) -> Vec<u64> {
+        uvpu_math::sampling::uniform(&mut self.rng, self.params.n(), self.params.modulus().value())
+    }
+
+    /// Builds the public key.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors (cannot occur for valid parameters).
+    pub fn public_key(&mut self, sk: &SecretKey) -> Result<PublicKey, BfvError> {
+        let a = self.sample_uniform();
+        let e = self.sample_error();
+        let b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e);
+        Ok(PublicKey { b, a })
+    }
+
+    /// Builds a keyswitch key for a target given as signed coefficients'
+    /// residues mod `q`.
+    fn keyswitch_key(&mut self, sk: &SecretKey, target: &[u64]) -> Result<KeySwitchKey, BfvError> {
+        let q = self.params.modulus();
+        let w = self.params.decomp_bits();
+        let digits = self.params.decomp_digits();
+        let mut parts = Vec::with_capacity(digits);
+        let mut base = 1u64;
+        for _ in 0..digits {
+            let a = self.sample_uniform();
+            let e = self.sample_error();
+            let mut b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e);
+            for (bi, &ti) in b.iter_mut().zip(target) {
+                *bi = q.add(*bi, q.mul(q.reduce_u64(base), ti));
+            }
+            parts.push((b, a));
+            base = base.wrapping_shl(w); // 2^{wi}; overflow harmless past q's bits
+        }
+        Ok(KeySwitchKey { parts })
+    }
+
+    /// The relinearization key (target `s²`).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn relin_key(&mut self, sk: &SecretKey) -> Result<KeySwitchKey, BfvError> {
+        let q = self.params.modulus();
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let s2 = crate::cipher::ring_mul_q(self.params, &s, &s);
+        self.keyswitch_key(sk, &s2)
+    }
+
+    /// Galois keys for the given row-rotation steps plus the row swap.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn galois_keys(&mut self, sk: &SecretKey, steps: &[i64]) -> Result<GaloisKeys, BfvError> {
+        let n = self.params.n();
+        let q = self.params.modulus();
+        let mut elements: Vec<u64> = steps.iter().map(|&s| galois_exponent(s, n)).collect();
+        elements.push(conjugation_exponent(n));
+        elements.sort_unstable();
+        elements.dedup();
+        let mut keys = HashMap::new();
+        for g in elements {
+            let tau = uvpu_math::automorphism::apply_galois_coeff(
+                &sk.signed.iter().map(|&c| q.from_i64(c)).collect::<Vec<_>>(),
+                g,
+                &q,
+            );
+            keys.insert(g, self.keyswitch_key(sk, &tau)?);
+        }
+        Ok(GaloisKeys { keys })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn public_key_is_noisy_zero() {
+        let params = BfvParams::new(1 << 6, 50).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(1));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).unwrap();
+        // b + a·s must be small (= e).
+        let q = params.modulus();
+        let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
+        let a_s = crate::cipher::ring_mul_q(&params, &pk.a, &s);
+        for (b, x) in pk.b.iter().zip(&a_s) {
+            let v = q.to_centered(q.add(*b, *x));
+            assert!(v.abs() < 40, "residual noise {v}");
+        }
+    }
+
+    #[test]
+    fn keyswitch_key_digit_count() {
+        let params = BfvParams::new(1 << 6, 50).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(2));
+        let sk = kg.secret_key();
+        let rlk = kg.relin_key(&sk).unwrap();
+        assert_eq!(rlk.parts.len(), params.decomp_digits());
+    }
+
+    #[test]
+    fn galois_keys_cover_steps_and_swap() {
+        let params = BfvParams::new(1 << 6, 50).unwrap();
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(3));
+        let sk = kg.secret_key();
+        let gks = kg.galois_keys(&sk, &[1, -2]).unwrap();
+        assert!(gks.for_step(&params, 1).is_ok());
+        assert!(gks.for_step(&params, -2).is_ok());
+        assert!(gks.for_row_swap(&params).is_ok());
+        assert!(gks.for_step(&params, 5).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! A self-contained BFV homomorphic encryption scheme.
+//!
+//! The paper (§II-A) notes that although it discusses CKKS, "other
+//! schemes like BGV, BFV can also be similarly supported given their
+//! similar computation patterns". This crate backs that claim: an
+//! exact-integer-arithmetic BFV built on the *same* substrate — the same
+//! negacyclic ring, the same NTTs, and the same Galois automorphisms
+//! routed by the unified inter-lane network.
+//!
+//! - [`params`]: ring degree, single ciphertext modulus `q`, plaintext
+//!   modulus `t ≡ 1 (mod 2N)` for SIMD batching;
+//! - [`encoder`]: the slot batching encoder (two rows of `N/2` slots,
+//!   SEAL-style semantics);
+//! - [`keys`]: ternary secrets, public keys, base-`2^w` relinearization
+//!   and Galois keys;
+//! - [`cipher`]: encrypt/decrypt, exact HAdd/HMult, and HRot — the same
+//!   automorphism the CKKS path exercises;
+//! - [`bgv`]: the BGV (least-significant-bit) variant on the same
+//!   substrate, completing the paper's BGV/BFV claim.
+//!
+//! Parameters are sized for functional reproduction, not production
+//! security.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use uvpu_bfv::cipher::Evaluator;
+//! use uvpu_bfv::encoder::BatchEncoder;
+//! use uvpu_bfv::keys::KeyGenerator;
+//! use uvpu_bfv::params::BfvParams;
+//!
+//! # fn main() -> Result<(), uvpu_bfv::BfvError> {
+//! let params = BfvParams::new(1 << 6, 50)?;
+//! let encoder = BatchEncoder::new(&params)?;
+//! let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(1));
+//! let sk = kg.secret_key();
+//! let pk = kg.public_key(&sk)?;
+//! let rlk = kg.relin_key(&sk)?;
+//! let eval = Evaluator::new(&params);
+//! let mut rng = StdRng::seed_from_u64(2);
+//!
+//! let xs: Vec<u64> = (0..64).map(|i| i % 17).collect();
+//! let ct = eval.encrypt(&pk, &encoder.encode(&xs)?, &mut rng)?;
+//! let sq = eval.mul(&ct, &ct, &rlk)?;
+//! let out = encoder.decode(&eval.decrypt(&sk, &sq)?);
+//! assert_eq!(out[5], 25); // (5 mod 17)² — exact, no approximation
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgv;
+pub mod cipher;
+pub mod encoder;
+pub mod keys;
+pub mod params;
+
+use std::fmt;
+use uvpu_math::MathError;
+
+/// Errors produced by the BFV scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BfvError {
+    /// Parameter validation failed.
+    InvalidParameters(&'static str),
+    /// A slot vector exceeds the ring capacity.
+    TooManySlots {
+        /// Provided count.
+        provided: usize,
+        /// Capacity (`N`).
+        capacity: usize,
+    },
+    /// A rotation key for this step was not generated.
+    MissingGaloisKey {
+        /// The requested rotation step.
+        step: i64,
+    },
+    /// An error bubbled up from the mathematical substrate.
+    Math(MathError),
+}
+
+impl fmt::Display for BfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameters(why) => write!(f, "invalid parameters: {why}"),
+            Self::TooManySlots { provided, capacity } => {
+                write!(f, "{provided} slot values exceed capacity {capacity}")
+            }
+            Self::MissingGaloisKey { step } => {
+                write!(f, "no galois key generated for rotation step {step}")
+            }
+            Self::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BfvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for BfvError {
+    fn from(e: MathError) -> Self {
+        Self::Math(e)
+    }
+}

@@ -1,0 +1,193 @@
+//! BFV parameters.
+
+use crate::BfvError;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::NttTable;
+
+/// The plaintext modulus: the Fermat prime `65537 ≡ 1 (mod 2N)` for every
+/// supported ring degree, enabling SIMD batching.
+pub const PLAINTEXT_MODULUS: u64 = 65_537;
+
+/// BFV parameters: ring degree `N`, a single ciphertext modulus `q`
+/// (an NTT prime), and the batching plaintext modulus `t = 65537`.
+///
+/// Single-modulus BFV keeps the exact tensor arithmetic in 128-bit
+/// integers (`N · (q/2)² < 2¹²⁷` is enforced), which is the clearest
+/// correct formulation; the RNS generalization changes only bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// let p = uvpu_bfv::params::BfvParams::new(1 << 10, 50)?;
+/// assert_eq!(p.n(), 1024);
+/// assert_eq!(p.plain_modulus().value(), 65537);
+/// # Ok::<(), uvpu_bfv::BfvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfvParams {
+    n: usize,
+    q: Modulus,
+    t: Modulus,
+    /// `Δ = ⌊q/t⌋`.
+    delta: u64,
+    /// Relinearization decomposition base `2^w`.
+    decomp_bits: u32,
+    ntt: NttTable,
+    error_std: f64,
+}
+
+impl BfvParams {
+    /// Creates parameters with ring degree `n` and a `q_bits`-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::InvalidParameters`] for a non-power-of-two `n`, a ring
+    /// too small for batching (`2n ∤ t − 1`), or a modulus so large the
+    /// exact tensor product would overflow `i128`.
+    pub fn new(n: usize, q_bits: u32) -> Result<Self, BfvError> {
+        Self::with_plain_modulus(n, q_bits, PLAINTEXT_MODULUS)
+    }
+
+    /// Creates parameters with an explicit plaintext modulus `t` (a prime
+    /// with `t ≡ 1 (mod 2N)` for batching). Smaller `t` buys
+    /// multiplicative depth: noise grows by roughly `t·N` per
+    /// multiplication, so e.g. `t = 257` supports depth 2 where
+    /// `t = 65537` supports depth 1 under a single 50-bit `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::InvalidParameters`] as for [`BfvParams::new`], plus a
+    /// non-prime or batching-incompatible `t`.
+    pub fn with_plain_modulus(n: usize, q_bits: u32, t_value: u64) -> Result<Self, BfvError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(BfvError::InvalidParameters(
+                "ring degree must be a power of two >= 8",
+            ));
+        }
+        if !uvpu_math::primes::is_prime(t_value) {
+            return Err(BfvError::InvalidParameters("t must be prime"));
+        }
+        if !(t_value - 1).is_multiple_of(2 * n as u64) {
+            return Err(BfvError::InvalidParameters(
+                "batching needs t == 1 (mod 2N)",
+            ));
+        }
+        if !(30..=52).contains(&q_bits) {
+            return Err(BfvError::InvalidParameters(
+                "q must have 30..=52 bits (exact i128 tensor arithmetic)",
+            ));
+        }
+        // N · (q/2)² must stay within i128 for the exact tensor product.
+        let head = 2 * q_bits as usize + n.trailing_zeros() as usize;
+        if head >= 126 {
+            return Err(BfvError::InvalidParameters(
+                "N·q² too large for exact 128-bit tensor arithmetic",
+            ));
+        }
+        // q must be an NTT prime AND ≡ 1 (mod t): with q = K·t + 1 the
+        // scale-invariant multiplication's ⌊q/t⌋ truncation term
+        // `(q mod t)/t · ‖m·m'‖` collapses to `‖m·m'‖/t`, keeping the
+        // noise far below Δ/2. Search on the lattice of both congruences.
+        let step = 2 * n as u64 * t_value;
+        if step >= 1u64 << (q_bits - 1) {
+            return Err(BfvError::InvalidParameters(
+                "q too small for both the NTT and the plaintext congruence",
+            ));
+        }
+        let hi = (1u64 << q_bits) - 1;
+        let lo = 1u64 << (q_bits - 1);
+        let mut candidate = hi - (hi - 1) % step;
+        while candidate > lo && !uvpu_math::primes::is_prime(candidate) {
+            candidate -= step;
+        }
+        if candidate <= lo {
+            return Err(BfvError::InvalidParameters(
+                "no prime satisfies both congruences at this width",
+            ));
+        }
+        let q = Modulus::new(candidate)?;
+        let t = Modulus::new(t_value)?;
+        debug_assert_eq!(q.value() % t_value, 1);
+        debug_assert_eq!(q.value() % (2 * n as u64), 1);
+        let ntt = NttTable::new(q, n)?;
+        Ok(Self {
+            n,
+            q,
+            t,
+            delta: q.value() / t_value,
+            decomp_bits: 16,
+            ntt,
+            error_std: 3.2,
+        })
+    }
+
+    /// Ring degree `N`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ciphertext modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.q
+    }
+
+    /// The plaintext modulus `t`.
+    #[must_use]
+    pub const fn plain_modulus(&self) -> Modulus {
+        self.t
+    }
+
+    /// `Δ = ⌊q/t⌋`, the plaintext scaling factor.
+    #[must_use]
+    pub const fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Relinearization digit width `w` (base `2^w`).
+    #[must_use]
+    pub const fn decomp_bits(&self) -> u32 {
+        self.decomp_bits
+    }
+
+    /// Number of base-`2^w` digits covering `q`.
+    #[must_use]
+    pub fn decomp_digits(&self) -> usize {
+        (self.q.bits() as usize).div_ceil(self.decomp_bits as usize)
+    }
+
+    /// The NTT table under `q`.
+    #[must_use]
+    pub const fn ntt(&self) -> &NttTable {
+        &self.ntt
+    }
+
+    /// Gaussian noise standard deviation.
+    #[must_use]
+    pub const fn error_std(&self) -> f64 {
+        self.error_std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(BfvParams::new(100, 50).is_err());
+        assert!(BfvParams::new(1 << 16, 50).is_err(), "batching limit");
+        assert!(BfvParams::new(1 << 10, 20).is_err());
+        assert!(BfvParams::new(1 << 10, 60).is_err());
+        assert!(BfvParams::new(1 << 10, 50).is_ok());
+    }
+
+    #[test]
+    fn delta_and_digits() {
+        let p = BfvParams::new(1 << 8, 50).unwrap();
+        assert_eq!(p.delta(), p.modulus().value() / 65537);
+        assert!(p.delta() > 1 << 30);
+        assert_eq!(p.decomp_digits(), 50usize.div_ceil(16));
+    }
+}

@@ -1,0 +1,35 @@
+//! CKKS ciphertexts.
+
+use crate::rns_poly::RnsPoly;
+
+/// A CKKS ciphertext: `size` polynomials (2 normally, 3 transiently after
+/// a multiplication before relinearization), a level, and a scale.
+///
+/// Decryption evaluates `Σ_k parts[k]·s^k` and decodes at `scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    /// The ciphertext polynomials (coefficient form).
+    pub parts: Vec<RnsPoly>,
+    /// The encoding scale carried by the payload.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Current level.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.parts[0].level()
+    }
+
+    /// Number of polynomials (2 after relinearization).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Ring degree.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.parts[0].n()
+    }
+}

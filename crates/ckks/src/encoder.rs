@@ -1,0 +1,316 @@
+//! The CKKS encoder: packing `N/2` complex numbers into a polynomial via
+//! the canonical embedding (paper §II-A's SIMD packing).
+//!
+//! Slot `j` corresponds to evaluating the message polynomial at
+//! `ζ^{5^j mod 2N}` (ζ the primitive complex `2N`-th root); indexing
+//! slots along powers of 5 is exactly what makes a ring automorphism
+//! `X ↦ X^{5^r}` act as a cyclic rotation of the slots — the `HRot`
+//! operation the paper's automorphism hardware accelerates.
+
+use crate::params::CkksContext;
+use crate::rns_poly::RnsPoly;
+use crate::CkksError;
+
+/// A complex number (self-contained; no external numerics dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiplication.
+    #[must_use]
+    pub fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Complex addition.
+    #[must_use]
+    pub fn add(self, other: Self) -> Self {
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub const fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+/// An encoded (or decrypted) message: an RNS polynomial tagged with its
+/// scale and level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    /// The message polynomial (coefficient form).
+    pub poly: RnsPoly,
+    /// The encoding scale Δ attached to this message.
+    pub scale: f64,
+}
+
+/// The canonical-embedding encoder for one ring degree.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_ckks::encoder::{C64, Encoder};
+/// use uvpu_ckks::params::{CkksContext, CkksParams};
+///
+/// # fn main() -> Result<(), uvpu_ckks::CkksError> {
+/// let ctx = CkksContext::new(CkksParams::new(1 << 6, 2, 40)?)?;
+/// let enc = Encoder::new(&ctx);
+/// let values = vec![C64::new(1.5, -0.5); 8];
+/// let pt = enc.encode(&ctx, 2, &values)?;
+/// let back = enc.decode(&ctx, &pt);
+/// assert!((back[0].re - 1.5).abs() < 1e-6);
+/// assert!((back[0].im + 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    n: usize,
+    /// `rotation_group[j] = 5^j mod 2N` — the slot-to-root exponent map.
+    rotation_group: Vec<usize>,
+    /// `roots[e] = ζ^e` for `e ∈ [0, 2N)`.
+    roots: Vec<C64>,
+}
+
+impl Encoder {
+    /// Builds the encoder for the context's ring degree.
+    #[must_use]
+    pub fn new(ctx: &CkksContext) -> Self {
+        let n = ctx.params().n();
+        let two_n = 2 * n;
+        let roots: Vec<C64> = (0..two_n)
+            .map(|e| {
+                let theta = std::f64::consts::PI * e as f64 / n as f64;
+                C64::new(theta.cos(), theta.sin())
+            })
+            .collect();
+        let mut rotation_group = Vec::with_capacity(n / 2);
+        let mut g = 1usize;
+        for _ in 0..n / 2 {
+            rotation_group.push(g);
+            g = g * 5 % two_n;
+        }
+        Self {
+            n,
+            rotation_group,
+            roots,
+        }
+    }
+
+    /// Number of complex slots (`N/2`).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Encodes up to `N/2` complex values at the given level with the
+    /// context's scale Δ.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::TooManySlots`] when more values than slots are given.
+    pub fn encode(
+        &self,
+        ctx: &CkksContext,
+        level: usize,
+        values: &[C64],
+    ) -> Result<Plaintext, CkksError> {
+        self.encode_at_scale(ctx, level, values, ctx.params().scale())
+    }
+
+    /// Encodes with an explicit scale (used to match a ciphertext's scale
+    /// for plaintext multiplication).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::TooManySlots`] when more values than slots are given.
+    pub fn encode_at_scale(
+        &self,
+        ctx: &CkksContext,
+        level: usize,
+        values: &[C64],
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        let slots = self.slot_count();
+        if values.len() > slots {
+            return Err(CkksError::TooManySlots {
+                provided: values.len(),
+                capacity: slots,
+            });
+        }
+        let two_n = 2 * self.n;
+        // m_k = (2Δ/N)·Re( Σ_j z_j · ζ^{−r_j·k} ), exploiting conjugate
+        // symmetry of the other N/2 embedding slots.
+        let mut coeffs = vec![0i64; self.n];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            let mut acc = C64::default();
+            for (j, &z) in values.iter().enumerate() {
+                let e = (two_n - self.rotation_group[j] * k % two_n) % two_n;
+                acc = acc.add(z.mul(self.roots[e]));
+            }
+            let real = 2.0 * acc.re / self.n as f64;
+            *c = (real * scale).round() as i64;
+        }
+        Ok(Plaintext {
+            poly: RnsPoly::from_signed(ctx, level, &coeffs)?,
+            scale,
+        })
+    }
+
+    /// Decodes a plaintext back into its complex slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext is in evaluation form.
+    #[must_use]
+    pub fn decode(&self, ctx: &CkksContext, pt: &Plaintext) -> Vec<C64> {
+        let two_n = 2 * self.n;
+        let coeffs: Vec<f64> = (0..self.n)
+            .map(|k| pt.poly.coefficient_centered_f64(ctx, k) / pt.scale)
+            .collect();
+        (0..self.slot_count())
+            .map(|j| {
+                let r = self.rotation_group[j];
+                let mut acc = C64::default();
+                for (k, &c) in coeffs.iter().enumerate() {
+                    let e = r * k % two_n;
+                    acc = acc.add(self.roots[e].mul(C64::from(c)));
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+
+    fn setup() -> (CkksContext, Encoder) {
+        let ctx = CkksContext::new(CkksParams::new(1 << 7, 2, 40).unwrap()).unwrap();
+        let enc = Encoder::new(&ctx);
+        (ctx, enc)
+    }
+
+    #[test]
+    fn c64_algebra() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert!((p.re - 5.0).abs() < 1e-12);
+        assert!((p.im - 5.0).abs() < 1e-12);
+        assert_eq!(a.conj().im, -2.0);
+        assert!((C64::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (ctx, enc) = setup();
+        let values: Vec<C64> = (0..enc.slot_count())
+            .map(|j| C64::new(j as f64 * 0.25 - 3.0, (j as f64).sin()))
+            .collect();
+        let pt = enc.encode(&ctx, 2, &values).unwrap();
+        let back = enc.decode(&ctx, &pt);
+        for (z, w) in values.iter().zip(&back) {
+            assert!((z.re - w.re).abs() < 1e-6, "{} vs {}", z.re, w.re);
+            assert!((z.im - w.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_slot_vectors_pad_with_zeros() {
+        let (ctx, enc) = setup();
+        let values = vec![C64::from(7.0); 3];
+        let pt = enc.encode(&ctx, 1, &values).unwrap();
+        let back = enc.decode(&ctx, &pt);
+        assert!((back[0].re - 7.0).abs() < 1e-6);
+        assert!(back[5].abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_many_slots_is_rejected() {
+        let (ctx, enc) = setup();
+        let values = vec![C64::default(); enc.slot_count() + 1];
+        assert!(matches!(
+            enc.encode(&ctx, 1, &values),
+            Err(CkksError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        let (ctx, enc) = setup();
+        let a: Vec<C64> = (0..8).map(|j| C64::new(j as f64, 0.5)).collect();
+        let b: Vec<C64> = (0..8).map(|j| C64::new(1.0, -j as f64)).collect();
+        let pa = enc.encode(&ctx, 1, &a).unwrap();
+        let pb = enc.encode(&ctx, 1, &b).unwrap();
+        let sum = Plaintext {
+            poly: pa.poly.add(&pb.poly).unwrap(),
+            scale: pa.scale,
+        };
+        let back = enc.decode(&ctx, &sum);
+        for (j, w) in back.iter().take(8).enumerate() {
+            assert!((w.re - (a[j].re + b[j].re)).abs() < 1e-5);
+            assert!((w.im - (a[j].im + b[j].im)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn galois_five_rotates_slots() {
+        // The whole point of the rotation-group indexing: X ↦ X^5 shifts
+        // the slot vector by one position.
+        let (ctx, enc) = setup();
+        let values: Vec<C64> = (0..enc.slot_count())
+            .map(|j| C64::from(j as f64))
+            .collect();
+        let pt = enc.encode(&ctx, 1, &values).unwrap();
+        let rotated = Plaintext {
+            poly: pt.poly.galois(5).unwrap(),
+            scale: pt.scale,
+        };
+        let back = enc.decode(&ctx, &rotated);
+        let slots = enc.slot_count();
+        for j in 0..slots {
+            let expect = ((j + 1) % slots) as f64;
+            assert!(
+                (back[j].re - expect).abs() < 1e-5,
+                "slot {j}: {} vs {expect}",
+                back[j].re
+            );
+        }
+    }
+}

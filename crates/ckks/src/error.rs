@@ -1,0 +1,77 @@
+use std::fmt;
+use uvpu_math::MathError;
+
+/// Errors produced by the CKKS scheme.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CkksError {
+    /// Parameter validation failed.
+    InvalidParameters(String),
+    /// Operands live at different levels and must be aligned first.
+    LevelMismatch {
+        /// Left operand level.
+        left: usize,
+        /// Right operand level.
+        right: usize,
+    },
+    /// The ciphertext has no levels left to rescale or multiply into.
+    OutOfLevels,
+    /// Operand scales differ too much for addition.
+    ScaleMismatch {
+        /// Left operand scale.
+        left: f64,
+        /// Right operand scale.
+        right: f64,
+    },
+    /// Too many slot values for the ring degree.
+    TooManySlots {
+        /// Provided count.
+        provided: usize,
+        /// Capacity (`N/2`).
+        capacity: usize,
+    },
+    /// A rotation key for this step was not generated.
+    MissingGaloisKey {
+        /// The requested rotation step.
+        step: i64,
+    },
+    /// An error bubbled up from the mathematical substrate.
+    Math(MathError),
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameters(s) => write!(f, "invalid parameters: {s}"),
+            Self::LevelMismatch { left, right } => {
+                write!(f, "level mismatch: {left} vs {right}")
+            }
+            Self::OutOfLevels => write!(f, "no levels remain in the modulus chain"),
+            Self::ScaleMismatch { left, right } => {
+                write!(f, "scale mismatch: {left} vs {right}")
+            }
+            Self::TooManySlots { provided, capacity } => {
+                write!(f, "{provided} slot values exceed capacity {capacity}")
+            }
+            Self::MissingGaloisKey { step } => {
+                write!(f, "no galois key generated for rotation step {step}")
+            }
+            Self::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CkksError {
+    fn from(e: MathError) -> Self {
+        Self::Math(e)
+    }
+}

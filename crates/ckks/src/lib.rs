@@ -1,0 +1,68 @@
+//! A self-contained RNS-CKKS homomorphic encryption scheme — the workload
+//! generator for the `uvpu` vector-unit reproduction.
+//!
+//! The paper's accelerator (like F1, BTS, ARK, SHARP before it) targets
+//! the operation mix of CKKS \[Cheon–Kim–Kim–Song\]: element-wise
+//! polynomial arithmetic, NTTs, and automorphisms. This crate implements
+//! that scheme from scratch on the [`uvpu_math`] substrate:
+//!
+//! - [`params`]: ring degree, RNS modulus chain, scale (each ciphertext is
+//!   the paper's `2 × N × L` residue tensor);
+//! - [`encoder`]: canonical-embedding SIMD packing of `N/2` complex slots;
+//! - [`keys`]: ternary secrets, public keys, and RNS-gadget keyswitching
+//!   keys for relinearization and rotation;
+//! - [`ops`]: HAdd, HMult + relinearize, rescale, and HRot (automorphism +
+//!   keyswitch — the operation the paper's inter-lane network exists for);
+//! - [`linear`]: baby-step/giant-step homomorphic linear transforms, the
+//!   rotation-heavy kernel at the heart of CKKS bootstrapping;
+//! - [`bootstrap`]: bootstrapping's linear stages — the factorized
+//!   homomorphic DFT (CoeffToSlot's computational core) — plus hoisted
+//!   rotations in [`ops`].
+//!
+//! Parameters are sized for functional reproduction, not production
+//! security.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use uvpu_ckks::encoder::{C64, Encoder};
+//! use uvpu_ckks::keys::KeyGenerator;
+//! use uvpu_ckks::ops::Evaluator;
+//! use uvpu_ckks::params::{CkksContext, CkksParams};
+//!
+//! # fn main() -> Result<(), uvpu_ckks::CkksError> {
+//! let ctx = CkksContext::new(CkksParams::new(1 << 7, 3, 40)?)?;
+//! let encoder = Encoder::new(&ctx);
+//! let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+//! let sk = kg.secret_key();
+//! let pk = kg.public_key(&sk)?;
+//! let rlk = kg.relin_key(&sk)?;
+//! let eval = Evaluator::new(&ctx);
+//! let mut rng = StdRng::seed_from_u64(2);
+//!
+//! let x = vec![C64::from(3.0); 4];
+//! let ct = eval.encrypt(&pk, &encoder.encode(&ctx, 3, &x)?, &mut rng)?;
+//! let sq = eval.rescale(&eval.mul(&ct, &ct, &rlk)?)?;
+//! let out = encoder.decode(&ctx, &eval.decrypt(&sk, &sq)?);
+//! assert!((out[0].re - 9.0).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod ciphertext;
+pub mod encoder;
+pub mod keys;
+pub mod linear;
+pub mod ops;
+pub mod params;
+pub mod rns_poly;
+
+mod error;
+
+pub use error::CkksError;

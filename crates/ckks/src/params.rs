@@ -1,0 +1,258 @@
+//! CKKS parameter sets and the precomputed context.
+//!
+//! A parameter set fixes the ring degree `N`, the RNS modulus chain
+//! `q_0 … q_L` (paper §II-A: each ciphertext is a `2 × N × L` tensor of
+//! 64-bit residues), and the encoding scale Δ. The [`CkksContext`] holds
+//! every level's [`RnsBasis`] and the per-prime NTT tables.
+//!
+//! These parameter sets are sized for *functional* reproduction (the
+//! noise analysis holds and all homomorphic identities are exact); they
+//! are not security-reviewed for production use.
+
+use crate::CkksError;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::NttTable;
+use uvpu_math::primes::{ntt_prime, ntt_prime_chain};
+use uvpu_math::rns::RnsBasis;
+
+/// Builder-style CKKS parameters.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_ckks::params::CkksParams;
+///
+/// # fn main() -> Result<(), uvpu_ckks::CkksError> {
+/// let params = CkksParams::new(1 << 10, 4, 40)?;
+/// assert_eq!(params.n(), 1024);
+/// assert_eq!(params.levels(), 4);
+/// assert_eq!(params.slot_count(), 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    n: usize,
+    /// Prime chain, q_0 first.
+    primes: Vec<u64>,
+    /// Special prime P for hybrid keyswitching (divides keyswitch noise).
+    special_prime: u64,
+    scale: f64,
+    /// Standard deviation of the encryption noise.
+    error_std: f64,
+}
+
+impl CkksParams {
+    /// Creates parameters with ring degree `n`, `levels + 1` primes of
+    /// `scale_bits` bits, and scale `Δ = 2^scale_bits`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidParameters`] for a non-power-of-two `n`, a
+    /// scale outside `[20, 60]` bits, or an unsatisfiable prime request.
+    pub fn new(n: usize, levels: usize, scale_bits: u32) -> Result<Self, CkksError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(CkksError::InvalidParameters(format!(
+                "ring degree {n} must be a power of two >= 8"
+            )));
+        }
+        if !(20..=60).contains(&scale_bits) {
+            return Err(CkksError::InvalidParameters(format!(
+                "scale of {scale_bits} bits outside [20, 60]"
+            )));
+        }
+        let primes = ntt_prime_chain(scale_bits, n, levels + 1).map_err(CkksError::Math)?;
+        // The special prime must exceed every chain prime (so the hybrid
+        // keyswitch noise shrinks by at least q_max/P per digit) and be
+        // distinct from all of them — a wider bit width guarantees both.
+        let special_bits = if scale_bits <= 55 { 58 } else { 61 };
+        let special_prime = ntt_prime(special_bits, n).map_err(CkksError::Math)?;
+        Ok(Self {
+            n,
+            primes,
+            special_prime,
+            scale: (scale_bits as f64).exp2(),
+            error_std: 3.2,
+        })
+    }
+
+    /// Ring degree `N`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of multiplicative levels (`primes − 1`).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.primes.len() - 1
+    }
+
+    /// The RNS prime chain, `q_0` first.
+    #[must_use]
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// The special prime `P` used by hybrid keyswitching.
+    #[must_use]
+    pub const fn special_prime(&self) -> u64 {
+        self.special_prime
+    }
+
+    /// The encoding scale Δ.
+    #[must_use]
+    pub const fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Gaussian noise standard deviation.
+    #[must_use]
+    pub const fn error_std(&self) -> f64 {
+        self.error_std
+    }
+
+    /// Number of complex slots per ciphertext (`N/2`).
+    #[must_use]
+    pub const fn slot_count(&self) -> usize {
+        self.n / 2
+    }
+}
+
+/// Precomputed per-level bases and per-prime NTT tables.
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    params: CkksParams,
+    /// `bases[ℓ]` covers primes `0..=ℓ`.
+    bases: Vec<RnsBasis>,
+    /// `ntt[i]` is the table for prime `i`.
+    ntt: Vec<NttTable>,
+    moduli: Vec<Modulus>,
+    special_modulus: Modulus,
+    special_ntt: NttTable,
+}
+
+impl CkksContext {
+    /// Builds all level bases and NTT tables.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] if a prime unexpectedly lacks the required
+    /// roots of unity (cannot happen for [`CkksParams::new`] outputs).
+    pub fn new(params: CkksParams) -> Result<Self, CkksError> {
+        let mut bases = Vec::with_capacity(params.primes().len());
+        for l in 0..params.primes().len() {
+            bases.push(RnsBasis::new(params.primes()[..=l].to_vec()).map_err(CkksError::Math)?);
+        }
+        let moduli: Vec<Modulus> = params
+            .primes()
+            .iter()
+            .map(|&q| Modulus::new(q))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        let ntt = moduli
+            .iter()
+            .map(|&m| NttTable::new(m, params.n()))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        let special_modulus =
+            Modulus::new(params.special_prime()).map_err(CkksError::Math)?;
+        let special_ntt =
+            NttTable::new(special_modulus, params.n()).map_err(CkksError::Math)?;
+        Ok(Self {
+            params,
+            bases,
+            ntt,
+            moduli,
+            special_modulus,
+            special_ntt,
+        })
+    }
+
+    /// The special modulus `P` for hybrid keyswitching.
+    #[must_use]
+    pub const fn special_modulus(&self) -> Modulus {
+        self.special_modulus
+    }
+
+    /// The NTT table under the special modulus.
+    #[must_use]
+    pub const fn special_ntt(&self) -> &NttTable {
+        &self.special_ntt
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub const fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The basis covering primes `0..=level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > self.params().levels()`.
+    #[must_use]
+    pub fn basis(&self, level: usize) -> &RnsBasis {
+        &self.bases[level]
+    }
+
+    /// The NTT table for prime index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn ntt(&self, i: usize) -> &NttTable {
+        &self.ntt[i]
+    }
+
+    /// The modulus for prime index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn modulus(&self, i: usize) -> Modulus {
+        self.moduli[i]
+    }
+
+    /// All moduli of the chain.
+    #[must_use]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        assert!(CkksParams::new(1000, 2, 40).is_err());
+        assert!(CkksParams::new(4, 2, 40).is_err());
+        assert!(CkksParams::new(1 << 10, 2, 10).is_err());
+        assert!(CkksParams::new(1 << 10, 2, 40).is_ok());
+    }
+
+    #[test]
+    fn primes_are_distinct_ntt_friendly() {
+        let p = CkksParams::new(1 << 10, 3, 40).unwrap();
+        assert_eq!(p.primes().len(), 4);
+        for &q in p.primes() {
+            assert!(uvpu_math::primes::is_prime(q));
+            assert_eq!(q % (2 << 10), 1);
+        }
+    }
+
+    #[test]
+    fn context_builds_all_levels() {
+        let ctx = CkksContext::new(CkksParams::new(1 << 8, 3, 40).unwrap()).unwrap();
+        for l in 0..=3 {
+            assert_eq!(ctx.basis(l).len(), l + 1);
+        }
+        assert_eq!(ctx.ntt(0).n(), 1 << 8);
+        assert_eq!(ctx.modulus(2).value(), ctx.params().primes()[2]);
+    }
+}

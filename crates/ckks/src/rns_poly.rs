@@ -1,0 +1,540 @@
+//! RNS polynomials: one residue polynomial per prime of the chain.
+//!
+//! This is the `N × L` slice of the paper's `2 × N × L` ciphertext
+//! tensor — the unit of data every vector kernel operates on.
+
+use crate::params::CkksContext;
+use crate::CkksError;
+use rand::Rng;
+use uvpu_math::poly::{Poly, Representation};
+
+/// A polynomial under an RNS basis (`level + 1` residue polynomials).
+///
+/// All residue polynomials share a representation (coefficient or
+/// evaluation); mixing levels or representations is rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    polys: Vec<Poly>,
+    level: usize,
+}
+
+impl RnsPoly {
+    /// The zero polynomial at `level` (coefficient form).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on bad degree (cannot happen through a context).
+    pub fn zero(ctx: &CkksContext, level: usize) -> Result<Self, CkksError> {
+        let polys = (0..=level)
+            .map(|i| Poly::zero(ctx.params().n(), ctx.modulus(i)))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self { polys, level })
+    }
+
+    /// Builds from centered signed coefficients, reducing per prime.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on bad degree.
+    pub fn from_signed(
+        ctx: &CkksContext,
+        level: usize,
+        coeffs: &[i64],
+    ) -> Result<Self, CkksError> {
+        let polys = (0..=level)
+            .map(|i| {
+                let m = ctx.modulus(i);
+                Poly::from_coeffs(coeffs.iter().map(|&c| m.from_i64(c)).collect(), m)
+            })
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self { polys, level })
+    }
+
+    /// Samples a uniformly random polynomial at `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on bad degree.
+    pub fn sample_uniform<R: Rng>(
+        ctx: &CkksContext,
+        level: usize,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let polys = (0..=level)
+            .map(|i| {
+                let m = ctx.modulus(i);
+                let coeffs = uvpu_math::sampling::uniform(rng, ctx.params().n(), m.value());
+                Poly::from_coeffs(coeffs, m)
+            })
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self { polys, level })
+    }
+
+    /// Samples a ternary polynomial (coefficients in {−1, 0, 1}).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on bad degree.
+    pub fn sample_ternary<R: Rng>(
+        ctx: &CkksContext,
+        level: usize,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let coeffs = uvpu_math::sampling::ternary(rng, ctx.params().n());
+        Self::from_signed(ctx, level, &coeffs)
+    }
+
+    /// Samples a discrete-Gaussian-like error polynomial (rounded
+    /// Box–Muller with the context's σ).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on bad degree.
+    pub fn sample_error<R: Rng>(
+        ctx: &CkksContext,
+        level: usize,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let sampler = uvpu_math::sampling::GaussianSampler::new(ctx.params().error_std());
+        let coeffs = sampler.sample_vec(rng, ctx.params().n());
+        Self::from_signed(ctx, level, &coeffs)
+    }
+
+    /// Assembles an RNS polynomial from per-prime residue polynomials
+    /// (must match the context's prime order and share a representation).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] when the residues disagree with the context's
+    /// moduli or with each other.
+    pub fn from_parts(polys: Vec<Poly>, ctx: &CkksContext) -> Result<Self, CkksError> {
+        if polys.is_empty() {
+            return Err(CkksError::Math(uvpu_math::MathError::InvalidBasis(
+                "an RNS polynomial needs at least one residue",
+            )));
+        }
+        for (i, p) in polys.iter().enumerate() {
+            if p.modulus() != ctx.modulus(i) || p.representation() != polys[0].representation() {
+                return Err(CkksError::Math(uvpu_math::MathError::ModulusMismatch));
+            }
+        }
+        let level = polys.len() - 1;
+        Ok(Self { polys, level })
+    }
+
+    /// Current level (`polys.len() − 1`).
+    #[must_use]
+    pub const fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Ring degree.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.polys[0].n()
+    }
+
+    /// Current representation (shared by all residues).
+    #[must_use]
+    pub fn representation(&self) -> Representation {
+        self.polys[0].representation()
+    }
+
+    /// The residue polynomial for prime index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > level`.
+    #[must_use]
+    pub fn residue(&self, i: usize) -> &Poly {
+        &self.polys[i]
+    }
+
+    fn check(&self, other: &Self) -> Result<(), CkksError> {
+        if self.level != other.level {
+            return Err(CkksError::LevelMismatch {
+                left: self.level,
+                right: other.level,
+            });
+        }
+        Ok(())
+    }
+
+    /// Residue-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Level or representation mismatch.
+    pub fn add(&self, other: &Self) -> Result<Self, CkksError> {
+        self.check(other)?;
+        let polys = self
+            .polys
+            .iter()
+            .zip(&other.polys)
+            .map(|(a, b)| a.add(b))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self {
+            polys,
+            level: self.level,
+        })
+    }
+
+    /// Residue-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Level or representation mismatch.
+    pub fn sub(&self, other: &Self) -> Result<Self, CkksError> {
+        self.check(other)?;
+        let polys = self
+            .polys
+            .iter()
+            .zip(&other.polys)
+            .map(|(a, b)| a.sub(b))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self {
+            polys,
+            level: self.level,
+        })
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self {
+            polys: self.polys.iter().map(Poly::neg).collect(),
+            level: self.level,
+        }
+    }
+
+    /// Residue-wise ring multiplication (both operands in evaluation form).
+    ///
+    /// # Errors
+    ///
+    /// Level mismatch or coefficient-form operands.
+    pub fn mul(&self, other: &Self) -> Result<Self, CkksError> {
+        self.check(other)?;
+        let polys = self
+            .polys
+            .iter()
+            .zip(&other.polys)
+            .map(|(a, b)| a.mul(b))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self {
+            polys,
+            level: self.level,
+        })
+    }
+
+    /// Converts all residues to evaluation form.
+    #[must_use]
+    pub fn to_evaluation(self, ctx: &CkksContext) -> Self {
+        let polys = self
+            .polys
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.to_evaluation(ctx.ntt(i)))
+            .collect();
+        Self {
+            polys,
+            level: self.level,
+        }
+    }
+
+    /// Converts all residues to coefficient form.
+    #[must_use]
+    pub fn to_coefficient(self, ctx: &CkksContext) -> Self {
+        let polys = self
+            .polys
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.to_coefficient(ctx.ntt(i)))
+            .collect();
+        Self {
+            polys,
+            level: self.level,
+        }
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (coefficient form).
+    ///
+    /// # Errors
+    ///
+    /// Even `g` or evaluation-form input.
+    pub fn galois(&self, g: u64) -> Result<Self, CkksError> {
+        let polys = self
+            .polys
+            .iter()
+            .map(|p| p.galois(g))
+            .collect::<Result<_, _>>()
+            .map_err(CkksError::Math)?;
+        Ok(Self {
+            polys,
+            level: self.level,
+        })
+    }
+
+    /// Centered signed coefficients of the residue at prime `j`
+    /// (coefficient form) — the keyswitch digit in integer form.
+    ///
+    /// # Panics
+    ///
+    /// Panics in evaluation form or for `j > level`.
+    #[must_use]
+    pub fn residue_centered(&self, j: usize) -> Vec<i64> {
+        assert_eq!(
+            self.representation(),
+            Representation::Coefficient,
+            "digits require coefficient form"
+        );
+        let p = &self.polys[j];
+        let m = p.modulus();
+        p.coeffs().iter().map(|&c| m.to_centered(c)).collect()
+    }
+
+    /// Lifts the residue at prime `j` to every prime of the basis: the
+    /// output's residue `i` is `[self mod q_j]` reduced mod `q_i` — the
+    /// RNS-gadget decomposition digit used by keyswitching. Requires
+    /// coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in evaluation form (residues are not aligned
+    /// across primes there) or `j > level`.
+    #[must_use]
+    pub fn lift_residue(&self, ctx: &CkksContext, j: usize) -> Self {
+        assert_eq!(
+            self.representation(),
+            Representation::Coefficient,
+            "lifting requires coefficient form"
+        );
+        let src = &self.polys[j];
+        let q_j = ctx.modulus(j).value();
+        let polys = (0..=self.level)
+            .map(|i| {
+                let m = ctx.modulus(i);
+                let coeffs: Vec<u64> = src
+                    .coeffs()
+                    .iter()
+                    .map(|&c| {
+                        // Centered lift: values in (−q_j/2, q_j/2] keep the
+                        // gadget noise small.
+                        let centered = if c > q_j / 2 {
+                            c as i64 - q_j as i64
+                        } else {
+                            c as i64
+                        };
+                        m.from_i64(centered)
+                    })
+                    .collect();
+                Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+            })
+            .collect();
+        Self {
+            polys,
+            level: self.level,
+        }
+    }
+
+    /// Drops to `level − 1` by removing the last residue (no scaling) —
+    /// used for modulus alignment of unscaled operands.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::OutOfLevels`] at level 0.
+    pub fn drop_last(&self) -> Result<Self, CkksError> {
+        if self.level == 0 {
+            return Err(CkksError::OutOfLevels);
+        }
+        Ok(Self {
+            polys: self.polys[..self.level].to_vec(),
+            level: self.level - 1,
+        })
+    }
+
+    /// Restricts to the first `level + 1` residues (modulus reduction to
+    /// a lower level; values are unchanged modulo the smaller product).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelMismatch`] if `level` exceeds the current one.
+    pub fn truncate_level(&self, level: usize) -> Result<Self, CkksError> {
+        if level > self.level {
+            return Err(CkksError::LevelMismatch {
+                left: self.level,
+                right: level,
+            });
+        }
+        Ok(Self {
+            polys: self.polys[..=level].to_vec(),
+            level,
+        })
+    }
+
+    /// RNS rescale: divides by the last prime `q_ℓ` (rounded) and drops a
+    /// level. Requires coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::OutOfLevels`] at level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics in evaluation form.
+    pub fn rescale(&self, ctx: &CkksContext) -> Result<Self, CkksError> {
+        if self.level == 0 {
+            return Err(CkksError::OutOfLevels);
+        }
+        assert_eq!(
+            self.representation(),
+            Representation::Coefficient,
+            "rescale requires coefficient form"
+        );
+        let last = &self.polys[self.level];
+        let q_last = ctx.modulus(self.level).value();
+        let polys = (0..self.level)
+            .map(|i| {
+                let m = ctx.modulus(i);
+                let q_last_inv = m.inv(m.reduce_u64(q_last)).expect("co-prime chain");
+                let coeffs: Vec<u64> = self.polys[i]
+                    .coeffs()
+                    .iter()
+                    .zip(last.coeffs())
+                    .map(|(&c_i, &c_last)| {
+                        // Centered representative of c mod q_last keeps the
+                        // rounding error at ±1/2.
+                        let centered = if c_last > q_last / 2 {
+                            c_last as i64 - q_last as i64
+                        } else {
+                            c_last as i64
+                        };
+                        let diff = m.sub(c_i, m.from_i64(centered));
+                        m.mul(diff, q_last_inv)
+                    })
+                    .collect();
+                Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+            })
+            .collect();
+        Ok(Self {
+            polys,
+            level: self.level - 1,
+        })
+    }
+
+    /// Reconstructs coefficient `k` as a centered `f64` via CRT — the
+    /// decoder's path out of RNS. Requires coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics in evaluation form or for out-of-range `k`.
+    #[must_use]
+    pub fn coefficient_centered_f64(&self, ctx: &CkksContext, k: usize) -> f64 {
+        assert_eq!(self.representation(), Representation::Coefficient);
+        let residues: Vec<u64> = (0..=self.level)
+            .map(|i| self.polys[i].coeffs()[k])
+            .collect();
+        ctx.basis(self.level).reconstruct_centered_f64(&residues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::new(1 << 6, 2, 40).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn from_signed_round_trips_centered() {
+        let ctx = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| i - 32).collect();
+        let p = RnsPoly::from_signed(&ctx, 2, &coeffs).unwrap();
+        for (k, &c) in coeffs.iter().enumerate() {
+            assert_eq!(p.coefficient_centered_f64(&ctx, k), c as f64);
+        }
+    }
+
+    #[test]
+    fn add_sub_level_checks() {
+        let ctx = ctx();
+        let a = RnsPoly::from_signed(&ctx, 2, &[1; 64]).unwrap();
+        let b = RnsPoly::from_signed(&ctx, 1, &[1; 64]).unwrap();
+        assert!(a.add(&b).is_err());
+        let c = RnsPoly::from_signed(&ctx, 2, &[2; 64]).unwrap();
+        assert_eq!(a.add(&c).unwrap().coefficient_centered_f64(&ctx, 0), 3.0);
+        assert_eq!(a.sub(&c).unwrap().coefficient_centered_f64(&ctx, 0), -1.0);
+        assert_eq!(a.neg().coefficient_centered_f64(&ctx, 0), -1.0);
+    }
+
+    #[test]
+    fn eval_mul_matches_schoolbook_on_monomials() {
+        let ctx = ctx();
+        let mut x = vec![0i64; 64];
+        x[1] = 1;
+        let a = RnsPoly::from_signed(&ctx, 1, &x).unwrap().to_evaluation(&ctx);
+        let b = a.clone();
+        let prod = a.mul(&b).unwrap().to_coefficient(&ctx);
+        assert_eq!(prod.coefficient_centered_f64(&ctx, 2), 1.0);
+        assert_eq!(prod.coefficient_centered_f64(&ctx, 0), 0.0);
+    }
+
+    #[test]
+    fn rescale_divides_by_last_prime() {
+        let ctx = ctx();
+        let q2 = ctx.params().primes()[2] as i64;
+        // A multiple of q_2 rescales exactly.
+        let coeffs: Vec<i64> = (0..64).map(|i| (i % 5) * q2).collect();
+        let p = RnsPoly::from_signed(&ctx, 2, &coeffs).unwrap();
+        let r = p.rescale(&ctx).unwrap();
+        assert_eq!(r.level(), 1);
+        for k in 0..64 {
+            assert_eq!(r.coefficient_centered_f64(&ctx, k), (k as i64 % 5) as f64);
+        }
+        // Non-multiples round to within 1.
+        let p = RnsPoly::from_signed(&ctx, 2, &[q2 + 7; 64]).unwrap();
+        let r = p.rescale(&ctx).unwrap();
+        assert!((r.coefficient_centered_f64(&ctx, 0) - 1.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn lift_residue_is_consistent_mod_qj() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = RnsPoly::sample_uniform(&ctx, 2, &mut rng).unwrap();
+        for j in 0..=2 {
+            let lifted = p.lift_residue(&ctx, j);
+            // Residue j of the lift equals residue j of the original.
+            assert_eq!(lifted.residue(j), p.residue(j));
+        }
+    }
+
+    #[test]
+    fn sample_error_is_small() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(42);
+        let e = RnsPoly::sample_error(&ctx, 2, &mut rng).unwrap();
+        for k in 0..64 {
+            assert!(e.coefficient_centered_f64(&ctx, k).abs() < 30.0);
+        }
+    }
+
+    #[test]
+    fn galois_round_trip() {
+        let ctx = ctx();
+        let coeffs: Vec<i64> = (0..64).collect();
+        let p = RnsPoly::from_signed(&ctx, 1, &coeffs).unwrap();
+        let g = 5u64;
+        let g_inv = uvpu_math::util::mod_inverse(g, 128).unwrap();
+        assert_eq!(p.galois(g).unwrap().galois(g_inv).unwrap(), p);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+use uvpu_math::MathError;
+
+/// Errors produced by the VPU simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The lane count must be a power of two ≥ 2 (the network needs at
+    /// least one shift stage).
+    InvalidLaneCount {
+        /// The offending lane count.
+        lanes: usize,
+    },
+    /// A vector operation received data whose length does not match the
+    /// lane count or register layout.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A register address is outside the register file.
+    RegisterOutOfRange {
+        /// The offending address.
+        address: usize,
+        /// Register file depth.
+        depth: usize,
+    },
+    /// An operation size cannot be decomposed onto this VPU (e.g. smaller
+    /// than 2 or not a power of two).
+    UnsupportedSize {
+        /// The offending size.
+        size: usize,
+    },
+    /// An error bubbled up from the mathematical substrate.
+    Math(MathError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidLaneCount { lanes } => {
+                write!(f, "lane count {lanes} must be a power of two >= 2")
+            }
+            Self::LengthMismatch { expected, actual } => {
+                write!(f, "vector length {actual} does not match expected {expected}")
+            }
+            Self::RegisterOutOfRange { address, depth } => {
+                write!(f, "register address {address} outside register file of depth {depth}")
+            }
+            Self::UnsupportedSize { size } => {
+                write!(f, "operation size {size} cannot be mapped onto the VPU")
+            }
+            Self::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CoreError {
+    fn from(e: MathError) -> Self {
+        Self::Math(e)
+    }
+}

@@ -1,0 +1,420 @@
+//! The computing lanes (paper Fig 1(c)).
+//!
+//! Each lane holds a Barrett modular multiplier, a modular
+//! adder/subtractor, and a slice of the register file (2 read ports, 1
+//! write port). [`LaneArray`] models the `m` lanes' register state and the
+//! arithmetic they can perform in one beat:
+//!
+//! - element-wise add / sub / multiply / multiply-accumulate across all
+//!   lanes;
+//! - **paired-lane butterflies**: adjacent lanes exchange operands over
+//!   their direct connections to compute a DIT or DIF butterfly per pair;
+//! - per-lane-addressed register writes, the vector-machine addressing the
+//!   diagonal transpose steps of Fig 3 rely on.
+
+use crate::CoreError;
+use uvpu_math::modular::Modulus;
+
+/// Which butterfly the paired lanes execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ButterflyKind {
+    /// Decimation-in-time: `(u, v) ↦ (u + w·v, u − w·v)`.
+    Dit,
+    /// Decimation-in-frequency: `(u, v) ↦ (u + v, (u − v)·w)`.
+    Dif,
+}
+
+/// The register state and arithmetic units of `m` lanes.
+///
+/// Registers are indexed by address; `read(addr)` returns the `m`-element
+/// vector stored across the lanes at that address.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::lane::LaneArray;
+/// use uvpu_math::modular::Modulus;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Modulus::new(97)?;
+/// let mut lanes = LaneArray::new(4, q, 8)?;
+/// lanes.write(0, &[1, 2, 3, 4])?;
+/// lanes.write(1, &[10, 20, 30, 40])?;
+/// lanes.ewise_add(2, 0, 1)?;
+/// assert_eq!(lanes.read(2)?, &[11, 22, 33, 44]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneArray {
+    m: usize,
+    modulus: Modulus,
+    /// `regs[addr][lane]`.
+    regs: Vec<Vec<u64>>,
+}
+
+impl LaneArray {
+    /// Creates `m` lanes with a register file of `depth` entries each.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidLaneCount`] unless `m` is a power of two ≥ 2.
+    pub fn new(m: usize, modulus: Modulus, depth: usize) -> Result<Self, CoreError> {
+        if !m.is_power_of_two() || m < 2 {
+            return Err(CoreError::InvalidLaneCount { lanes: m });
+        }
+        Ok(Self {
+            m,
+            modulus,
+            regs: vec![vec![0; m]; depth],
+        })
+    }
+
+    /// Lane count `m`.
+    #[must_use]
+    pub const fn lanes(&self) -> usize {
+        self.m
+    }
+
+    /// Register file depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The lanes' modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Grows the register file to at least `depth` entries.
+    pub fn ensure_depth(&mut self, depth: usize) {
+        if self.regs.len() < depth {
+            self.regs.resize(depth, vec![0; self.m]);
+        }
+    }
+
+    fn check_addr(&self, addr: usize) -> Result<(), CoreError> {
+        if addr >= self.regs.len() {
+            return Err(CoreError::RegisterOutOfRange {
+                address: addr,
+                depth: self.regs.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_vec(&self, data: &[u64]) -> Result<(), CoreError> {
+        if data.len() != self.m {
+            return Err(CoreError::LengthMismatch {
+                expected: self.m,
+                actual: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the vector at a register address.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RegisterOutOfRange`] for a bad address.
+    pub fn read(&self, addr: usize) -> Result<&[u64], CoreError> {
+        self.check_addr(addr)?;
+        Ok(&self.regs[addr])
+    }
+
+    /// Writes a vector to a register address (values must be reduced).
+    ///
+    /// # Errors
+    ///
+    /// Bad address or wrong vector length.
+    pub fn write(&mut self, addr: usize, data: &[u64]) -> Result<(), CoreError> {
+        self.check_addr(addr)?;
+        self.check_vec(data)?;
+        debug_assert!(data.iter().all(|&x| x < self.modulus.value()));
+        self.regs[addr].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Per-lane-addressed write: lane `l` writes `data[l]` to register
+    /// address `addrs[l]` — the vector-machine addressing mode the
+    /// diagonal transpose of Fig 3(a) needs ("write them to the register
+    /// addresses of x|z").
+    ///
+    /// # Errors
+    ///
+    /// Bad address in `addrs` or wrong vector length.
+    pub fn write_per_lane(&mut self, addrs: &[usize], data: &[u64]) -> Result<(), CoreError> {
+        self.check_vec(data)?;
+        if addrs.len() != self.m {
+            return Err(CoreError::LengthMismatch {
+                expected: self.m,
+                actual: addrs.len(),
+            });
+        }
+        for &a in addrs {
+            self.check_addr(a)?;
+        }
+        for (l, (&a, &v)) in addrs.iter().zip(data).enumerate() {
+            self.regs[a][l] = v;
+        }
+        Ok(())
+    }
+
+    /// Per-lane-addressed read: lane `l` reads from register `addrs[l]`.
+    ///
+    /// # Errors
+    ///
+    /// Bad address in `addrs`.
+    pub fn read_per_lane(&self, addrs: &[usize]) -> Result<Vec<u64>, CoreError> {
+        if addrs.len() != self.m {
+            return Err(CoreError::LengthMismatch {
+                expected: self.m,
+                actual: addrs.len(),
+            });
+        }
+        for &a in addrs {
+            self.check_addr(a)?;
+        }
+        Ok(addrs
+            .iter()
+            .enumerate()
+            .map(|(l, &a)| self.regs[a][l])
+            .collect())
+    }
+
+    /// `dst ← a + b` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_add(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.check_addr(dst)?;
+        self.check_addr(a)?;
+        self.check_addr(b)?;
+        let q = self.modulus;
+        let out: Vec<u64> = (0..self.m)
+            .map(|l| q.add(self.regs[a][l], self.regs[b][l]))
+            .collect();
+        self.regs[dst] = out;
+        Ok(())
+    }
+
+    /// `dst ← a − b` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_sub(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.check_addr(dst)?;
+        self.check_addr(a)?;
+        self.check_addr(b)?;
+        let q = self.modulus;
+        let out: Vec<u64> = (0..self.m)
+            .map(|l| q.sub(self.regs[a][l], self.regs[b][l]))
+            .collect();
+        self.regs[dst] = out;
+        Ok(())
+    }
+
+    /// `dst ← a · b` element-wise (Barrett multipliers, one per lane).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_mul(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.check_addr(dst)?;
+        self.check_addr(a)?;
+        self.check_addr(b)?;
+        let q = self.modulus;
+        let out: Vec<u64> = (0..self.m)
+            .map(|l| q.mul(self.regs[a][l], self.regs[b][l]))
+            .collect();
+        self.regs[dst] = out;
+        Ok(())
+    }
+
+    /// `dst ← dst + a · b` element-wise (multiply-accumulate, the
+    /// matrix/tensor-product primitive).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_mac(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.check_addr(dst)?;
+        self.check_addr(a)?;
+        self.check_addr(b)?;
+        let q = self.modulus;
+        let out: Vec<u64> = (0..self.m)
+            .map(|l| q.mul_add(self.regs[a][l], self.regs[b][l], self.regs[dst][l]))
+            .collect();
+        self.regs[dst] = out;
+        Ok(())
+    }
+
+    /// `dst ← src · consts` element-wise against an immediate constant
+    /// vector (twiddle factors resident in the register file).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address or wrong constant-vector length.
+    pub fn ewise_mul_const(
+        &mut self,
+        dst: usize,
+        src: usize,
+        consts: &[u64],
+    ) -> Result<(), CoreError> {
+        self.check_addr(dst)?;
+        self.check_addr(src)?;
+        self.check_vec(consts)?;
+        let q = self.modulus;
+        let out: Vec<u64> = (0..self.m)
+            .map(|l| q.mul(self.regs[src][l], q.reduce_u64(consts[l])))
+            .collect();
+        self.regs[dst] = out;
+        Ok(())
+    }
+
+    /// Executes one butterfly per adjacent lane pair, in place on the
+    /// vector at `addr`. `twiddles[p]` feeds the pair `(2p, 2p + 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Bad address, or `twiddles.len() != m/2`.
+    pub fn butterfly_adjacent(
+        &mut self,
+        addr: usize,
+        kind: ButterflyKind,
+        twiddles: &[u64],
+    ) -> Result<(), CoreError> {
+        self.check_addr(addr)?;
+        if twiddles.len() != self.m / 2 {
+            return Err(CoreError::LengthMismatch {
+                expected: self.m / 2,
+                actual: twiddles.len(),
+            });
+        }
+        let q = self.modulus;
+        let v = &mut self.regs[addr];
+        for (p, &w) in twiddles.iter().enumerate() {
+            let w = q.reduce_u64(w);
+            let u = v[2 * p];
+            let x = v[2 * p + 1];
+            let (hi, lo) = match kind {
+                ButterflyKind::Dit => {
+                    let wx = q.mul(w, x);
+                    (q.add(u, wx), q.sub(u, wx))
+                }
+                ButterflyKind::Dif => (q.add(u, x), q.mul(q.sub(u, x), w)),
+            };
+            v[2 * p] = hi;
+            v[2 * p + 1] = lo;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes() -> LaneArray {
+        LaneArray::new(8, Modulus::new(97).unwrap(), 16).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let q = Modulus::new(97).unwrap();
+        assert!(LaneArray::new(3, q, 4).is_err());
+        assert!(LaneArray::new(0, q, 4).is_err());
+        let l = LaneArray::new(8, q, 4).unwrap();
+        assert_eq!(l.lanes(), 8);
+        assert_eq!(l.depth(), 4);
+    }
+
+    #[test]
+    fn read_write_round_trip_and_bounds() {
+        let mut l = lanes();
+        let v: Vec<u64> = (10..18).collect();
+        l.write(3, &v).unwrap();
+        assert_eq!(l.read(3).unwrap(), v.as_slice());
+        assert!(l.read(16).is_err());
+        assert!(l.write(16, &v).is_err());
+        assert!(l.write(0, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn ensure_depth_grows_only() {
+        let mut l = lanes();
+        l.ensure_depth(4);
+        assert_eq!(l.depth(), 16);
+        l.ensure_depth(32);
+        assert_eq!(l.depth(), 32);
+        assert_eq!(l.read(31).unwrap(), &[0; 8]);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let mut l = lanes();
+        l.write(0, &[90, 2, 3, 4, 5, 6, 7, 96]).unwrap();
+        l.write(1, &[10, 20, 30, 40, 50, 60, 70, 2]).unwrap();
+        l.ewise_add(2, 0, 1).unwrap();
+        assert_eq!(l.read(2).unwrap(), &[3, 22, 33, 44, 55, 66, 77, 1]);
+        l.ewise_sub(3, 0, 1).unwrap();
+        assert_eq!(l.read(3).unwrap()[0], (90 + 97 - 10) % 97);
+        l.ewise_mul(4, 0, 1).unwrap();
+        assert_eq!(l.read(4).unwrap()[1], 40);
+        l.ewise_mac(4, 0, 1).unwrap();
+        assert_eq!(l.read(4).unwrap()[1], 80);
+    }
+
+    #[test]
+    fn mul_const_reduces_immediates() {
+        let mut l = lanes();
+        l.write(0, &[1; 8]).unwrap();
+        l.ewise_mul_const(1, 0, &[98; 8]).unwrap(); // 98 ≡ 1
+        assert_eq!(l.read(1).unwrap(), &[1; 8]);
+    }
+
+    #[test]
+    fn dit_dif_butterflies_are_inverse_up_to_two() {
+        let mut l = lanes();
+        let v: Vec<u64> = (1..9).collect();
+        l.write(0, &v).unwrap();
+        let w = [5u64, 7, 11, 13];
+        let w_inv: Vec<u64> = w
+            .iter()
+            .map(|&x| l.modulus().inv(x).unwrap())
+            .collect();
+        // DIF with w then DIT with w^{-1} doubles each element.
+        l.butterfly_adjacent(0, ButterflyKind::Dif, &w).unwrap();
+        l.butterfly_adjacent(0, ButterflyKind::Dit, &w_inv).unwrap();
+        let q = l.modulus();
+        let got = l.read(0).unwrap().to_vec();
+        for (x, orig) in got.iter().zip(&v) {
+            assert_eq!(*x, q.mul(2, *orig));
+        }
+    }
+
+    #[test]
+    fn butterfly_validates_twiddle_length() {
+        let mut l = lanes();
+        assert!(l
+            .butterfly_adjacent(0, ButterflyKind::Dit, &[1, 2, 3])
+            .is_err());
+    }
+
+    #[test]
+    fn per_lane_addressing_scatters_and_gathers() {
+        let mut l = lanes();
+        let addrs = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        l.write_per_lane(&addrs, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        // Element for lane l went to register addrs[l]; diagonal readback.
+        assert_eq!(l.read_per_lane(&addrs).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        // Register 3 holds only lane 3's element.
+        assert_eq!(l.read(3).unwrap(), &[0, 0, 0, 4, 0, 0, 0, 0]);
+        assert!(l.write_per_lane(&[99; 8], &[0; 8]).is_err());
+    }
+}

@@ -1,0 +1,1135 @@
+//! Mapping NTTs of arbitrary length onto the VPU (paper §IV-A).
+//!
+//! A length-`N` transform is decomposed into dimensions of at most `m`
+//! (the lane count). Each dimension's small NTTs run fully lane-resident
+//! as Pease constant-geometry stages ([`SmallNtt`]); element-wise twiddle
+//! scalings separate the dimensions; and the shift network transposes the
+//! data between dimensions ([`NttPlan`]), following the pass counts of
+//! Fig 3: two shift traversals per column for a regular transpose, plus
+//! `log₂ m − log₂ d` extra constant-geometry traversals per column when
+//! the incoming dimension `d` is shorter than the VPU width.
+//!
+//! The full pipeline is bit-exact against the golden-model DFT for every
+//! size, and its cycle counts reproduce the utilization behaviour of
+//! paper Table III.
+
+use crate::stats::CycleStats;
+use crate::vpu::{PeaseStage, Vpu};
+use crate::CoreError;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::psi_twist;
+use uvpu_math::primes::min_root_of_unity;
+use uvpu_math::util::{bit_reverse, log2_exact};
+use uvpu_math::MathError;
+
+/// A length-`L` Pease constant-geometry NTT plan (`L ≤ m`), with
+/// precomputed per-stage twiddles.
+///
+/// Forward stages use the DIF CG route (perfect shuffle) + DIF
+/// butterflies; output within each lane group is in **bit-reversed**
+/// order. Inverse stages run the exact algebraic inverse (DIT butterflies
+/// + unshuffle route, reversed stage order, `L^{-1}` fold), consuming
+/// bit-reversed order and producing natural order — so chaining forward
+/// and inverse needs no bit-reversal pass, the property the paper's dual
+/// DIT/DIF hardware provides.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::ntt_map::SmallNtt;
+/// use uvpu_core::vpu::Vpu;
+/// use uvpu_math::modular::Modulus;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Modulus::new(97)?; // 97 ≡ 1 (mod 32)
+/// let ntt = SmallNtt::new(q, 8)?;
+/// let mut vpu = Vpu::new(8, q, 4)?;
+/// vpu.load(0, &[1, 2, 3, 4, 5, 6, 7, 8])?;
+/// ntt.run_forward(&mut vpu, 0)?;
+/// ntt.run_inverse(&mut vpu, 0)?;
+/// assert_eq!(vpu.store(0)?, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallNtt {
+    len: usize,
+    log_len: u32,
+    modulus: Modulus,
+    omega: u64,
+    /// `fwd[s][j]` = ω^{(j >> s) << s} for butterfly `j` of stage `s`.
+    fwd: Vec<Vec<u64>>,
+    /// Inverse twiddles (element-wise inverses of `fwd`).
+    inv: Vec<Vec<u64>>,
+    len_inv: u64,
+}
+
+impl SmallNtt {
+    /// Builds the plan for a cyclic NTT of power-of-two length `len ≥ 2`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] / [`MathError::NoRootOfUnity`]
+    /// wrapped in [`CoreError::Math`].
+    pub fn new(modulus: Modulus, len: usize) -> Result<Self, CoreError> {
+        if !len.is_power_of_two() || len < 2 {
+            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo { length: len }));
+        }
+        let omega = min_root_of_unity(&modulus, len as u64)?;
+        Self::with_root(modulus, len, omega)
+    }
+
+    /// Builds the plan with an explicitly chosen primitive `len`-th root —
+    /// required when the small transform is one dimension of a larger
+    /// decomposition, whose twiddles fix `ω_len = ω^{N/len}`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Math`] if `omega` is not a primitive `len`-th root.
+    pub fn with_root(modulus: Modulus, len: usize, omega: u64) -> Result<Self, CoreError> {
+        if !len.is_power_of_two() || len < 2 {
+            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo { length: len }));
+        }
+        if modulus.pow(omega, len as u64) != 1
+            || (len > 1 && modulus.pow(omega, len as u64 / 2) == 1)
+        {
+            return Err(CoreError::Math(MathError::NoRootOfUnity {
+                modulus: modulus.value(),
+                order: len as u64,
+            }));
+        }
+        let omega_inv = modulus.inv(omega)?;
+        let log_len = log2_exact(len);
+        let mut fwd = Vec::with_capacity(log_len as usize);
+        let mut inv = Vec::with_capacity(log_len as usize);
+        for s in 0..log_len {
+            let mut f = Vec::with_capacity(len / 2);
+            let mut g = Vec::with_capacity(len / 2);
+            for j in 0..len / 2 {
+                let e = ((j >> s) << s) as u64;
+                f.push(modulus.pow(omega, e));
+                g.push(modulus.pow(omega_inv, e));
+            }
+            fwd.push(f);
+            inv.push(g);
+        }
+        Ok(Self {
+            len,
+            log_len,
+            modulus,
+            omega,
+            fwd,
+            inv,
+            len_inv: modulus.inv(len as u64)?,
+        })
+    }
+
+    /// Transform length `L`.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: the length is at least 2 (kept for API symmetry).
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The primitive `L`-th root of unity in use.
+    #[must_use]
+    pub const fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// The modulus the twiddles were computed under.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Number of butterfly stages (`log₂ L`).
+    #[must_use]
+    pub const fn stages(&self) -> u32 {
+        self.log_len
+    }
+
+
+    /// Compiles the forward transform into a VPU assembly [`Program`]
+    /// operating in place on register `addr` — the lane-resident NTT as
+    /// an inspectable artifact (one `pease.fwd` instruction per stage,
+    /// twiddles in named constant pools).
+    ///
+    /// [`Program`]: crate::isa::Program
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a multiple of the transform length.
+    #[must_use]
+    pub fn forward_program(&self, addr: usize, m: usize) -> crate::isa::Program {
+        assert_eq!(m % self.len, 0, "lane count must be a multiple of the length");
+        let mut prog = crate::isa::Program::new();
+        for s in 0..self.log_len as usize {
+            let pool = format!("tw{s}");
+            prog.pools.insert(pool.clone(), self.group_twiddles(s, m));
+            prog.instrs.push(crate::isa::Instr::PeaseForward {
+                addr,
+                pool,
+                group: self.len,
+            });
+        }
+        prog
+    }
+
+    /// Compiles the inverse transform into a VPU assembly [`Program`]
+    /// (reversed stages, inverse twiddles, and the `L^{-1}` fold).
+    ///
+    /// [`Program`]: crate::isa::Program
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a multiple of the transform length.
+    #[must_use]
+    pub fn inverse_program(&self, addr: usize, m: usize) -> crate::isa::Program {
+        assert_eq!(m % self.len, 0, "lane count must be a multiple of the length");
+        let mut prog = crate::isa::Program::new();
+        for s in (0..self.log_len as usize).rev() {
+            let pool = format!("itw{s}");
+            prog.pools.insert(pool.clone(), self.group_twiddles_inv(s, m));
+            prog.instrs.push(crate::isa::Instr::PeaseInverse {
+                addr,
+                pool,
+                group: self.len,
+            });
+        }
+        prog.pools.insert("linv".into(), vec![self.len_inv; m]);
+        prog.instrs.push(crate::isa::Instr::MulConst {
+            dst: addr,
+            src: addr,
+            pool: "linv".into(),
+        });
+        prog
+    }
+
+    fn group_twiddles(&self, stage: usize, m: usize) -> Vec<u64> {
+        // Replicate the per-group twiddles across the m/L independent
+        // groups the CG network splits into.
+        let per_group = &self.fwd[stage];
+        let mut out = Vec::with_capacity(m / 2);
+        for _ in 0..m / self.len {
+            out.extend_from_slice(per_group);
+        }
+        out
+    }
+
+    fn group_twiddles_inv(&self, stage: usize, m: usize) -> Vec<u64> {
+        let per_group = &self.inv[stage];
+        let mut out = Vec::with_capacity(m / 2);
+        for _ in 0..m / self.len {
+            out.extend_from_slice(per_group);
+        }
+        out
+    }
+
+    /// Runs the forward transform on the register at `addr`, transforming
+    /// all `m/L` lane groups in parallel. Costs `log₂ L` butterfly beats.
+    ///
+    /// Output within each group: position `p` holds `X[bit_reverse(p)]`.
+    ///
+    /// # Errors
+    ///
+    /// Register errors from the VPU, or a lane count not divisible into
+    /// groups of `L`.
+    pub fn run_forward(&self, vpu: &mut Vpu, addr: usize) -> Result<(), CoreError> {
+        let m = vpu.lanes();
+        if !m.is_multiple_of(self.len) {
+            return Err(CoreError::UnsupportedSize { size: self.len });
+        }
+        for s in 0..self.log_len as usize {
+            let tw = self.group_twiddles(s, m);
+            vpu.pease_stage(addr, &PeaseStage::Forward { twiddles: &tw }, self.len)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the inverse transform (bit-reversed input → natural output,
+    /// scaled by `L^{-1}`). Costs `log₂ L` butterfly beats plus one
+    /// element-wise beat for the `L^{-1}` fold.
+    ///
+    /// # Errors
+    ///
+    /// Register errors from the VPU, or an incompatible lane count.
+    pub fn run_inverse(&self, vpu: &mut Vpu, addr: usize) -> Result<(), CoreError> {
+        let m = vpu.lanes();
+        if !m.is_multiple_of(self.len) {
+            return Err(CoreError::UnsupportedSize { size: self.len });
+        }
+        for s in (0..self.log_len as usize).rev() {
+            let tw = self.group_twiddles_inv(s, m);
+            vpu.pease_stage(addr, &PeaseStage::Inverse { twiddles: &tw }, self.len)?;
+        }
+        let scale = vec![self.len_inv; m];
+        vpu.ewise_mul_const(addr, addr, &scale)?;
+        Ok(())
+    }
+}
+
+/// Direction of a planned transform execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// Result of executing a planned transform: the output values plus the
+/// cycle statistics of just this execution.
+#[derive(Debug, Clone)]
+pub struct NttExecution {
+    /// Transform output in natural index order.
+    pub output: Vec<u64>,
+    /// Cycles consumed by this execution only.
+    pub stats: CycleStats,
+}
+
+/// A multi-dimensional NTT plan for length `N` on an `m`-lane VPU.
+///
+/// The decomposition uses `⌈log N / log m⌉` dimensions: every dimension
+/// is `m` except the last, which is `N / m^{k−1} ∈ [2, m]` (for `N ≤ m` a
+/// single dimension of length `N`). This matches the paper's §II-B
+/// scheme. The executed pipeline is:
+///
+/// 1. *(negacyclic only)* ψ-twist, one element-wise beat per column;
+/// 2. for each dimension: inter-dimension twiddle scaling (element-wise),
+///    a shift-network transpose (network-move beats, Fig 3 pass counts),
+///    and the lane-resident Pease NTT stages (butterfly beats);
+/// 3. metadata readout — output ordering is address arithmetic, free.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::ntt_map::NttPlan;
+/// use uvpu_core::vpu::Vpu;
+/// use uvpu_math::{modular::Modulus, primes::ntt_prime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 256;
+/// let q = Modulus::new(ntt_prime(30, n)?)?;
+/// let plan = NttPlan::new(q, n, 16)?; // two dimensions of 16
+/// assert_eq!(plan.dims(), &[16, 16]);
+/// let mut vpu = Vpu::new(16, q, 64)?;
+/// let data: Vec<u64> = (0..n as u64).collect();
+/// let fwd = plan.execute_forward(&mut vpu, &data)?;
+/// let back = plan.execute_inverse(&mut vpu, &fwd.output)?;
+/// assert_eq!(back.output, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttPlan {
+    n: usize,
+    m: usize,
+    dims: Vec<usize>,
+    modulus: Modulus,
+    /// Primitive `n`-th root of unity for the inter-dimension twiddles.
+    omega: u64,
+    omega_inv: u64,
+    small: Vec<SmallNtt>,
+    /// ψ (primitive `2n`-th root) for the negacyclic twist, if available.
+    psi: Option<u64>,
+}
+
+impl NttPlan {
+    /// Plans a length-`n` transform for an `m`-lane VPU.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::UnsupportedSize`] for `n < 2`, non-power-of-two `n`,
+    ///   or `n` not decomposable over `m` (the trailing dimension must be
+    ///   at least 2).
+    /// - [`CoreError::Math`] when the modulus lacks the required roots of
+    ///   unity.
+    pub fn new(modulus: Modulus, n: usize, m: usize) -> Result<Self, CoreError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(CoreError::UnsupportedSize { size: n });
+        }
+        if !m.is_power_of_two() || m < 2 {
+            return Err(CoreError::InvalidLaneCount { lanes: m });
+        }
+        let log_n = log2_exact(n) as usize;
+        let log_m = log2_exact(m) as usize;
+        let mut dims = Vec::new();
+        let mut remaining = log_n;
+        while remaining > 0 {
+            let d = remaining.min(log_m);
+            dims.push(1usize << d);
+            remaining -= d;
+        }
+        // A trailing dimension of length 1 cannot occur (min(remaining,
+        // log m) ≥ 1), but a trailing 2 on a wide VPU is fine: the CG
+        // network splits into m/2 groups.
+        //
+        // Root consistency: when the modulus supports the negacyclic twist
+        // (a 2n-th root ψ exists), derive ω = ψ² so that twisted-cyclic
+        // and negacyclic pipelines agree; each dimension's small-NTT root
+        // is then ω^{n/d}, pinned by the inter-dimension twiddles.
+        let psi = min_root_of_unity(&modulus, 2 * n as u64).ok();
+        let omega = match psi {
+            Some(p) => modulus.mul(p, p),
+            None => min_root_of_unity(&modulus, n as u64)?,
+        };
+        let omega_inv = modulus.inv(omega)?;
+        let small = dims
+            .iter()
+            .map(|&d| SmallNtt::with_root(modulus, d, modulus.pow(omega, (n / d) as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            n,
+            m,
+            dims,
+            modulus,
+            omega,
+            omega_inv,
+            small,
+            psi,
+        })
+    }
+
+    /// Transform length `N`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane count the plan targets.
+    #[must_use]
+    pub const fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The dimension decomposition, in processing order.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The `n`-th root of unity used for inter-dimension twiddles.
+    #[must_use]
+    pub const fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    // ---- digit/layout bookkeeping -------------------------------------
+
+    /// Splits an element code into its per-dimension digits
+    /// (`code = Σ_s x_s · Π_{u<s} d_u`, dimension 0 least significant).
+    fn digits(&self, code: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dims.len());
+        let mut c = code;
+        for &d in &self.dims {
+            out.push(c % d);
+            c /= d;
+        }
+        out
+    }
+
+    /// Packs digits back into a code.
+    fn pack(&self, digits: &[usize]) -> usize {
+        let mut code = 0usize;
+        let mut stride = 1usize;
+        for (x, &d) in digits.iter().zip(&self.dims) {
+            code += x * stride;
+            stride *= d;
+        }
+        code
+    }
+
+    /// Input flat index for a digit tuple: `i = Σ_s i_s · Π_{u>s} d_u`
+    /// (dimension 0 has the largest stride — it is processed first).
+    fn input_index(&self, digits: &[usize]) -> usize {
+        // Suffix-product strides: dimension 0 is processed first and has
+        // the largest input stride.
+        let k = self.dims.len();
+        let mut stride = vec![1usize; k];
+        for s in (0..k.saturating_sub(1)).rev() {
+            stride[s] = stride[s + 1] * self.dims[s + 1];
+        }
+        digits.iter().zip(&stride).map(|(&x, &s)| x * s).sum()
+    }
+
+    /// Physical placement of a digit tuple while dimension `t` occupies
+    /// the lanes: returns `(column, lane)`.
+    ///
+    /// Lanes: `grp · d_t + x_t` where `grp` is the low part of the
+    /// transformed-digit index `K` when `d_t < m` (partial dimensions
+    /// share the lanes, as in Fig 3). Columns: the rest of `K` plus the
+    /// untransformed digits.
+    fn place(&self, t: usize, digits: &[usize]) -> (usize, usize) {
+        let d_t = self.dims[t];
+        let groups = self.m / d_t;
+        // K: mixed radix over transformed digits (dims < t).
+        let mut k_idx = 0usize;
+        let mut k_radix = 1usize;
+        for s in 0..t {
+            k_idx += digits[s] * k_radix;
+            k_radix *= self.dims[s];
+        }
+        // r: mixed radix over untransformed digits (dims > t), dim t+1 major.
+        let kdims = self.dims.len();
+        let mut r_idx = 0usize;
+        for s in (t + 1)..kdims {
+            r_idx = r_idx * self.dims[s] + digits[s];
+        }
+        let grp = k_idx % groups;
+        let lane = grp * d_t + digits[t];
+        let col = (k_idx / groups) + (k_radix / groups) * r_idx;
+        (col, lane)
+    }
+
+    /// The twiddle exponent applied to a slot just before dimension `t`
+    /// is transformed: `ω_{P_t}^{i_t · κ_t}` expressed as an exponent of
+    /// the global ω, where `P_t = Π_{u≤t} d_u` and `κ_t` is the packed
+    /// transformed index so far.
+    fn twiddle_exponent(&self, t: usize, digits: &[usize]) -> u64 {
+        let mut kappa = 0usize;
+        let mut radix = 1usize;
+        for s in 0..t {
+            kappa += digits[s] * radix;
+            radix *= self.dims[s];
+        }
+        let p_t = radix * self.dims[t];
+        // ω_{P_t} = ω^{n / P_t}.
+        let e = (digits[t] * kappa) % p_t;
+        (self.n / p_t) as u64 * e as u64 % self.n as u64
+    }
+
+    fn transpose_moves_per_column(&self, t: usize) -> u64 {
+        // Fig 3: two shift traversals per column; entering a dimension
+        // shorter than the VPU width costs log m − log d extra CG
+        // traversals per column (up to log m − 1 for d = 2).
+        let base = 2u64;
+        let extra = (log2_exact(self.m) - log2_exact(self.dims[t])) as u64;
+        base + extra
+    }
+
+    // ---- execution -----------------------------------------------------
+
+    fn execute(
+        &self,
+        vpu: &mut Vpu,
+        input: &[u64],
+        direction: Direction,
+        negacyclic: bool,
+    ) -> Result<NttExecution, CoreError> {
+        self.execute_on(std::slice::from_mut(vpu), input, direction, negacyclic)
+    }
+
+    fn execute_on(
+        &self,
+        vpus: &mut [Vpu],
+        input: &[u64],
+        direction: Direction,
+        negacyclic: bool,
+    ) -> Result<NttExecution, CoreError> {
+        if vpus.is_empty() {
+            return Err(CoreError::InvalidLaneCount { lanes: 0 });
+        }
+        if input.len() != self.n {
+            return Err(CoreError::LengthMismatch {
+                expected: self.n,
+                actual: input.len(),
+            });
+        }
+        for vpu in vpus.iter() {
+            if vpu.lanes() != self.m {
+                return Err(CoreError::InvalidLaneCount { lanes: vpu.lanes() });
+            }
+            if vpu.modulus() != self.modulus {
+                return Err(CoreError::Math(MathError::ModulusMismatch));
+            }
+        }
+        let psi = if negacyclic {
+            Some(self.psi.ok_or(CoreError::Math(MathError::NoRootOfUnity {
+                modulus: self.modulus.value(),
+                order: 2 * self.n as u64,
+            }))?)
+        } else {
+            None
+        };
+        for vpu in vpus.iter_mut() {
+            vpu.ensure_depth(2);
+        }
+        let starts: Vec<CycleStats> = vpus.iter().map(|v| *v.stats()).collect();
+        // A transform shorter than the VPU occupies one partial column.
+        let cols = (self.n / self.m).max(1);
+        let kdims = self.dims.len();
+
+        // state[code] = current value of the element with that digit code.
+        let mut state: Vec<u64> = vec![0; self.n];
+        match direction {
+            Direction::Forward => {
+                let reduced: Vec<u64> = input
+                    .iter()
+                    .map(|&x| self.modulus.reduce_u64(x))
+                    .collect();
+                let data = match psi {
+                    // ψ-twist turns the negacyclic problem cyclic; the
+                    // element-wise beats are charged below.
+                    Some(psi) => psi_twist(&reduced, psi, &self.modulus),
+                    None => reduced,
+                };
+                for code in 0..self.n {
+                    let digits = self.digits(code);
+                    state[code] = data[self.input_index(&digits)];
+                }
+            }
+            Direction::Inverse => {
+                for (k, &x) in input.iter().enumerate() {
+                    state[k] = self.modulus.reduce_u64(x);
+                }
+            }
+        }
+
+        match direction {
+            Direction::Forward => {
+                if psi.is_some() {
+                    // One element-wise beat per column for the twist.
+                    self.charge_elementwise(vpus, cols as u64)?;
+                }
+                for t in 0..kdims {
+                    if t > 0 {
+                        // Inter-dimension twiddle (element-wise) …
+                        self.apply_twiddles(&mut state, t, false);
+                        self.charge_elementwise(vpus, cols as u64)?;
+                        // … then the transpose bringing dim t into lanes.
+                        self.charge_network_moves_sharded(
+                            vpus,
+                            self.transpose_moves_per_column(t),
+                            cols,
+                        );
+                    }
+                    self.run_dimension(vpus, &mut state, t, Direction::Forward)?;
+                }
+                // Readout: code == natural output index by construction.
+                let output = state;
+                let stats = self.delta_all(vpus, &starts);
+                Ok(NttExecution { output, stats })
+            }
+            Direction::Inverse => {
+                for t in (0..kdims).rev() {
+                    if t < kdims - 1 {
+                        // Mirror of the forward transpose (leaving dim t+1).
+                        self.charge_network_moves_sharded(
+                            vpus,
+                            self.transpose_moves_per_column(t + 1),
+                            cols,
+                        );
+                    }
+                    self.run_dimension(vpus, &mut state, t, Direction::Inverse)?;
+                    if t > 0 {
+                        self.apply_twiddles(&mut state, t, true);
+                        self.charge_elementwise(vpus, cols as u64)?;
+                    }
+                }
+                if let Some(psi) = psi {
+                    let psi_inv = self.modulus.inv(psi)?;
+                    let mut out = vec![0u64; self.n];
+                    for code in 0..self.n {
+                        let digits = self.digits(code);
+                        out[self.input_index(&digits)] = state[code];
+                    }
+                    let untwisted = psi_twist(&out, psi_inv, &self.modulus);
+                    self.charge_elementwise(vpus, cols as u64)?;
+                    let stats = self.delta_all(vpus, &starts);
+                    return Ok(NttExecution {
+                        output: untwisted,
+                        stats,
+                    });
+                }
+                let mut out = vec![0u64; self.n];
+                for code in 0..self.n {
+                    let digits = self.digits(code);
+                    out[self.input_index(&digits)] = state[code];
+                }
+                let stats = self.delta_all(vpus, &starts);
+                Ok(NttExecution { output: out, stats })
+            }
+        }
+    }
+
+    /// Aggregate cycle delta across all shards since `starts`.
+    fn delta_all(&self, vpus: &[Vpu], starts: &[CycleStats]) -> CycleStats {
+        let mut total = CycleStats::new();
+        for (vpu, start) in vpus.iter().zip(starts) {
+            let now = *vpu.stats();
+            total += CycleStats {
+                butterfly: now.butterfly - start.butterfly,
+                elementwise: now.elementwise - start.elementwise,
+                network_move: now.network_move - start.network_move,
+            };
+        }
+        total
+    }
+
+    fn charge_elementwise(&self, vpus: &mut [Vpu], beats: u64) -> Result<(), CoreError> {
+        // Run genuine element-wise beats on a scratch register so the
+        // accounting flows through the normal pipeline path, one beat per
+        // column distributed round-robin across the shard set.
+        let shard_count = vpus.len();
+        for b in 0..beats {
+            let vpu = &mut vpus[(b as usize) % shard_count];
+            vpu.ensure_depth(2);
+            vpu.ewise_mul_const(1, 1, &vec![1u64; self.m])?;
+        }
+        Ok(())
+    }
+
+    fn charge_network_moves_sharded(&self, vpus: &mut [Vpu], per_column: u64, cols: usize) {
+        for c in 0..cols {
+            vpus[c % vpus.len()].charge_network_moves(per_column);
+        }
+    }
+
+    /// Applies the inter-dimension twiddles for dimension `t` directly on
+    /// the logical state (values are position-independent scalings; the
+    /// pipeline beat is charged by the caller).
+    fn apply_twiddles(&self, state: &mut [u64], t: usize, inverse: bool) {
+        let root = if inverse { self.omega_inv } else { self.omega };
+        for (code, v) in state.iter_mut().enumerate() {
+            let digits = self.digits(code);
+            let e = self.twiddle_exponent(t, &digits);
+            if e != 0 {
+                *v = self.modulus.mul(*v, self.modulus.pow(root, e));
+            }
+        }
+    }
+
+    /// Runs dimension `t`'s small NTTs through the VPUs, column by
+    /// column, round-robin across the shard set.
+    fn run_dimension(
+        &self,
+        vpus: &mut [Vpu],
+        state: &mut [u64],
+        t: usize,
+        direction: Direction,
+    ) -> Result<(), CoreError> {
+        let cols = (self.n / self.m).max(1);
+        let d_t = self.dims[t];
+        let small = &self.small[t];
+        /// Marks a lane with no element mapped to it (`n < m` layouts).
+        const UNUSED: usize = usize::MAX;
+        // Column gather: physical (col, lane) for each code under the
+        // phase-t layout, with the in-group position corresponding to the
+        // *untransformed* digit i_t (forward input / inverse output), and
+        // bit-reversed k_t on the transformed side.
+        let mut col_codes: Vec<Vec<usize>> = vec![vec![UNUSED; self.m]; cols];
+        for code in 0..self.n {
+            let mut digits = self.digits(code);
+            // The physical in-group position: forward reads i_t at
+            // position p = i_t and leaves X[brv(p)] at p; represent the
+            // transformed digit's position as brv(k_t).
+            let x_t = digits[t];
+            let pos = match direction {
+                Direction::Forward => x_t,
+                Direction::Inverse => bit_reverse(x_t, log2_exact(d_t)),
+            };
+            digits[t] = pos;
+            let (col, lane) = self.place(t, &digits);
+            digits[t] = x_t;
+            col_codes[col][lane] = code;
+        }
+        let shard_count = vpus.len();
+        for (col, codes) in col_codes.iter().enumerate() {
+            let vpu = &mut vpus[col % shard_count];
+            let column: Vec<u64> = codes
+                .iter()
+                .map(|&c| if c == UNUSED { 0 } else { state[c] })
+                .collect();
+            vpu.load(0, &column)?;
+            match direction {
+                Direction::Forward => small.run_forward(vpu, 0)?,
+                Direction::Inverse => small.run_inverse(vpu, 0)?,
+            }
+            let out = vpu.store(0)?;
+            // Forward: position p now holds X[brv(p)]; the code at lane
+            // (grp·d + p) had digit i_t = p, so the transformed value with
+            // k_t = brv(p) belongs to code with digit brv(p).
+            for (lane, &code) in codes.iter().enumerate() {
+                if code == UNUSED {
+                    continue;
+                }
+                let grp_pos = lane % d_t;
+                let mut digits = self.digits(code);
+                match direction {
+                    Direction::Forward => {
+                        digits[t] = bit_reverse(grp_pos, log2_exact(d_t));
+                    }
+                    Direction::Inverse => {
+                        digits[t] = grp_pos;
+                    }
+                }
+                let target = self.pack(&digits);
+                state[target] = out[lane];
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the forward **cyclic** transform: output `X[k] = Σ_i
+    /// a[i]·ω^{ik}` in natural order.
+    ///
+    /// # Errors
+    ///
+    /// Length/lane/modulus mismatches, or register errors.
+    pub fn execute_forward(&self, vpu: &mut Vpu, input: &[u64]) -> Result<NttExecution, CoreError> {
+        self.execute(vpu, input, Direction::Forward, false)
+    }
+
+    /// Executes the inverse cyclic transform (natural-order spectrum in,
+    /// natural-order sequence out).
+    ///
+    /// # Errors
+    ///
+    /// Length/lane/modulus mismatches, or register errors.
+    pub fn execute_inverse(&self, vpu: &mut Vpu, input: &[u64]) -> Result<NttExecution, CoreError> {
+        self.execute(vpu, input, Direction::Inverse, false)
+    }
+
+    /// Executes the forward **negacyclic** transform (the FHE NTT over
+    /// `Z_q[X]/(X^N+1)`): a ψ-twist followed by the cyclic pipeline.
+    /// Output: `X[k] = a(ψ^{2k+1})` in natural order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_forward`], plus a missing `2N`-th root.
+    pub fn execute_forward_negacyclic(
+        &self,
+        vpu: &mut Vpu,
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
+        self.execute(vpu, input, Direction::Forward, true)
+    }
+
+    /// Executes the inverse negacyclic transform.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_inverse`], plus a missing `2N`-th root.
+    pub fn execute_inverse_negacyclic(
+        &self,
+        vpu: &mut Vpu,
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
+        self.execute(vpu, input, Direction::Inverse, true)
+    }
+
+    /// Executes the forward negacyclic transform **sharded across
+    /// multiple VPUs** (paper §IV: "it is easy to extend the mapping to
+    /// multiple VPUs for parallel execution"). Columns are assigned
+    /// round-robin — within a dimension every column's small NTT is
+    /// independent, so the shards only meet at the transposes.
+    ///
+    /// The returned aggregate stats equal the single-VPU run's; the
+    /// per-shard distribution (and hence the parallel makespan) is read
+    /// from each VPU's own counters.
+    ///
+    /// # Errors
+    ///
+    /// Empty shard set, or any shard with mismatched lanes/modulus.
+    pub fn execute_forward_negacyclic_sharded(
+        &self,
+        vpus: &mut [Vpu],
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
+        self.execute_on(vpus, input, Direction::Forward, true)
+    }
+
+    /// Sharded inverse negacyclic transform (see
+    /// [`Self::execute_forward_negacyclic_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Empty shard set, or any shard with mismatched lanes/modulus.
+    pub fn execute_inverse_negacyclic_sharded(
+        &self,
+        vpus: &mut [Vpu],
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
+        self.execute_on(vpus, input, Direction::Inverse, true)
+    }
+
+    /// The ideal compute beats for this transform (all lanes busy every
+    /// cycle): the denominator's baseline for paper Table III.
+    #[must_use]
+    pub fn ideal_compute_beats(&self, negacyclic: bool) -> u64 {
+        let cols = (self.n / self.m) as u64;
+        let butterfly: u64 = self.dims.iter().map(|&d| log2_exact(d) as u64).sum::<u64>() * cols;
+        let twiddle = (self.dims.len() as u64 - 1) * cols;
+        let twist = if negacyclic { cols } else { 0 };
+        butterfly + twiddle + twist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_math::ntt::{naive_cyclic_dft, NttTable};
+    use uvpu_math::primes::ntt_prime;
+
+    fn modulus_for(n: usize) -> Modulus {
+        Modulus::new(ntt_prime(30, n.max(8)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn small_ntt_forward_is_bit_reversed_dft() {
+        for len in [2usize, 4, 8, 16, 32, 64] {
+            let q = modulus_for(len);
+            let ntt = SmallNtt::new(q, len).unwrap();
+            let mut vpu = Vpu::new(len, q, 4).unwrap();
+            let data: Vec<u64> = (0..len as u64).map(|i| q.reduce_u64(i * 7 + 3)).collect();
+            vpu.load(0, &data).unwrap();
+            ntt.run_forward(&mut vpu, 0).unwrap();
+            let got = vpu.store(0).unwrap();
+            let expect = naive_cyclic_dft(&data, ntt.omega(), &q);
+            let bits = log2_exact(len);
+            for p in 0..len {
+                assert_eq!(got[p], expect[bit_reverse(p, bits)], "len={len} p={p}");
+            }
+            assert_eq!(vpu.stats().butterfly, bits as u64);
+        }
+    }
+
+    #[test]
+    fn small_ntt_groups_run_in_parallel() {
+        // Two independent length-4 NTTs on an 8-lane VPU.
+        let q = modulus_for(8);
+        let ntt = SmallNtt::new(q, 4).unwrap();
+        let mut vpu = Vpu::new(8, q, 4).unwrap();
+        let a: Vec<u64> = vec![1, 2, 3, 4];
+        let b: Vec<u64> = vec![9, 8, 7, 6];
+        let mut data = a.clone();
+        data.extend_from_slice(&b);
+        vpu.load(0, &data).unwrap();
+        ntt.run_forward(&mut vpu, 0).unwrap();
+        let got = vpu.store(0).unwrap();
+        let ea = naive_cyclic_dft(&a, ntt.omega(), &q);
+        let eb = naive_cyclic_dft(&b, ntt.omega(), &q);
+        for p in 0..4 {
+            assert_eq!(got[p], ea[bit_reverse(p, 2)]);
+            assert_eq!(got[4 + p], eb[bit_reverse(p, 2)]);
+        }
+    }
+
+    #[test]
+    fn small_ntt_round_trip() {
+        let q = modulus_for(16);
+        let ntt = SmallNtt::new(q, 16).unwrap();
+        let mut vpu = Vpu::new(16, q, 4).unwrap();
+        let data: Vec<u64> = (0..16u64).map(|i| q.reduce_u64(i * i + 1)).collect();
+        vpu.load(0, &data).unwrap();
+        ntt.run_forward(&mut vpu, 0).unwrap();
+        ntt.run_inverse(&mut vpu, 0).unwrap();
+        assert_eq!(vpu.store(0).unwrap(), data);
+    }
+
+    #[test]
+    fn plan_dimension_selection() {
+        let q = modulus_for(1 << 12);
+        assert_eq!(NttPlan::new(q, 1 << 12, 64).unwrap().dims(), &[64, 64]);
+        assert_eq!(NttPlan::new(q, 1 << 10, 64).unwrap().dims(), &[64, 16]);
+        assert_eq!(NttPlan::new(q, 1 << 7, 64).unwrap().dims(), &[64, 2]);
+        assert_eq!(NttPlan::new(q, 32, 64).unwrap().dims(), &[32]);
+        assert!(NttPlan::new(q, 100, 64).is_err());
+    }
+
+    #[test]
+    fn multidim_forward_matches_naive_dft() {
+        for (n, m) in [(64usize, 8usize), (256, 16), (128, 16), (512, 8), (64, 64)] {
+            let q = modulus_for(n);
+            let plan = NttPlan::new(q, n, m).unwrap();
+            let mut vpu = Vpu::new(m, q, 8).unwrap();
+            let data: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 13 + 5)).collect();
+            let got = plan.execute_forward(&mut vpu, &data).unwrap();
+            let expect = naive_cyclic_dft(&data, plan.omega(), &q);
+            assert_eq!(got.output, expect, "n={n} m={m} dims={:?}", plan.dims());
+        }
+    }
+
+    #[test]
+    fn multidim_round_trip() {
+        let q = modulus_for(256);
+        let plan = NttPlan::new(q, 256, 16).unwrap();
+        let mut vpu = Vpu::new(16, q, 8).unwrap();
+        let data: Vec<u64> = (0..256u64).map(|i| q.reduce_u64(i * 3 + 11)).collect();
+        let fwd = plan.execute_forward(&mut vpu, &data).unwrap();
+        let back = plan.execute_inverse(&mut vpu, &fwd.output).unwrap();
+        assert_eq!(back.output, data);
+    }
+
+    #[test]
+    fn negacyclic_matches_table_convolution() {
+        // Pointwise products in the VPU's negacyclic domain must give the
+        // same polynomial product as the golden-model NttTable.
+        let n = 128;
+        let m = 16;
+        let q = modulus_for(n);
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 2)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(3 * i + 1)).collect();
+
+        let fa = plan.execute_forward_negacyclic(&mut vpu, &a).unwrap().output;
+        let fb = plan.execute_forward_negacyclic(&mut vpu, &b).unwrap().output;
+        let prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        let got = plan.execute_inverse_negacyclic(&mut vpu, &prod).unwrap().output;
+
+        let expect = uvpu_math::ntt::naive_negacyclic_mul(&a, &b, &q);
+        assert_eq!(got, expect);
+        // And the forward values agree with the golden table as a set.
+        let mut ref_vals = a.clone();
+        table.forward_inplace(&mut ref_vals);
+        let mut x = fa.clone();
+        let mut y = ref_vals.clone();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+    }
+
+
+
+
+    #[test]
+    fn compiled_ntt_programs_match_direct_execution() {
+        let q = modulus_for(16);
+        let ntt = SmallNtt::new(q, 16).unwrap();
+        let data: Vec<u64> = (0..16u64).map(|i| q.reduce_u64(i * 3 + 2)).collect();
+
+        // Direct API path.
+        let mut direct = Vpu::new(16, q, 4).unwrap();
+        direct.load(0, &data).unwrap();
+        ntt.run_forward(&mut direct, 0).unwrap();
+
+        // Compiled-program path.
+        let mut compiled = Vpu::new(16, q, 4).unwrap();
+        compiled.load(0, &data).unwrap();
+        let prog = ntt.forward_program(0, 16);
+        assert_eq!(prog.instrs.len(), 4, "one instruction per stage");
+        let stats = prog.execute(&mut compiled).unwrap();
+        assert_eq!(compiled.store(0).unwrap(), direct.store(0).unwrap());
+        assert_eq!(stats.butterfly, 4);
+
+        // The compiled inverse round-trips, and survives a disassembly
+        // round trip too.
+        let inv = ntt.inverse_program(0, 16);
+        let reparsed = crate::isa::Program::parse(&inv.disassemble()).unwrap();
+        reparsed.execute(&mut compiled).unwrap();
+        assert_eq!(compiled.store(0).unwrap(), data);
+    }
+
+    #[test]
+    fn transform_shorter_than_vpu_uses_one_partial_column() {
+        // n < m: one column, lanes n..m idle, still bit-exact.
+        let q = modulus_for(64);
+        let plan = NttPlan::new(q, 32, 64).unwrap();
+        assert_eq!(plan.dims(), &[32]);
+        let mut vpu = Vpu::new(64, q, 8).unwrap();
+        let data: Vec<u64> = (0..32u64).map(|i| q.reduce_u64(i * 5 + 1)).collect();
+        let fwd = plan.execute_forward(&mut vpu, &data).unwrap();
+        assert_eq!(fwd.output, naive_cyclic_dft(&data, plan.omega(), &q));
+        let back = plan.execute_inverse(&mut vpu, &fwd.output).unwrap();
+        assert_eq!(back.output, data);
+        // One column, log2(32) butterfly beats forward.
+        assert_eq!(fwd.stats.butterfly, 5);
+    }
+
+    #[test]
+    fn sharded_execution_matches_single_vpu() {
+        let n = 1 << 10;
+        let m = 64;
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 9 + 2)).collect();
+
+        let mut single = Vpu::new(m, q, 8).unwrap();
+        let solo = plan.execute_forward_negacyclic(&mut single, &data).unwrap();
+
+        let mut shard_vec: Vec<Vpu> = (0..4).map(|_| Vpu::new(m, q, 8).unwrap()).collect();
+        let sharded = plan
+            .execute_forward_negacyclic_sharded(&mut shard_vec, &data)
+            .unwrap();
+        assert_eq!(sharded.output, solo.output, "sharding is functionally invisible");
+        assert_eq!(sharded.stats, solo.stats, "total work is conserved");
+
+        // The parallel makespan is the max shard load: near total/4.
+        let loads: Vec<u64> = shard_vec.iter().map(|v| v.stats().total()).collect();
+        let makespan = *loads.iter().max().unwrap();
+        assert!(makespan * 4 <= solo.stats.total() + 4 * 16, "balanced: {loads:?}");
+        assert!(makespan >= solo.stats.total() / 4);
+
+        // Round trip through the sharded inverse.
+        let back = plan
+            .execute_inverse_negacyclic_sharded(&mut shard_vec, &sharded.output)
+            .unwrap();
+        assert_eq!(back.output, data);
+    }
+
+    #[test]
+    fn sharded_rejects_bad_shard_sets() {
+        let n = 256;
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, 16).unwrap();
+        let data = vec![0u64; n];
+        let mut none: Vec<Vpu> = Vec::new();
+        assert!(plan
+            .execute_forward_negacyclic_sharded(&mut none, &data)
+            .is_err());
+        let mut mixed = vec![
+            Vpu::new(16, q, 8).unwrap(),
+            Vpu::new(8, q, 8).unwrap(),
+        ];
+        assert!(plan
+            .execute_forward_negacyclic_sharded(&mut mixed, &data)
+            .is_err());
+    }
+
+    #[test]
+    fn utilization_shape_matches_table3() {
+        // m = 64: utilization dips when a new dimension appears (after
+        // 2^12 and 2^18) and when the trailing dimension is short.
+        let m = 64;
+        let mut utils = Vec::new();
+        for log_n in [10u32, 12, 14, 16, 18] {
+            let n = 1usize << log_n;
+            let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+            let plan = NttPlan::new(q, n, m).unwrap();
+            let mut vpu = Vpu::new(m, q, 8).unwrap();
+            let data: Vec<u64> = (0..n as u64).collect();
+            let run = plan.execute_forward_negacyclic(&mut vpu, &data).unwrap();
+            utils.push(run.stats.utilization());
+        }
+        let (u10, u12, u14, u16, u18) = (utils[0], utils[1], utils[2], utils[3], utils[4]);
+        assert!(u12 > u10, "2^12 (square) beats 2^10 (short dim): {utils:?}");
+        assert!(u14 < u12, "extra dimension at 2^14 hurts: {utils:?}");
+        assert!(u16 > u14 && u18 > u16, "recovering as the tail grows: {utils:?}");
+        for u in &utils {
+            assert!(*u > 0.6 && *u < 0.95, "within the paper's ballpark: {utils:?}");
+        }
+    }
+
+    #[test]
+    fn stats_are_deterministic_and_scale() {
+        let q = modulus_for(1 << 12);
+        let plan = NttPlan::new(q, 1 << 12, 64).unwrap();
+        let mut vpu = Vpu::new(64, q, 8).unwrap();
+        let data: Vec<u64> = (0..1u64 << 12).collect();
+        let r1 = plan.execute_forward(&mut vpu, &data).unwrap();
+        let r2 = plan.execute_forward(&mut vpu, &data).unwrap();
+        assert_eq!(r1.stats, r2.stats);
+        // 2 dims of 64: butterflies = 12 stages × 64 columns.
+        assert_eq!(r1.stats.butterfly, 12 * 64);
+        // One twiddle pass between the dims.
+        assert_eq!(r1.stats.elementwise, 64);
+        // One regular transpose: 2 moves per column.
+        assert_eq!(r1.stats.network_move, 2 * 64);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cycle accounting for the VPU simulator.
+//!
+//! Every vector operation — a traversal of the inter-lane network, a lane
+//! compute step, or both back-to-back in the same pipeline beat — costs
+//! one cycle. Utilization (paper Table III) is the fraction of cycles in
+//! which the modular arithmetic logic performs useful work.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Cycle counters broken down by what the lanes were doing.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::stats::CycleStats;
+///
+/// let mut stats = CycleStats::default();
+/// stats.butterfly += 6;
+/// stats.network_move += 2;
+/// assert_eq!(stats.total(), 8);
+/// assert!((stats.utilization() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Cycles spent on butterfly operations (paired-lane NTT compute).
+    pub butterfly: u64,
+    /// Cycles spent on element-wise modular arithmetic (twiddle scaling,
+    /// Hadamard products, additions).
+    pub elementwise: u64,
+    /// Cycles in which data only traversed the inter-lane network
+    /// (transposes, automorphism passes, reductions' shift half) with the
+    /// arithmetic units idle.
+    pub network_move: u64,
+}
+
+impl CycleStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cycles in which the modular arithmetic logic did useful work.
+    #[must_use]
+    pub fn compute(&self) -> u64 {
+        self.butterfly + self.elementwise
+    }
+
+    /// Total cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.butterfly + self.elementwise + self.network_move
+    }
+
+    /// Throughput utilization: compute cycles over total cycles (the
+    /// metric of paper Table III). An empty run counts as fully utilized.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.compute() as f64 / total as f64
+        }
+    }
+}
+
+impl Add for CycleStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            butterfly: self.butterfly + rhs.butterfly,
+            elementwise: self.elementwise + rhs.elementwise,
+            network_move: self.network_move + rhs.network_move,
+        }
+    }
+}
+
+impl AddAssign for CycleStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles (butterfly {}, elementwise {}, move {}; {:.2}% utilized)",
+            self.total(),
+            self.butterfly,
+            self.elementwise,
+            self.network_move,
+            100.0 * self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_fully_utilized() {
+        assert_eq!(CycleStats::new().utilization(), 1.0);
+        assert_eq!(CycleStats::new().total(), 0);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let s = CycleStats {
+            butterfly: 60,
+            elementwise: 20,
+            network_move: 20,
+        };
+        assert_eq!(s.compute(), 80);
+        assert_eq!(s.total(), 100);
+        assert!((s.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = CycleStats {
+            butterfly: 1,
+            elementwise: 2,
+            network_move: 3,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.total(), 12);
+    }
+
+    #[test]
+    fn display_mentions_utilization() {
+        let s = CycleStats {
+            butterfly: 3,
+            elementwise: 0,
+            network_move: 1,
+        };
+        let text = s.to_string();
+        assert!(text.contains("75.00%"), "got: {text}");
+    }
+}

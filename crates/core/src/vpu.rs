@@ -1,0 +1,466 @@
+//! The unified vector processing unit (paper Fig 1(b)): `m` computing
+//! lanes joined by the inter-lane network, with cycle accounting.
+//!
+//! Every public operation models one pipeline beat: a traversal of the
+//! network, a lane compute step, or both back-to-back (the network output
+//! feeds the paired-lane butterflies directly, so a constant-geometry
+//! route plus its butterfly is a single beat).
+
+use crate::control::{AutomorphismControlTable, ShiftControls};
+use crate::lane::{ButterflyKind, LaneArray};
+use crate::network::{CgDirection, InterLaneNetwork, NetworkPass};
+use crate::stats::CycleStats;
+use crate::CoreError;
+use uvpu_math::modular::Modulus;
+
+/// One stage of a Pease constant-geometry NTT running on the VPU.
+#[derive(Debug, Clone)]
+pub enum PeaseStage<'a> {
+    /// Forward (DIF) stage: CG shuffle route, then DIF butterflies on the
+    /// now-adjacent operand pairs.
+    Forward {
+        /// Twiddle per adjacent pair (`m/2` values).
+        twiddles: &'a [u64],
+    },
+    /// Inverse (DIT) stage: DIT butterflies on adjacent pairs, then the CG
+    /// unshuffle route spreads results back out.
+    Inverse {
+        /// Twiddle per adjacent pair (`m/2` values).
+        twiddles: &'a [u64],
+    },
+}
+
+/// An `m`-lane vector processing unit.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::vpu::Vpu;
+/// use uvpu_math::modular::Modulus;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Modulus::new(97)?;
+/// let mut vpu = Vpu::new(8, q, 16)?;
+/// vpu.load(0, &[1, 2, 3, 4, 5, 6, 7, 8])?;
+/// vpu.load(1, &[1; 8])?;
+/// vpu.ewise_add(2, 0, 1)?;
+/// assert_eq!(vpu.store(2)?, vec![2, 3, 4, 5, 6, 7, 8, 9]);
+/// assert_eq!(vpu.stats().elementwise, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vpu {
+    regs: LaneArray,
+    network: InterLaneNetwork,
+    control_table: AutomorphismControlTable,
+    stats: CycleStats,
+}
+
+impl Vpu {
+    /// Creates a VPU with `m` lanes and a register file of `depth` entries.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidLaneCount`] unless `m` is a power of two ≥ 2.
+    pub fn new(m: usize, modulus: Modulus, depth: usize) -> Result<Self, CoreError> {
+        Ok(Self {
+            regs: LaneArray::new(m, modulus, depth)?,
+            network: InterLaneNetwork::new(m)?,
+            control_table: AutomorphismControlTable::new(m)?,
+            stats: CycleStats::new(),
+        })
+    }
+
+    /// Lane count `m`.
+    #[must_use]
+    pub const fn lanes(&self) -> usize {
+        self.regs.lanes()
+    }
+
+    /// The lanes' modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.regs.modulus()
+    }
+
+    /// The inter-lane network.
+    #[must_use]
+    pub const fn network(&self) -> &InterLaneNetwork {
+        &self.network
+    }
+
+    /// The precomputed automorphism control SRAM.
+    #[must_use]
+    pub const fn control_table(&self) -> &AutomorphismControlTable {
+        &self.control_table
+    }
+
+    /// Cycle counters accumulated so far.
+    #[must_use]
+    pub const fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    /// Resets the cycle counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CycleStats::new();
+    }
+
+    /// Charges network-movement beats performed by an operation-mapping
+    /// planner that rearranges data with routing proven equivalent to
+    /// shift/CG traversals (see `ntt_map::NttPlan`, whose transposes follow
+    /// the Fig 3 pass counts while the mechanics are validated separately
+    /// in the `transpose` module).
+    pub fn charge_network_moves(&mut self, beats: u64) {
+        self.stats.network_move += beats;
+    }
+
+    /// Grows the register file to at least `depth` entries.
+    pub fn ensure_depth(&mut self, depth: usize) {
+        self.regs.ensure_depth(depth);
+    }
+
+    /// Loads a vector into a register (models the SRAM→VPU interface; not
+    /// charged to the compute pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Bad address or wrong vector length.
+    pub fn load(&mut self, addr: usize, data: &[u64]) -> Result<(), CoreError> {
+        let reduced: Vec<u64> = data
+            .iter()
+            .map(|&x| self.regs.modulus().reduce_u64(x))
+            .collect();
+        self.regs.write(addr, &reduced)
+    }
+
+    /// Reads a register back out (models the VPU→SRAM interface).
+    ///
+    /// # Errors
+    ///
+    /// Bad address.
+    pub fn store(&self, addr: usize) -> Result<Vec<u64>, CoreError> {
+        Ok(self.regs.read(addr)?.to_vec())
+    }
+
+    /// `dst ← a + b` (one element-wise beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_add(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.regs.ewise_add(dst, a, b)?;
+        self.stats.elementwise += 1;
+        Ok(())
+    }
+
+    /// `dst ← a − b` (one element-wise beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_sub(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.regs.ewise_sub(dst, a, b)?;
+        self.stats.elementwise += 1;
+        Ok(())
+    }
+
+    /// `dst ← a · b` (one element-wise beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_mul(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.regs.ewise_mul(dst, a, b)?;
+        self.stats.elementwise += 1;
+        Ok(())
+    }
+
+    /// `dst ← dst + a · b` (one element-wise beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn ewise_mac(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
+        self.regs.ewise_mac(dst, a, b)?;
+        self.stats.elementwise += 1;
+        Ok(())
+    }
+
+    /// `dst ← src · consts` against an immediate twiddle vector (one
+    /// element-wise beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address or wrong constant-vector length.
+    pub fn ewise_mul_const(
+        &mut self,
+        dst: usize,
+        src: usize,
+        consts: &[u64],
+    ) -> Result<(), CoreError> {
+        self.regs.ewise_mul_const(dst, src, consts)?;
+        self.stats.elementwise += 1;
+        Ok(())
+    }
+
+    /// Routes `src` through the network into `dst` (one network-only beat,
+    /// arithmetic units idle).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn route(&mut self, dst: usize, src: usize, pass: &NetworkPass) -> Result<(), CoreError> {
+        let data = self.regs.read(src)?.to_vec();
+        let out = self.network.traverse(&data, pass);
+        self.regs.write(dst, &out)?;
+        self.stats.network_move += 1;
+        Ok(())
+    }
+
+    /// Routes `src` through the shift network and scatters the result with
+    /// per-lane write addressing — the diagonal store of Fig 3(a)'s first
+    /// transpose step (one network-only beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn route_scatter(
+        &mut self,
+        src: usize,
+        pass: &NetworkPass,
+        addrs: &[usize],
+    ) -> Result<(), CoreError> {
+        let data = self.regs.read(src)?.to_vec();
+        let out = self.network.traverse(&data, pass);
+        self.regs.write_per_lane(addrs, &out)?;
+        self.stats.network_move += 1;
+        Ok(())
+    }
+
+    /// Gathers per-lane-addressed registers, routes through the network,
+    /// and writes to `dst` — Fig 3(a)'s second transpose step (one
+    /// network-only beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn gather_route(
+        &mut self,
+        dst: usize,
+        addrs: &[usize],
+        pass: &NetworkPass,
+    ) -> Result<(), CoreError> {
+        let data = self.regs.read_per_lane(addrs)?;
+        let out = self.network.traverse(&data, pass);
+        self.regs.write(dst, &out)?;
+        self.stats.network_move += 1;
+        Ok(())
+    }
+
+    /// Uniform cyclic rotation of a register by `t` lanes (one
+    /// network-only beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address.
+    pub fn rotate(&mut self, dst: usize, src: usize, t: u64) -> Result<(), CoreError> {
+        let controls = ShiftControls::from_rotation(self.lanes(), t);
+        self.route(dst, src, &NetworkPass::shift(controls))
+    }
+
+    /// Applies a merged automorphism-plus-shift `i ↦ i·g + t mod m` to a
+    /// register in a **single** network traversal, via the control SRAM —
+    /// the paper's §IV-B guarantee (one network-only beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address, or even `g`.
+    pub fn automorphism_pass(
+        &mut self,
+        dst: usize,
+        src: usize,
+        g: u64,
+        t: u64,
+    ) -> Result<(), CoreError> {
+        let controls = self.control_table.merged(g, t)?;
+        self.route(dst, src, &NetworkPass::shift(controls))
+    }
+
+    /// Executes one Pease constant-geometry NTT stage in a single beat:
+    /// the appropriate CG route plus the paired-lane butterflies. With
+    /// `group < m`, the network splits into `m/group` independent blocks
+    /// (several shorter NTTs in parallel, §IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address or twiddle-vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is not a power of two in `[2, m]`.
+    pub fn pease_stage(
+        &mut self,
+        addr: usize,
+        stage: &PeaseStage<'_>,
+        group: usize,
+    ) -> Result<(), CoreError> {
+        match stage {
+            PeaseStage::Forward { twiddles } => {
+                let data = self.regs.read(addr)?.to_vec();
+                let routed = self.network.cg_pass_grouped(&data, CgDirection::Dif, group);
+                self.regs.write(addr, &routed)?;
+                self.regs
+                    .butterfly_adjacent(addr, ButterflyKind::Dif, twiddles)?;
+            }
+            PeaseStage::Inverse { twiddles } => {
+                self.regs
+                    .butterfly_adjacent(addr, ButterflyKind::Dit, twiddles)?;
+                let data = self.regs.read(addr)?.to_vec();
+                let routed = self.network.cg_pass_grouped(&data, CgDirection::Dit, group);
+                self.regs.write(addr, &routed)?;
+            }
+        }
+        self.stats.butterfly += 1;
+        Ok(())
+    }
+
+    /// Cross-lane sum reduction: `log₂ m` rotate-and-add beats leave the
+    /// total of register `src` broadcast in every lane of `dst` — the
+    /// matrix/tensor-multiplication reduction of §III-A, built from the
+    /// shift stages plus the lane adders (compute active every beat).
+    ///
+    /// # Errors
+    ///
+    /// Bad register address (needs `scratch ≠ src`).
+    pub fn reduce_sum(&mut self, dst: usize, src: usize, scratch: usize) -> Result<(), CoreError> {
+        let m = self.lanes();
+        if dst != src {
+            let data = self.regs.read(src)?.to_vec();
+            self.regs.write(dst, &data)?;
+        }
+        let mut d = m / 2;
+        while d >= 1 {
+            let controls = ShiftControls::from_rotation(m, d as u64);
+            let data = self.regs.read(dst)?.to_vec();
+            let rotated = self.network.shift_pass(&data, &controls);
+            self.regs.write(scratch, &rotated)?;
+            self.regs.ewise_add(dst, dst, scratch)?;
+            // Rotate-and-add is one fused beat: the adder consumes the
+            // network output directly.
+            self.stats.elementwise += 1;
+            if d == 1 {
+                break;
+            }
+            d /= 2;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vpu() -> Vpu {
+        Vpu::new(8, Modulus::new(97).unwrap(), 32).unwrap()
+    }
+
+    #[test]
+    fn load_reduces_inputs() {
+        let mut v = vpu();
+        v.load(0, &[100, 97, 98, 0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(v.store(0).unwrap(), vec![3, 0, 1, 0, 1, 2, 3, 4]);
+        assert_eq!(v.stats().total(), 0, "loads are not pipeline beats");
+    }
+
+    #[test]
+    fn cycle_accounting_by_category() {
+        let mut v = vpu();
+        v.load(0, &[1; 8]).unwrap();
+        v.load(1, &[2; 8]).unwrap();
+        v.ewise_add(2, 0, 1).unwrap();
+        v.ewise_mul(3, 0, 1).unwrap();
+        v.rotate(4, 3, 1).unwrap();
+        assert_eq!(v.stats().elementwise, 2);
+        assert_eq!(v.stats().network_move, 1);
+        assert_eq!(v.stats().butterfly, 0);
+    }
+
+    #[test]
+    fn rotate_moves_lanes() {
+        let mut v = vpu();
+        v.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        v.rotate(1, 0, 3).unwrap();
+        assert_eq!(v.store(1).unwrap(), vec![6, 7, 8, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn automorphism_pass_matches_index_map() {
+        let mut v = vpu();
+        let data: Vec<u64> = (0..8).collect();
+        v.load(0, &data).unwrap();
+        for g in [1u64, 3, 5, 7] {
+            for t in [0u64, 2, 5] {
+                v.automorphism_pass(1, 0, g, t).unwrap();
+                let map = uvpu_math::automorphism::AffineMap::new(8, g, t).unwrap();
+                assert_eq!(v.store(1).unwrap(), map.permute(&data), "g={g} t={t}");
+            }
+        }
+        assert!(v.automorphism_pass(1, 0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn automorphism_is_single_traversal() {
+        let mut v = vpu();
+        v.load(0, &[0; 8]).unwrap();
+        v.automorphism_pass(1, 0, 5, 3).unwrap();
+        assert_eq!(v.stats().network_move, 1, "exactly one network pass");
+    }
+
+    #[test]
+    fn reduce_sum_broadcasts_total() {
+        let mut v = vpu();
+        v.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        v.reduce_sum(1, 0, 2).unwrap();
+        assert_eq!(v.store(1).unwrap(), vec![36; 8]);
+        assert_eq!(v.stats().elementwise, 3, "log2(8) fused beats");
+        assert_eq!(v.stats().network_move, 0, "rotate+add beats count as compute");
+    }
+
+    #[test]
+    fn pease_forward_then_inverse_round_trip() {
+        // One forward stage then its inverse (with inverse twiddles and a
+        // halving) restores the data: checks the route/butterfly pairing.
+        let q = Modulus::new(97).unwrap();
+        let mut v = Vpu::new(8, q, 8).unwrap();
+        let data: Vec<u64> = (10..18).collect();
+        v.load(0, &data).unwrap();
+        let tw = [5u64, 7, 11, 13];
+        let tw_inv: Vec<u64> = tw.iter().map(|&w| q.inv(w).unwrap()).collect();
+        v.pease_stage(0, &PeaseStage::Forward { twiddles: &tw }, 8)
+            .unwrap();
+        v.pease_stage(0, &PeaseStage::Inverse { twiddles: &tw_inv }, 8)
+            .unwrap();
+        let half = q.inv(2).unwrap();
+        let got = v.store(0).unwrap();
+        for (x, orig) in got.iter().zip(&data) {
+            assert_eq!(q.mul(*x, half), *orig);
+        }
+        assert_eq!(v.stats().butterfly, 2);
+    }
+
+    #[test]
+    fn scatter_gather_round_trip() {
+        let mut v = vpu();
+        v.ensure_depth(16);
+        let data: Vec<u64> = (20..28).collect();
+        v.load(0, &data).unwrap();
+        let addrs: Vec<usize> = (8..16).collect();
+        v.route_scatter(0, &NetworkPass::default(), &addrs).unwrap();
+        v.gather_route(1, &addrs, &NetworkPass::default()).unwrap();
+        assert_eq!(v.store(1).unwrap(), data);
+        assert_eq!(v.stats().network_move, 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Calibrated analytical area/power models for the `uvpu` evaluation
+//! (paper §V-B and §V-D).
+//!
+//! The paper synthesizes its Verilog with the ASAP7 7 nm library and
+//! compares five approaches to FHE's irregular permutations, all ported
+//! onto the same 64-lane VPU. This crate reproduces that evaluation with
+//! a structural cost model:
+//!
+//! - [`tech`]: unit costs per primitive (MUX bit, SRAM bit, crosspoint,
+//!   lane), calibrated once against the paper's own published synthesis
+//!   numbers (Table IV "Ours" + the F1 SRAM row) and then frozen;
+//! - [`designs`]: the primitive counts of Ours / F1 / BTS / ARK / SHARP
+//!   and their resulting network and full-VPU area/power;
+//! - [`tables`]: typed rows regenerating the paper's Tables I, II and IV;
+//! - [`chip`]: the full Fig 1(a) accelerator roll-up (VPUs + SRAM + NoC).
+//!
+//! # Example
+//!
+//! ```
+//! use uvpu_hw_model::designs::{DesignKind, DesignModel};
+//! use uvpu_hw_model::tech::TechParams;
+//!
+//! let tech = TechParams::asap7();
+//! let ours = DesignModel::new(DesignKind::Ours, 64);
+//! println!(
+//!     "network: {:.2} µm², {:.2} mW; VPU: {:.2} µm²",
+//!     ours.network_area(&tech),
+//!     ours.network_power(&tech),
+//!     ours.vpu_area(&tech),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod designs;
+pub mod tables;
+pub mod tech;

@@ -1,0 +1,157 @@
+//! Typed generators for the paper's evaluation tables.
+//!
+//! Each function returns the rows of one table, computed from the
+//! structural models — the `uvpu-bench` binaries print them in the
+//! paper's format and EXPERIMENTS.md records measured-vs-published.
+
+use crate::designs::{DesignKind, DesignModel};
+use crate::tech::TechParams;
+
+/// One row of the paper's Table I (qualitative comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Design name.
+    pub design: &'static str,
+    /// How the design transposes data inside NTTs.
+    pub transpose_in_ntt: &'static str,
+    /// How the design performs automorphism.
+    pub automorphism: &'static str,
+}
+
+/// The rows of Table I, in the paper's order.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    DesignKind::ALL
+        .iter()
+        .map(|k| Table1Row {
+            design: k.name(),
+            transpose_in_ntt: k.ntt_approach(),
+            automorphism: k.automorphism_approach(),
+        })
+        .collect()
+}
+
+/// One row of the paper's Table II (area/power comparison at 64 lanes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Design name.
+    pub design: &'static str,
+    /// Permutation-network area (µm²).
+    pub network_area_um2: f64,
+    /// Network area relative to Ours.
+    pub network_area_ratio: f64,
+    /// Full-VPU area (µm²).
+    pub vpu_area_um2: f64,
+    /// VPU area relative to Ours.
+    pub vpu_area_ratio: f64,
+    /// Network power (mW).
+    pub network_power_mw: f64,
+    /// Network power relative to Ours.
+    pub network_power_ratio: f64,
+    /// Full-VPU power (mW).
+    pub vpu_power_mw: f64,
+    /// VPU power relative to Ours.
+    pub vpu_power_ratio: f64,
+}
+
+/// The rows of Table II for a given lane count (the paper uses `m = 64`).
+#[must_use]
+pub fn table2(tech: &TechParams, m: usize) -> Vec<Table2Row> {
+    let ours = DesignModel::new(DesignKind::Ours, m);
+    let (na0, va0) = (ours.network_area(tech), ours.vpu_area(tech));
+    let (np0, vp0) = (ours.network_power(tech), ours.vpu_power(tech));
+    DesignKind::ALL
+        .iter()
+        .map(|&k| {
+            let d = DesignModel::new(k, m);
+            Table2Row {
+                design: k.name(),
+                network_area_um2: d.network_area(tech),
+                network_area_ratio: d.network_area(tech) / na0,
+                vpu_area_um2: d.vpu_area(tech),
+                vpu_area_ratio: d.vpu_area(tech) / va0,
+                network_power_mw: d.network_power(tech),
+                network_power_ratio: d.network_power(tech) / np0,
+                vpu_power_mw: d.vpu_power(tech),
+                vpu_power_ratio: d.vpu_power(tech) / vp0,
+            }
+        })
+        .collect()
+}
+
+/// One row of the paper's Table IV (scalability of our network).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Lane count.
+    pub lanes: usize,
+    /// Network area (µm²).
+    pub area_um2: f64,
+    /// Network power (mW).
+    pub power_mw: f64,
+}
+
+/// The rows of Table IV (`m = 4 … 256`).
+#[must_use]
+pub fn table4(tech: &TechParams) -> Vec<Table4Row> {
+    [4usize, 8, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|&m| {
+            let d = DesignModel::new(DesignKind::Ours, m);
+            Table4Row {
+                lanes: m,
+                area_um2: d.network_area(tech),
+                power_mw: d.network_power(tech),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows_ending_with_ours() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].design, "F1");
+        assert_eq!(t[4].design, "Ours");
+        assert_eq!(t[4].transpose_in_ntt, t[4].automorphism, "unified network");
+    }
+
+    #[test]
+    fn table2_ratios_normalize_to_ours() {
+        let rows = table2(&TechParams::asap7(), 64);
+        let ours = rows.last().unwrap();
+        assert_eq!(ours.design, "Ours");
+        assert!((ours.network_area_ratio - 1.0).abs() < 1e-12);
+        assert!((ours.vpu_power_ratio - 1.0).abs() < 1e-12);
+        for r in &rows[..4] {
+            assert!(r.network_area_ratio > 1.0, "{}: {}", r.design, r.network_area_ratio);
+            assert!(r.network_power_ratio > 1.0);
+        }
+    }
+
+    #[test]
+    fn table2_vpu_values_track_paper() {
+        // Paper Table II VPU areas: F1 300306.61, BTS 264095.35,
+        // ARK 254170.69, SHARP 289143.70, Ours 250603.81 (µm²).
+        let rows = table2(&TechParams::asap7(), 64);
+        let expect = [300_306.61, 264_095.35, 254_170.69, 289_143.70, 250_603.81];
+        for (r, e) in rows.iter().zip(expect) {
+            let rel = (r.vpu_area_um2 - e).abs() / e;
+            assert!(rel < 0.02, "{}: {} vs {e}", r.design, r.vpu_area_um2);
+        }
+    }
+
+    #[test]
+    fn table4_monotone_and_superlinear() {
+        let rows = table4(&TechParams::asap7());
+        assert_eq!(rows.len(), 7);
+        for w in rows.windows(2) {
+            let growth = w[1].area_um2 / w[0].area_um2;
+            assert!(growth > 2.0, "each doubling more than doubles area");
+            assert!(growth < 2.6, "but stays near the paper's ~2.27×: {growth}");
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The index algebra of FHE automorphisms.
+//!
+//! The paper's Eq (1) defines the automorphism as the permutation
+//! `σ_{Φ,r}: i ↦ i·Φ^r mod N` on the `N` evaluation-domain elements of a
+//! ciphertext polynomial. This module implements:
+//!
+//! - [`AffineMap`]: the slightly more general map `i ↦ i·g + t mod N`
+//!   (`g` odd). The `t` offset appears for two reasons: the paper's own
+//!   Eq (2) composes a small automorphism with a per-column cyclic shift,
+//!   and the exact Galois action on naturally-indexed evaluation points is
+//!   itself of this affine form.
+//! - [`galois_exponent`]: the CKKS rotation → Galois element map
+//!   (`g = 5^step mod 2N`).
+//! - [`apply_galois_coeff`]: the coefficient-domain Galois action on
+//!   `Z_q[X]/(X^N+1)` (with the `X^N = −1` sign flips), the golden model
+//!   for CKKS rotations.
+//! - [`RowColumnDecomposition`]: Eq (2)/(3) — the `N = R×C` factorization
+//!   whose column-invariance lets the hardware process one column per
+//!   vector at a time.
+//! - [`ShiftDecomposition`]: **the paper's key insight** (§IV-B). Any
+//!   `ρ_t ∘ σ_g` on `m` elements decomposes into one rotate-by-one bit per
+//!   node of a binary residue-class tree — exactly one control bit per
+//!   MUX group of the inter-lane shift network, `m − 1` bits in total.
+
+use crate::modular::Modulus;
+use crate::util::log2_exact;
+use crate::MathError;
+
+/// The conventional automorphism base Φ = 5 (paper §II-C).
+pub const PHI: u64 = 5;
+
+/// The affine index map `i ↦ i·g + t mod n` with `g` odd and `n` a power
+/// of two — the class of permutations the inter-lane network realizes in
+/// a single pass.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::automorphism::AffineMap;
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let map = AffineMap::new(8, 5, 0)?; // the paper's σ_{5,1} on 8 elements
+/// assert_eq!(map.apply_index(1), 5);
+/// assert_eq!(map.apply_index(2), 2); // 2·5 = 10 ≡ 2 (mod 8)
+/// let inv = map.inverse();
+/// for i in 0..8 {
+///     assert_eq!(inv.apply_index(map.apply_index(i)), i);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineMap {
+    n: usize,
+    g: u64,
+    t: u64,
+}
+
+impl AffineMap {
+    /// Creates the map `i ↦ i·g + t mod n`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::LengthNotPowerOfTwo`] if `n` is not a power of two.
+    /// - [`MathError::EvenMultiplier`] if `g` is even (not invertible mod a
+    ///   power of two, hence not a permutation).
+    pub fn new(n: usize, g: u64, t: u64) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n == 0 {
+            return Err(MathError::LengthNotPowerOfTwo { length: n });
+        }
+        if g.is_multiple_of(2) {
+            return Err(MathError::EvenMultiplier { multiplier: g });
+        }
+        Ok(Self {
+            n,
+            g: g % n as u64,
+            t: t % n as u64,
+        })
+    }
+
+    /// The pure automorphism `σ_g: i ↦ i·g mod n` (Eq (1) with `g = Φ^r`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AffineMap::new`].
+    pub fn automorphism(n: usize, g: u64) -> Result<Self, MathError> {
+        Self::new(n, g, 0)
+    }
+
+    /// The cyclic shift `ρ_t: i ↦ i + t mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AffineMap::new`] (never [`MathError::EvenMultiplier`]).
+    pub fn rotation(n: usize, t: u64) -> Result<Self, MathError> {
+        Self::new(n, 1, t)
+    }
+
+    /// The identity map.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] for invalid `n`.
+    pub fn identity(n: usize) -> Result<Self, MathError> {
+        Self::new(n, 1, 0)
+    }
+
+    /// Domain size `n`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The multiplier `g` (reduced mod `n`).
+    #[must_use]
+    pub const fn multiplier(&self) -> u64 {
+        self.g
+    }
+
+    /// The offset `t` (reduced mod `n`).
+    #[must_use]
+    pub const fn offset(&self) -> u64 {
+        self.t
+    }
+
+    /// Whether this is the identity permutation.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.g == 1 % self.n as u64 && self.t == 0
+    }
+
+    /// New position of the element at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    #[must_use]
+    pub fn apply_index(&self, i: usize) -> usize {
+        assert!(i < self.n, "index {i} out of range for n = {}", self.n);
+        ((i as u64 * self.g + self.t) % self.n as u64) as usize
+    }
+
+    /// Applies the permutation to a slice: `out[map(i)] = input[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n`.
+    #[must_use]
+    pub fn permute<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.n, "input length must equal n");
+        let mut out = input.to_vec();
+        for (i, &x) in input.iter().enumerate() {
+            out[self.apply_index(i)] = x;
+        }
+        out
+    }
+
+    /// The inverse permutation (also affine: `i ↦ i·g⁻¹ − t·g⁻¹`).
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        if self.n == 1 {
+            return *self;
+        }
+        let n = self.n as u64;
+        let g_inv = crate::util::mod_inverse(self.g, n).expect("odd g is invertible mod 2^k");
+        let t_inv = (n - (self.t * g_inv) % n) % n;
+        Self {
+            n: self.n,
+            g: g_inv,
+            t: t_inv,
+        }
+    }
+
+    /// Composition: the map `i ↦ then(self(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ.
+    #[must_use]
+    pub fn then(&self, then: &Self) -> Self {
+        assert_eq!(self.n, then.n, "composed maps must share a domain");
+        let n = self.n as u64;
+        Self {
+            n: self.n,
+            g: (self.g * then.g) % n,
+            t: (self.t * then.g + then.t) % n,
+        }
+    }
+}
+
+/// Returns the Galois element `g = Φ^step mod 2n` that realizes a CKKS
+/// slot rotation by `step` positions (negative steps rotate the other
+/// way); `step = 0` maps to conjugation (`g = 2n − 1`) when `conjugate`
+/// is requested via [`conjugation_exponent`].
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// // Rotating by 1 in a ring of degree 8 uses g = 5.
+/// assert_eq!(uvpu_math::automorphism::galois_exponent(1, 8), 5);
+/// assert_eq!(uvpu_math::automorphism::galois_exponent(-1, 8), 13); // 5^{-1} mod 16
+/// ```
+#[must_use]
+pub fn galois_exponent(step: i64, n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n >= 2);
+    let order = 2 * n as u64;
+    // The slot group has order n/2; reduce the step into it.
+    let half = (n / 2).max(1) as i64;
+    let step = step.rem_euclid(half) as u64;
+    let mut g = 1u64;
+    for _ in 0..step {
+        g = g * PHI % order;
+    }
+    g
+}
+
+/// The Galois element for complex conjugation: `2n − 1`.
+#[must_use]
+pub fn conjugation_exponent(n: usize) -> u64 {
+    2 * n as u64 - 1
+}
+
+/// Applies the Galois automorphism `X ↦ X^g` to the coefficient vector of
+/// `a ∈ Z_q[X]/(X^N + 1)`: coefficient `a[i]` lands at `i·g mod 2N`, with a
+/// sign flip when the exponent wraps past `N` (`X^N = −1`).
+///
+/// This is the golden model the evaluation-domain permutation executed by
+/// the VPU must agree with (after NTT conjugation).
+///
+/// # Panics
+///
+/// Panics if `a.len()` is not a power of two or `g` is even.
+#[must_use]
+pub fn apply_galois_coeff(a: &[u64], g: u64, q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    assert_eq!(g % 2, 1, "Galois element must be odd");
+    let two_n = 2 * n as u64;
+    let mut out = vec![0u64; n];
+    for (i, &coeff) in a.iter().enumerate() {
+        let e = (i as u64 * g) % two_n;
+        if e < n as u64 {
+            out[e as usize] = q.add(out[e as usize], coeff);
+        } else {
+            let idx = (e - n as u64) as usize;
+            out[idx] = q.sub(out[idx], coeff);
+        }
+    }
+    out
+}
+
+/// The `N = R×C` row-major decomposition of an affine map (paper Eq (2)/(3)).
+///
+/// Viewing indices as `i = r·C + c`, the map `i ↦ i·g + t` satisfies:
+///
+/// - **Eq (3)**: the new column `c' = (c·g + t) mod C` depends only on `c`
+///   — whole columns move to new column positions.
+/// - **Eq (2)**: within the column, the new row is
+///   `r' = (r·g + s_c) mod R` with the column-constant shift
+///   `s_c = ⌊(c·g + t)/C⌋ mod R` — a smaller affine map on `R` elements.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::automorphism::{AffineMap, RowColumnDecomposition};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let map = AffineMap::automorphism(64, 25)?; // σ_{5,2} on N = 64
+/// let dec = RowColumnDecomposition::new(map, 8, 8)?;
+/// // Column invariance: all elements of column 3 land in the same column.
+/// let target = dec.column_target(3);
+/// for r in 0..8 {
+///     assert_eq!(map.apply_index(r * 8 + 3) % 8, target);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowColumnDecomposition {
+    map: AffineMap,
+    rows: usize,
+    cols: usize,
+}
+
+impl RowColumnDecomposition {
+    /// Decomposes `map` over an `rows × cols` row-major matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthMismatch`] if `rows · cols ≠ map.n()`, and
+    /// [`MathError::LengthNotPowerOfTwo`] if the factors are not powers of
+    /// two.
+    pub fn new(map: AffineMap, rows: usize, cols: usize) -> Result<Self, MathError> {
+        if rows * cols != map.n() {
+            return Err(MathError::LengthMismatch {
+                left: rows * cols,
+                right: map.n(),
+            });
+        }
+        if !rows.is_power_of_two() || !cols.is_power_of_two() {
+            return Err(MathError::LengthNotPowerOfTwo {
+                length: if rows.is_power_of_two() { cols } else { rows },
+            });
+        }
+        Ok(Self { map, rows, cols })
+    }
+
+    /// The underlying affine map.
+    #[must_use]
+    pub const fn map(&self) -> AffineMap {
+        self.map
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    #[must_use]
+    pub const fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Eq (3): the column every element of column `c` moves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ≥ cols`.
+    #[must_use]
+    pub fn column_target(&self, c: usize) -> usize {
+        assert!(c < self.cols);
+        ((c as u64 * self.map.g + self.map.t) % self.cols as u64) as usize
+    }
+
+    /// Eq (2): the column-constant row shift `s_c = ⌊(c·g + t)/C⌋ mod R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ≥ cols`.
+    #[must_use]
+    pub fn column_shift(&self, c: usize) -> u64 {
+        assert!(c < self.cols);
+        ((c as u64 * self.map.g + self.map.t) / self.cols as u64) % self.rows as u64
+    }
+
+    /// The complete per-column row map: `r ↦ (r·g + s_c) mod R` — itself an
+    /// [`AffineMap`], which is what the inter-lane network executes in one
+    /// pass per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ≥ cols`.
+    #[must_use]
+    pub fn column_row_map(&self, c: usize) -> AffineMap {
+        AffineMap::new(self.rows, self.map.g % self.rows as u64, self.column_shift(c))
+            .expect("rows is a power of two and g is odd")
+    }
+}
+
+/// The paper's §IV-B insight, as data: the decomposition of an affine map
+/// `ρ_t ∘ σ_g` on `m` elements into **one rotate-by-one bit per residue
+/// class** — `bits[ℓ][j]` says whether the subsequence
+/// `{i : i ≡ j (mod 2^ℓ)}` rotates by one position (i.e. every element
+/// moves from index `i` to `i + 2^ℓ mod m`).
+///
+/// Applying level `log₂ m − 1` first down to level `0` last reproduces the
+/// map exactly; this ordering matches the inter-lane shift network's stage
+/// order (distance `m/2` first, distance `1` last), so the decomposition
+/// *is* the network's control word.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::automorphism::{AffineMap, ShiftDecomposition};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let map = AffineMap::new(64, 5, 3)?;
+/// let dec = ShiftDecomposition::decompose(&map);
+/// let data: Vec<u64> = (0..64).collect();
+/// assert_eq!(dec.apply(&data), map.permute(&data));
+/// assert_eq!(dec.control_bit_count(), 63); // m − 1 bits, as in Fig 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftDecomposition {
+    m: usize,
+    /// `bits[level][class]`, `level ∈ [0, log₂ m)`, `class ∈ [0, 2^level)`.
+    bits: Vec<Vec<bool>>,
+}
+
+impl ShiftDecomposition {
+    /// Decomposes an affine map into per-class rotate-by-one bits.
+    ///
+    /// Runs in `O(m)`: the residue-class tree has `m − 1` nodes and each
+    /// contributes constant work.
+    #[must_use]
+    pub fn decompose(map: &AffineMap) -> Self {
+        let m = map.n();
+        let levels = log2_exact(m) as usize;
+        let mut bits: Vec<Vec<bool>> = (0..levels).map(|l| vec![false; 1 << l]).collect();
+        // Recursive node: subsequence {i ≡ class (mod 2^level)} of length
+        // sub_n, carrying the local map s ↦ s·g + t (mod sub_n).
+        fn node(bits: &mut [Vec<bool>], level: usize, class: usize, sub_n: usize, g: u64, t: u64) {
+            if sub_n == 1 {
+                return;
+            }
+            let t = t % sub_n as u64;
+            let g = g % sub_n as u64;
+            // Odd offset: peel off a rotate-by-one at this node (applied
+            // *after* the children), leaving an even offset to split.
+            let bit = t % 2 == 1;
+            bits[level][class] = bit;
+            let t_even = if bit { (t + sub_n as u64 - 1) % sub_n as u64 } else { t };
+            // Even positions (original indices ≡ class mod 2^{level+1}):
+            //   2s ↦ 2s·g + t_even  ⇒  s ↦ s·g + t_even/2 (mod sub_n/2).
+            node(bits, level + 1, class, sub_n / 2, g, t_even / 2);
+            // Odd positions (original indices ≡ class + 2^level):
+            //   2s+1 ↦ 2s·g + g + t_even = 2(s·g + (g + t_even − 1)/2) + 1.
+            node(
+                bits,
+                level + 1,
+                class + (1 << level),
+                sub_n / 2,
+                g,
+                (g + t_even - 1) / 2 % (sub_n as u64 / 2),
+            );
+        }
+        node(&mut bits, 0, 0, m, map.multiplier(), map.offset());
+        Self { m, bits }
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub const fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of rotate-by-one control bits (always `m − 1`).
+    #[must_use]
+    pub fn control_bit_count(&self) -> usize {
+        self.bits.iter().map(Vec::len).sum()
+    }
+
+    /// The bit for residue class `class` at `level` (stage distance `2^level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level ≥ log₂ m` or `class ≥ 2^level`.
+    #[must_use]
+    pub fn bit(&self, level: usize, class: usize) -> bool {
+        self.bits[level][class]
+    }
+
+    /// All bits at a level (stage distance `2^level`), indexed by class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level ≥ log₂ m`.
+    #[must_use]
+    pub fn level_bits(&self, level: usize) -> &[bool] {
+        &self.bits[level]
+    }
+
+    /// Applies the decomposition: level `log₂ m − 1` (distance `m/2`)
+    /// first, level `0` (distance `1`) last — mirroring the shift-network
+    /// stage order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != m`.
+    #[must_use]
+    pub fn apply<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.m);
+        let mut cur = data.to_vec();
+        for level in (0..self.bits.len()).rev() {
+            let d = 1usize << level;
+            let mut next = cur.clone();
+            for i in 0..self.m {
+                if self.bits[level][i % d] {
+                    next[(i + d) % self.m] = cur[i];
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::Modulus;
+    use proptest::prelude::*;
+
+    #[test]
+    fn affine_map_validation() {
+        assert!(AffineMap::new(12, 5, 0).is_err());
+        assert!(AffineMap::new(16, 4, 0).is_err());
+        assert!(AffineMap::new(16, 5, 100).is_ok());
+        assert!(AffineMap::new(0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn affine_map_is_permutation() {
+        for g in (1..32u64).step_by(2) {
+            for t in 0..32u64 {
+                let map = AffineMap::new(32, g, t).unwrap();
+                let mut seen = [false; 32];
+                for i in 0..32 {
+                    let j = map.apply_index(i);
+                    assert!(!seen[j], "collision at {j}");
+                    seen[j] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_n64_r2() {
+        // §II-C discusses N = 64, r = 2 (g = Φ² = 25): the movement has
+        // little locality. Check σ(i) = 25·i mod 64 on the first indices
+        // and that the map is its own documented inverse composition.
+        let map = AffineMap::automorphism(64, 25).unwrap();
+        let dests: Vec<usize> = (0..5).map(|i| map.apply_index(i)).collect();
+        assert_eq!(dests, vec![0, 25, 50, 11, 36]);
+        let inv = map.inverse();
+        assert_eq!(inv.multiplier(), 41); // 25·41 ≡ 1 (mod 64)
+        for i in 0..64 {
+            assert_eq!(inv.apply_index(map.apply_index(i)), i);
+        }
+    }
+
+    #[test]
+    fn inverse_and_compose() {
+        let a = AffineMap::new(128, 5, 7).unwrap();
+        let b = AffineMap::new(128, 77, 30).unwrap();
+        let ab = a.then(&b);
+        for i in 0..128 {
+            assert_eq!(ab.apply_index(i), b.apply_index(a.apply_index(i)));
+        }
+        assert!(a.then(&a.inverse()).is_identity());
+        assert!(a.inverse().then(&a).is_identity());
+    }
+
+    #[test]
+    fn permute_places_elements() {
+        let map = AffineMap::new(8, 3, 1).unwrap();
+        let data: Vec<u64> = (0..8).collect();
+        let out = map.permute(&data);
+        for i in 0..8 {
+            assert_eq!(out[map.apply_index(i)], data[i]);
+        }
+    }
+
+    #[test]
+    fn galois_exponent_powers_of_five() {
+        assert_eq!(galois_exponent(0, 16), 1);
+        assert_eq!(galois_exponent(1, 16), 5);
+        assert_eq!(galois_exponent(2, 16), 25);
+        assert_eq!(galois_exponent(3, 16), 125 % 32);
+        // Negative steps invert within the order-n/2 subgroup.
+        let g = galois_exponent(-1, 16);
+        assert_eq!(g * 5 % 32, 1);
+        assert_eq!(conjugation_exponent(16), 31);
+    }
+
+    #[test]
+    fn galois_coeff_action_on_monomials() {
+        let q = Modulus::new(97).unwrap();
+        let n = 8;
+        // a = X: X ↦ X^g.
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let out = apply_galois_coeff(&a, 5, &q);
+        let mut expect = vec![0u64; n];
+        expect[5] = 1;
+        assert_eq!(out, expect);
+        // a = X^3: 3·5 = 15 ≥ 8 ⇒ X^{15} = X^{15-16}·X = −X^7.
+        let mut a = vec![0u64; n];
+        a[3] = 1;
+        let out = apply_galois_coeff(&a, 5, &q);
+        let mut expect = vec![0u64; n];
+        expect[7] = q.neg(1);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn galois_coeff_is_ring_homomorphism() {
+        let q = Modulus::new(0x0fff_ffff_ffd8_0001).unwrap();
+        let n = 16;
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 31 + 4)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 17 + 9)).collect();
+        let g = 5u64;
+        let prod = crate::ntt::naive_negacyclic_mul(&a, &b, &q);
+        let lhs = apply_galois_coeff(&prod, g, &q);
+        let rhs = crate::ntt::naive_negacyclic_mul(
+            &apply_galois_coeff(&a, g, &q),
+            &apply_galois_coeff(&b, g, &q),
+            &q,
+        );
+        assert_eq!(lhs, rhs, "τ_g(ab) = τ_g(a)·τ_g(b)");
+    }
+
+    #[test]
+    fn row_column_invariance_eq3() {
+        // Eq (3): elements of a column stay together for every odd g and t.
+        for (rows, cols) in [(8usize, 8usize), (16, 4), (4, 16), (2, 32)] {
+            let n = rows * cols;
+            for g in (1..n as u64).step_by(2 * (n / 16).max(1)) {
+                for t in [0u64, 1, 5, cols as u64] {
+                    let map = AffineMap::new(n, g, t).unwrap();
+                    let dec = RowColumnDecomposition::new(map, rows, cols).unwrap();
+                    for c in 0..cols {
+                        let target = dec.column_target(c);
+                        let row_map = dec.column_row_map(c);
+                        for r in 0..rows {
+                            let flat = map.apply_index(r * cols + c);
+                            assert_eq!(flat % cols, target, "Eq (3) violated");
+                            assert_eq!(flat / cols, row_map.apply_index(r), "Eq (2) violated");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_decomposition_matches_paper_fig2_example() {
+        // §IV-B example with 8 lanes: even sub-column shifted by 2 and odd
+        // by 3 (global distances 4 and 6). Build that target directly and
+        // confirm the decomposition realizes it... The example composes two
+        // *independent* sub-shifts, which our AffineMap cannot express, so
+        // instead verify the stated primitive: the network can shift the
+        // even and odd classes independently, which is bits at level 1.
+        let data: Vec<u64> = (0..8).collect();
+        // Rotate-by-one of class 0 (mod 2): i → i+2 for even i.
+        let mut dec = ShiftDecomposition::decompose(&AffineMap::identity(8).unwrap());
+        dec.bits[1][0] = true;
+        let out = dec.apply(&data);
+        assert_eq!(out, vec![6, 1, 0, 3, 2, 5, 4, 7]);
+    }
+
+    #[test]
+    fn shift_decomposition_exhaustive_small() {
+        for log_m in 1..=6u32 {
+            let m = 1usize << log_m;
+            let data: Vec<u64> = (0..m as u64).collect();
+            for g in (1..m as u64).step_by(2) {
+                for t in 0..m as u64 {
+                    let map = AffineMap::new(m, g, t).unwrap();
+                    let dec = ShiftDecomposition::decompose(&map);
+                    assert_eq!(dec.control_bit_count(), m - 1);
+                    assert_eq!(
+                        dec.apply(&data),
+                        map.permute(&data),
+                        "m={m} g={g} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn shift_decomposition_random_large(log_m in 7u32..=9, g_seed in any::<u64>(), t_seed in any::<u64>()) {
+            let m = 1usize << log_m;
+            let g = (g_seed % m as u64) | 1;
+            let t = t_seed % m as u64;
+            let map = AffineMap::new(m, g, t).unwrap();
+            let dec = ShiftDecomposition::decompose(&map);
+            let data: Vec<u64> = (0..m as u64).collect();
+            prop_assert_eq!(dec.apply(&data), map.permute(&data));
+        }
+
+        #[test]
+        fn affine_inverse_roundtrip(log_n in 1u32..=10, g_seed in any::<u64>(), t_seed in any::<u64>(), i_seed in any::<usize>()) {
+            let n = 1usize << log_n;
+            let g = (g_seed % n as u64) | 1;
+            let t = t_seed % n as u64;
+            let map = AffineMap::new(n, g, t).unwrap();
+            let i = i_seed % n;
+            prop_assert_eq!(map.inverse().apply_index(map.apply_index(i)), i);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors produced by the mathematical substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// The modulus is outside the supported range `[2, 2^62)`.
+    ModulusOutOfRange {
+        /// The offending modulus value.
+        value: u64,
+    },
+    /// A transform length that is not a power of two was requested.
+    LengthNotPowerOfTwo {
+        /// The offending length.
+        length: usize,
+    },
+    /// The modulus does not support a root of unity of the required order.
+    NoRootOfUnity {
+        /// The modulus searched.
+        modulus: u64,
+        /// The required multiplicative order.
+        order: u64,
+    },
+    /// No prime with the requested properties was found in the search range.
+    PrimeNotFound {
+        /// Requested bit width.
+        bits: u32,
+        /// Required NTT length (the prime must be ≡ 1 mod `2 * ntt_len`).
+        ntt_len: u64,
+    },
+    /// An element has no modular inverse (it shares a factor with the modulus).
+    NotInvertible {
+        /// The non-invertible element.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// Two operands live under different moduli or bases.
+    ModulusMismatch,
+    /// Operand lengths disagree.
+    LengthMismatch {
+        /// Left operand length.
+        left: usize,
+        /// Right operand length.
+        right: usize,
+    },
+    /// An automorphism multiplier must be odd (co-prime with a power-of-two length).
+    EvenMultiplier {
+        /// The offending multiplier.
+        multiplier: u64,
+    },
+    /// An RNS basis needs at least one modulus and all moduli pairwise co-prime.
+    InvalidBasis(&'static str),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ModulusOutOfRange { value } => {
+                write!(f, "modulus {value} outside supported range [2, 2^62)")
+            }
+            Self::LengthNotPowerOfTwo { length } => {
+                write!(f, "length {length} is not a power of two")
+            }
+            Self::NoRootOfUnity { modulus, order } => {
+                write!(f, "modulus {modulus} has no root of unity of order {order}")
+            }
+            Self::PrimeNotFound { bits, ntt_len } => {
+                write!(f, "no {bits}-bit prime congruent to 1 mod {}", 2 * ntt_len)
+            }
+            Self::NotInvertible { value, modulus } => {
+                write!(f, "{value} is not invertible modulo {modulus}")
+            }
+            Self::ModulusMismatch => write!(f, "operands have mismatched moduli"),
+            Self::LengthMismatch { left, right } => {
+                write!(f, "operand lengths differ: {left} vs {right}")
+            }
+            Self::EvenMultiplier { multiplier } => {
+                write!(f, "automorphism multiplier {multiplier} must be odd")
+            }
+            Self::InvalidBasis(why) => write!(f, "invalid RNS basis: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}

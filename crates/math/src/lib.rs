@@ -1,0 +1,63 @@
+//! Mathematical substrate for the `uvpu` reproduction of *"A Unified Vector
+//! Processing Unit for Fully Homomorphic Encryption"* (DATE 2025).
+//!
+//! This crate is self-contained (no external bignum or crypto dependencies)
+//! and provides everything the VPU simulator and the CKKS scheme are built
+//! on:
+//!
+//! - [`modular`]: 64-bit modular arithmetic with Barrett reduction (the
+//!   reduction algorithm the paper's lanes use, §III-A) and Shoup
+//!   multiplication for precomputed twiddle factors.
+//! - [`montgomery`]: Montgomery multiplication, kept as the ablation
+//!   baseline the paper argues against for FHE base conversion.
+//! - [`primes`]: NTT-friendly prime generation, deterministic Miller–Rabin,
+//!   Pollard-rho factorization and primitive-root search.
+//! - [`ntt`]: golden-model number theoretic transforms — naive DFTs,
+//!   iterative DIT/DIF, cyclic and negacyclic — that every VPU-mapped
+//!   transform is bit-exactly checked against.
+//! - [`poly`]: the polynomial ring `Z_q[X]/(X^N + 1)`.
+//! - [`rns`]: residue number system bases and CRT reconstruction.
+//! - [`bigint`]: a minimal unsigned big integer, just large enough for CRT.
+//! - [`sampling`]: the RLWE noise distributions (rounded Gaussian,
+//!   ternary secrets, uniform residues) shared by the CKKS and BFV crates.
+//! - [`automorphism`]: the index algebra of Galois automorphisms — Eq (1)
+//!   of the paper, the R×C decomposition of Eq (2)/(3), and the recursive
+//!   reduction of an automorphism to shifts that the inter-lane network
+//!   exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use uvpu_math::modular::Modulus;
+//! use uvpu_math::ntt::NttTable;
+//!
+//! # fn main() -> Result<(), uvpu_math::MathError> {
+//! let q = uvpu_math::primes::ntt_prime(50, 1 << 10)?;
+//! let modulus = Modulus::new(q)?;
+//! let table = NttTable::new(modulus, 1 << 10)?;
+//! let mut data: Vec<u64> = (0..1u64 << 10).collect();
+//! let original = data.clone();
+//! table.forward_inplace(&mut data);
+//! table.inverse_inplace(&mut data);
+//! assert_eq!(data, original);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automorphism;
+pub mod bigint;
+pub mod modular;
+pub mod montgomery;
+pub mod ntt;
+pub mod poly;
+pub mod primes;
+pub mod rns;
+pub mod sampling;
+pub mod util;
+
+mod error;
+
+pub use error::MathError;

@@ -1,0 +1,443 @@
+//! 64-bit modular arithmetic with Barrett reduction.
+//!
+//! The paper's computing lanes use Barrett reduction for all modular
+//! arithmetic (§III-A), chosen over Montgomery multiplication because FHE
+//! keyswitching needs frequent RNS base conversions, which Barrett supports
+//! without domain conversions. [`Modulus`] is the software model of that
+//! lane datapath: a modulus value plus the precomputed 128-bit Barrett
+//! ratio `⌊2^128 / q⌋`.
+//!
+//! [`ShoupMul`] models the lane's twiddle-factor multiplier: when one
+//! operand is a known constant (an NTT twiddle factor), a cheaper
+//! single-`mulhi` reduction applies.
+
+use crate::util::mod_inverse;
+use crate::MathError;
+
+/// Largest supported modulus (exclusive): `2^62`.
+///
+/// Keeping two spare bits lets Barrett's quotient estimate stay within
+/// `u64` and allows lazy sums of two residues without overflow, which is
+/// also what the paper's 64-bit datapath does.
+pub const MAX_MODULUS: u64 = 1 << 62;
+
+/// A modulus `q ∈ [2, 2^62)` with its precomputed Barrett constants.
+///
+/// All arithmetic methods expect operands already reduced to `[0, q)` and
+/// produce reduced results. Use [`Modulus::reduce_u64`] /
+/// [`Modulus::reduce_u128`] to bring arbitrary words into range.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::modular::Modulus;
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let q = Modulus::new(0x0fff_ffff_fffc_0001)?; // a 60-bit NTT prime
+/// let a = q.reduce_u64(u64::MAX);
+/// let b = q.pow(3, 1 << 40);
+/// assert_eq!(q.mul(a, q.inv(a)?), 1);
+/// assert_eq!(q.mul(b, q.inv(b)?), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// `⌊2^128 / value⌋` as (low, high) 64-bit words.
+    ratio: [u64; 2],
+}
+
+impl Modulus {
+    /// Creates a modulus and precomputes its Barrett ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ModulusOutOfRange`] unless `2 ≤ value < 2^62`.
+    pub fn new(value: u64) -> Result<Self, MathError> {
+        if !(2..MAX_MODULUS).contains(&value) {
+            return Err(MathError::ModulusOutOfRange { value });
+        }
+        // ⌊2^128 / q⌋ computed via ⌊(2^128 - 1) / q⌋; the two agree unless q
+        // divides 2^128, impossible for q ≥ 2 except powers of two — and for
+        // powers of two ⌊2^128/q⌋ = 2^128/q while ⌊(2^128-1)/q⌋ is one less.
+        // Correct for that case explicitly.
+        let max = u128::MAX;
+        let mut ratio = max / u128::from(value);
+        if value.is_power_of_two() {
+            ratio += 1;
+        }
+        Ok(Self {
+            value,
+            ratio: [ratio as u64, (ratio >> 64) as u64],
+        })
+    }
+
+    /// The modulus value `q`.
+    #[inline]
+    #[must_use]
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of significant bits of `q`.
+    #[inline]
+    #[must_use]
+    pub const fn bits(&self) -> u32 {
+        64 - self.value.leading_zeros()
+    }
+
+    /// Reduces a full 64-bit word modulo `q` using Barrett reduction.
+    #[inline]
+    #[must_use]
+    pub fn reduce_u64(&self, x: u64) -> u64 {
+        // q̂ = ⌊x · ratio / 2^128⌋ needs only the high half of x · ratio.
+        let lo = (u128::from(x) * u128::from(self.ratio[0])) >> 64;
+        let hi = u128::from(x) * u128::from(self.ratio[1]);
+        let q_hat = ((hi + lo) >> 64) as u64;
+        let mut r = x.wrapping_sub(q_hat.wrapping_mul(self.value));
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Reduces a 128-bit product modulo `q` using Barrett reduction.
+    ///
+    /// Correct for any `x < q · 2^64` (which covers products of reduced
+    /// operands, since `(q−1)^2 < q · 2^64`).
+    #[inline]
+    #[must_use]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        let x0 = x as u64;
+        let x1 = (x >> 64) as u64;
+        debug_assert!(
+            x1 < self.value,
+            "reduce_u128 requires x < q * 2^64 (x1 = {x1}, q = {})",
+            self.value
+        );
+        // q̂ = ⌊x · R / 2^128⌋ with R = ratio (128-bit), x = x1·2^64 + x0:
+        //   x·R / 2^128 = x1·r1 + (x0·r1 + x1·r0 + ⌊x0·r0 / 2^64⌋) / 2^64.
+        let t = (u128::from(x0) * u128::from(self.ratio[0])) >> 64;
+        let a = u128::from(x0) * u128::from(self.ratio[1]);
+        let b = u128::from(x1) * u128::from(self.ratio[0]);
+        // a + b + t cannot overflow u128 for q ≥ 2 (see module docs); keep a
+        // checked add in debug builds regardless.
+        let mid = a + b + t;
+        let q_hat = (u128::from(x1) * u128::from(self.ratio[1]) + (mid >> 64)) as u64;
+        let mut r = x0.wrapping_sub(q_hat.wrapping_mul(self.value));
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Modular addition of reduced operands.
+    #[inline]
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of reduced operands.
+    #[inline]
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation of a reduced operand.
+    #[inline]
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.value);
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular multiplication of reduced operands (Barrett).
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(u128::from(a) * u128::from(b))
+    }
+
+    /// Fused multiply-add: `a·b + c mod q` for reduced operands.
+    #[inline]
+    #[must_use]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(u128::from(a) * u128::from(b) + u128::from(c))
+    }
+
+    /// Modular exponentiation `base^exp mod q` by square-and-multiply.
+    #[must_use]
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut base = self.reduce_u64(base);
+        let mut acc = 1u64 % self.value;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] if `gcd(a, q) ≠ 1`.
+    pub fn inv(&self, a: u64) -> Result<u64, MathError> {
+        mod_inverse(a, self.value).ok_or(MathError::NotInvertible {
+            value: a,
+            modulus: self.value,
+        })
+    }
+
+    /// Maps a signed integer into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn from_i64(&self, x: i64) -> u64 {
+        let r = x.rem_euclid(self.value as i64);
+        r as u64
+    }
+
+    /// Maps a residue to its centered representative in `(-q/2, q/2]`.
+    #[inline]
+    #[must_use]
+    pub fn to_centered(&self, x: u64) -> i64 {
+        debug_assert!(x < self.value);
+        if x > self.value / 2 {
+            (x as i64) - (self.value as i64)
+        } else {
+            x as i64
+        }
+    }
+}
+
+/// A precomputed constant multiplier using Shoup's trick.
+///
+/// For a fixed constant `w < q`, the precomputation `w' = ⌊w · 2^64 / q⌋`
+/// reduces the modular product `x·w mod q` to one `mulhi`, two `mullo`, a
+/// subtraction, and one conditional correction — exactly the structure a
+/// hardware twiddle multiplier uses.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::modular::{Modulus, ShoupMul};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let q = Modulus::new(0x3fff_ffff_ffff_ffe5)?;
+/// let w = q.reduce_u64(0x1234_5678_9abc_def0);
+/// let shoup = ShoupMul::new(w, &q);
+/// let x = q.reduce_u64(0x0fed_cba9_8765_4321);
+/// assert_eq!(shoup.mul(x, &q), q.mul(x, w));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    /// The constant operand `w`, reduced.
+    pub operand: u64,
+    /// `⌊w · 2^64 / q⌋`.
+    pub quotient: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the Shoup quotient for constant `w` under `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `w` is not reduced.
+    #[must_use]
+    pub fn new(w: u64, q: &Modulus) -> Self {
+        debug_assert!(w < q.value());
+        let quotient = ((u128::from(w) << 64) / u128::from(q.value())) as u64;
+        Self { operand: w, quotient }
+    }
+
+    /// Computes `x · w mod q`.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, x: u64, q: &Modulus) -> u64 {
+        let q_hat = ((u128::from(x) * u128::from(self.quotient)) >> 64) as u64;
+        let r = x
+            .wrapping_mul(self.operand)
+            .wrapping_sub(q_hat.wrapping_mul(q.value()));
+        if r >= q.value() {
+            r - q.value()
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moduli() -> Vec<Modulus> {
+        [
+            3u64,
+            4,
+            17,
+            97,
+            65537,
+            (1 << 31) - 1,
+            0x3fff_ffff_ffff_ffe5, // 62-bit
+            0x0fff_ffff_ffd8_0001,
+            MAX_MODULUS - 1,
+        ]
+        .iter()
+        .map(|&q| Modulus::new(q).expect("valid modulus"))
+        .collect()
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(MAX_MODULUS).is_err());
+        assert!(Modulus::new(u64::MAX).is_err());
+        assert!(Modulus::new(2).is_ok());
+        assert!(Modulus::new(MAX_MODULUS - 1).is_ok());
+    }
+
+    #[test]
+    fn reduce_u64_matches_remainder() {
+        for q in moduli() {
+            for x in [
+                0u64,
+                1,
+                q.value() - 1,
+                q.value(),
+                q.value() + 1,
+                u64::MAX,
+                0xdead_beef_1234_5678,
+            ] {
+                assert_eq!(q.reduce_u64(x), x % q.value(), "x={x} q={}", q.value());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_u128_matches_remainder() {
+        for q in moduli() {
+            let samples = [
+                0u128,
+                1,
+                u128::from(q.value() - 1) * u128::from(q.value() - 1),
+                u128::from(q.value()) * 0xffff_ffff,
+                u128::from(u64::MAX),
+            ];
+            for x in samples {
+                if (x >> 64) as u64 >= q.value() {
+                    continue;
+                }
+                assert_eq!(q.reduce_u128(x), (x % u128::from(q.value())) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_modulus_ratio_is_exact() {
+        let q = Modulus::new(1 << 20).unwrap();
+        for x in [0u64, 1, (1 << 20) - 1, 1 << 20, u64::MAX] {
+            assert_eq!(q.reduce_u64(x), x % (1 << 20));
+        }
+    }
+
+    #[test]
+    fn add_sub_neg_round_trip() {
+        for q in moduli() {
+            let v = q.value();
+            for a in [0, 1, v / 2, v - 1] {
+                for b in [0, 1, v / 3, v - 1] {
+                    let s = q.add(a, b);
+                    assert_eq!(q.sub(s, b), a);
+                    assert_eq!(q.add(q.neg(a), a), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128_path() {
+        for q in moduli() {
+            let v = q.value();
+            for a in [0, 1, 2, v / 2, v - 1] {
+                for b in [0, 1, 3, v / 5 + 1, v - 1] {
+                    let expect = (u128::from(a) * u128::from(b) % u128::from(v)) as u64;
+                    assert_eq!(q.mul(a, b), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        let q = Modulus::new(65537).unwrap();
+        // Fermat's little theorem on the prime 65537.
+        for a in [1u64, 2, 3, 12345, 65536] {
+            assert_eq!(q.pow(a, 65536), 1);
+        }
+        assert_eq!(q.pow(2, 16), 65536);
+        assert_eq!(q.pow(0, 0), 1, "0^0 = 1 by convention");
+    }
+
+    #[test]
+    fn inv_errors_on_common_factor() {
+        let q = Modulus::new(12).unwrap();
+        assert!(q.inv(4).is_err());
+        assert_eq!(q.inv(5).unwrap(), 5);
+    }
+
+    #[test]
+    fn centered_representative() {
+        let q = Modulus::new(17).unwrap();
+        assert_eq!(q.to_centered(0), 0);
+        assert_eq!(q.to_centered(8), 8);
+        assert_eq!(q.to_centered(9), -8);
+        assert_eq!(q.to_centered(16), -1);
+        assert_eq!(q.from_i64(-1), 16);
+        assert_eq!(q.from_i64(-17), 0);
+        assert_eq!(q.from_i64(35), 1);
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        for q in moduli() {
+            let v = q.value();
+            for w in [0, 1, v / 2, v - 1] {
+                let s = ShoupMul::new(w, &q);
+                for x in [0, 1, v / 3, v - 1] {
+                    assert_eq!(s.mul(x, &q), q.mul(x, w), "q={v} w={w} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_is_consistent() {
+        let q = Modulus::new(0x3fff_ffff_ffff_ffe5).unwrap();
+        let (a, b, c) = (q.value() - 1, q.value() - 2, q.value() - 3);
+        assert_eq!(q.mul_add(a, b, c), q.add(q.mul(a, b), c));
+    }
+}

@@ -1,0 +1,147 @@
+//! Montgomery multiplication, kept as the design-choice baseline.
+//!
+//! The paper (§III-A) selects **Barrett** reduction for the lane datapath
+//! because FHE keyswitching performs RNS base conversions, where operands
+//! arrive in plain representation; Montgomery multiplication would require
+//! domain conversions around every base-conversion step. This module
+//! provides a correct Montgomery implementation so the trade-off can be
+//! measured (see the `ablation` bench in `uvpu-bench`).
+
+use crate::MathError;
+
+/// A Montgomery multiplication context for an odd modulus `q < 2^62`.
+///
+/// Values live in *Montgomery form* `x̄ = x · 2^64 mod q`. Use
+/// [`MontgomeryContext::to_montgomery`] / [`MontgomeryContext::from_montgomery`]
+/// to convert at the boundary.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::montgomery::MontgomeryContext;
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let ctx = MontgomeryContext::new(0x3fff_ffff_ffff_ffe5)?;
+/// let a = ctx.to_montgomery(123_456_789);
+/// let b = ctx.to_montgomery(987_654_321);
+/// let p = ctx.from_montgomery(ctx.mul(a, b));
+/// assert_eq!(p, (123_456_789u128 * 987_654_321 % 0x3fff_ffff_ffff_ffe5) as u64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontgomeryContext {
+    q: u64,
+    /// `-q^{-1} mod 2^64`.
+    q_inv_neg: u64,
+    /// `2^128 mod q`, used to enter Montgomery form with one REDC.
+    r2: u64,
+}
+
+impl MontgomeryContext {
+    /// Creates a context for odd `q ∈ [3, 2^62)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ModulusOutOfRange`] if `q` is even or out of
+    /// range (Montgomery reduction requires `gcd(q, 2^64) = 1`).
+    pub fn new(q: u64) -> Result<Self, MathError> {
+        if !(3..(1 << 62)).contains(&q) || q.is_multiple_of(2) {
+            return Err(MathError::ModulusOutOfRange { value: q });
+        }
+        // Newton iteration for the inverse of q modulo 2^64: five steps
+        // double the number of correct bits from the seed (odd q ⇒ q ≡ q^{-1} mod 8).
+        let mut inv = q;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        let r = (1u128 << 64) % u128::from(q); // 2^64 mod q
+        let r2 = (r * r % u128::from(q)) as u64;
+        Ok(Self {
+            q,
+            q_inv_neg: inv.wrapping_neg(),
+            r2,
+        })
+    }
+
+    /// The modulus `q`.
+    #[inline]
+    #[must_use]
+    pub const fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Montgomery reduction: computes `t · 2^{-64} mod q` for `t < q · 2^64`.
+    #[inline]
+    #[must_use]
+    pub fn redc(&self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.q_inv_neg);
+        let t = (t + u128::from(m) * u128::from(self.q)) >> 64;
+        let t = t as u64;
+        if t >= self.q {
+            t - self.q
+        } else {
+            t
+        }
+    }
+
+    /// Converts `x < q` into Montgomery form.
+    #[inline]
+    #[must_use]
+    pub fn to_montgomery(&self, x: u64) -> u64 {
+        debug_assert!(x < self.q);
+        self.redc(u128::from(x) * u128::from(self.r2))
+    }
+
+    /// Converts a Montgomery-form value back to plain representation.
+    #[inline]
+    #[must_use]
+    pub fn from_montgomery(&self, x: u64) -> u64 {
+        self.redc(u128::from(x))
+    }
+
+    /// Multiplies two Montgomery-form operands; result stays in Montgomery form.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(u128::from(a) * u128::from(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::Modulus;
+
+    #[test]
+    fn rejects_even_and_tiny_moduli() {
+        assert!(MontgomeryContext::new(2).is_err());
+        assert!(MontgomeryContext::new(1 << 40).is_err());
+        assert!(MontgomeryContext::new(1 << 63).is_err());
+        assert!(MontgomeryContext::new(97).is_ok());
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let ctx = MontgomeryContext::new(0x0fff_ffff_ffd8_0001).unwrap();
+        for x in [0u64, 1, 2, 12345, 0x0fff_ffff_ffd8_0000] {
+            assert_eq!(ctx.from_montgomery(ctx.to_montgomery(x)), x);
+        }
+    }
+
+    #[test]
+    fn mul_agrees_with_barrett() {
+        let q = 0x3fff_ffff_ffff_ffe5u64;
+        let ctx = MontgomeryContext::new(q).unwrap();
+        let barrett = Modulus::new(q).unwrap();
+        let samples = [0u64, 1, 2, q / 2, q - 1, 0x1234_5678_9abc_def0 % q];
+        for &a in &samples {
+            for &b in &samples {
+                let am = ctx.to_montgomery(a);
+                let bm = ctx.to_montgomery(b);
+                assert_eq!(ctx.from_montgomery(ctx.mul(am, bm)), barrett.mul(a, b));
+            }
+        }
+    }
+}

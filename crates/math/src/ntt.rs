@@ -1,0 +1,566 @@
+//! Golden-model number theoretic transforms.
+//!
+//! Everything the VPU executes is checked bit-exactly against the
+//! transforms in this module:
+//!
+//! - [`NttTable`]: the *negacyclic* NTT over `Z_q[X]/(X^N + 1)` (merged-ψ
+//!   Cooley–Tukey forward / Gentleman–Sande inverse, the standard FHE
+//!   formulation). Forward output is in bit-reversed order; inverse
+//!   consumes bit-reversed order — combining the two needs no explicit
+//!   bit-reversal pass, which is also why the paper's lanes implement
+//!   *both* DIT and DIF butterflies (§III-A).
+//! - [`CyclicNtt`]: the classic cyclic DFT over `Z_q` in natural order,
+//!   the building block of the multi-dimensional (four-step) decomposition
+//!   of §II-B.
+//! - [`four_step_cyclic`]: the 2D decomposition identity (row NTTs →
+//!   twiddle scaling → column NTTs) in pure index arithmetic.
+//! - Naive `O(N²)` references used only by tests.
+
+use crate::modular::{Modulus, ShoupMul};
+use crate::primes::min_root_of_unity;
+use crate::util::{bit_reverse, log2_exact};
+use crate::MathError;
+
+/// Precomputed tables for the negacyclic NTT over `Z_q[X]/(X^N + 1)`.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::{modular::Modulus, ntt::NttTable, primes::ntt_prime};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let n = 256;
+/// let q = Modulus::new(ntt_prime(30, n)?)?;
+/// let table = NttTable::new(q, n)?;
+/// let mut a = vec![0u64; n];
+/// a[1] = 1; // the polynomial X
+/// let mut b = a.clone();
+/// table.forward_inplace(&mut a);
+/// table.forward_inplace(&mut b);
+/// let mut prod: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+/// table.inverse_inplace(&mut prod);
+/// assert_eq!(prod[2], 1); // X · X = X²
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    /// ψ^{brv(i)} with Shoup precomputation, ψ a primitive 2N-th root.
+    root_powers: Vec<ShoupMul>,
+    /// ψ^{-brv(i)} with Shoup precomputation.
+    inv_root_powers: Vec<ShoupMul>,
+    /// N^{-1} mod q.
+    n_inv: ShoupMul,
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for ring degree `n` (a power of two ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::LengthNotPowerOfTwo`] if `n` is not a power of two.
+    /// - [`MathError::NoRootOfUnity`] if `q ≢ 1 (mod 2n)` or `q` is not prime.
+    pub fn new(modulus: Modulus, n: usize) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::LengthNotPowerOfTwo { length: n });
+        }
+        let log_n = log2_exact(n);
+        let psi = min_root_of_unity(&modulus, 2 * n as u64)?;
+        let psi_inv = modulus.inv(psi)?;
+        let mut root_powers = Vec::with_capacity(n);
+        let mut inv_root_powers = Vec::with_capacity(n);
+        let mut fwd = vec![0u64; n];
+        let mut inv = vec![0u64; n];
+        let mut acc_f = 1u64;
+        let mut acc_i = 1u64;
+        for i in 0..n {
+            fwd[i] = acc_f;
+            inv[i] = acc_i;
+            acc_f = modulus.mul(acc_f, psi);
+            acc_i = modulus.mul(acc_i, psi_inv);
+        }
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            root_powers.push(ShoupMul::new(fwd[r], &modulus));
+            inv_root_powers.push(ShoupMul::new(inv[r], &modulus));
+        }
+        let n_inv = modulus.inv(n as u64)?;
+        Ok(Self {
+            modulus,
+            n,
+            log_n,
+            root_powers,
+            inv_root_powers,
+            n_inv: ShoupMul::new(n_inv, &modulus),
+            psi,
+        })
+    }
+
+    /// The ring degree `N`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus the tables were built for.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// The primitive `2N`-th root of unity ψ used by the tables.
+    #[must_use]
+    pub const fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Forward negacyclic NTT, in place.
+    ///
+    /// Input: coefficients in natural order. Output: evaluations in
+    /// **bit-reversed** order (the "NTT domain" every element-wise FHE
+    /// operation works in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_inplace(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = &self.modulus;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.root_powers[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// Inverse negacyclic NTT, in place.
+    ///
+    /// Input: evaluations in bit-reversed order (as produced by
+    /// [`Self::forward_inplace`]). Output: coefficients in natural order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_inplace(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = &self.modulus;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.inv_root_powers[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = s.mul(q.sub(u, v), q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Number of butterfly stages (`log₂ N`).
+    #[must_use]
+    pub const fn stages(&self) -> u32 {
+        self.log_n
+    }
+}
+
+/// Precomputed tables for the classic cyclic NTT (DFT over `Z_q`).
+///
+/// Both directions consume and produce **natural order** — this is the
+/// form the four-step decomposition composes.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::{modular::Modulus, ntt::CyclicNtt};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let q = Modulus::new(97)?; // 97 ≡ 1 (mod 32)
+/// let ntt = CyclicNtt::new(q, 16)?;
+/// let mut a: Vec<u64> = (0..16).collect();
+/// let orig = a.clone();
+/// ntt.forward_inplace(&mut a);
+/// ntt.inverse_inplace(&mut a);
+/// assert_eq!(a, orig);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CyclicNtt {
+    modulus: Modulus,
+    n: usize,
+    omega: u64,
+    omega_inv: u64,
+    n_inv: u64,
+}
+
+impl CyclicNtt {
+    /// Builds tables for a length-`n` cyclic NTT.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::LengthNotPowerOfTwo`] if `n` is not a power of two.
+    /// - [`MathError::NoRootOfUnity`] if `q ≢ 1 (mod n)` or `q` is not prime.
+    pub fn new(modulus: Modulus, n: usize) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::LengthNotPowerOfTwo { length: n });
+        }
+        let omega = min_root_of_unity(&modulus, n as u64)?;
+        Ok(Self {
+            modulus,
+            n,
+            omega,
+            omega_inv: modulus.inv(omega)?,
+            n_inv: modulus.inv(n as u64)?,
+        })
+    }
+
+    /// The transform length.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The primitive `n`-th root of unity ω.
+    #[must_use]
+    pub const fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    fn transform(&self, a: &mut [u64], root: u64) {
+        let q = &self.modulus;
+        crate::util::bit_reverse_permute(a);
+        let mut len = 2;
+        while len <= self.n {
+            let wlen = q.pow(root, (self.n / len) as u64);
+            for start in (0..self.n).step_by(len) {
+                let mut w = 1u64;
+                for j in 0..len / 2 {
+                    let u = a[start + j];
+                    let v = q.mul(a[start + j + len / 2], w);
+                    a[start + j] = q.add(u, v);
+                    a[start + j + len / 2] = q.sub(u, v);
+                    w = q.mul(w, wlen);
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Forward cyclic NTT: `X[k] = Σ_j a[j]·ω^{jk}`, natural order in/out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_inplace(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal transform length");
+        self.transform(a, self.omega);
+    }
+
+    /// Inverse cyclic NTT, natural order in/out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_inplace(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal transform length");
+        self.transform(a, self.omega_inv);
+        for x in a.iter_mut() {
+            *x = self.modulus.mul(*x, self.n_inv);
+        }
+    }
+}
+
+/// Naive `O(N²)` cyclic DFT used as the ultimate reference in tests.
+///
+/// # Panics
+///
+/// Panics if `omega` is not an `a.len()`-th root of unity (debug builds).
+#[must_use]
+pub fn naive_cyclic_dft(a: &[u64], omega: u64, q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    debug_assert_eq!(q.pow(omega, n as u64), 1);
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (j, &x) in a.iter().enumerate() {
+                let w = q.pow(omega, (j * k % n) as u64);
+                acc = q.add(acc, q.mul(x, w));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Naive negacyclic polynomial multiplication in `Z_q[X]/(X^N + 1)`.
+#[must_use]
+pub fn naive_negacyclic_mul(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            let p = q.mul(x, y);
+            let k = i + j;
+            if k < n {
+                out[k] = q.add(out[k], p);
+            } else {
+                out[k - n] = q.sub(out[k - n], p); // X^N = −1
+            }
+        }
+    }
+    out
+}
+
+/// Two-dimensional four-step decomposition of the cyclic NTT.
+///
+/// With `n = rows · cols`, input indexed `a[rows·c + r]` and output indexed
+/// `X[cols·r' + c']`, the transform factorizes into:
+///
+/// 1. length-`cols` NTTs across `c` for each `r` (root `ω^rows`),
+/// 2. twiddle scaling by `ω^{r·c'}`,
+/// 3. length-`rows` NTTs across `r` for each `c'` (root `ω^cols`).
+///
+/// This is the identity the VPU's dimension decomposition (§IV-A)
+/// implements in hardware; it is exposed here so the hardware mapping can
+/// be validated against pure index arithmetic.
+///
+/// # Panics
+///
+/// Panics if `a.len() != rows * cols` or the factors are not powers of two.
+#[must_use]
+pub fn four_step_cyclic(a: &[u64], rows: usize, cols: usize, omega: u64, q: &Modulus) -> Vec<u64> {
+    let n = rows * cols;
+    assert_eq!(a.len(), n, "length must equal rows * cols");
+    assert!(rows.is_power_of_two() && cols.is_power_of_two());
+    let omega_c = q.pow(omega, rows as u64); // primitive cols-th root
+    let omega_r = q.pow(omega, cols as u64); // primitive rows-th root
+
+    // Step 1: length-cols DFT along c for each fixed r.
+    let mut b = vec![0u64; n];
+    for r in 0..rows {
+        for c_out in 0..cols {
+            let mut acc = 0u64;
+            for c in 0..cols {
+                let w = q.pow(omega_c, (c * c_out % cols) as u64);
+                acc = q.add(acc, q.mul(a[rows * c + r], w));
+            }
+            b[rows * c_out + r] = acc;
+        }
+    }
+    // Step 2: twiddle by ω^{r·c'}.
+    for r in 0..rows {
+        for c_out in 0..cols {
+            let w = q.pow(omega, (r * c_out % n) as u64);
+            b[rows * c_out + r] = q.mul(b[rows * c_out + r], w);
+        }
+    }
+    // Step 3: length-rows DFT along r for each fixed c'.
+    let mut x = vec![0u64; n];
+    for c_out in 0..cols {
+        for r_out in 0..rows {
+            let mut acc = 0u64;
+            for r in 0..rows {
+                let w = q.pow(omega_r, (r * r_out % rows) as u64);
+                acc = q.add(acc, q.mul(b[rows * c_out + r], w));
+            }
+            x[cols * r_out + c_out] = acc;
+        }
+    }
+    x
+}
+
+/// Applies the ψ-twist that converts a negacyclic problem to a cyclic one:
+/// `out[i] = a[i] · ψ^i`.
+///
+/// The negacyclic NTT of `a` equals the cyclic NTT (with ω = ψ²) of the
+/// twisted sequence — the identity the VPU pipeline uses so its four-step
+/// machinery only ever deals with cyclic transforms.
+#[must_use]
+pub fn psi_twist(a: &[u64], psi: u64, q: &Modulus) -> Vec<u64> {
+    let mut acc = 1u64;
+    a.iter()
+        .map(|&x| {
+            let y = q.mul(x, acc);
+            acc = q.mul(acc, psi);
+            y
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_prime;
+
+    fn setup(n: usize, bits: u32) -> (Modulus, NttTable) {
+        let q = Modulus::new(ntt_prime(bits, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        (q, table)
+    }
+
+    #[test]
+    fn negacyclic_round_trip_various_sizes() {
+        for log_n in [1usize, 2, 3, 6, 10] {
+            let n = 1 << log_n;
+            let (_, table) = setup(n, 30);
+            let mut a: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let orig = a.clone();
+            table.forward_inplace(&mut a);
+            assert_ne!(a, orig, "forward must change a generic input");
+            table.inverse_inplace(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn negacyclic_convolution_theorem() {
+        let n = 64;
+        let (q, table) = setup(n, 30);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * i + 3)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 5 + 11)).collect();
+        let expect = naive_negacyclic_mul(&a, &b, &q);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        table.forward_inplace(&mut fa);
+        table.forward_inplace(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        table.inverse_inplace(&mut prod);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // (X^{N-1})² = X^{2N-2} = −X^{N-2} in Z_q[X]/(X^N+1).
+        let n = 16;
+        let (q, table) = setup(n, 30);
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut fa = a.clone();
+        table.forward_inplace(&mut fa);
+        let mut prod: Vec<u64> = fa.iter().map(|&x| q.mul(x, x)).collect();
+        table.inverse_inplace(&mut prod);
+        let mut expect = vec![0u64; n];
+        expect[n - 2] = q.neg(1);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn forward_is_linear() {
+        let n = 32;
+        let (q, table) = setup(n, 30);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 2)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(3 * i + 1)).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        table.forward_inplace(&mut fa);
+        table.forward_inplace(&mut fb);
+        table.forward_inplace(&mut fs);
+        for i in 0..n {
+            assert_eq!(fs[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn cyclic_matches_naive_dft() {
+        let q = Modulus::new(ntt_prime(20, 32).unwrap()).unwrap();
+        let ntt = CyclicNtt::new(q, 32).unwrap();
+        let a: Vec<u64> = (0..32u64).map(|i| q.reduce_u64(i * 13 + 5)).collect();
+        let expect = naive_cyclic_dft(&a, ntt.omega(), &q);
+        let mut got = a.clone();
+        ntt.forward_inplace(&mut got);
+        assert_eq!(got, expect);
+        ntt.inverse_inplace(&mut got);
+        assert_eq!(got, a);
+    }
+
+    #[test]
+    fn four_step_matches_direct_cyclic() {
+        let q = Modulus::new(ntt_prime(20, 64).unwrap()).unwrap();
+        for (rows, cols) in [(8usize, 8usize), (4, 16), (16, 4), (2, 32)] {
+            let n = rows * cols;
+            let ntt = CyclicNtt::new(q, n).unwrap();
+            let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 3 + 7)).collect();
+            let four = four_step_cyclic(&a, rows, cols, ntt.omega(), &q);
+            // With input strided as a[rows·c + r] and output as
+            // X[cols·r' + c'], the four-step factorization reproduces the
+            // flat DFT exactly — the "transpose" lives entirely in the
+            // access strides, which is what the VPU exploits.
+            let direct = naive_cyclic_dft(&a, ntt.omega(), &q);
+            assert_eq!(four, direct, "rows={rows} cols={cols}");
+        }
+    }
+
+    #[test]
+    fn psi_twist_reduces_negacyclic_to_cyclic() {
+        let n = 64;
+        let (q, table) = setup(n, 30);
+        let psi = table.psi();
+        let omega = q.mul(psi, psi);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 1)).collect();
+
+        // Negacyclic NTT via the table (bit-reversed output).
+        let mut neg = a.clone();
+        table.forward_inplace(&mut neg);
+
+        // Cyclic DFT of the twisted input (natural order).
+        let twisted = psi_twist(&a, psi, &q);
+        let cyc = naive_cyclic_dft(&twisted, omega, &q);
+
+        // Both compute evaluations of a at odd powers of ψ; orderings
+        // differ (bit-reversed vs natural), so compare as multisets.
+        let mut x = neg.clone();
+        let mut y = cyc.clone();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_moduli() {
+        let q = Modulus::new(97).unwrap();
+        assert!(NttTable::new(q, 48).is_err());
+        assert!(CyclicNtt::new(q, 0).is_err());
+        // 97 ≡ 1 (mod 32) but not mod 64.
+        assert!(CyclicNtt::new(q, 32).is_ok());
+        assert!(CyclicNtt::new(q, 64).is_err());
+    }
+
+    #[test]
+    fn stages_counts_log_n() {
+        let (_, table) = setup(256, 30);
+        assert_eq!(table.stages(), 8);
+    }
+}

@@ -1,0 +1,378 @@
+//! The polynomial ring `R_q = Z_q[X]/(X^N + 1)`.
+//!
+//! FHE ciphertexts are pairs of `R_q` elements; this module provides the
+//! ring with both representations the paper's dataflow moves between:
+//! **coefficient** form (what automorphism permutes, with signs) and
+//! **NTT/evaluation** form (what element-wise operations work in).
+
+use crate::automorphism::apply_galois_coeff;
+use crate::modular::Modulus;
+use crate::ntt::NttTable;
+use crate::MathError;
+
+/// Which domain a polynomial's data currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Natural-order coefficients of the polynomial.
+    Coefficient,
+    /// Bit-reversed-order evaluations (output of the negacyclic NTT).
+    Evaluation,
+}
+
+/// An element of `Z_q[X]/(X^N + 1)` tagged with its representation.
+///
+/// Operations validate that operands share a modulus, degree, and
+/// representation, catching the classic FHE implementation bug of mixing
+/// domains.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_math::{modular::Modulus, ntt::NttTable, poly::Poly};
+///
+/// # fn main() -> Result<(), uvpu_math::MathError> {
+/// let n = 64;
+/// let q = Modulus::new(uvpu_math::primes::ntt_prime(30, n)?)?;
+/// let table = NttTable::new(q, n)?;
+/// let a = Poly::from_coeffs(vec![1; n], q)?;
+/// let b = a.clone();
+/// let prod = a.to_evaluation(&table).mul(&b.to_evaluation(&table))?;
+/// let coeffs = prod.to_coefficient(&table);
+/// // (1 + X + … + X^{63})² has alternating-sign wraparound terms.
+/// assert_eq!(coeffs.coeffs()[0], q.sub(1, 63));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    modulus: Modulus,
+    repr: Representation,
+}
+
+impl Poly {
+    /// Creates a coefficient-form polynomial, reducing each entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] if the length is not a power of two.
+    pub fn from_coeffs(mut coeffs: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        if !coeffs.len().is_power_of_two() {
+            return Err(MathError::LengthNotPowerOfTwo {
+                length: coeffs.len(),
+            });
+        }
+        for c in &mut coeffs {
+            *c = modulus.reduce_u64(*c);
+        }
+        Ok(Self {
+            coeffs,
+            modulus,
+            repr: Representation::Coefficient,
+        })
+    }
+
+    /// Creates an evaluation-form polynomial from already-reduced values.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] if the length is not a power of two.
+    pub fn from_evaluations(values: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        let mut p = Self::from_coeffs(values, modulus)?;
+        p.repr = Representation::Evaluation;
+        Ok(p)
+    }
+
+    /// The zero polynomial in coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] if `n` is not a power of two.
+    pub fn zero(n: usize, modulus: Modulus) -> Result<Self, MathError> {
+        Self::from_coeffs(vec![0; n], modulus)
+    }
+
+    /// Ring degree `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Current representation.
+    #[must_use]
+    pub const fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// Raw data (interpretation depends on [`Self::representation`]).
+    #[must_use]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable raw data.
+    #[must_use]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its raw data.
+    #[must_use]
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<(), MathError> {
+        if self.modulus != other.modulus {
+            return Err(MathError::ModulusMismatch);
+        }
+        if self.n() != other.n() {
+            return Err(MathError::LengthMismatch {
+                left: self.n(),
+                right: other.n(),
+            });
+        }
+        if self.repr != other.repr {
+            return Err(MathError::ModulusMismatch);
+        }
+        Ok(())
+    }
+
+    /// Element-wise addition (valid in either representation).
+    ///
+    /// # Errors
+    ///
+    /// Mismatched modulus, degree, or representation.
+    pub fn add(&self, other: &Self) -> Result<Self, MathError> {
+        self.check_compatible(other)?;
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| self.modulus.add(a, b))
+            .collect();
+        Ok(Self {
+            coeffs,
+            modulus: self.modulus,
+            repr: self.repr,
+        })
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched modulus, degree, or representation.
+    pub fn sub(&self, other: &Self) -> Result<Self, MathError> {
+        self.check_compatible(other)?;
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| self.modulus.sub(a, b))
+            .collect();
+        Ok(Self {
+            coeffs,
+            modulus: self.modulus,
+            repr: self.repr,
+        })
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self {
+            coeffs: self.coeffs.iter().map(|&a| self.modulus.neg(a)).collect(),
+            modulus: self.modulus,
+            repr: self.repr,
+        }
+    }
+
+    /// Multiplication by a scalar.
+    #[must_use]
+    pub fn scalar_mul(&self, k: u64) -> Self {
+        let k = self.modulus.reduce_u64(k);
+        Self {
+            coeffs: self.coeffs.iter().map(|&a| self.modulus.mul(a, k)).collect(),
+            modulus: self.modulus,
+            repr: self.repr,
+        }
+    }
+
+    /// Ring multiplication. Both operands must be in evaluation form
+    /// (where the product is element-wise); use [`Self::to_evaluation`]
+    /// first for coefficient-form operands.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched operands, or operands in coefficient form.
+    pub fn mul(&self, other: &Self) -> Result<Self, MathError> {
+        self.check_compatible(other)?;
+        if self.repr != Representation::Evaluation {
+            return Err(MathError::ModulusMismatch);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| self.modulus.mul(a, b))
+            .collect();
+        Ok(Self {
+            coeffs,
+            modulus: self.modulus,
+            repr: Representation::Evaluation,
+        })
+    }
+
+    /// Converts to evaluation form (no-op if already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different degree or modulus.
+    #[must_use]
+    pub fn to_evaluation(mut self, table: &NttTable) -> Self {
+        assert_eq!(table.modulus(), self.modulus, "NTT table modulus mismatch");
+        if self.repr == Representation::Coefficient {
+            table.forward_inplace(&mut self.coeffs);
+            self.repr = Representation::Evaluation;
+        }
+        self
+    }
+
+    /// Converts to coefficient form (no-op if already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different degree or modulus.
+    #[must_use]
+    pub fn to_coefficient(mut self, table: &NttTable) -> Self {
+        assert_eq!(table.modulus(), self.modulus, "NTT table modulus mismatch");
+        if self.repr == Representation::Evaluation {
+            table.inverse_inplace(&mut self.coeffs);
+            self.repr = Representation::Coefficient;
+        }
+        self
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (coefficient form only).
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::EvenMultiplier`] for even `g`; representation errors
+    /// if called in evaluation form (use the VPU's evaluation-domain
+    /// permutation for that path).
+    pub fn galois(&self, g: u64) -> Result<Self, MathError> {
+        if g.is_multiple_of(2) {
+            return Err(MathError::EvenMultiplier { multiplier: g });
+        }
+        if self.repr != Representation::Coefficient {
+            return Err(MathError::ModulusMismatch);
+        }
+        Ok(Self {
+            coeffs: apply_galois_coeff(&self.coeffs, g, &self.modulus),
+            modulus: self.modulus,
+            repr: Representation::Coefficient,
+        })
+    }
+
+    /// `ℓ∞` norm of the centered representatives — the standard noise
+    /// measure in FHE analysis.
+    #[must_use]
+    pub fn infinity_norm(&self) -> u64 {
+        self.coeffs
+            .iter()
+            .map(|&c| self.modulus.to_centered(c).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::naive_negacyclic_mul;
+    use crate::primes::ntt_prime;
+
+    fn setup(n: usize) -> (Modulus, NttTable) {
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        (q, NttTable::new(q, n).unwrap())
+    }
+
+    #[test]
+    fn construction_reduces() {
+        let q = Modulus::new(17).unwrap();
+        let p = Poly::from_coeffs(vec![20, 34, 16, 0], q).unwrap();
+        assert_eq!(p.coeffs(), &[3, 0, 16, 0]);
+        assert!(Poly::from_coeffs(vec![0; 3], q).is_err());
+    }
+
+    #[test]
+    fn add_sub_neg_algebra() {
+        let (q, _) = setup(16);
+        let a = Poly::from_coeffs((0..16).collect(), q).unwrap();
+        let b = Poly::from_coeffs((100..116).collect(), q).unwrap();
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.sub(&b).unwrap(), a);
+        assert_eq!(a.add(&a.neg()).unwrap(), Poly::zero(16, q).unwrap());
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let (q, table) = setup(32);
+        let a: Vec<u64> = (0..32u64).map(|i| i * i + 1).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| 3 * i + 2).collect();
+        let expect = naive_negacyclic_mul(
+            &a.iter().map(|&x| q.reduce_u64(x)).collect::<Vec<_>>(),
+            &b.iter().map(|&x| q.reduce_u64(x)).collect::<Vec<_>>(),
+            &q,
+        );
+        let pa = Poly::from_coeffs(a, q).unwrap().to_evaluation(&table);
+        let pb = Poly::from_coeffs(b, q).unwrap().to_evaluation(&table);
+        let prod = pa.mul(&pb).unwrap().to_coefficient(&table);
+        assert_eq!(prod.coeffs(), expect.as_slice());
+    }
+
+    #[test]
+    fn representation_is_enforced() {
+        let (q, table) = setup(16);
+        let a = Poly::from_coeffs(vec![1; 16], q).unwrap();
+        let b = a.clone().to_evaluation(&table);
+        assert!(a.mul(&a).is_err(), "coefficient-form mul must fail");
+        assert!(a.add(&b).is_err(), "mixed-representation add must fail");
+        assert!(b.galois(5).is_err(), "evaluation-form galois must fail");
+    }
+
+    #[test]
+    fn galois_round_trip() {
+        let (q, _) = setup(32);
+        let a = Poly::from_coeffs((1..33).collect(), q).unwrap();
+        let g = 5u64;
+        let g_inv = crate::util::mod_inverse(g, 64).unwrap();
+        assert_eq!(a.galois(g).unwrap().galois(g_inv).unwrap(), a);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let (q, _) = setup(16);
+        let a = Poly::from_coeffs((0..16).collect(), q).unwrap();
+        let b = Poly::from_coeffs((5..21).collect(), q).unwrap();
+        let lhs = a.add(&b).unwrap().scalar_mul(7);
+        let rhs = a.scalar_mul(7).add(&b.scalar_mul(7)).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn infinity_norm_is_centered() {
+        let q = Modulus::new(17).unwrap();
+        let p = Poly::from_coeffs(vec![16, 1, 8, 9], q).unwrap();
+        // centered: -1, 1, 8, -8.
+        assert_eq!(p.infinity_norm(), 8);
+        assert_eq!(Poly::zero(4, q).unwrap().infinity_norm(), 0);
+    }
+}

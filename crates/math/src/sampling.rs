@@ -1,0 +1,171 @@
+//! Randomness for lattice cryptography: the three distributions every
+//! RLWE-based scheme draws from.
+//!
+//! - [`GaussianSampler`]: rounded-Gaussian error polynomials (Box–Muller
+//!   with rounding and a hard tail cut, the standard software stand-in
+//!   for a discrete Gaussian at σ ≈ 3.2);
+//! - [`ternary`] / [`ternary_fixed_weight`]: secret keys;
+//! - [`uniform`]: public randomness modulo `q`.
+//!
+//! Shared by the CKKS and BFV crates so noise behaviour is consistent
+//! across schemes.
+
+use rand::Rng;
+
+/// A rounded-Gaussian sampler with standard deviation σ and a ⌈6σ⌉ tail
+/// cut (samples beyond it are rejected and redrawn, matching common FHE
+/// library practice).
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use uvpu_math::sampling::GaussianSampler;
+///
+/// let sampler = GaussianSampler::new(3.2);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let e = sampler.sample_vec(&mut rng, 1024);
+/// assert!(e.iter().all(|&x| x.abs() <= 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianSampler {
+    sigma: f64,
+    tail: i64,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with the given σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    #[must_use]
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Self {
+            sigma,
+            tail: (6.0 * sigma).ceil() as i64,
+        }
+    }
+
+    /// The standard deviation.
+    #[must_use]
+    pub const fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one rounded-Gaussian integer.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> i64 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let x = (self.sigma * (-2.0 * u1.ln()).sqrt() * u2.cos()).round() as i64;
+            if x.abs() <= self.tail {
+                return x;
+            }
+        }
+    }
+
+    /// Draws a vector of rounded-Gaussian integers.
+    pub fn sample_vec<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<i64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform ternary coefficients in {−1, 0, 1}.
+pub fn ternary<R: Rng>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| i64::from(rng.gen_range(-1i8..=1))).collect()
+}
+
+/// Ternary coefficients with exactly `weight` non-zeros (sparse secrets,
+/// as used by bootstrappable parameter sets).
+///
+/// # Panics
+///
+/// Panics if `weight > n`.
+pub fn ternary_fixed_weight<R: Rng>(rng: &mut R, n: usize, weight: usize) -> Vec<i64> {
+    assert!(weight <= n, "weight {weight} exceeds length {n}");
+    let mut out = vec![0i64; n];
+    let mut placed = 0;
+    while placed < weight {
+        let idx = rng.gen_range(0..n);
+        if out[idx] == 0 {
+            out[idx] = if rng.gen_bool(0.5) { 1 } else { -1 };
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// Uniform residues in `[0, q)`.
+pub fn uniform<R: Rng>(rng: &mut R, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let sampler = GaussianSampler::new(3.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let xs = sampler.sample_vec(&mut rng, n);
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Rounded Gaussian variance ≈ σ² + 1/12.
+        let expect = 3.2f64.powi(2) + 1.0 / 12.0;
+        assert!((var - expect).abs() / expect < 0.05, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn gaussian_tail_is_cut() {
+        let sampler = GaussianSampler::new(2.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50_000 {
+            assert!(sampler.sample(&mut rng).abs() <= 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn gaussian_rejects_bad_sigma() {
+        let _ = GaussianSampler::new(0.0);
+    }
+
+    #[test]
+    fn ternary_values_and_balance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs = ternary(&mut rng, 30_000);
+        assert!(xs.iter().all(|&x| (-1..=1).contains(&x)));
+        let counts = [-1i64, 0, 1].map(|v| xs.iter().filter(|&&x| x == v).count());
+        for c in counts {
+            let ratio = c as f64 / 30_000.0;
+            assert!((ratio - 1.0 / 3.0).abs() < 0.02, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn fixed_weight_is_exact() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let xs = ternary_fixed_weight(&mut rng, 1024, 64);
+        assert_eq!(xs.iter().filter(|&&x| x != 0).count(), 64);
+        assert!(xs.iter().all(|&x| (-1..=1).contains(&x)));
+        assert!(ternary_fixed_weight(&mut rng, 8, 8).iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = 97u64;
+        let xs = uniform(&mut rng, 100_000, q);
+        assert!(xs.iter().all(|&x| x < q));
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 48.0).abs() < 1.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Small bit-manipulation helpers shared across the crate.
+
+/// Returns the base-2 logarithm of `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(uvpu_math::util::log2_exact(64), 6);
+/// ```
+#[must_use]
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "log2_exact: {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(uvpu_math::util::bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(uvpu_math::util::bit_reverse(6, 3), 3);
+/// ```
+#[must_use]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permutes `data` into bit-reversed index order in place.
+///
+/// Applying the permutation twice restores the original order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let bits = log2_exact(data.len());
+    for i in 0..data.len() {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Greatest common divisor of two unsigned integers.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(uvpu_math::util::gcd(12, 18), 6);
+/// assert_eq!(uvpu_math::util::gcd(0, 7), 7);
+/// ```
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+#[must_use]
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` modulo `m`, when it exists.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(uvpu_math::util::mod_inverse(3, 7), Some(5));
+/// assert_eq!(uvpu_math::util::mod_inverse(2, 4), None);
+/// ```
+#[must_use]
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(i128::from(a % m), i128::from(m));
+    if g != 1 {
+        return None;
+    }
+    let m = i128::from(m);
+    Some(((x % m + m) % m) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_exact_small_powers() {
+        for k in 0..20 {
+            assert_eq!(log2_exact(1usize << k), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_exact_rejects_non_power() {
+        let _ = log2_exact(12);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for bits in 1..12u32 {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_permute_round_trip() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(48, 36), 12);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn mod_inverse_matches_definition() {
+        for m in [5u64, 7, 13, 97, 65537] {
+            for a in 1..m.min(200) {
+                let inv = mod_inverse(a, m).expect("prime modulus");
+                assert_eq!((u128::from(a) * u128::from(inv) % u128::from(m)) as u64, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_rejects_common_factor() {
+        assert_eq!(mod_inverse(6, 9), None);
+        assert_eq!(mod_inverse(0, 9), None);
+    }
+}

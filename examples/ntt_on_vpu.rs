@@ -1,0 +1,58 @@
+//! NTT mapping deep-dive: how a big transform decomposes onto the lanes.
+//!
+//! For each size, this prints the dimension decomposition, the cycle
+//! breakdown (butterfly / element-wise / network-move beats), and the
+//! resulting throughput utilization (paper Table III), then cross-checks
+//! the output bit-exactly against the golden-model transform.
+//!
+//! Run with: `cargo run --release --example ntt_on_vpu`
+
+use uvpu::math::modular::Modulus;
+use uvpu::math::ntt::naive_cyclic_dft;
+use uvpu::math::primes::ntt_prime;
+use uvpu::vpu::ntt_map::NttPlan;
+use uvpu::vpu::vpu::Vpu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 64;
+    println!("mapping NTTs onto a {m}-lane unified VPU");
+    println!(
+        "{:<7} {:<14} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "N", "dims", "butterfly", "ewise", "move", "total", "util"
+    );
+    println!("{}", "-".repeat(80));
+    for log_n in [8u32, 10, 12, 14] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n)?)?;
+        let plan = NttPlan::new(q, n, m)?;
+        let mut vpu = Vpu::new(m, q, 8)?;
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 31 + 7).collect();
+        let run = plan.execute_forward_negacyclic(&mut vpu, &data)?;
+        let dims: Vec<String> = plan.dims().iter().map(ToString::to_string).collect();
+        println!(
+            "2^{:<5} {:<14} {:>10} {:>10} {:>10} {:>12} {:>7.2}%",
+            log_n,
+            dims.join("x"),
+            run.stats.butterfly,
+            run.stats.elementwise,
+            run.stats.network_move,
+            run.stats.total(),
+            100.0 * run.stats.utilization()
+        );
+
+        // Cross-check one size in detail against the naive reference.
+        if n <= 1 << 10 {
+            let cyclic = plan.execute_forward(&mut vpu, &data)?;
+            let reduced: Vec<u64> = data.iter().map(|&x| q.reduce_u64(x)).collect();
+            let expect = naive_cyclic_dft(&reduced, plan.omega(), &q);
+            assert_eq!(cyclic.output, expect, "bit-exact vs the naive DFT");
+        }
+        // And the round trip.
+        let back = plan.execute_inverse_negacyclic(&mut vpu, &run.output)?;
+        let reduced: Vec<u64> = data.iter().map(|&x| q.reduce_u64(x)).collect();
+        assert_eq!(back.output, reduced, "forward/inverse round trip");
+    }
+    println!();
+    println!("all outputs verified bit-exactly against the golden model.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! `uvpu` — a unified vector processing unit for fully homomorphic
+//! encryption.
+//!
+//! This is the umbrella crate of the workspace reproducing *"A Unified
+//! Vector Processing Unit for Fully Homomorphic Encryption"* (DATE 2025).
+//! It re-exports every sub-crate under one roof and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `uvpu-math` | modular arithmetic, NTTs, RNS, automorphism index algebra |
+//! | [`vpu`] | `uvpu-core` | **the paper's contribution**: lanes, inter-lane network, control solver, NTT/automorphism mapping |
+//! | [`hw_model`] | `uvpu-hw-model` | calibrated area/power models of Ours / F1 / BTS / ARK / SHARP |
+//! | [`ckks`] | `uvpu-ckks` | a full RNS-CKKS scheme as the workload generator |
+//! | [`bfv`] | `uvpu-bfv` | an exact-arithmetic BFV scheme (the paper's "similarly supported" claim) |
+//! | [`accel`] | `uvpu-accel` | the multi-VPU accelerator simulator (NoC + SRAM + scheduler) |
+//!
+//! # Quick start
+//!
+//! ```
+//! use uvpu::vpu::auto_map::AutomorphismMapping;
+//! use uvpu::vpu::ntt_map::NttPlan;
+//! use uvpu::vpu::vpu::Vpu;
+//! use uvpu::math::{modular::Modulus, primes::ntt_prime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (n, m) = (1 << 10, 64);
+//! let q = Modulus::new(ntt_prime(50, n)?)?;
+//! let mut vpu = Vpu::new(m, q, 64)?;
+//!
+//! let plan = NttPlan::new(q, n, m)?;
+//! let spectrum = plan.execute_forward_negacyclic(&mut vpu, &vec![1; n])?;
+//! let rot = AutomorphismMapping::new(n, m, 5, 0)?.execute(&mut vpu, &spectrum.output)?;
+//! assert_eq!(rot.utilization(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use uvpu_accel as accel;
+pub use uvpu_bfv as bfv;
+pub use uvpu_ckks as ckks;
+pub use uvpu_core as vpu;
+pub use uvpu_hw_model as hw_model;
+pub use uvpu_math as math;

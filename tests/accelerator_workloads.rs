@@ -1,0 +1,70 @@
+//! Integration tests of the accelerator-level simulator with realistic
+//! FHE traces.
+
+use uvpu::accel::config::AcceleratorConfig;
+use uvpu::accel::machine::Accelerator;
+use uvpu::accel::workload::FheOp;
+
+fn config(vpus: usize) -> AcceleratorConfig {
+    AcceleratorConfig {
+        vpu_count: vpus,
+        ..AcceleratorConfig::default()
+    }
+}
+
+#[test]
+fn inference_trace_scales_with_vpus() {
+    let n = 1usize << 12;
+    let limbs = 3;
+    let trace = vec![
+        FheOp::HMult { n, limbs },
+        FheOp::HRot { n, limbs },
+        FheOp::HRot { n, limbs },
+        FheOp::HAdd { n, limbs },
+    ];
+    let mut prev = u64::MAX;
+    for vpus in [1usize, 2, 4, 8] {
+        let r = Accelerator::new(config(vpus))
+            .expect("config")
+            .run(&trace)
+            .expect("run");
+        assert!(r.makespan < prev, "{vpus} VPUs must not be slower");
+        prev = r.makespan;
+    }
+}
+
+#[test]
+fn speedup_is_near_linear_for_wide_traces() {
+    let n = 1usize << 10;
+    let trace: Vec<FheOp> = (0..8).map(|_| FheOp::HMult { n, limbs: 4 }).collect();
+    let r1 = Accelerator::new(config(1)).expect("c").run(&trace).expect("r");
+    let r8 = Accelerator::new(config(8)).expect("c").run(&trace).expect("r");
+    let speedup = r1.makespan as f64 / r8.makespan as f64;
+    assert!(speedup > 6.0, "8 VPUs should give >6x on a wide trace: {speedup:.2}");
+}
+
+#[test]
+fn work_is_conserved_across_machine_shapes() {
+    let trace = vec![
+        FheOp::HRot { n: 1 << 12, limbs: 2 },
+        FheOp::HAdd { n: 1 << 12, limbs: 2 },
+        FheOp::HMult { n: 1 << 12, limbs: 2 },
+    ];
+    let r2 = Accelerator::new(config(2)).expect("c").run(&trace).expect("r");
+    let r6 = Accelerator::new(config(6)).expect("c").run(&trace).expect("r");
+    assert_eq!(r2.vpu_stats, r6.vpu_stats, "pipeline beats are machine-independent");
+    assert_eq!(r2.sram_traffic_bytes, r6.sram_traffic_bytes);
+    assert_eq!(r2.task_count, r6.task_count);
+}
+
+#[test]
+fn rotation_heavy_traces_exercise_the_network() {
+    // A bootstrapping-shaped trace: many rotations. The VPU time must be
+    // dominated by network-move beats, matching the paper's motivation.
+    let trace: Vec<FheOp> = (0..4)
+        .map(|_| FheOp::Automorphism { n: 1 << 14 })
+        .collect();
+    let r = Accelerator::new(config(2)).expect("c").run(&trace).expect("r");
+    assert_eq!(r.vpu_stats.compute(), 0);
+    assert_eq!(r.vpu_stats.network_move, 4 * (1 << 14) / 64);
+}

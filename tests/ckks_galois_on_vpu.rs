@@ -1,0 +1,113 @@
+//! The central cross-crate integration: the VPU's single-pass merged
+//! automorphism implements the **exact CKKS Galois action** in the
+//! evaluation domain.
+//!
+//! For the ring `Z_q[X]/(X^N+1)` with natural-order evaluations
+//! `eval[i] = a(ψ^{2i+1})`, the Galois map `τ_g: a(X) ↦ a(X^g)` moves
+//! values by the affine index map `i ↦ i·g + (g−1)/2 (mod N)` — precisely
+//! the automorphism-merged-with-shift form `ρ_t ∘ σ_g` that the paper's
+//! inter-lane network routes in one traversal (§IV-B). This test performs
+//! the Galois action both ways and demands bit-exact agreement.
+
+use uvpu::math::automorphism::{galois_exponent, AffineMap};
+use uvpu::math::modular::Modulus;
+use uvpu::math::poly::Poly;
+use uvpu::math::primes::ntt_prime;
+use uvpu::vpu::auto_map::AutomorphismMapping;
+use uvpu::vpu::ntt_map::NttPlan;
+use uvpu::vpu::vpu::Vpu;
+
+/// The evaluation-domain index map of `τ_g` under natural ψ-power order.
+fn galois_eval_map(n: usize, g: u64) -> AffineMap {
+    AffineMap::new(n, g, (g - 1) / 2).expect("odd g")
+}
+
+#[test]
+fn vpu_automorphism_is_the_galois_action_in_eval_domain() {
+    let (n, m) = (512usize, 64usize);
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let plan = NttPlan::new(q, n, m).expect("plan");
+    let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+
+    let coeffs: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 23 + 9)).collect();
+    let poly = Poly::from_coeffs(coeffs.clone(), q).expect("poly");
+
+    for step in [1i64, 2, 3, -1] {
+        let g = galois_exponent(step, n);
+
+        // Path 1 — golden model: Galois in the coefficient domain, then
+        // the VPU's NTT into the evaluation domain.
+        let rotated_coeff = poly.galois(g).expect("galois");
+        let eval_of_galois = plan
+            .execute_forward_negacyclic(&mut vpu, rotated_coeff.coeffs())
+            .expect("ntt")
+            .output;
+
+        // Path 2 — the paper's way: NTT first, then ONE network traversal
+        // per column with the merged automorphism+shift control word.
+        let eval = plan
+            .execute_forward_negacyclic(&mut vpu, &coeffs)
+            .expect("ntt")
+            .output;
+        let map = galois_eval_map(n, g);
+        // τ_g satisfies eval_b[i] = eval_a[σ(i)]; our executor computes
+        // out[map(i)] = in[i], so route with the inverse map.
+        let inv = map.inverse();
+        let auto = AutomorphismMapping::new(n, m, inv.multiplier(), inv.offset())
+            .expect("plan")
+            .execute(&mut vpu, &eval)
+            .expect("run");
+
+        assert_eq!(
+            auto.output, eval_of_galois,
+            "step {step} (g = {g}): the single-pass network automorphism must equal the ring Galois action"
+        );
+        assert_eq!(auto.utilization(), 1.0);
+    }
+}
+
+#[test]
+fn conjugation_is_also_a_single_pass() {
+    let (n, m) = (256usize, 64usize);
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let plan = NttPlan::new(q, n, m).expect("plan");
+    let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+    let coeffs: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(3 * i + 1)).collect();
+    let poly = Poly::from_coeffs(coeffs.clone(), q).expect("poly");
+
+    let g = 2 * n as u64 - 1; // complex conjugation
+    let rotated_coeff = poly.galois(g).expect("galois");
+    let expect = plan
+        .execute_forward_negacyclic(&mut vpu, rotated_coeff.coeffs())
+        .expect("ntt")
+        .output;
+
+    let eval = plan
+        .execute_forward_negacyclic(&mut vpu, &coeffs)
+        .expect("ntt")
+        .output;
+    let inv = galois_eval_map(n, g % (2 * n as u64)).inverse();
+    let got = AutomorphismMapping::new(n, m, inv.multiplier(), inv.offset())
+        .expect("plan")
+        .execute(&mut vpu, &eval)
+        .expect("run")
+        .output;
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn eval_map_composition_mirrors_rotation_composition() {
+    // rot(a) then rot(b) in slot space = rot(a+b): the affine eval maps
+    // must compose the same way.
+    let n = 1024usize;
+    for (a, b) in [(1i64, 2i64), (3, 5), (-1, 4)] {
+        let ga = galois_exponent(a, n);
+        let gb = galois_exponent(b, n);
+        let gab = galois_exponent(a + b, n);
+        let composed = galois_eval_map(n, ga).then(&galois_eval_map(n, gb));
+        let direct = galois_eval_map(n, gab);
+        for i in [0usize, 1, 17, n - 1] {
+            assert_eq!(composed.apply_index(i), direct.apply_index(i), "a={a} b={b}");
+        }
+    }
+}

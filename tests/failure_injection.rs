@@ -1,0 +1,120 @@
+//! Failure injection: deliberately corrupt one control bit, twiddle
+//! factor, or routed word and assert the checks catch it — guarding the
+//! test suite against vacuous assertions (DESIGN.md §6).
+
+use uvpu::math::automorphism::AffineMap;
+use uvpu::math::modular::Modulus;
+use uvpu::math::primes::ntt_prime;
+use uvpu::vpu::control::ShiftControls;
+use uvpu::vpu::lane::{ButterflyKind, LaneArray};
+use uvpu::vpu::network::InterLaneNetwork;
+use uvpu::vpu::ntt_map::SmallNtt;
+use uvpu::vpu::vpu::Vpu;
+
+#[test]
+fn single_flipped_control_bit_breaks_the_automorphism() {
+    let m = 64;
+    let net = InterLaneNetwork::new(m).expect("network");
+    let map = AffineMap::new(m, 5, 3).expect("map");
+    let good = ShiftControls::from_affine(&map);
+    let data: Vec<u64> = (0..m as u64).collect();
+    let expect = map.permute(&data);
+    assert_eq!(net.shift_pass(&data, &good), expect, "baseline must hold");
+
+    // Flip every single control bit in turn; each flip must be detected.
+    for level in 0..good.levels() {
+        for class in 0..(1usize << level) {
+            let mut bits: Vec<Vec<bool>> =
+                (0..good.levels()).map(|l| good.level_bits(l).to_vec()).collect();
+            bits[level][class] ^= true;
+            let bad = ShiftControls::from_bits(m, bits).expect("valid shape");
+            assert_ne!(
+                net.shift_pass(&data, &bad),
+                expect,
+                "flipping (level {level}, class {class}) must corrupt the permutation"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_corrupted_twiddle_breaks_the_ntt() {
+    let m = 16;
+    let q = Modulus::new(ntt_prime(30, m).expect("prime")).expect("modulus");
+    let ntt = SmallNtt::new(q, m).expect("plan");
+    let mut vpu = Vpu::new(m, q, 4).expect("vpu");
+    let data: Vec<u64> = (1..=m as u64).collect();
+
+    vpu.load(0, &data).expect("load");
+    ntt.run_forward(&mut vpu, 0).expect("forward");
+    let good = vpu.store(0).expect("store");
+
+    // Re-run by hand with one twiddle replaced by ω^{e+1}: the result
+    // must differ (ω ≠ 1 for m ≥ 2).
+    let mut vpu = Vpu::new(m, q, 4).expect("vpu");
+    vpu.load(0, &data).expect("load");
+    for s in 0..ntt.stages() as usize {
+        let mut tw: Vec<u64> = (0..m / 2)
+            .map(|j| q.pow(ntt.omega(), ((j >> s) << s) as u64))
+            .collect();
+        if s == 1 {
+            tw[0] = q.mul(tw[0], ntt.omega()); // inject the fault
+        }
+        vpu.pease_stage(
+            0,
+            &uvpu::vpu::vpu::PeaseStage::Forward { twiddles: &tw },
+            m,
+        )
+        .expect("stage");
+    }
+    assert_ne!(vpu.store(0).expect("store"), good, "fault must propagate");
+}
+
+#[test]
+fn swapped_butterfly_kind_is_not_equivalent() {
+    let m = 8;
+    let q = Modulus::new(97).expect("modulus");
+    let mut a = LaneArray::new(m, q, 2).expect("lanes");
+    let mut b = LaneArray::new(m, q, 2).expect("lanes");
+    let data: Vec<u64> = (1..=m as u64).collect();
+    a.write(0, &data).expect("write");
+    b.write(0, &data).expect("write");
+    let tw = [3u64, 5, 7, 11];
+    a.butterfly_adjacent(0, ButterflyKind::Dif, &tw).expect("bf");
+    b.butterfly_adjacent(0, ButterflyKind::Dit, &tw).expect("bf");
+    assert_ne!(a.read(0).expect("read"), b.read(0).expect("read"));
+}
+
+#[test]
+fn wrong_cg_direction_breaks_the_round() {
+    let m = 16;
+    let net = InterLaneNetwork::new(m).expect("network");
+    let data: Vec<u64> = (0..m as u64).collect();
+    use uvpu::vpu::network::CgDirection;
+    let forth = net.cg_pass(&data, CgDirection::Dif);
+    // Using DIF again instead of DIT does NOT invert (m > 4).
+    assert_ne!(net.cg_pass(&forth, CgDirection::Dif), data);
+    assert_eq!(net.cg_pass(&forth, CgDirection::Dit), data);
+}
+
+#[test]
+fn corrupted_column_is_detected_by_bit_exact_comparison() {
+    // End-to-end: run the NTT, flip one output word, and confirm the
+    // inverse transform no longer returns the input (i.e. our round-trip
+    // assertions have teeth).
+    let (n, m) = (256usize, 16usize);
+    let q = Modulus::new(ntt_prime(30, n).expect("prime")).expect("modulus");
+    let plan = uvpu::vpu::ntt_map::NttPlan::new(q, n, m).expect("plan");
+    let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+    let data: Vec<u64> = (0..n as u64).collect();
+    let mut spectrum = plan
+        .execute_forward(&mut vpu, &data)
+        .expect("forward")
+        .output;
+    spectrum[37] = q.add(spectrum[37], 1);
+    let back = plan
+        .execute_inverse(&mut vpu, &spectrum)
+        .expect("inverse")
+        .output;
+    assert_ne!(back, data);
+}

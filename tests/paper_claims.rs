@@ -1,0 +1,129 @@
+//! Integration tests pinning the paper's headline claims, end to end.
+
+use uvpu::hw_model::designs::{DesignKind, DesignModel};
+use uvpu::hw_model::tech::TechParams;
+use uvpu::math::automorphism::AffineMap;
+use uvpu::math::modular::Modulus;
+use uvpu::math::primes::ntt_prime;
+use uvpu::vpu::auto_map::AutomorphismMapping;
+use uvpu::vpu::control::ShiftControls;
+use uvpu::vpu::network::InterLaneNetwork;
+use uvpu::vpu::ntt_map::NttPlan;
+use uvpu::vpu::vpu::Vpu;
+use uvpu_bench::{measure_table3, PAPER_TABLE3};
+
+#[test]
+fn claim_single_traversal_for_every_automorphism_at_64_lanes() {
+    // §IV-B: "for any automorphism, data only go through the inter-lane
+    // network once" — exhaustively over all m/2 = 32 automorphisms and a
+    // sample of merged shifts, on the real network.
+    let m = 64;
+    let net = InterLaneNetwork::new(m).expect("network");
+    let data: Vec<u64> = (0..m as u64).collect();
+    for g in (1..m as u64).step_by(2) {
+        for t in 0..m as u64 {
+            let map = AffineMap::new(m, g, t).expect("map");
+            let controls = ShiftControls::from_affine(&map);
+            assert_eq!(controls.bit_count(), m - 1, "m − 1 control bits");
+            assert_eq!(
+                net.shift_pass(&data, &controls),
+                map.permute(&data),
+                "g={g} t={t}: one traversal realizes the merged permutation"
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_network_area_and_power_savings() {
+    // Abstract/§V-B: 1.6×–9.4× network area, 2.8×–6.0× network power;
+    // 1.01×–1.20× VPU area, up to 1.10× VPU power.
+    let tech = TechParams::asap7();
+    let ours = DesignModel::new(DesignKind::Ours, 64);
+    let mut area_ratios = Vec::new();
+    let mut power_ratios = Vec::new();
+    for kind in [DesignKind::F1, DesignKind::Bts, DesignKind::Ark, DesignKind::Sharp] {
+        let d = DesignModel::new(kind, 64);
+        area_ratios.push(d.network_area(&tech) / ours.network_area(&tech));
+        power_ratios.push(d.network_power(&tech) / ours.network_power(&tech));
+    }
+    let max_area = area_ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+    let min_area = area_ratios.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let max_power = power_ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!((max_area - 9.4).abs() < 0.5, "max area ratio {max_area}");
+    assert!(min_area > 1.4 && min_area < 2.0, "min area ratio {min_area}");
+    assert!((max_power - 6.0).abs() < 0.5, "max power ratio {max_power}");
+
+    let f1 = DesignModel::new(DesignKind::F1, 64);
+    let vpu_area_ratio = f1.vpu_area(&tech) / ours.vpu_area(&tech);
+    let vpu_power_ratio = f1.vpu_power(&tech) / ours.vpu_power(&tech);
+    assert!((vpu_area_ratio - 1.20).abs() < 0.03, "{vpu_area_ratio}");
+    assert!((vpu_power_ratio - 1.10).abs() < 0.03, "{vpu_power_ratio}");
+}
+
+#[test]
+fn claim_table3_utilization_envelope() {
+    // §V-C: NTT utilization 75%–85%-ish with dips after 2^12 and 2^18;
+    // automorphism always 100%.
+    let log_sizes: Vec<u32> = PAPER_TABLE3.iter().map(|&(l, _, _)| l).collect();
+    let rows = measure_table3(64, &log_sizes);
+    for (row, paper) in rows.iter().zip(PAPER_TABLE3) {
+        assert_eq!(row.automorphism_utilization, 1.0, "2^{}", row.log_n);
+        let delta = (100.0 * row.ntt_utilization - paper.1).abs();
+        assert!(
+            delta < 13.0,
+            "2^{}: measured {:.1}% vs paper {:.1}%",
+            row.log_n,
+            100.0 * row.ntt_utilization,
+            paper.1
+        );
+    }
+    // The characteristic dips at the dimension boundaries.
+    assert!(rows[1].ntt_utilization > rows[0].ntt_utilization);
+    assert!(rows[2].ntt_utilization < rows[1].ntt_utilization);
+    assert!(rows[4].ntt_utilization > rows[3].ntt_utilization);
+    assert!(rows[5].ntt_utilization < rows[4].ntt_utilization);
+}
+
+#[test]
+fn claim_critical_path_stage_count() {
+    // §III-B: "with typical numbers of lanes like m = 32, 64, there are
+    // only 7 to 8 stages".
+    assert_eq!(InterLaneNetwork::new(32).expect("net").total_stages(), 7);
+    assert_eq!(InterLaneNetwork::new(64).expect("net").total_stages(), 8);
+}
+
+#[test]
+fn claim_control_sram_is_small() {
+    // §IV-B: m = 64 needs about 2 kbit of control SRAM.
+    let q = Modulus::new(ntt_prime(50, 1 << 10).expect("prime")).expect("modulus");
+    let vpu = Vpu::new(64, q, 4).expect("vpu");
+    let bits = vpu.control_table().sram_bits();
+    assert_eq!(bits, 2016);
+    assert!(bits < 2048 + 256, "about 2 kbits");
+}
+
+#[test]
+fn claim_decomposition_dimension_counts() {
+    // §II-B: ⌈log N / log m⌉ dimensions.
+    let q = Modulus::new(ntt_prime(50, 1 << 20).expect("prime")).expect("modulus");
+    for log_n in [10usize, 12, 14, 16, 18, 20] {
+        let plan = NttPlan::new(q, 1 << log_n, 64).expect("plan");
+        assert_eq!(plan.dims().len(), log_n.div_ceil(6), "N = 2^{log_n}");
+        assert_eq!(plan.dims().iter().product::<usize>(), 1 << log_n);
+    }
+}
+
+#[test]
+fn claim_automorphism_ideal_throughput_at_large_n() {
+    let (n, m) = (1usize << 14, 64usize);
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+    let data: Vec<u64> = (0..n as u64).collect();
+    let run = AutomorphismMapping::new(n, m, 5, 0)
+        .expect("plan")
+        .execute(&mut vpu, &data)
+        .expect("run");
+    assert_eq!(run.stats.network_move as usize, n / m);
+    assert_eq!(run.utilization(), 1.0);
+}

@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests (proptest): the big invariants over
+//! randomly drawn shapes and parameters.
+
+use proptest::prelude::*;
+use uvpu::math::automorphism::AffineMap;
+use uvpu::math::modular::Modulus;
+use uvpu::math::ntt::naive_cyclic_dft;
+use uvpu::math::primes::ntt_prime;
+use uvpu::math::rns::RnsBasis;
+use uvpu::vpu::auto_map::AutomorphismMapping;
+use uvpu::vpu::ntt_map::NttPlan;
+use uvpu::vpu::vpu::Vpu;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (n, m) shape: the mapped forward transform equals the naive DFT.
+    #[test]
+    fn vpu_ntt_equals_naive_dft(
+        log_n in 4u32..=9,
+        log_m in 2u32..=6,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let m = (1usize << log_m).min(n);
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let mut s = seed;
+        let data: Vec<u64> = (0..n).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.reduce_u64(s)
+        }).collect();
+        let got = plan.execute_forward(&mut vpu, &data).unwrap();
+        prop_assert_eq!(got.output, naive_cyclic_dft(&data, plan.omega(), &q));
+    }
+
+    /// Forward then inverse is the identity for any shape, negacyclic too.
+    #[test]
+    fn vpu_ntt_round_trip(
+        log_n in 4u32..=10,
+        log_m in 2u32..=6,
+        negacyclic in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let m = (1usize << log_m).min(n);
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let mut s = seed;
+        let data: Vec<u64> = (0..n).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.reduce_u64(s)
+        }).collect();
+        let (fwd, back) = if negacyclic {
+            let f = plan.execute_forward_negacyclic(&mut vpu, &data).unwrap();
+            let b = plan.execute_inverse_negacyclic(&mut vpu, &f.output).unwrap();
+            (f, b)
+        } else {
+            let f = plan.execute_forward(&mut vpu, &data).unwrap();
+            let b = plan.execute_inverse(&mut vpu, &f.output).unwrap();
+            (f, b)
+        };
+        prop_assert_eq!(back.output, data);
+        // Inverse costs mirror forward costs (same pass structure).
+        prop_assert_eq!(fwd.stats.butterfly, back.stats.butterfly);
+        prop_assert_eq!(fwd.stats.network_move, back.stats.network_move);
+    }
+
+    /// Any automorphism at any decomposable size is a single pass per
+    /// column and matches the index map.
+    #[test]
+    fn vpu_automorphism_any_shape(
+        log_n in 6u32..=12,
+        log_m in 2u32..=6,
+        g_seed in any::<u64>(),
+        t_seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let m = 1usize << log_m.min(log_n);
+        let g = (g_seed % n as u64) | 1;
+        let t = t_seed % n as u64;
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let data: Vec<u64> = (0..n as u64).collect();
+        let plan = AutomorphismMapping::new(n, m, g, t).unwrap();
+        let run = plan.execute(&mut vpu, &data).unwrap();
+        prop_assert_eq!(run.stats.network_move as usize, n / m);
+        prop_assert!((run.utilization() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(run.output, AffineMap::new(n, g, t).unwrap().permute(&data));
+    }
+
+    /// CRT reconstruction round-trips arbitrary residue vectors.
+    #[test]
+    fn rns_reconstruction_round_trip(seeds in prop::collection::vec(any::<u64>(), 4)) {
+        let basis = RnsBasis::new(vec![0x0fff_ffff_fffc_0001, 65537, 97, 193]).unwrap();
+        let residues: Vec<u64> = basis
+            .moduli()
+            .iter()
+            .zip(&seeds)
+            .map(|(m, &s)| s % m.value())
+            .collect();
+        let x = basis.reconstruct(&residues);
+        for (m, &r) in basis.moduli().iter().zip(&residues) {
+            prop_assert_eq!(x.rem_u64(m.value()), r);
+        }
+    }
+
+    /// The affine group law holds under composition and inversion.
+    #[test]
+    fn affine_group_law(
+        log_n in 1u32..=12,
+        a_g in any::<u64>(), a_t in any::<u64>(),
+        b_g in any::<u64>(), b_t in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let a = AffineMap::new(n, (a_g % n as u64) | 1, a_t % n as u64).unwrap();
+        let b = AffineMap::new(n, (b_g % n as u64) | 1, b_t % n as u64).unwrap();
+        let ab = a.then(&b);
+        let i = (a_t as usize) % n;
+        prop_assert_eq!(ab.apply_index(i), b.apply_index(a.apply_index(i)));
+        prop_assert!(ab.then(&ab.inverse()).is_identity());
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential testing of the FHE schemes: random homomorphic programs
+//! executed twice — on ciphertexts and on a plaintext reference — must
+//! agree (approximately for CKKS, exactly for BFV).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uvpu::bfv;
+use uvpu::ckks;
+use uvpu::ckks::encoder::C64;
+
+#[test]
+fn ckks_random_program_tracks_reference() {
+    let ctx =
+        ckks::params::CkksContext::new(ckks::params::CkksParams::new(1 << 6, 5, 40).unwrap())
+            .unwrap();
+    let encoder = ckks::encoder::Encoder::new(&ctx);
+    let slots = encoder.slot_count();
+    let mut kg = ckks::keys::KeyGenerator::new(&ctx, StdRng::seed_from_u64(101));
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk).unwrap();
+    let rlk = kg.relin_key(&sk).unwrap();
+    let gks = kg.galois_keys(&sk, &[1, 2, 4, 8]).unwrap();
+    let eval = ckks::ops::Evaluator::new(&ctx);
+
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let mut reference: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let values: Vec<C64> = reference.iter().map(|&x| C64::from(x)).collect();
+        let mut ct = eval
+            .encrypt(
+                &pk,
+                &encoder.encode(&ctx, ctx.params().levels(), &values).unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+
+        // A random program bounded by the level budget AND the precision
+        // budget: masks stay near magnitude 1 and only one squaring is
+        // allowed, so values never sink below CKKS's noise floor.
+        let mut levels_left = ctx.params().levels();
+        let mut squares_left = 1u32;
+        for _ in 0..6 {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    // ct + ct (double).
+                    ct = eval.add(&ct, &ct).unwrap();
+                    for x in &mut reference {
+                        *x *= 2.0;
+                    }
+                }
+                1 if levels_left >= 1 => {
+                    // Multiply by a mask of magnitude ≈ 1 (precision-neutral).
+                    let mask: Vec<f64> = (0..slots)
+                        .map(|_| rng.gen_range(0.5..1.5) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 })
+                        .collect();
+                    let pt = encoder
+                        .encode(&ctx, ct.level(), &mask.iter().map(|&x| C64::from(x)).collect::<Vec<_>>())
+                        .unwrap();
+                    ct = eval.rescale(&eval.mul_plain(&ct, &pt).unwrap()).unwrap();
+                    for (x, m) in reference.iter_mut().zip(&mask) {
+                        *x *= m;
+                    }
+                    levels_left -= 1;
+                }
+                2 if levels_left >= 1 && squares_left > 0 => {
+                    // Square (once: repeated squaring of sub-unit values
+                    // underflows any fixed-point representation).
+                    ct = eval.rescale(&eval.mul(&ct, &ct, &rlk).unwrap()).unwrap();
+                    for x in &mut reference {
+                        *x = *x * *x;
+                    }
+                    levels_left -= 1;
+                    squares_left -= 1;
+                }
+                _ => {
+                    // Rotate by a keyed power of two.
+                    let step = 1usize << rng.gen_range(0..4u32);
+                    ct = eval.rotate(&ct, step as i64, &gks).unwrap();
+                    reference.rotate_left(step);
+                }
+            }
+        }
+
+        let got = encoder.decode(&ctx, &eval.decrypt(&sk, &ct).unwrap());
+        for j in 0..slots {
+            assert!(
+                (got[j].re - reference[j]).abs() < 5e-3,
+                "seed {seed} slot {j}: {} vs {}",
+                got[j].re,
+                reference[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn bfv_random_program_is_exact() {
+    let params = bfv::params::BfvParams::new(1 << 6, 50).unwrap();
+    let encoder = bfv::encoder::BatchEncoder::new(&params).unwrap();
+    let t = params.plain_modulus().value();
+    let rows = encoder.row_size();
+    let mut kg = bfv::keys::KeyGenerator::new(&params, StdRng::seed_from_u64(202));
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk).unwrap();
+    let gks = kg.galois_keys(&sk, &[1, 2, 4]).unwrap();
+    let eval = bfv::cipher::Evaluator::new(&params);
+
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let mut reference: Vec<u64> = (0..encoder.slot_count())
+            .map(|_| rng.gen_range(0..t))
+            .collect();
+        let mut ct = eval
+            .encrypt(&pk, &encoder.encode(&reference).unwrap(), &mut rng)
+            .unwrap();
+
+        // The program must respect the noise budget: each plaintext
+        // multiplication scales the noise by ‖mask‖ and each rotation
+        // adds keyswitch noise (~2^25 for these parameters), so cap the
+        // multiplications at two with small masks.
+        let mut muls_left = 2u32;
+        for _ in 0..5 {
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    let mask: Vec<u64> =
+                        (0..reference.len()).map(|_| rng.gen_range(0..100)).collect();
+                    ct = eval.add_plain(&ct, &encoder.encode(&mask).unwrap());
+                    for (x, m) in reference.iter_mut().zip(&mask) {
+                        *x = (*x + m) % t;
+                    }
+                }
+                1 if muls_left > 0 => {
+                    // Broadcast scalar: a per-slot batched mask encodes to
+                    // a polynomial with coefficients up to t, whose ring
+                    // norm would amplify the rotation noise past Δ/2; a
+                    // constant mask encodes to a constant polynomial and
+                    // only scales noise by the scalar.
+                    let c = rng.gen_range(2..8u64);
+                    let mask = vec![c; reference.len()];
+                    ct = eval.mul_plain(&ct, &encoder.encode(&mask).unwrap());
+                    for x in reference.iter_mut() {
+                        *x = *x * c % t;
+                    }
+                    muls_left -= 1;
+                }
+                _ => {
+                    let step = 1usize << rng.gen_range(0..3u32);
+                    ct = eval.rotate_rows(&ct, step as i64, &gks).unwrap();
+                    // Rows rotate independently.
+                    let (r0, r1) = reference.split_at_mut(rows);
+                    r0.rotate_left(step);
+                    r1.rotate_left(step);
+                }
+            }
+        }
+
+        let got = encoder.decode(&eval.decrypt(&sk, &ct).unwrap());
+        assert_eq!(got, reference, "seed {seed}: BFV must be exact");
+        assert!(eval.noise_budget(&sk, &ct).unwrap() > 0.0);
+    }
+}
