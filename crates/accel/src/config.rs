@@ -75,14 +75,20 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_configs() {
-        let mut c = AcceleratorConfig::default();
-        c.vpu_count = 0;
+        let c = AcceleratorConfig {
+            vpu_count: 0,
+            ..AcceleratorConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AcceleratorConfig::default();
-        c.lanes = 48;
+        let c = AcceleratorConfig {
+            lanes: 48,
+            ..AcceleratorConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AcceleratorConfig::default();
-        c.noc_bytes_per_cycle = 0;
+        let c = AcceleratorConfig {
+            noc_bytes_per_cycle: 0,
+            ..AcceleratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

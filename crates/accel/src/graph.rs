@@ -13,6 +13,7 @@ use crate::workload::{measure_task, FheOp, Task};
 use crate::AccelError;
 use std::collections::HashMap;
 use uvpu_core::stats::CycleStats;
+use uvpu_core::trace;
 
 /// A node handle in the task graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +119,9 @@ impl TaskGraph {
         let mut agg = CycleStats::new();
         let mut noc_cycles = 0u64;
         let mut traffic = 0u64;
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
+        let tracing = trace::global_enabled();
         let mut remaining = n_tasks;
         while remaining > 0 {
             let mut progressed = false;
@@ -131,8 +135,12 @@ impl TaskGraph {
                 let ready_at = self.preds[i].iter().map(|&p| finish[p]).max().unwrap_or(0);
                 let task = &self.tasks[i];
                 let stats = match memo.get(&(task.kind, task.n)) {
-                    Some(s) => *s,
+                    Some(s) => {
+                        memo_hits += 1;
+                        *s
+                    }
                     None => {
+                        memo_misses += 1;
                         let s = measure_task(task, config.lanes)?;
                         memo.insert((task.kind, task.n), s);
                         s
@@ -148,6 +156,16 @@ impl TaskGraph {
                     + config.noc_hop_latency * hops as u64;
                 let start = vpu_free[slot].max(ready_at);
                 let end = start + transfer + stats.total();
+                if tracing {
+                    let track = slot as u32;
+                    trace::global_span_at(track, "noc.transfer", start, start + transfer);
+                    trace::global_span_at(
+                        track,
+                        &format!("{} n={}", task.kind.name(), task.n),
+                        start + transfer,
+                        end,
+                    );
+                }
                 vpu_free[slot] = end;
                 vpu_busy[slot] += stats.total();
                 finish[i] = end;
@@ -167,6 +185,8 @@ impl TaskGraph {
             noc_cycles,
             sram_traffic_bytes: traffic,
             task_count: n_tasks,
+            memo_hits,
+            memo_misses,
         })
     }
 }
@@ -282,7 +302,11 @@ mod tests {
     #[test]
     fn graph_and_flat_agree_on_independent_tasks() {
         // With no dependencies, the DAG scheduler reduces to the flat one.
-        let tasks: Vec<Task> = FheOp::HAdd { n: 1 << 10, limbs: 4 }.lower();
+        let tasks: Vec<Task> = FheOp::HAdd {
+            n: 1 << 10,
+            limbs: 4,
+        }
+        .lower();
         let mut g = TaskGraph::new();
         for t in &tasks {
             g.add(*t, &[]);

@@ -4,7 +4,9 @@
 use crate::config::AcceleratorConfig;
 use crate::workload::{measure_task, FheOp, Task};
 use crate::AccelError;
+use std::fmt;
 use uvpu_core::stats::CycleStats;
+use uvpu_core::trace;
 
 /// Execution report for one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +23,12 @@ pub struct AccelReport {
     pub sram_traffic_bytes: u64,
     /// Number of tasks executed.
     pub task_count: usize,
+    /// Kernel measurements answered from the memo cache (same-shape
+    /// tasks cost the same cycles, so only the first of each shape runs
+    /// the bit-exact simulator).
+    pub memo_hits: u64,
+    /// Kernel measurements that had to run the simulator.
+    pub memo_misses: u64,
 }
 
 impl AccelReport {
@@ -32,6 +40,42 @@ impl AccelReport {
         }
         let busy: u64 = self.vpu_busy.iter().sum();
         busy as f64 / (self.makespan as f64 * self.vpu_busy.len() as f64)
+    }
+
+    /// Fraction of kernel measurements served from the memo cache.
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.memo_hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for AccelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accelerator: {} tasks on {} VPUs, makespan {} cycles ({:.1}% VPU busy)",
+            self.task_count,
+            self.vpu_busy.len(),
+            self.makespan,
+            100.0 * self.vpu_utilization()
+        )?;
+        writeln!(f, "  pipeline: {}", self.vpu_stats)?;
+        writeln!(
+            f,
+            "  noc: {} cycles, {} bytes SRAM traffic",
+            self.noc_cycles, self.sram_traffic_bytes
+        )?;
+        write!(
+            f,
+            "  kernel memo: {} hits, {} misses ({:.1}% hit rate)",
+            self.memo_hits,
+            self.memo_misses,
+            100.0 * self.memo_hit_rate()
+        )
     }
 }
 
@@ -125,10 +169,20 @@ impl Accelerator {
         // same cycles (the simulator is deterministic).
         let mut memo: std::collections::HashMap<(crate::workload::TaskKind, usize), CycleStats> =
             std::collections::HashMap::new();
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
+        // With a global trace sink installed, every scheduled task emits
+        // a span on its VPU slot's track: the NoC transfer followed by
+        // the compute window, timestamped from the scheduler timeline.
+        let tracing = trace::global_enabled();
         for task in tasks {
             let stats = match memo.get(&(task.kind, task.n)) {
-                Some(s) => *s,
+                Some(s) => {
+                    memo_hits += 1;
+                    *s
+                }
                 None => {
+                    memo_misses += 1;
                     let s = measure_task(task, self.config.lanes)?;
                     memo.insert((task.kind, task.n), s);
                     s
@@ -143,6 +197,17 @@ impl Accelerator {
             let hops = slot % (v / 2 + 1) + 1; // ring distance from the SRAM port
             let transfer = self.noc_cycles(task.noc_bytes, hops);
             let compute = stats.total();
+            if tracing {
+                let track = slot as u32;
+                let start = vpu_free_at[slot];
+                trace::global_span_at(track, "noc.transfer", start, start + transfer);
+                trace::global_span_at(
+                    track,
+                    &format!("{} n={}", task.kind.name(), task.n),
+                    start + transfer,
+                    start + transfer + compute,
+                );
+            }
             vpu_free_at[slot] += transfer + compute;
             vpu_busy[slot] += compute;
             noc_cycles += transfer;
@@ -156,6 +221,8 @@ impl Accelerator {
             noc_cycles,
             sram_traffic_bytes: traffic,
             task_count: tasks.len(),
+            memo_hits,
+            memo_misses,
         })
     }
 }
@@ -173,7 +240,10 @@ mod tests {
 
     #[test]
     fn more_vpus_shrink_makespan() {
-        let ops = [FheOp::HMult { n: 1 << 10, limbs: 3 }];
+        let ops = [FheOp::HMult {
+            n: 1 << 10,
+            limbs: 3,
+        }];
         let r1 = Accelerator::new(config(1)).unwrap().run(&ops).unwrap();
         let r4 = Accelerator::new(config(4)).unwrap().run(&ops).unwrap();
         let r8 = Accelerator::new(config(8)).unwrap().run(&ops).unwrap();
@@ -187,8 +257,18 @@ mod tests {
     #[test]
     fn hadd_is_cheap_hmult_is_not() {
         let mut accel = Accelerator::new(config(4)).unwrap();
-        let add = accel.run(&[FheOp::HAdd { n: 1 << 10, limbs: 3 }]).unwrap();
-        let mult = accel.run(&[FheOp::HMult { n: 1 << 10, limbs: 3 }]).unwrap();
+        let add = accel
+            .run(&[FheOp::HAdd {
+                n: 1 << 10,
+                limbs: 3,
+            }])
+            .unwrap();
+        let mult = accel
+            .run(&[FheOp::HMult {
+                n: 1 << 10,
+                limbs: 3,
+            }])
+            .unwrap();
         // HMult's keyswitch pipeline dwarfs HAdd's element-wise passes
         // (NoC transfer time is common to both, so the gap is bounded).
         assert!(mult.makespan > 3 * add.makespan);
@@ -197,9 +277,7 @@ mod tests {
     #[test]
     fn rotation_workload_is_movement_heavy() {
         let mut accel = Accelerator::new(config(2)).unwrap();
-        let r = accel
-            .run(&[FheOp::Automorphism { n: 1 << 12 }])
-            .unwrap();
+        let r = accel.run(&[FheOp::Automorphism { n: 1 << 12 }]).unwrap();
         assert_eq!(r.vpu_stats.compute(), 0);
         assert!(r.vpu_stats.network_move > 0);
     }
@@ -207,12 +285,91 @@ mod tests {
     #[test]
     fn determinism_and_memoization() {
         let ops = [
-            FheOp::HRot { n: 1 << 10, limbs: 2 },
-            FheOp::HAdd { n: 1 << 10, limbs: 2 },
+            FheOp::HRot {
+                n: 1 << 10,
+                limbs: 2,
+            },
+            FheOp::HAdd {
+                n: 1 << 10,
+                limbs: 2,
+            },
         ];
         let a = Accelerator::new(config(3)).unwrap().run(&ops).unwrap();
         let b = Accelerator::new(config(3)).unwrap().run(&ops).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memo_counters_add_up() {
+        let ops = [
+            FheOp::HMult {
+                n: 1 << 10,
+                limbs: 3,
+            },
+            FheOp::HMult {
+                n: 1 << 10,
+                limbs: 3,
+            },
+        ];
+        let r = Accelerator::new(config(4)).unwrap().run(&ops).unwrap();
+        assert_eq!(
+            (r.memo_hits + r.memo_misses) as usize,
+            r.task_count,
+            "every task is either a hit or a miss"
+        );
+        // Two identical HMults share shapes: only (ntt, n) and the
+        // distinct ewise shapes miss.
+        assert!(r.memo_misses <= 4);
+        assert!(r.memo_hits > r.memo_misses);
+        assert!(r.memo_hit_rate() > 0.5);
+        let text = r.to_string();
+        assert!(text.contains("kernel memo"), "{text}");
+        assert!(text.contains("makespan"), "{text}");
+    }
+
+    #[test]
+    fn scheduler_emits_task_spans_when_traced() {
+        use uvpu_core::trace::{self, RingBufferSink, SharedSink, TraceEvent};
+        let shared = SharedSink::new(RingBufferSink::new(256));
+        trace::install_global(Box::new(shared.clone()));
+        let r = Accelerator::new(config(2))
+            .unwrap()
+            .run(&[
+                FheOp::Ntt { n: 1 << 10 },
+                FheOp::Automorphism { n: 1 << 10 },
+            ])
+            .unwrap();
+        trace::take_global();
+        shared.with(|s| {
+            let names: Vec<String> = s
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::SpanBegin { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                names.iter().any(|n| n.starts_with("ntt n=1024")),
+                "{names:?}"
+            );
+            assert!(
+                names.iter().any(|n| n.starts_with("automorphism")),
+                "{names:?}"
+            );
+            assert!(names.iter().any(|n| n == "noc.transfer"), "{names:?}");
+            // Span ends line up with the report's timeline.
+            let max_end = s
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::SpanEnd { ts, .. } => Some(*ts),
+                    _ => None,
+                })
+                .max()
+                .unwrap();
+            assert_eq!(max_end, r.makespan);
+        });
     }
 
     #[test]
@@ -227,7 +384,12 @@ mod tests {
     #[test]
     fn utilization_is_a_fraction() {
         let mut accel = Accelerator::new(config(4)).unwrap();
-        let r = accel.run(&[FheOp::HMult { n: 1 << 12, limbs: 2 }]).unwrap();
+        let r = accel
+            .run(&[FheOp::HMult {
+                n: 1 << 12,
+                limbs: 2,
+            }])
+            .unwrap();
         let u = r.vpu_utilization();
         assert!(u > 0.0 && u <= 1.0, "{u}");
     }

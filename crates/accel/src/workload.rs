@@ -76,6 +76,19 @@ pub enum TaskKind {
     },
 }
 
+impl TaskKind {
+    /// Stable display name for reports and traces (the element-wise
+    /// variant folds its pass count in).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            TaskKind::Ntt => "ntt".to_string(),
+            TaskKind::Automorphism => "automorphism".to_string(),
+            TaskKind::Elementwise { passes } => format!("ewise\u{00d7}{passes}"),
+        }
+    }
+}
+
 impl FheOp {
     /// Lowers the operation to independent tasks (one per residue
     /// polynomial pass), following the standard CKKS dataflow:
@@ -258,7 +271,11 @@ mod tests {
 
     #[test]
     fn hadd_lowers_to_elementwise_only() {
-        let tasks = FheOp::HAdd { n: 1 << 12, limbs: 3 }.lower();
+        let tasks = FheOp::HAdd {
+            n: 1 << 12,
+            limbs: 3,
+        }
+        .lower();
         assert_eq!(tasks.len(), 6);
         assert!(tasks
             .iter()
@@ -267,8 +284,18 @@ mod tests {
 
     #[test]
     fn hmult_task_count_scales_quadratically_with_limbs() {
-        let t2 = FheOp::HMult { n: 1 << 10, limbs: 2 }.lower().len();
-        let t4 = FheOp::HMult { n: 1 << 10, limbs: 4 }.lower().len();
+        let t2 = FheOp::HMult {
+            n: 1 << 10,
+            limbs: 2,
+        }
+        .lower()
+        .len();
+        let t4 = FheOp::HMult {
+            n: 1 << 10,
+            limbs: 4,
+        }
+        .lower()
+        .len();
         // Keyswitch digits make the count quadratic in limbs.
         assert!(t4 > 2 * t2);
     }

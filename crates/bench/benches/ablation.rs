@@ -113,5 +113,9 @@ fn merged_vs_sequential_automorphism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, modular_multiplier_ablation, merged_vs_sequential_automorphism);
+criterion_group!(
+    benches,
+    modular_multiplier_ablation,
+    merged_vs_sequential_automorphism
+);
 criterion_main!(benches);

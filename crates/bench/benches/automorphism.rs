@@ -51,5 +51,10 @@ fn golden_model_galois(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, control_word_generation, vpu_automorphism, golden_model_galois);
+criterion_group!(
+    benches,
+    control_word_generation,
+    vpu_automorphism,
+    golden_model_galois
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use uvpu_ckks::encoder::{C64, Encoder};
+use uvpu_ckks::encoder::{Encoder, C64};
 use uvpu_ckks::keys::KeyGenerator;
 use uvpu_ckks::ops::Evaluator;
 use uvpu_ckks::params::{CkksContext, CkksParams};

@@ -60,5 +60,10 @@ fn lane_resident_small_ntt(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, golden_model_ntt, vpu_simulated_ntt, lane_resident_small_ntt);
+criterion_group!(
+    benches,
+    golden_model_ntt,
+    vpu_simulated_ntt,
+    lane_resident_small_ntt
+);
 criterion_main!(benches);

@@ -51,9 +51,18 @@ fn bfv_and_bgv(c: &mut Criterion) {
 
 fn accelerator_scheduling(c: &mut Criterion) {
     let ops = [
-        FheOp::HMult { n: 1 << 10, limbs: 3 },
-        FheOp::HRot { n: 1 << 10, limbs: 3 },
-        FheOp::HAdd { n: 1 << 10, limbs: 3 },
+        FheOp::HMult {
+            n: 1 << 10,
+            limbs: 3,
+        },
+        FheOp::HRot {
+            n: 1 << 10,
+            limbs: 3,
+        },
+        FheOp::HAdd {
+            n: 1 << 10,
+            limbs: 3,
+        },
     ];
     let mut group = c.benchmark_group("accelerator");
     group.sample_size(10);

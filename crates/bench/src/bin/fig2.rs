@@ -20,8 +20,16 @@ fn main() {
     println!();
 
     let lanes: Vec<u64> = (0..m as u64).collect();
-    println!("DIT CG stage (unshuffle): {:?} -> {:?}", lanes, net.cg_pass(&lanes, CgDirection::Dit));
-    println!("DIF CG stage (shuffle)  : {:?} -> {:?}", lanes, net.cg_pass(&lanes, CgDirection::Dif));
+    println!(
+        "DIT CG stage (unshuffle): {:?} -> {:?}",
+        lanes,
+        net.cg_pass(&lanes, CgDirection::Dit)
+    );
+    println!(
+        "DIF CG stage (shuffle)  : {:?} -> {:?}",
+        lanes,
+        net.cg_pass(&lanes, CgDirection::Dif)
+    );
     println!();
 
     println!("shift stages (distance m/2 ... 1), each class independently controlled:");
@@ -54,9 +62,11 @@ fn main() {
     println!("§IV-B example: independent sub-column shifts in one pass:");
     println!("  input : {lanes:?}");
     println!("  output: {out:?}");
-    println!("  evens -> {:?} (shifted by 2), odds -> {:?} (shifted by 3)",
+    println!(
+        "  evens -> {:?} (shifted by 2), odds -> {:?} (shifted by 3)",
         (0..4).map(|i| out[2 * i]).collect::<Vec<_>>(),
-        (0..4).map(|i| out[2 * i + 1]).collect::<Vec<_>>());
+        (0..4).map(|i| out[2 * i + 1]).collect::<Vec<_>>()
+    );
     println!();
 
     let table = AutomorphismControlTable::new(64).expect("valid lane count");

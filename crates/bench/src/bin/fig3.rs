@@ -25,7 +25,10 @@ fn main() {
     }
     transpose_square(&mut vpu, 0, m).expect("transpose");
     for r in 0..m {
-        println!("  target row    {r}: {:?}", vpu.store(m + r).expect("store"));
+        println!(
+            "  target row    {r}: {:?}",
+            vpu.store(m + r).expect("store")
+        );
     }
     println!(
         "  cost: {} network beats = 2 passes per column (shift down by y, then up by x)",

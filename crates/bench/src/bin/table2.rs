@@ -31,10 +31,18 @@ fn main() {
     println!(
         "{:<7} {:>14} {:>7} {:>7} | {:>14} {:>7} {:>7} | {:>10} {:>7} {:>7} | {:>10} {:>7} {:>7}",
         "Design",
-        "Net um^2", "ratio", "Δpaper",
-        "VPU um^2", "ratio", "Δpaper",
-        "Net mW", "ratio", "Δpaper",
-        "VPU mW", "ratio", "Δpaper",
+        "Net um^2",
+        "ratio",
+        "Δpaper",
+        "VPU um^2",
+        "ratio",
+        "Δpaper",
+        "Net mW",
+        "ratio",
+        "Δpaper",
+        "VPU mW",
+        "ratio",
+        "Δpaper",
     );
     println!("{}", "-".repeat(150));
     for (row, paper) in rows.iter().zip(PAPER_TABLE2) {

@@ -18,7 +18,10 @@ fn main() {
                     ("log_n", Value::Int(i64::from(r.log_n))),
                     ("ntt_utilization", Value::Num(100.0 * r.ntt_utilization)),
                     ("paper_ntt", Value::Num(p.1)),
-                    ("automorphism_utilization", Value::Num(100.0 * r.automorphism_utilization)),
+                    (
+                        "automorphism_utilization",
+                        Value::Num(100.0 * r.automorphism_utilization),
+                    ),
                 ]
             })
             .collect();

@@ -201,8 +201,14 @@ pub mod json {
         #[test]
         fn emits_valid_flat_json() {
             let rows = vec![
-                vec![("design", Value::Str("F1".into())), ("area", Value::Num(1.5))],
-                vec![("design", Value::Str("Ours".into())), ("lanes", Value::Int(64))],
+                vec![
+                    ("design", Value::Str("F1".into())),
+                    ("area", Value::Num(1.5)),
+                ],
+                vec![
+                    ("design", Value::Str("Ours".into())),
+                    ("lanes", Value::Int(64)),
+                ],
             ];
             let s = rows_to_json(&rows);
             assert!(s.starts_with('[') && s.ends_with(']'));

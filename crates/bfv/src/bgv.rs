@@ -148,7 +148,9 @@ impl<'a> BgvEvaluator<'a> {
             })
             .collect();
         let c1: Vec<u64> = (0..n).map(|k| q.add(ua[k], q.from_i64(e2[k]))).collect();
-        Ok(BgvCiphertext { parts: vec![c0, c1] })
+        Ok(BgvCiphertext {
+            parts: vec![c0, c1],
+        })
     }
 
     /// Decryption: `(Σ c_k·s^k mod q, centered) mod t`.
@@ -221,7 +223,9 @@ impl<'a> BgvEvaluator<'a> {
         let (ks0, ks1) = self.keyswitch(&d2, rlk);
         let c0 = d0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
         let c1 = d1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
-        Ok(BgvCiphertext { parts: vec![c0, c1] })
+        Ok(BgvCiphertext {
+            parts: vec![c0, c1],
+        })
     }
 
     /// The relinearization key (target `s²`, noise `t·e`).
@@ -391,9 +395,15 @@ mod tests {
         let pk = eval.public_key(&f.sk, &mut f.rng).unwrap();
         let a: Vec<u64> = (0..32).map(|i| 60_000 + i).collect();
         let b: Vec<u64> = (0..32).map(|i| 10_000 + 5 * i).collect();
-        let ca = eval.encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
-        let cb = eval.encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
-        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
+        let ca = eval
+            .encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
+        let cb = eval
+            .encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng)
+            .unwrap();
+        let out = f
+            .enc
+            .decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
         for j in 0..32 {
             assert_eq!(out[j], (a[j] + b[j]) % 65537);
         }
@@ -407,8 +417,12 @@ mod tests {
         let rlk = eval.relin_key(&f.sk, &mut f.rng).unwrap();
         let a: Vec<u64> = (0..32).map(|i| i + 3).collect();
         let b: Vec<u64> = (0..32).map(|i| 7 * i + 2).collect();
-        let ca = eval.encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
-        let cb = eval.encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let ca = eval
+            .encrypt(&pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
+        let cb = eval
+            .encrypt(&pk, &f.enc.encode(&b).unwrap(), &mut f.rng)
+            .unwrap();
         let prod = eval.mul(&ca, &cb, &rlk).unwrap();
         let out = f.enc.decode(&eval.decrypt(&f.sk, &prod).unwrap());
         for j in 0..32 {

@@ -11,6 +11,7 @@ use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey, SecretKey};
 use crate::params::BfvParams;
 use crate::BfvError;
 use rand::Rng;
+use uvpu_core::trace::{scheme_span, scheme_span_lazy};
 use uvpu_math::automorphism::apply_galois_coeff;
 
 /// A BFV ciphertext: 2 (or transiently 3) polynomials mod `q`.
@@ -146,7 +147,9 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
         let c1: Vec<u64> = (0..n).map(|k| q.add(ua[k], q.from_i64(e2[k]))).collect();
-        Ok(Ciphertext { parts: vec![c0, c1] })
+        Ok(Ciphertext {
+            parts: vec![c0, c1],
+        })
     }
 
     /// Decryption: `round(t/q · Σ c_k·s^k) mod t`.
@@ -273,9 +276,13 @@ impl<'a> Evaluator<'a> {
         let m_q: Vec<u64> = pt
             .coeffs
             .iter()
-            .map(|&c| q.from_i64(self.params.plain_modulus().to_centered(
-                self.params.plain_modulus().reduce_u64(c),
-            )))
+            .map(|&c| {
+                q.from_i64(
+                    self.params
+                        .plain_modulus()
+                        .to_centered(self.params.plain_modulus().reduce_u64(c)),
+                )
+            })
             .collect();
         Ciphertext {
             parts: ct
@@ -299,6 +306,7 @@ impl<'a> Evaluator<'a> {
         b: &Ciphertext,
         rlk: &KeySwitchKey,
     ) -> Result<Ciphertext, BfvError> {
+        let _span = scheme_span("bfv.mul");
         let params = self.params;
         let q = params.modulus();
         let centered = |p: &[u64]| -> Vec<i64> { p.iter().map(|&v| q.to_centered(v)).collect() };
@@ -332,11 +340,14 @@ impl<'a> Evaluator<'a> {
         let (ks0, ks1) = self.keyswitch(&c2, rlk);
         let c0: Vec<u64> = c0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
         let c1: Vec<u64> = c1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
-        Ok(Ciphertext { parts: vec![c0, c1] })
+        Ok(Ciphertext {
+            parts: vec![c0, c1],
+        })
     }
 
     /// Base-`2^w` keyswitch of `d` under `key`.
     fn keyswitch(&self, d: &[u64], key: &KeySwitchKey) -> (Vec<u64>, Vec<u64>) {
+        let _span = scheme_span("bfv.keyswitch");
         let params = self.params;
         let q = params.modulus();
         let n = params.n();
@@ -371,6 +382,7 @@ impl<'a> Evaluator<'a> {
         step: i64,
         gks: &GaloisKeys,
     ) -> Result<Ciphertext, BfvError> {
+        let _span = scheme_span_lazy(|| format!("bfv.rotate_rows step={step}"));
         let (g, key) = gks.for_step(self.params, step)?;
         Ok(self.apply_galois(ct, g, key))
     }
@@ -380,7 +392,12 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     ///
     /// [`BfvError::MissingGaloisKey`] or substrate errors.
-    pub fn rotate_columns(&self, ct: &Ciphertext, gks: &GaloisKeys) -> Result<Ciphertext, BfvError> {
+    pub fn rotate_columns(
+        &self,
+        ct: &Ciphertext,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, BfvError> {
+        let _span = scheme_span("bfv.rotate_columns");
         let (g, key) = gks.for_row_swap(self.params)?;
         Ok(self.apply_galois(ct, g, key))
     }
@@ -450,13 +467,21 @@ mod tests {
         let eval = Evaluator::new(&f.params);
         let a: Vec<u64> = (0..32).map(|i| 65_000 + i).collect();
         let b: Vec<u64> = (0..32).map(|i| 1_000 + 3 * i).collect();
-        let ca = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
-        let cb = eval.encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
-        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
+        let ca = eval
+            .encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
+        let cb = eval
+            .encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng)
+            .unwrap();
+        let out = f
+            .enc
+            .decode(&eval.decrypt(&f.sk, &eval.add(&ca, &cb)).unwrap());
         for j in 0..32 {
             assert_eq!(out[j], (a[j] + b[j]) % 65537);
         }
-        let out = f.enc.decode(&eval.decrypt(&f.sk, &eval.sub(&ca, &cb)).unwrap());
+        let out = f
+            .enc
+            .decode(&eval.decrypt(&f.sk, &eval.sub(&ca, &cb)).unwrap());
         for j in 0..32 {
             assert_eq!(out[j], (65537 + a[j] - b[j]) % 65537);
         }
@@ -468,8 +493,12 @@ mod tests {
         let eval = Evaluator::new(&f.params);
         let a: Vec<u64> = (0..32).map(|i| i + 7).collect();
         let b: Vec<u64> = (0..32).map(|i| 5 * i + 1).collect();
-        let ca = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
-        let cb = eval.encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng).unwrap();
+        let ca = eval
+            .encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
+        let cb = eval
+            .encrypt(&f.pk, &f.enc.encode(&b).unwrap(), &mut f.rng)
+            .unwrap();
         let prod = eval.mul(&ca, &cb, &f.rlk).unwrap();
         assert_eq!(prod.size(), 2, "relinearized back to two parts");
         let out = f.enc.decode(&eval.decrypt(&f.sk, &prod).unwrap());
@@ -484,16 +513,22 @@ mod tests {
         let eval = Evaluator::new(&f.params);
         let a: Vec<u64> = (0..32).map(|i| 11 * i % 65537).collect();
         let w: Vec<u64> = (0..32).map(|i| i % 9 + 1).collect();
-        let ct = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
-        let out = f
-            .enc
-            .decode(&eval.decrypt(&f.sk, &eval.mul_plain(&ct, &f.enc.encode(&w).unwrap())).unwrap());
+        let ct = eval
+            .encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
+        let out = f.enc.decode(
+            &eval
+                .decrypt(&f.sk, &eval.mul_plain(&ct, &f.enc.encode(&w).unwrap()))
+                .unwrap(),
+        );
         for j in 0..32 {
             assert_eq!(out[j], a[j] * w[j] % 65537);
         }
-        let out = f
-            .enc
-            .decode(&eval.decrypt(&f.sk, &eval.add_plain(&ct, &f.enc.encode(&w).unwrap())).unwrap());
+        let out = f.enc.decode(
+            &eval
+                .decrypt(&f.sk, &eval.add_plain(&ct, &f.enc.encode(&w).unwrap()))
+                .unwrap(),
+        );
         for j in 0..32 {
             assert_eq!(out[j], (a[j] + w[j]) % 65537);
         }
@@ -539,13 +574,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
 
         let a: Vec<u64> = (0..32).map(|i| i % 7).collect();
-        let ct = eval.encrypt(&pk, &enc.encode(&a).unwrap(), &mut rng).unwrap();
+        let ct = eval
+            .encrypt(&pk, &enc.encode(&a).unwrap(), &mut rng)
+            .unwrap();
         let sq = eval.mul(&ct, &ct, &rlk).unwrap();
         let quad = eval.mul(&sq, &sq, &rlk).unwrap();
         let out = enc.decode(&eval.decrypt(&sk, &quad).unwrap());
-        for j in 0..32 {
+        for (j, &w) in out.iter().take(32).enumerate() {
             let x = (j % 7) as u64;
-            assert_eq!(out[j], x.pow(4) % 257, "slot {j}");
+            assert_eq!(w, x.pow(4) % 257, "slot {j}");
         }
         assert!(eval.noise_budget(&sk, &quad).unwrap() > 0.0);
     }
@@ -555,11 +592,41 @@ mod tests {
         let mut f = fix(1 << 5);
         let eval = Evaluator::new(&f.params);
         let a: Vec<u64> = (0..32).collect();
-        let ct = eval.encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng).unwrap();
+        let ct = eval
+            .encrypt(&f.pk, &f.enc.encode(&a).unwrap(), &mut f.rng)
+            .unwrap();
         let fresh = eval.noise_budget(&f.sk, &ct).unwrap();
         let sq = eval.mul(&ct, &ct, &f.rlk).unwrap();
         let after = eval.noise_budget(&f.sk, &sq).unwrap();
         assert!(fresh > after + 5.0, "fresh {fresh:.1} vs after {after:.1}");
         assert!(after > 0.0, "depth 1 must still decrypt");
+    }
+
+    #[test]
+    fn mul_emits_scheme_spans() {
+        use uvpu_core::trace::{self, RingBufferSink, SharedSink, TraceEvent};
+
+        let mut f = fix(64);
+        let eval = Evaluator::new(&f.params);
+        let vals: Vec<u64> = (0..f.enc.slot_count()).map(|j| j as u64 % 7).collect();
+        let pt = f.enc.encode(&vals).unwrap();
+        let ct = eval.encrypt(&f.pk, &pt, &mut f.rng).unwrap();
+
+        let shared = SharedSink::new(RingBufferSink::new(64));
+        trace::install_global(Box::new(shared.clone()));
+        let _ = eval.mul(&ct, &ct, &f.rlk).unwrap();
+        trace::take_global();
+
+        let names: Vec<String> = shared.with(|s| {
+            s.events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::SpanBegin { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect()
+        });
+        assert!(names.iter().any(|n| n == "bfv.mul"), "{names:?}");
+        assert!(names.iter().any(|n| n == "bfv.keyswitch"), "{names:?}");
     }
 }

@@ -201,7 +201,11 @@ mod tests {
         let out = enc.decode(&rotated);
         for j in 0..rows {
             assert_eq!(out[j], values[(j + 1) % rows], "row 0 slot {j}");
-            assert_eq!(out[rows + j], values[rows + (j + 1) % rows], "row 1 slot {j}");
+            assert_eq!(
+                out[rows + j],
+                values[rows + (j + 1) % rows],
+                "row 1 slot {j}"
+            );
         }
     }
 

@@ -40,7 +40,11 @@ impl GaloisKeys {
     /// # Errors
     ///
     /// [`BfvError::MissingGaloisKey`] when the step was not generated.
-    pub fn for_step(&self, params: &BfvParams, step: i64) -> Result<(u64, &KeySwitchKey), BfvError> {
+    pub fn for_step(
+        &self,
+        params: &BfvParams,
+        step: i64,
+    ) -> Result<(u64, &KeySwitchKey), BfvError> {
         let g = galois_exponent(step, params.n());
         self.keys
             .get(&g)
@@ -88,7 +92,11 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
     }
 
     fn sample_uniform(&mut self) -> Vec<u64> {
-        uvpu_math::sampling::uniform(&mut self.rng, self.params.n(), self.params.modulus().value())
+        uvpu_math::sampling::uniform(
+            &mut self.rng,
+            self.params.n(),
+            self.params.modulus().value(),
+        )
     }
 
     /// Builds the public key.

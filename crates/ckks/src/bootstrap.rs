@@ -14,7 +14,7 @@
 //! bootstrapping implementation without the (out-of-scope) EvalMod step.
 
 use crate::ciphertext::Ciphertext;
-use crate::encoder::{C64, Encoder};
+use crate::encoder::{Encoder, C64};
 use crate::keys::GaloisKeys;
 use crate::linear::LinearTransform;
 use crate::ops::Evaluator;
@@ -48,7 +48,9 @@ pub fn dft_matrix(slots: usize) -> Vec<Vec<C64>> {
 pub fn dft_matrix_bitrev(slots: usize) -> Vec<Vec<C64>> {
     let w = dft_matrix(slots);
     let bits = log2_exact(slots);
-    (0..slots).map(|j| w[bit_reverse(j, bits)].clone()).collect()
+    (0..slots)
+        .map(|j| w[bit_reverse(j, bits)].clone())
+        .collect()
 }
 
 /// The radix-2 (decimation-in-frequency) factorization of the slot-space
@@ -146,7 +148,10 @@ impl HomomorphicDft {
     /// `3·log₂ s` versus `s` for the dense matrix).
     #[must_use]
     pub fn diagonal_count(&self) -> usize {
-        self.stages.iter().map(LinearTransform::diagonal_count).sum()
+        self.stages
+            .iter()
+            .map(LinearTransform::diagonal_count)
+            .sum()
     }
 
     /// Applies all stages homomorphically, rescaling after each.
@@ -249,8 +254,7 @@ mod tests {
         let expect = apply_stages_plain(&dft_stages(8), &x);
         for j in 0..8 {
             assert!(
-                (got[j].re - expect[j].re).abs() < 2e-2
-                    && (got[j].im - expect[j].im).abs() < 2e-2,
+                (got[j].re - expect[j].re).abs() < 2e-2 && (got[j].im - expect[j].im).abs() < 2e-2,
                 "slot {j}: {:?} vs {:?}",
                 got[j],
                 expect[j]

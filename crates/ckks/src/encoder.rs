@@ -28,6 +28,11 @@ impl C64 {
     }
 
     /// Complex multiplication.
+    ///
+    /// Named `mul` (not the `Mul` trait) on purpose: the call sites read
+    /// as scheme math, and the type deliberately implements no operator
+    /// traits.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn mul(self, other: Self) -> Self {
         Self {
@@ -37,6 +42,7 @@ impl C64 {
     }
 
     /// Complex addition.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Self) -> Self {
         Self {
@@ -294,9 +300,7 @@ mod tests {
         // The whole point of the rotation-group indexing: X ↦ X^5 shifts
         // the slot vector by one position.
         let (ctx, enc) = setup();
-        let values: Vec<C64> = (0..enc.slot_count())
-            .map(|j| C64::from(j as f64))
-            .collect();
+        let values: Vec<C64> = (0..enc.slot_count()).map(|j| C64::from(j as f64)).collect();
         let pt = enc.encode(&ctx, 1, &values).unwrap();
         let rotated = Plaintext {
             poly: pt.poly.galois(5).unwrap(),
@@ -304,12 +308,12 @@ mod tests {
         };
         let back = enc.decode(&ctx, &rotated);
         let slots = enc.slot_count();
-        for j in 0..slots {
+        for (j, w) in back.iter().take(slots).enumerate() {
             let expect = ((j + 1) % slots) as f64;
             assert!(
-                (back[j].re - expect).abs() < 1e-5,
+                (w.re - expect).abs() < 1e-5,
                 "slot {j}: {} vs {expect}",
-                back[j].re
+                w.re
             );
         }
     }

@@ -82,7 +82,11 @@ impl GaloisKeys {
     /// # Errors
     ///
     /// [`CkksError::MissingGaloisKey`] when the step was not generated.
-    pub fn for_step(&self, ctx: &CkksContext, step: i64) -> Result<(u64, &KeySwitchKey), CkksError> {
+    pub fn for_step(
+        &self,
+        ctx: &CkksContext,
+        step: i64,
+    ) -> Result<(u64, &KeySwitchKey), CkksError> {
         let g = galois_exponent(step, ctx.params().n());
         self.keys
             .get(&g)
@@ -160,18 +164,17 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
             // Shared small error, lifted per modulus.
             let e_signed = sample_error_signed(ctx, &mut self.rng);
             for (i, &(m, table)) in ext.iter().enumerate() {
-                let a_coeffs = uvpu_math::sampling::uniform(&mut self.rng, ctx.params().n(), m.value());
+                let a_coeffs =
+                    uvpu_math::sampling::uniform(&mut self.rng, ctx.params().n(), m.value());
                 let a = Poly::from_coeffs(a_coeffs, m)
                     .map_err(CkksError::Math)?
                     .to_evaluation(table);
-                let e = Poly::from_coeffs(
-                    e_signed.iter().map(|&c| m.from_i64(c)).collect(),
-                    m,
-                )
-                .map_err(CkksError::Math)?
-                .to_evaluation(table);
+                let e = Poly::from_coeffs(e_signed.iter().map(|&c| m.from_i64(c)).collect(), m)
+                    .map_err(CkksError::Math)?
+                    .to_evaluation(table);
                 // b = e − a·s + (i == j)·(P mod q_j)·target.
-                let mut b = e.sub(&a.mul(&s_ext[i]).map_err(CkksError::Math)?)
+                let mut b = e
+                    .sub(&a.mul(&s_ext[i]).map_err(CkksError::Math)?)
                     .map_err(CkksError::Math)?;
                 if i == j {
                     let p_mod = m.reduce_u64(p_special);
@@ -300,13 +303,12 @@ mod tests {
         // b + a·s should be the small error e.
         let s = sk.at_level(&ctx, 2).unwrap().to_evaluation(&ctx);
         let a_eval = pk.a.clone().to_evaluation(&ctx);
-        let check = pk
-            .b
-            .clone()
-            .to_evaluation(&ctx)
-            .add(&a_eval.mul(&s).unwrap())
-            .unwrap()
-            .to_coefficient(&ctx);
+        let check =
+            pk.b.clone()
+                .to_evaluation(&ctx)
+                .add(&a_eval.mul(&s).unwrap())
+                .unwrap()
+                .to_coefficient(&ctx);
         for k in 0..64 {
             assert!(check.coefficient_centered_f64(&ctx, k).abs() < 40.0);
         }

@@ -7,7 +7,7 @@
 //! (BSGS) evaluation reduces `D` rotations to `O(√D)`.
 
 use crate::ciphertext::Ciphertext;
-use crate::encoder::{C64, Encoder};
+use crate::encoder::{Encoder, C64};
 use crate::keys::GaloisKeys;
 use crate::ops::Evaluator;
 use crate::params::CkksContext;
@@ -119,7 +119,11 @@ impl LinearTransform {
         let mut rotated: Vec<Option<Ciphertext>> = vec![None; baby];
         rotated[0] = Some(ct.clone());
         if !steps.is_empty() {
-            for (b, rot) in eval.rotate_hoisted(ct, &steps, gks)?.into_iter().enumerate() {
+            for (b, rot) in eval
+                .rotate_hoisted(ct, &steps, gks)?
+                .into_iter()
+                .enumerate()
+            {
                 rotated[b + 1] = Some(rot);
             }
         }
@@ -179,7 +183,13 @@ mod tests {
         (0..s)
             .map(|i| {
                 (0..s)
-                    .map(|j| if i == j { C64::from(1.0) } else { C64::default() })
+                    .map(|j| {
+                        if i == j {
+                            C64::from(1.0)
+                        } else {
+                            C64::default()
+                        }
+                    })
                     .collect()
             })
             .collect()
@@ -198,7 +208,11 @@ mod tests {
     fn plain_matvec_matches_direct() {
         let s = 8;
         let m: Vec<Vec<C64>> = (0..s)
-            .map(|i| (0..s).map(|j| C64::from(((i * 3 + j) % 5) as f64)).collect())
+            .map(|i| {
+                (0..s)
+                    .map(|j| C64::from(((i * 3 + j) % 5) as f64))
+                    .collect()
+            })
             .collect();
         let t = LinearTransform::from_matrix(&m);
         let x: Vec<C64> = (0..s).map(|j| C64::new(j as f64, 1.0)).collect();
@@ -238,7 +252,9 @@ mod tests {
         let steps = t.required_steps(baby);
         let gks = kg.galois_keys(&sk, &steps).unwrap();
 
-        let x: Vec<C64> = (0..slots).map(|j| C64::from(1.0 + j as f64 * 0.1)).collect();
+        let x: Vec<C64> = (0..slots)
+            .map(|j| C64::from(1.0 + j as f64 * 0.1))
+            .collect();
         let ct = eval
             .encrypt(&pk, &encoder.encode(&ctx, 2, &x).unwrap(), &mut rng)
             .unwrap();

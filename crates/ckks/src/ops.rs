@@ -9,6 +9,7 @@ use crate::params::CkksContext;
 use crate::rns_poly::RnsPoly;
 use crate::CkksError;
 use rand::Rng;
+use uvpu_core::trace::{scheme_span, scheme_span_lazy};
 
 /// Relative scale tolerance for additions; the prime chain is sampled
 /// just below `2^scale_bits`, so rescaled operand scales agree to ~1e−5.
@@ -73,11 +74,7 @@ impl<'a> Evaluator<'a> {
         let e1 = RnsPoly::sample_error(ctx, level, rng)?;
         let b = pk.b.truncate_level(level)?.to_evaluation(ctx);
         let a = pk.a.truncate_level(level)?.to_evaluation(ctx);
-        let c0 = v
-            .mul(&b)?
-            .to_coefficient(ctx)
-            .add(&e0)?
-            .add(&pt.poly)?;
+        let c0 = v.mul(&b)?.to_coefficient(ctx).add(&e0)?.add(&pt.poly)?;
         let c1 = v.mul(&a)?.to_coefficient(ctx).add(&e1)?;
         Ok(Ciphertext {
             parts: vec![c0, c1],
@@ -263,6 +260,7 @@ impl<'a> Evaluator<'a> {
                 "multiplication expects relinearized (2-part) ciphertexts".into(),
             ));
         }
+        let _span = scheme_span("ckks.mul");
         let ctx = self.ctx;
         let level = a.level().min(b.level());
         let a0 = a.parts[0].truncate_level(level)?.to_evaluation(ctx);
@@ -286,11 +284,7 @@ impl<'a> Evaluator<'a> {
     /// digits, each digit multiplies the extended-basis key pair, and the
     /// accumulated result is divided by the special prime `P` (mod-down)
     /// — shrinking the digit noise by `P`.
-    fn keyswitch(
-        &self,
-        d: &RnsPoly,
-        key: &KeySwitchKey,
-    ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    fn keyswitch(&self, d: &RnsPoly, key: &KeySwitchKey) -> Result<(RnsPoly, RnsPoly), CkksError> {
         let level = d.level();
         let digits: Vec<Vec<i64>> = (0..=level).map(|j| d.residue_centered(j)).collect();
         self.keyswitch_digits(&digits, key, level)
@@ -305,20 +299,25 @@ impl<'a> Evaluator<'a> {
         key: &KeySwitchKey,
         level: usize,
     ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+        let _span = scheme_span("ckks.keyswitch");
         let ctx = self.ctx;
         let n = ctx.params().n();
         // Working basis: chain primes 0..=level plus the special prime;
         // `key_idx` maps into the key's extended-basis residue order.
         let special_key_idx = ctx.params().levels() + 1;
-        let mut basis: Vec<(uvpu_math::modular::Modulus, &uvpu_math::ntt::NttTable, usize)> =
-            (0..=level).map(|i| (ctx.modulus(i), ctx.ntt(i), i)).collect();
+        let mut basis: Vec<(
+            uvpu_math::modular::Modulus,
+            &uvpu_math::ntt::NttTable,
+            usize,
+        )> = (0..=level)
+            .map(|i| (ctx.modulus(i), ctx.ntt(i), i))
+            .collect();
         basis.push((ctx.special_modulus(), ctx.special_ntt(), special_key_idx));
 
         let mut acc0: Vec<uvpu_math::poly::Poly> = basis
             .iter()
             .map(|&(m, _, _)| {
-                uvpu_math::poly::Poly::from_evaluations(vec![0; n], m)
-                    .expect("power-of-two degree")
+                uvpu_math::poly::Poly::from_evaluations(vec![0; n], m).expect("power-of-two degree")
             })
             .collect();
         let mut acc1 = acc0.clone();
@@ -364,9 +363,7 @@ impl<'a> Evaluator<'a> {
             .enumerate()
             .map(|(i, poly)| {
                 let m = ctx.modulus(i);
-                let p_inv = m
-                    .inv(m.reduce_u64(p_mod.value()))
-                    .expect("distinct primes");
+                let p_inv = m.inv(m.reduce_u64(p_mod.value())).expect("distinct primes");
                 let coeffs: Vec<u64> = poly
                     .coeffs()
                     .iter()
@@ -390,6 +387,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`CkksError::OutOfLevels`] at level 0.
     pub fn rescale(&self, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let _span = scheme_span("ckks.rescale");
         let q_last = self.ctx.params().primes()[ct.level()] as f64;
         let parts = ct
             .parts
@@ -416,6 +414,7 @@ impl<'a> Evaluator<'a> {
         step: i64,
         gks: &GaloisKeys,
     ) -> Result<Ciphertext, CkksError> {
+        let _span = scheme_span_lazy(|| format!("ckks.rotate step={step}"));
         let (g, key) = gks.for_step(self.ctx, step)?;
         self.apply_galois(ct, g, key)
     }
@@ -426,6 +425,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`CkksError::MissingGaloisKey`] or substrate errors.
     pub fn conjugate(&self, ct: &Ciphertext, gks: &GaloisKeys) -> Result<Ciphertext, CkksError> {
+        let _span = scheme_span("ckks.conjugate");
         let (g, key) = gks.for_conjugation(self.ctx)?;
         self.apply_galois(ct, g, key)
     }
@@ -471,6 +471,7 @@ impl<'a> Evaluator<'a> {
                 "rotation expects a relinearized (2-part) ciphertext".into(),
             ));
         }
+        let _span = scheme_span_lazy(|| format!("ckks.rotate_hoisted steps={}", steps.len()));
         let level = ct.level();
         // Hoist: one digit decomposition for all rotations.
         let digits: Vec<Vec<i64>> = (0..=level)
@@ -498,7 +499,7 @@ impl<'a> Evaluator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encoder::{C64, Encoder};
+    use crate::encoder::{Encoder, C64};
     use crate::keys::KeyGenerator;
     use crate::params::CkksParams;
     use rand::rngs::StdRng;
@@ -536,7 +537,11 @@ mod tests {
         let pt = enc.encode(&f.ctx, 2, &values).unwrap();
         let ct = eval.encrypt(&pk, &pt, &mut rng).unwrap();
         let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &ct).unwrap());
-        assert!(max_err(&values, &back) < 1e-4, "err {}", max_err(&values, &back));
+        assert!(
+            max_err(&values, &back) < 1e-4,
+            "err {}",
+            max_err(&values, &back)
+        );
 
         // Symmetric encryption round-trips too.
         let ct2 = eval.encrypt_symmetric(&sk, &pt, &mut rng).unwrap();
@@ -564,8 +569,8 @@ mod tests {
             .unwrap();
         let sum = eval.add(&ca, &cb).unwrap();
         let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &sum).unwrap());
-        for j in 0..32 {
-            assert!((back[j].re - 100.0).abs() < 1e-3);
+        for w in back.iter().take(32) {
+            assert!((w.re - 100.0).abs() < 1e-3);
         }
         let diff = eval.sub(&ca, &cb).unwrap();
         let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &diff).unwrap());
@@ -585,8 +590,12 @@ mod tests {
         let eval = Evaluator::new(&f.ctx);
         let mut rng = StdRng::seed_from_u64(6);
 
-        let a: Vec<C64> = (0..32).map(|j| C64::new(0.5 + j as f64 * 0.1, 0.2)).collect();
-        let b: Vec<C64> = (0..32).map(|j| C64::new(1.5 - j as f64 * 0.05, -0.1)).collect();
+        let a: Vec<C64> = (0..32)
+            .map(|j| C64::new(0.5 + j as f64 * 0.1, 0.2))
+            .collect();
+        let b: Vec<C64> = (0..32)
+            .map(|j| C64::new(1.5 - j as f64 * 0.05, -0.1))
+            .collect();
         let ca = eval
             .encrypt(&pk, &enc.encode(&f.ctx, 3, &a).unwrap(), &mut rng)
             .unwrap();
@@ -627,7 +636,11 @@ mod tests {
         let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &quad).unwrap());
         for (j, w) in back.iter().take(32).enumerate() {
             let expect = (1.0 + j as f64 * 0.01).powi(4);
-            assert!((w.re - expect).abs() < 1e-2, "slot {j}: {} vs {expect}", w.re);
+            assert!(
+                (w.re - expect).abs() < 1e-2,
+                "slot {j}: {} vs {expect}",
+                w.re
+            );
         }
     }
 
@@ -681,12 +694,12 @@ mod tests {
         for step in [1i64, 5, -1] {
             let rot = eval.rotate(&ct, step, &gks).unwrap();
             let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &rot).unwrap());
-            for j in 0..slots {
+            for (j, w) in back.iter().take(slots).enumerate() {
                 let src = (j as i64 + step).rem_euclid(slots as i64) as usize;
                 assert!(
-                    (back[j].re - x[src].re).abs() < 1e-3,
+                    (w.re - x[src].re).abs() < 1e-3,
                     "step {step} slot {j}: {} vs {}",
-                    back[j].re,
+                    w.re,
                     x[src].re
                 );
             }
@@ -694,8 +707,8 @@ mod tests {
 
         let conj = eval.conjugate(&ct, &gks).unwrap();
         let back = enc.decode(&f.ctx, &eval.decrypt(&sk, &conj).unwrap());
-        for j in 0..slots {
-            assert!((back[j].im + 0.5).abs() < 1e-3);
+        for w in back.iter().take(slots) {
+            assert!((w.im + 0.5).abs() < 1e-3);
         }
         assert!(matches!(
             eval.rotate(&ct, 3, &gks),
@@ -744,6 +757,62 @@ mod tests {
             eval.add(&c1, &c2),
             Err(CkksError::ScaleMismatch { .. })
         ));
+        let _ = sk;
+    }
+
+    #[test]
+    fn mul_and_rescale_emit_scheme_spans() {
+        use uvpu_core::trace::{self, RingBufferSink, SharedSink, TraceEvent};
+
+        let f = fixture(6, 3);
+        let enc = Encoder::new(&f.ctx);
+        let mut kg = KeyGenerator::new(&f.ctx, StdRng::seed_from_u64(21));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).unwrap();
+        let rlk = kg.relin_key(&sk).unwrap();
+        let eval = Evaluator::new(&f.ctx);
+        let mut rng = StdRng::seed_from_u64(22);
+
+        let x: Vec<C64> = (0..32).map(|j| C64::from(0.25 + j as f64 * 0.01)).collect();
+        let ct = eval
+            .encrypt(&pk, &enc.encode(&f.ctx, 3, &x).unwrap(), &mut rng)
+            .unwrap();
+
+        let shared = SharedSink::new(RingBufferSink::new(256));
+        trace::install_global(Box::new(shared.clone()));
+        let _ = eval.rescale(&eval.mul(&ct, &ct, &rlk).unwrap()).unwrap();
+        trace::take_global();
+
+        let names: Vec<String> = shared.with(|s| {
+            s.events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::SpanBegin { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect()
+        });
+        for expect in ["ckks.mul", "ckks.keyswitch", "ckks.rescale"] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "missing {expect}: {names:?}"
+            );
+        }
+        // Each begin is paired with an end.
+        let (begins, ends) = shared.with(|s| {
+            let b = s
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::SpanBegin { .. }))
+                .count();
+            let e = s
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::SpanEnd { .. }))
+                .count();
+            (b, e)
+        });
+        assert_eq!(begins, ends);
         let _ = sk;
     }
 }

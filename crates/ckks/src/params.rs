@@ -155,10 +155,8 @@ impl CkksContext {
             .map(|&m| NttTable::new(m, params.n()))
             .collect::<Result<_, _>>()
             .map_err(CkksError::Math)?;
-        let special_modulus =
-            Modulus::new(params.special_prime()).map_err(CkksError::Math)?;
-        let special_ntt =
-            NttTable::new(special_modulus, params.n()).map_err(CkksError::Math)?;
+        let special_modulus = Modulus::new(params.special_prime()).map_err(CkksError::Math)?;
+        let special_ntt = NttTable::new(special_modulus, params.n()).map_err(CkksError::Math)?;
         Ok(Self {
             params,
             bases,

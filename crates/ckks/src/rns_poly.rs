@@ -37,11 +37,7 @@ impl RnsPoly {
     /// # Errors
     ///
     /// [`CkksError::Math`] on bad degree.
-    pub fn from_signed(
-        ctx: &CkksContext,
-        level: usize,
-        coeffs: &[i64],
-    ) -> Result<Self, CkksError> {
+    pub fn from_signed(ctx: &CkksContext, level: usize, coeffs: &[i64]) -> Result<Self, CkksError> {
         let polys = (0..=level)
             .map(|i| {
                 let m = ctx.modulus(i);
@@ -481,7 +477,9 @@ mod tests {
         let ctx = ctx();
         let mut x = vec![0i64; 64];
         x[1] = 1;
-        let a = RnsPoly::from_signed(&ctx, 1, &x).unwrap().to_evaluation(&ctx);
+        let a = RnsPoly::from_signed(&ctx, 1, &x)
+            .unwrap()
+            .to_evaluation(&ctx);
         let b = a.clone();
         let prod = a.mul(&b).unwrap().to_coefficient(&ctx);
         assert_eq!(prod.coefficient_centered_f64(&ctx, 2), 1.0);

@@ -15,6 +15,7 @@
 //! automorphism at every size.
 
 use crate::stats::CycleStats;
+use crate::trace::TraceSink;
 use crate::vpu::Vpu;
 use crate::CoreError;
 use uvpu_math::automorphism::{AffineMap, RowColumnDecomposition};
@@ -89,8 +90,7 @@ impl AutomorphismMapping {
             return Err(CoreError::UnsupportedSize { size: n });
         }
         let map = AffineMap::new(n, g, t)?;
-        let decomposition = RowColumnDecomposition::new(map, m, n / m)
-            .map_err(CoreError::Math)?;
+        let decomposition = RowColumnDecomposition::new(map, m, n / m).map_err(CoreError::Math)?;
         Ok(Self {
             n,
             m,
@@ -107,7 +107,9 @@ impl AutomorphismMapping {
     /// As [`AutomorphismMapping::new`].
     pub fn sigma(n: usize, m: usize, phi: u64, r: u32) -> Result<Self, CoreError> {
         if phi.is_multiple_of(2) {
-            return Err(CoreError::Math(MathError::EvenMultiplier { multiplier: phi }));
+            return Err(CoreError::Math(MathError::EvenMultiplier {
+                multiplier: phi,
+            }));
         }
         let mut g = 1u64;
         for _ in 0..r {
@@ -141,7 +143,11 @@ impl AutomorphismMapping {
     /// # Errors
     ///
     /// Lane-count/modulus mismatches or register errors.
-    pub fn execute(&self, vpu: &mut Vpu, input: &[u64]) -> Result<AutomorphismExecution, CoreError> {
+    pub fn execute<S: TraceSink>(
+        &self,
+        vpu: &mut Vpu<S>,
+        input: &[u64],
+    ) -> Result<AutomorphismExecution, CoreError> {
         if input.len() != self.n {
             return Err(CoreError::LengthMismatch {
                 expected: self.n,
@@ -153,6 +159,7 @@ impl AutomorphismMapping {
         }
         vpu.ensure_depth(2);
         let start = *vpu.stats();
+        vpu.span_begin("automorphism");
         let cols = self.n / self.m;
         let mut output = vec![0u64; self.n];
         for c in 0..cols {
@@ -168,12 +175,8 @@ impl AutomorphismMapping {
                 output[r * cols + target] = v;
             }
         }
-        let now = *vpu.stats();
-        let stats = CycleStats {
-            butterfly: now.butterfly - start.butterfly,
-            elementwise: now.elementwise - start.elementwise,
-            network_move: now.network_move - start.network_move,
-        };
+        vpu.span_end("automorphism");
+        let stats = vpu.stats().delta(&start);
         Ok(AutomorphismExecution {
             output,
             stats,
@@ -195,7 +198,10 @@ mod tests {
     fn validates_parameters() {
         assert!(AutomorphismMapping::new(64, 8, 4, 0).is_err(), "even g");
         assert!(AutomorphismMapping::new(4, 8, 5, 0).is_err(), "n < m");
-        assert!(AutomorphismMapping::new(96, 8, 5, 0).is_err(), "non power of two");
+        assert!(
+            AutomorphismMapping::new(96, 8, 5, 0).is_err(),
+            "non power of two"
+        );
         assert!(AutomorphismMapping::new(64, 8, 5, 63).is_ok());
     }
 
@@ -236,7 +242,11 @@ mod tests {
         let run = plan.execute(&mut v, &data).unwrap();
         assert_eq!(run.stats.network_move, (n / 16) as u64);
         assert_eq!(run.stats.butterfly + run.stats.elementwise, 0);
-        assert_eq!(run.utilization(), 1.0, "Table III: automorphism is always 100%");
+        assert_eq!(
+            run.utilization(),
+            1.0,
+            "Table III: automorphism is always 100%"
+        );
     }
 
     #[test]

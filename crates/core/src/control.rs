@@ -306,7 +306,9 @@ mod tests {
     #[test]
     fn from_bits_validates_shape() {
         assert!(ShiftControls::from_bits(8, vec![vec![false]; 3]).is_err());
-        assert!(ShiftControls::from_bits(8, vec![vec![false], vec![false; 2], vec![false; 4]]).is_ok());
+        assert!(
+            ShiftControls::from_bits(8, vec![vec![false], vec![false; 2], vec![false; 4]]).is_ok()
+        );
         assert!(ShiftControls::from_bits(6, vec![]).is_err());
     }
 

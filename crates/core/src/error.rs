@@ -43,10 +43,16 @@ impl fmt::Display for CoreError {
                 write!(f, "lane count {lanes} must be a power of two >= 2")
             }
             Self::LengthMismatch { expected, actual } => {
-                write!(f, "vector length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "vector length {actual} does not match expected {expected}"
+                )
             }
             Self::RegisterOutOfRange { address, depth } => {
-                write!(f, "register address {address} outside register file of depth {depth}")
+                write!(
+                    f,
+                    "register address {address} outside register file of depth {depth}"
+                )
             }
             Self::UnsupportedSize { size } => {
                 write!(f, "operation size {size} cannot be mapped onto the VPU")

@@ -19,6 +19,7 @@
 use crate::control::ShiftControls;
 use crate::network::{CgDirection, NetworkPass};
 use crate::stats::CycleStats;
+use crate::trace::TraceSink;
 use crate::vpu::{PeaseStage, Vpu};
 use crate::CoreError;
 use std::collections::HashMap;
@@ -147,7 +148,11 @@ impl fmt::Display for Instr {
             Self::Automorphism { dst, src, g, t } => {
                 write!(f, "route r{dst}, r{src}, auto g={g} t={t}")
             }
-            Self::CgRoute { dst, src, direction } => {
+            Self::CgRoute {
+                dst,
+                src,
+                direction,
+            } => {
                 let d = match direction {
                     CgDirection::Dit => "dit",
                     CgDirection::Dif => "dif",
@@ -291,7 +296,11 @@ impl Program {
                             "dif" => CgDirection::Dif,
                             _ => return Err(fail()),
                         };
-                        Instr::CgRoute { dst, src, direction }
+                        Instr::CgRoute {
+                            dst,
+                            src,
+                            direction,
+                        }
                     } else {
                         return Err(fail());
                     }
@@ -344,7 +353,7 @@ impl Program {
     /// # Errors
     ///
     /// Register/pool errors from the VPU or missing constant pools.
-    pub fn execute(&self, vpu: &mut Vpu) -> Result<CycleStats, CoreError> {
+    pub fn execute<S: TraceSink>(&self, vpu: &mut Vpu<S>) -> Result<CycleStats, CoreError> {
         let start = *vpu.stats();
         for instr in &self.instrs {
             match instr {
@@ -370,18 +379,17 @@ impl Program {
                 Instr::Automorphism { dst, src, g, t } => {
                     vpu.automorphism_pass(*dst, *src, *g, *t)?;
                 }
-                Instr::CgRoute { dst, src, direction } => {
+                Instr::CgRoute {
+                    dst,
+                    src,
+                    direction,
+                } => {
                     vpu.route(*dst, *src, &NetworkPass::cg(*direction))?;
                 }
                 Instr::Reduce { dst, src, scratch } => vpu.reduce_sum(*dst, *src, *scratch)?,
             }
         }
-        let now = *vpu.stats();
-        Ok(CycleStats {
-            butterfly: now.butterfly - start.butterfly,
-            elementwise: now.elementwise - start.elementwise,
-            network_move: now.network_move - start.network_move,
-        })
+        Ok(vpu.stats().delta(&start))
     }
 
     /// The highest register index referenced (for sizing the file).

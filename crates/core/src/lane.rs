@@ -384,10 +384,7 @@ mod tests {
         let v: Vec<u64> = (1..9).collect();
         l.write(0, &v).unwrap();
         let w = [5u64, 7, 11, 13];
-        let w_inv: Vec<u64> = w
-            .iter()
-            .map(|&x| l.modulus().inv(x).unwrap())
-            .collect();
+        let w_inv: Vec<u64> = w.iter().map(|&x| l.modulus().inv(x).unwrap()).collect();
         // DIF with w then DIT with w^{-1} doubles each element.
         l.butterfly_adjacent(0, ButterflyKind::Dif, &w).unwrap();
         l.butterfly_adjacent(0, ButterflyKind::Dit, &w_inv).unwrap();
@@ -412,7 +409,10 @@ mod tests {
         let addrs = [0usize, 1, 2, 3, 4, 5, 6, 7];
         l.write_per_lane(&addrs, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         // Element for lane l went to register addrs[l]; diagonal readback.
-        assert_eq!(l.read_per_lane(&addrs).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            l.read_per_lane(&addrs).unwrap(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
         // Register 3 holds only lane 3's element.
         assert_eq!(l.read(3).unwrap(), &[0, 0, 0, 4, 0, 0, 0, 0]);
         assert!(l.write_per_lane(&[99; 8], &[0; 8]).is_err());

@@ -61,6 +61,7 @@ pub mod network;
 pub mod ntt_map;
 pub mod rtl;
 pub mod stats;
+pub mod trace;
 pub mod transpose;
 pub mod vpu;
 

@@ -188,7 +188,12 @@ impl InterLaneNetwork {
     /// Panics if `data.len() != m`, or `group` does not divide `m` evenly
     /// into power-of-two blocks of at least 2 lanes.
     #[must_use]
-    pub fn cg_pass_grouped<T: Copy>(&self, data: &[T], direction: CgDirection, group: usize) -> Vec<T> {
+    pub fn cg_pass_grouped<T: Copy>(
+        &self,
+        data: &[T],
+        direction: CgDirection,
+        group: usize,
+    ) -> Vec<T> {
         self.check_len(data.len()).expect("lane-width vector");
         assert!(
             group.is_power_of_two() && group >= 2 && group <= self.m,
@@ -345,7 +350,7 @@ mod tests {
             8,
             vec![
                 vec![false],
-                vec![false, true],            // distance-2 stage: odd class
+                vec![false, true],              // distance-2 stage: odd class
                 vec![true, false, true, false], // distance-4 stage: even classes
             ],
         )

@@ -14,6 +14,7 @@
 //! paper Table III.
 
 use crate::stats::CycleStats;
+use crate::trace::TraceSink;
 use crate::vpu::{PeaseStage, Vpu};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
@@ -27,8 +28,8 @@ use uvpu_math::MathError;
 ///
 /// Forward stages use the DIF CG route (perfect shuffle) + DIF
 /// butterflies; output within each lane group is in **bit-reversed**
-/// order. Inverse stages run the exact algebraic inverse (DIT butterflies
-/// + unshuffle route, reversed stage order, `L^{-1}` fold), consuming
+/// order. Inverse stages run the exact algebraic inverse (DIT butterflies +
+/// unshuffle route, reversed stage order, `L^{-1}` fold), consuming
 /// bit-reversed order and producing natural order — so chaining forward
 /// and inverse needs no bit-reversal pass, the property the paper's dual
 /// DIT/DIF hardware provides.
@@ -73,7 +74,9 @@ impl SmallNtt {
     /// wrapped in [`CoreError::Math`].
     pub fn new(modulus: Modulus, len: usize) -> Result<Self, CoreError> {
         if !len.is_power_of_two() || len < 2 {
-            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo { length: len }));
+            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo {
+                length: len,
+            }));
         }
         let omega = min_root_of_unity(&modulus, len as u64)?;
         Self::with_root(modulus, len, omega)
@@ -88,7 +91,9 @@ impl SmallNtt {
     /// [`CoreError::Math`] if `omega` is not a primitive `len`-th root.
     pub fn with_root(modulus: Modulus, len: usize, omega: u64) -> Result<Self, CoreError> {
         if !len.is_power_of_two() || len < 2 {
-            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo { length: len }));
+            return Err(CoreError::Math(MathError::LengthNotPowerOfTwo {
+                length: len,
+            }));
         }
         if modulus.pow(omega, len as u64) != 1
             || (len > 1 && modulus.pow(omega, len as u64 / 2) == 1)
@@ -154,7 +159,6 @@ impl SmallNtt {
         self.log_len
     }
 
-
     /// Compiles the forward transform into a VPU assembly [`Program`]
     /// operating in place on register `addr` — the lane-resident NTT as
     /// an inspectable artifact (one `pease.fwd` instruction per stage,
@@ -167,7 +171,11 @@ impl SmallNtt {
     /// Panics if `m` is not a multiple of the transform length.
     #[must_use]
     pub fn forward_program(&self, addr: usize, m: usize) -> crate::isa::Program {
-        assert_eq!(m % self.len, 0, "lane count must be a multiple of the length");
+        assert_eq!(
+            m % self.len,
+            0,
+            "lane count must be a multiple of the length"
+        );
         let mut prog = crate::isa::Program::new();
         for s in 0..self.log_len as usize {
             let pool = format!("tw{s}");
@@ -191,11 +199,16 @@ impl SmallNtt {
     /// Panics if `m` is not a multiple of the transform length.
     #[must_use]
     pub fn inverse_program(&self, addr: usize, m: usize) -> crate::isa::Program {
-        assert_eq!(m % self.len, 0, "lane count must be a multiple of the length");
+        assert_eq!(
+            m % self.len,
+            0,
+            "lane count must be a multiple of the length"
+        );
         let mut prog = crate::isa::Program::new();
         for s in (0..self.log_len as usize).rev() {
             let pool = format!("itw{s}");
-            prog.pools.insert(pool.clone(), self.group_twiddles_inv(s, m));
+            prog.pools
+                .insert(pool.clone(), self.group_twiddles_inv(s, m));
             prog.instrs.push(crate::isa::Instr::PeaseInverse {
                 addr,
                 pool,
@@ -240,7 +253,11 @@ impl SmallNtt {
     ///
     /// Register errors from the VPU, or a lane count not divisible into
     /// groups of `L`.
-    pub fn run_forward(&self, vpu: &mut Vpu, addr: usize) -> Result<(), CoreError> {
+    pub fn run_forward<S: TraceSink>(
+        &self,
+        vpu: &mut Vpu<S>,
+        addr: usize,
+    ) -> Result<(), CoreError> {
         let m = vpu.lanes();
         if !m.is_multiple_of(self.len) {
             return Err(CoreError::UnsupportedSize { size: self.len });
@@ -259,7 +276,11 @@ impl SmallNtt {
     /// # Errors
     ///
     /// Register errors from the VPU, or an incompatible lane count.
-    pub fn run_inverse(&self, vpu: &mut Vpu, addr: usize) -> Result<(), CoreError> {
+    pub fn run_inverse<S: TraceSink>(
+        &self,
+        vpu: &mut Vpu<S>,
+        addr: usize,
+    ) -> Result<(), CoreError> {
         let m = vpu.lanes();
         if !m.is_multiple_of(self.len) {
             return Err(CoreError::UnsupportedSize { size: self.len });
@@ -469,15 +490,14 @@ impl NttPlan {
         // K: mixed radix over transformed digits (dims < t).
         let mut k_idx = 0usize;
         let mut k_radix = 1usize;
-        for s in 0..t {
-            k_idx += digits[s] * k_radix;
-            k_radix *= self.dims[s];
+        for (&dig, &dim) in digits.iter().zip(&self.dims).take(t) {
+            k_idx += dig * k_radix;
+            k_radix *= dim;
         }
         // r: mixed radix over untransformed digits (dims > t), dim t+1 major.
-        let kdims = self.dims.len();
         let mut r_idx = 0usize;
-        for s in (t + 1)..kdims {
-            r_idx = r_idx * self.dims[s] + digits[s];
+        for (&dig, &dim) in digits.iter().zip(&self.dims).skip(t + 1) {
+            r_idx = r_idx * dim + dig;
         }
         let grp = k_idx % groups;
         let lane = grp * d_t + digits[t];
@@ -492,9 +512,9 @@ impl NttPlan {
     fn twiddle_exponent(&self, t: usize, digits: &[usize]) -> u64 {
         let mut kappa = 0usize;
         let mut radix = 1usize;
-        for s in 0..t {
-            kappa += digits[s] * radix;
-            radix *= self.dims[s];
+        for (&dig, &dim) in digits.iter().zip(&self.dims).take(t) {
+            kappa += dig * radix;
+            radix *= dim;
         }
         let p_t = radix * self.dims[t];
         // ω_{P_t} = ω^{n / P_t}.
@@ -513,9 +533,9 @@ impl NttPlan {
 
     // ---- execution -----------------------------------------------------
 
-    fn execute(
+    fn execute<S: TraceSink>(
         &self,
-        vpu: &mut Vpu,
+        vpu: &mut Vpu<S>,
         input: &[u64],
         direction: Direction,
         negacyclic: bool,
@@ -523,9 +543,9 @@ impl NttPlan {
         self.execute_on(std::slice::from_mut(vpu), input, direction, negacyclic)
     }
 
-    fn execute_on(
+    fn execute_on<S: TraceSink>(
         &self,
-        vpus: &mut [Vpu],
+        vpus: &mut [Vpu<S>],
         input: &[u64],
         direction: Direction,
         negacyclic: bool,
@@ -562,24 +582,31 @@ impl NttPlan {
         // A transform shorter than the VPU occupies one partial column.
         let cols = (self.n / self.m).max(1);
         let kdims = self.dims.len();
+        // Phase spans are emitted on shard 0 (the only shard for
+        // single-VPU runs); sharded beats still trace on their own VPU.
+        let phase = match (direction, negacyclic) {
+            (Direction::Forward, false) => "ntt.forward",
+            (Direction::Forward, true) => "ntt.forward_negacyclic",
+            (Direction::Inverse, false) => "ntt.inverse",
+            (Direction::Inverse, true) => "ntt.inverse_negacyclic",
+        };
+        vpus[0].span_begin(phase);
+        let trace_names = vpus[0].sink().enabled();
 
         // state[code] = current value of the element with that digit code.
         let mut state: Vec<u64> = vec![0; self.n];
         match direction {
             Direction::Forward => {
-                let reduced: Vec<u64> = input
-                    .iter()
-                    .map(|&x| self.modulus.reduce_u64(x))
-                    .collect();
+                let reduced: Vec<u64> = input.iter().map(|&x| self.modulus.reduce_u64(x)).collect();
                 let data = match psi {
                     // ψ-twist turns the negacyclic problem cyclic; the
                     // element-wise beats are charged below.
                     Some(psi) => psi_twist(&reduced, psi, &self.modulus),
                     None => reduced,
                 };
-                for code in 0..self.n {
+                for (code, slot) in state.iter_mut().enumerate() {
                     let digits = self.digits(code);
-                    state[code] = data[self.input_index(&digits)];
+                    *slot = data[self.input_index(&digits)];
                 }
             }
             Direction::Inverse => {
@@ -593,24 +620,37 @@ impl NttPlan {
             Direction::Forward => {
                 if psi.is_some() {
                     // One element-wise beat per column for the twist.
+                    vpus[0].span_begin("ntt.twist");
                     self.charge_elementwise(vpus, cols as u64)?;
+                    vpus[0].span_end("ntt.twist");
                 }
                 for t in 0..kdims {
                     if t > 0 {
                         // Inter-dimension twiddle (element-wise) …
+                        vpus[0].span_begin("ntt.twiddle");
                         self.apply_twiddles(&mut state, t, false);
                         self.charge_elementwise(vpus, cols as u64)?;
+                        vpus[0].span_end("ntt.twiddle");
                         // … then the transpose bringing dim t into lanes.
+                        vpus[0].span_begin("ntt.transpose");
                         self.charge_network_moves_sharded(
                             vpus,
                             self.transpose_moves_per_column(t),
                             cols,
                         );
+                        vpus[0].span_end("ntt.transpose");
+                    }
+                    if trace_names {
+                        vpus[0].span_begin(&format!("ntt.dim{t}"));
                     }
                     self.run_dimension(vpus, &mut state, t, Direction::Forward)?;
+                    if trace_names {
+                        vpus[0].span_end(&format!("ntt.dim{t}"));
+                    }
                 }
                 // Readout: code == natural output index by construction.
                 let output = state;
+                vpus[0].span_end(phase);
                 let stats = self.delta_all(vpus, &starts);
                 Ok(NttExecution { output, stats })
             }
@@ -618,27 +658,40 @@ impl NttPlan {
                 for t in (0..kdims).rev() {
                     if t < kdims - 1 {
                         // Mirror of the forward transpose (leaving dim t+1).
+                        vpus[0].span_begin("ntt.transpose");
                         self.charge_network_moves_sharded(
                             vpus,
                             self.transpose_moves_per_column(t + 1),
                             cols,
                         );
+                        vpus[0].span_end("ntt.transpose");
+                    }
+                    if trace_names {
+                        vpus[0].span_begin(&format!("ntt.dim{t}"));
                     }
                     self.run_dimension(vpus, &mut state, t, Direction::Inverse)?;
+                    if trace_names {
+                        vpus[0].span_end(&format!("ntt.dim{t}"));
+                    }
                     if t > 0 {
+                        vpus[0].span_begin("ntt.twiddle");
                         self.apply_twiddles(&mut state, t, true);
                         self.charge_elementwise(vpus, cols as u64)?;
+                        vpus[0].span_end("ntt.twiddle");
                     }
                 }
                 if let Some(psi) = psi {
                     let psi_inv = self.modulus.inv(psi)?;
                     let mut out = vec![0u64; self.n];
-                    for code in 0..self.n {
+                    for (code, &val) in state.iter().enumerate() {
                         let digits = self.digits(code);
-                        out[self.input_index(&digits)] = state[code];
+                        out[self.input_index(&digits)] = val;
                     }
+                    vpus[0].span_begin("ntt.twist");
                     let untwisted = psi_twist(&out, psi_inv, &self.modulus);
                     self.charge_elementwise(vpus, cols as u64)?;
+                    vpus[0].span_end("ntt.twist");
+                    vpus[0].span_end(phase);
                     let stats = self.delta_all(vpus, &starts);
                     return Ok(NttExecution {
                         output: untwisted,
@@ -646,10 +699,11 @@ impl NttPlan {
                     });
                 }
                 let mut out = vec![0u64; self.n];
-                for code in 0..self.n {
+                for (code, &val) in state.iter().enumerate() {
                     let digits = self.digits(code);
-                    out[self.input_index(&digits)] = state[code];
+                    out[self.input_index(&digits)] = val;
                 }
+                vpus[0].span_end(phase);
                 let stats = self.delta_all(vpus, &starts);
                 Ok(NttExecution { output: out, stats })
             }
@@ -657,20 +711,19 @@ impl NttPlan {
     }
 
     /// Aggregate cycle delta across all shards since `starts`.
-    fn delta_all(&self, vpus: &[Vpu], starts: &[CycleStats]) -> CycleStats {
+    fn delta_all<S: TraceSink>(&self, vpus: &[Vpu<S>], starts: &[CycleStats]) -> CycleStats {
         let mut total = CycleStats::new();
         for (vpu, start) in vpus.iter().zip(starts) {
-            let now = *vpu.stats();
-            total += CycleStats {
-                butterfly: now.butterfly - start.butterfly,
-                elementwise: now.elementwise - start.elementwise,
-                network_move: now.network_move - start.network_move,
-            };
+            total += vpu.stats().delta(start);
         }
         total
     }
 
-    fn charge_elementwise(&self, vpus: &mut [Vpu], beats: u64) -> Result<(), CoreError> {
+    fn charge_elementwise<S: TraceSink>(
+        &self,
+        vpus: &mut [Vpu<S>],
+        beats: u64,
+    ) -> Result<(), CoreError> {
         // Run genuine element-wise beats on a scratch register so the
         // accounting flows through the normal pipeline path, one beat per
         // column distributed round-robin across the shard set.
@@ -683,7 +736,12 @@ impl NttPlan {
         Ok(())
     }
 
-    fn charge_network_moves_sharded(&self, vpus: &mut [Vpu], per_column: u64, cols: usize) {
+    fn charge_network_moves_sharded<S: TraceSink>(
+        &self,
+        vpus: &mut [Vpu<S>],
+        per_column: u64,
+        cols: usize,
+    ) {
         for c in 0..cols {
             vpus[c % vpus.len()].charge_network_moves(per_column);
         }
@@ -705,9 +763,9 @@ impl NttPlan {
 
     /// Runs dimension `t`'s small NTTs through the VPUs, column by
     /// column, round-robin across the shard set.
-    fn run_dimension(
+    fn run_dimension<S: TraceSink>(
         &self,
-        vpus: &mut [Vpu],
+        vpus: &mut [Vpu<S>],
         state: &mut [u64],
         t: usize,
         direction: Direction,
@@ -780,7 +838,11 @@ impl NttPlan {
     /// # Errors
     ///
     /// Length/lane/modulus mismatches, or register errors.
-    pub fn execute_forward(&self, vpu: &mut Vpu, input: &[u64]) -> Result<NttExecution, CoreError> {
+    pub fn execute_forward<S: TraceSink>(
+        &self,
+        vpu: &mut Vpu<S>,
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
         self.execute(vpu, input, Direction::Forward, false)
     }
 
@@ -790,7 +852,11 @@ impl NttPlan {
     /// # Errors
     ///
     /// Length/lane/modulus mismatches, or register errors.
-    pub fn execute_inverse(&self, vpu: &mut Vpu, input: &[u64]) -> Result<NttExecution, CoreError> {
+    pub fn execute_inverse<S: TraceSink>(
+        &self,
+        vpu: &mut Vpu<S>,
+        input: &[u64],
+    ) -> Result<NttExecution, CoreError> {
         self.execute(vpu, input, Direction::Inverse, false)
     }
 
@@ -801,9 +867,9 @@ impl NttPlan {
     /// # Errors
     ///
     /// As [`Self::execute_forward`], plus a missing `2N`-th root.
-    pub fn execute_forward_negacyclic(
+    pub fn execute_forward_negacyclic<S: TraceSink>(
         &self,
-        vpu: &mut Vpu,
+        vpu: &mut Vpu<S>,
         input: &[u64],
     ) -> Result<NttExecution, CoreError> {
         self.execute(vpu, input, Direction::Forward, true)
@@ -814,9 +880,9 @@ impl NttPlan {
     /// # Errors
     ///
     /// As [`Self::execute_inverse`], plus a missing `2N`-th root.
-    pub fn execute_inverse_negacyclic(
+    pub fn execute_inverse_negacyclic<S: TraceSink>(
         &self,
-        vpu: &mut Vpu,
+        vpu: &mut Vpu<S>,
         input: &[u64],
     ) -> Result<NttExecution, CoreError> {
         self.execute(vpu, input, Direction::Inverse, true)
@@ -835,9 +901,9 @@ impl NttPlan {
     /// # Errors
     ///
     /// Empty shard set, or any shard with mismatched lanes/modulus.
-    pub fn execute_forward_negacyclic_sharded(
+    pub fn execute_forward_negacyclic_sharded<S: TraceSink>(
         &self,
-        vpus: &mut [Vpu],
+        vpus: &mut [Vpu<S>],
         input: &[u64],
     ) -> Result<NttExecution, CoreError> {
         self.execute_on(vpus, input, Direction::Forward, true)
@@ -849,9 +915,9 @@ impl NttPlan {
     /// # Errors
     ///
     /// Empty shard set, or any shard with mismatched lanes/modulus.
-    pub fn execute_inverse_negacyclic_sharded(
+    pub fn execute_inverse_negacyclic_sharded<S: TraceSink>(
         &self,
-        vpus: &mut [Vpu],
+        vpus: &mut [Vpu<S>],
         input: &[u64],
     ) -> Result<NttExecution, CoreError> {
         self.execute_on(vpus, input, Direction::Inverse, true)
@@ -978,10 +1044,19 @@ mod tests {
         let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 2)).collect();
         let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(3 * i + 1)).collect();
 
-        let fa = plan.execute_forward_negacyclic(&mut vpu, &a).unwrap().output;
-        let fb = plan.execute_forward_negacyclic(&mut vpu, &b).unwrap().output;
+        let fa = plan
+            .execute_forward_negacyclic(&mut vpu, &a)
+            .unwrap()
+            .output;
+        let fb = plan
+            .execute_forward_negacyclic(&mut vpu, &b)
+            .unwrap()
+            .output;
         let prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
-        let got = plan.execute_inverse_negacyclic(&mut vpu, &prod).unwrap().output;
+        let got = plan
+            .execute_inverse_negacyclic(&mut vpu, &prod)
+            .unwrap()
+            .output;
 
         let expect = uvpu_math::ntt::naive_negacyclic_mul(&a, &b, &q);
         assert_eq!(got, expect);
@@ -994,9 +1069,6 @@ mod tests {
         y.sort_unstable();
         assert_eq!(x, y);
     }
-
-
-
 
     #[test]
     fn compiled_ntt_programs_match_direct_execution() {
@@ -1057,13 +1129,19 @@ mod tests {
         let sharded = plan
             .execute_forward_negacyclic_sharded(&mut shard_vec, &data)
             .unwrap();
-        assert_eq!(sharded.output, solo.output, "sharding is functionally invisible");
+        assert_eq!(
+            sharded.output, solo.output,
+            "sharding is functionally invisible"
+        );
         assert_eq!(sharded.stats, solo.stats, "total work is conserved");
 
         // The parallel makespan is the max shard load: near total/4.
         let loads: Vec<u64> = shard_vec.iter().map(|v| v.stats().total()).collect();
         let makespan = *loads.iter().max().unwrap();
-        assert!(makespan * 4 <= solo.stats.total() + 4 * 16, "balanced: {loads:?}");
+        assert!(
+            makespan * 4 <= solo.stats.total() + 4 * 16,
+            "balanced: {loads:?}"
+        );
         assert!(makespan >= solo.stats.total() / 4);
 
         // Round trip through the sharded inverse.
@@ -1083,10 +1161,7 @@ mod tests {
         assert!(plan
             .execute_forward_negacyclic_sharded(&mut none, &data)
             .is_err());
-        let mut mixed = vec![
-            Vpu::new(16, q, 8).unwrap(),
-            Vpu::new(8, q, 8).unwrap(),
-        ];
+        let mut mixed = vec![Vpu::new(16, q, 8).unwrap(), Vpu::new(8, q, 8).unwrap()];
         assert!(plan
             .execute_forward_negacyclic_sharded(&mut mixed, &data)
             .is_err());
@@ -1110,9 +1185,15 @@ mod tests {
         let (u10, u12, u14, u16, u18) = (utils[0], utils[1], utils[2], utils[3], utils[4]);
         assert!(u12 > u10, "2^12 (square) beats 2^10 (short dim): {utils:?}");
         assert!(u14 < u12, "extra dimension at 2^14 hurts: {utils:?}");
-        assert!(u16 > u14 && u18 > u16, "recovering as the tail grows: {utils:?}");
+        assert!(
+            u16 > u14 && u18 > u16,
+            "recovering as the tail grows: {utils:?}"
+        );
         for u in &utils {
-            assert!(*u > 0.6 && *u < 0.95, "within the paper's ballpark: {utils:?}");
+            assert!(
+                *u > 0.6 && *u < 0.95,
+                "within the paper's ballpark: {utils:?}"
+            );
         }
     }
 

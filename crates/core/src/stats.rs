@@ -54,7 +54,15 @@ impl CycleStats {
     }
 
     /// Throughput utilization: compute cycles over total cycles (the
-    /// metric of paper Table III). An empty run counts as fully utilized.
+    /// metric of paper Table III).
+    ///
+    /// An empty run counts as fully utilized — `utilization()` of
+    /// all-zero counters returns `1.0`. This is a deliberate convention:
+    /// a phase that consumed no cycles wasted none, and callers folding
+    /// utilizations (e.g. taking a minimum across shards) must not see an
+    /// idle shard as 0% busy. Reports that want to distinguish "empty"
+    /// from "perfect" should check [`total`](Self::total)` == 0` first
+    /// and render `n/a` (the bench breakdown tables do).
     #[must_use]
     pub fn utilization(&self) -> f64 {
         let total = self.total();
@@ -62,6 +70,31 @@ impl CycleStats {
             1.0
         } else {
             self.compute() as f64 / total as f64
+        }
+    }
+
+    /// Per-field saturating difference `self − earlier`: the cycles
+    /// spent between an `earlier` snapshot and now. Saturating rather
+    /// than panicking, so a snapshot taken after a counter reset
+    /// attributes zero (not garbage) to the interval.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use uvpu_core::stats::CycleStats;
+    ///
+    /// let before = CycleStats { butterfly: 4, elementwise: 1, network_move: 0 };
+    /// let after = CycleStats { butterfly: 9, elementwise: 1, network_move: 2 };
+    /// let span = after.delta(&before);
+    /// assert_eq!(span.butterfly, 5);
+    /// assert_eq!(span.total(), 7);
+    /// ```
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            butterfly: self.butterfly.saturating_sub(earlier.butterfly),
+            elementwise: self.elementwise.saturating_sub(earlier.elementwise),
+            network_move: self.network_move.saturating_sub(earlier.network_move),
         }
     }
 }
@@ -131,6 +164,25 @@ mod tests {
         b += a;
         assert_eq!(b, a + a);
         assert_eq!(b.total(), 12);
+    }
+
+    #[test]
+    fn delta_saturates_per_field() {
+        let a = CycleStats {
+            butterfly: 10,
+            elementwise: 0,
+            network_move: 5,
+        };
+        let b = CycleStats {
+            butterfly: 4,
+            elementwise: 3,
+            network_move: 5,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.butterfly, 6);
+        assert_eq!(d.elementwise, 0, "saturates instead of wrapping");
+        assert_eq!(d.network_move, 0);
+        assert_eq!(CycleStats::new().delta(&a), CycleStats::new());
     }
 
     #[test]

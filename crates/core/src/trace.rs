@@ -1,0 +1,1175 @@
+//! Event-level tracing across the VPU stack.
+//!
+//! Every pipeline beat the simulator charges — a constant-geometry
+//! shuffle, a shift-network traversal, a butterfly batch, an element-wise
+//! op — can be observed through a [`TraceSink`] attached to the
+//! [`Vpu`](crate::vpu::Vpu). The default sink, [`NopSink`], is a zero-sized
+//! type whose hooks are empty inherent no-ops: a `Vpu<NopSink>` (the
+//! default parameter, what `Vpu::new` builds) monomorphizes to exactly the
+//! untraced hot path — no branch, no indirect call.
+//!
+//! Three concrete sinks ship with the crate:
+//!
+//! - [`CounterSink`] — per-opcode beat counts, network passes by kind,
+//!   register-file load/store counts, plus per-span cycle attribution via
+//!   [`CycleStats::delta`];
+//! - [`RingBufferSink`] — a bounded recorder keeping the most recent
+//!   events (with a dropped-event count once the buffer wraps);
+//! - [`PerfettoSink`] — a Chrome trace-event / Perfetto JSON exporter
+//!   with a hand-rolled writer (the build environment is offline, so no
+//!   serde); open the output at `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! Higher-level phases (NTT stages, automorphisms, key-switch, rescale)
+//! appear as *spans*: `span_begin`/`span_end` pairs timestamped with the
+//! VPU cycle counter. Scheme crates (`uvpu-ckks`, `uvpu-bfv`) are software
+//! models without a cycle clock, so they emit spans through a
+//! thread-local global sink ([`install_global`]) using a logical sequence
+//! counter instead, on the reserved [`SCHEME_TRACK`].
+
+use crate::network::{CgDirection, NetworkPass};
+use crate::stats::CycleStats;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Track (Perfetto `tid`) used by scheme-level spans emitted through the
+/// thread-local global sink.
+pub const SCHEME_TRACK: u32 = 1000;
+
+/// Element-wise opcode, as charged by the lane ALUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EwiseOp {
+    /// `dst ← a + b`.
+    Add,
+    /// `dst ← a − b`.
+    Sub,
+    /// `dst ← a · b`.
+    Mul,
+    /// `dst ← dst + a · b`.
+    Mac,
+    /// `dst ← src · consts` (immediate twiddle vector).
+    MulConst,
+    /// Fused rotate-and-add beat of a cross-lane reduction.
+    RotateAdd,
+}
+
+impl EwiseOp {
+    /// All opcodes, in [`Self::index`] order.
+    pub const ALL: [Self; 6] = [
+        Self::Add,
+        Self::Sub,
+        Self::Mul,
+        Self::Mac,
+        Self::MulConst,
+        Self::RotateAdd,
+    ];
+
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Add => 0,
+            Self::Sub => 1,
+            Self::Mul => 2,
+            Self::Mac => 3,
+            Self::MulConst => 4,
+            Self::RotateAdd => 5,
+        }
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Add => "ewise.add",
+            Self::Sub => "ewise.sub",
+            Self::Mul => "ewise.mul",
+            Self::Mac => "ewise.mac",
+            Self::MulConst => "ewise.mul_const",
+            Self::RotateAdd => "ewise.rotate_add",
+        }
+    }
+}
+
+/// What a network-only beat did, derived from the traversal's
+/// [`NetworkPass`] configuration (which CG orientation, if any, and
+/// whether the shift stages were active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Straight-through route (no stage active).
+    Route,
+    /// Perfect shuffle (DIF constant-geometry stage) only.
+    CgShuffle,
+    /// Inverse perfect shuffle (DIT constant-geometry stage) only.
+    CgUnshuffle,
+    /// Shift stages only (rotations, automorphisms, transposes).
+    Shift,
+    /// Perfect shuffle followed by the shift stages.
+    CgShuffleShift,
+    /// Inverse shuffle followed by the shift stages.
+    CgUnshuffleShift,
+}
+
+impl NetKind {
+    /// All kinds, in [`Self::index`] order.
+    pub const ALL: [Self; 6] = [
+        Self::Route,
+        Self::CgShuffle,
+        Self::CgUnshuffle,
+        Self::Shift,
+        Self::CgShuffleShift,
+        Self::CgUnshuffleShift,
+    ];
+
+    /// Classifies a traversal configuration.
+    #[must_use]
+    pub const fn from_pass(pass: &NetworkPass) -> Self {
+        match (pass.cg, pass.shifts.is_some()) {
+            (None, false) => Self::Route,
+            (Some(CgDirection::Dif), false) => Self::CgShuffle,
+            (Some(CgDirection::Dit), false) => Self::CgUnshuffle,
+            (None, true) => Self::Shift,
+            (Some(CgDirection::Dif), true) => Self::CgShuffleShift,
+            (Some(CgDirection::Dit), true) => Self::CgUnshuffleShift,
+        }
+    }
+
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Route => 0,
+            Self::CgShuffle => 1,
+            Self::CgUnshuffle => 2,
+            Self::Shift => 3,
+            Self::CgShuffleShift => 4,
+            Self::CgUnshuffleShift => 5,
+        }
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Route => "net.route",
+            Self::CgShuffle => "net.cg_shuffle",
+            Self::CgUnshuffle => "net.cg_unshuffle",
+            Self::Shift => "net.shift",
+            Self::CgShuffleShift => "net.cg_shuffle+shift",
+            Self::CgUnshuffleShift => "net.cg_unshuffle+shift",
+        }
+    }
+}
+
+/// What one pipeline beat (or a bulk batch of identical beats) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeatKind {
+    /// A constant-geometry route plus its paired-lane butterflies.
+    Butterfly,
+    /// An element-wise lane-ALU beat.
+    Elementwise(EwiseOp),
+    /// A network-only beat (arithmetic units idle).
+    NetworkMove(NetKind),
+}
+
+impl BeatKind {
+    /// Stable display name (`butterfly`, `ewise.*`, `net.*`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Butterfly => "butterfly",
+            Self::Elementwise(op) => op.name(),
+            Self::NetworkMove(kind) => kind.name(),
+        }
+    }
+
+    /// Coarse category (`butterfly` / `ewise` / `net`), used as the
+    /// Perfetto event category.
+    #[must_use]
+    pub const fn category(self) -> &'static str {
+        match self {
+            Self::Butterfly => "butterfly",
+            Self::Elementwise(_) => "ewise",
+            Self::NetworkMove(_) => "net",
+        }
+    }
+
+    /// Charges `count` beats of this kind to a [`CycleStats`].
+    pub fn charge(self, stats: &mut CycleStats, count: u64) {
+        match self {
+            Self::Butterfly => stats.butterfly += count,
+            Self::Elementwise(_) => stats.elementwise += count,
+            Self::NetworkMove(_) => stats.network_move += count,
+        }
+    }
+}
+
+/// Direction of a register-file ⇄ SRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemDir {
+    /// SRAM → register file (`Vpu::load`).
+    Load,
+    /// Register file → SRAM (`Vpu::store`).
+    Store,
+}
+
+/// Receiver for trace events.
+///
+/// Every hook has an empty default body, so a sink only overrides what it
+/// cares about — and [`NopSink`], which overrides nothing, monomorphizes
+/// to nothing at all. The trait is object-safe (`Box<dyn TraceSink>` is
+/// how scheme crates reach the thread-local global sink).
+///
+/// Timestamps: `cycle` is the VPU cycle counter *before* the beat is
+/// charged (so the beat occupies `[cycle, cycle + count)`); span `ts` is
+/// either a cycle (VPU-side spans) or a logical sequence number
+/// (scheme-side spans on [`SCHEME_TRACK`]). `track` distinguishes event
+/// streams — VPU index, scheduler slot, or [`SCHEME_TRACK`].
+pub trait TraceSink {
+    /// Whether the sink wants events at all. Callers may use this to skip
+    /// constructing expensive event arguments (e.g. `format!`ed span
+    /// names); the hooks themselves must stay correct regardless.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// One pipeline beat of `kind` at `cycle`.
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        let _ = (track, cycle, kind);
+    }
+
+    /// `count` identical beats of `kind` charged in bulk starting at
+    /// `cycle` (planner-level accounting, e.g. `charge_network_moves`).
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        let _ = (track, cycle, kind, count);
+    }
+
+    /// A register-file transfer of `lanes` words at register `addr`
+    /// (not a pipeline beat — loads/stores are not cycle-charged).
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        let _ = (track, cycle, dir, addr, lanes);
+    }
+
+    /// A higher-level phase opens.
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        let _ = (track, ts, name);
+    }
+
+    /// The most recent open phase on `track` closes.
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        let _ = (track, ts, name);
+    }
+}
+
+/// The default sink: discards everything.
+///
+/// `enabled()` is `false`, and every hook is the trait's empty default, so
+/// `Vpu<NopSink>` compiles to the exact untraced hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NopSink;
+
+impl TraceSink for NopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        (**self).beat(track, cycle, kind);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        (**self).beats(track, cycle, kind, count);
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        (**self).mem(track, cycle, dir, addr, lanes);
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        (**self).span_begin(track, ts, name);
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        (**self).span_end(track, ts, name);
+    }
+}
+
+/// A tee: every event goes to both halves (`enabled` if either is).
+/// Lets one run feed e.g. a [`CounterSink`] and a [`PerfettoSink`]
+/// simultaneously: `Vpu::with_sink(m, q, d, (CounterSink::new(), p))`.
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.0.beat(track, cycle, kind);
+        self.1.beat(track, cycle, kind);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.0.beats(track, cycle, kind, count);
+        self.1.beats(track, cycle, kind, count);
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.0.mem(track, cycle, dir, addr, lanes);
+        self.1.mem(track, cycle, dir, addr, lanes);
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.0.span_begin(track, ts, name);
+        self.1.span_begin(track, ts, name);
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.0.span_end(track, ts, name);
+        self.1.span_end(track, ts, name);
+    }
+}
+
+/// An owned trace event, as recorded by [`RingBufferSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `count` beats of `kind` occupying `[cycle, cycle + count)`.
+    Beat {
+        /// Event stream.
+        track: u32,
+        /// Start cycle.
+        cycle: u64,
+        /// What the beats did.
+        kind: BeatKind,
+        /// How many identical beats.
+        count: u64,
+    },
+    /// A register-file transfer.
+    Mem {
+        /// Event stream.
+        track: u32,
+        /// Cycle at which the transfer happened.
+        cycle: u64,
+        /// Load or store.
+        dir: MemDir,
+        /// Register address.
+        addr: usize,
+        /// Words moved.
+        lanes: usize,
+    },
+    /// A phase opened.
+    SpanBegin {
+        /// Event stream.
+        track: u32,
+        /// Timestamp (cycle or sequence number).
+        ts: u64,
+        /// Phase name.
+        name: String,
+    },
+    /// A phase closed.
+    SpanEnd {
+        /// Event stream.
+        track: u32,
+        /// Timestamp (cycle or sequence number).
+        ts: u64,
+        /// Phase name.
+        name: String,
+    },
+}
+
+/// Counter registry: beat counts by opcode, network passes by kind,
+/// register-file traffic, and per-span cycle attribution.
+///
+/// The sink maintains its own running [`CycleStats`] from the beats it
+/// observes; a span's cost is the [`CycleStats::delta`] between its end
+/// and begin snapshots, accumulated per span name.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    butterfly_beats: u64,
+    ewise_beats: [u64; 6],
+    net_beats: [u64; 6],
+    reg_loads: u64,
+    reg_stores: u64,
+    reg_words_loaded: u64,
+    reg_words_stored: u64,
+    running: CycleStats,
+    open: Vec<(String, CycleStats)>,
+    phases: BTreeMap<String, CycleStats>,
+}
+
+impl CounterSink {
+    /// A fresh, zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total butterfly beats observed.
+    #[must_use]
+    pub const fn butterfly_beats(&self) -> u64 {
+        self.butterfly_beats
+    }
+
+    /// Element-wise beats observed for `op`.
+    #[must_use]
+    pub const fn ewise_beats(&self, op: EwiseOp) -> u64 {
+        self.ewise_beats[op.index()]
+    }
+
+    /// Network-only beats observed for `kind`.
+    #[must_use]
+    pub const fn net_beats(&self, kind: NetKind) -> u64 {
+        self.net_beats[kind.index()]
+    }
+
+    /// Register-file loads (writes into the register file) observed.
+    #[must_use]
+    pub const fn reg_loads(&self) -> u64 {
+        self.reg_loads
+    }
+
+    /// Register-file stores (reads out of the register file) observed.
+    #[must_use]
+    pub const fn reg_stores(&self) -> u64 {
+        self.reg_stores
+    }
+
+    /// Words moved into / out of the register file.
+    #[must_use]
+    pub const fn reg_words(&self) -> (u64, u64) {
+        (self.reg_words_loaded, self.reg_words_stored)
+    }
+
+    /// The cycle totals reconstructed purely from trace events. For a
+    /// single-VPU run this must equal the VPU's own
+    /// [`stats`](crate::vpu::Vpu::stats) bit-for-bit.
+    #[must_use]
+    pub const fn running(&self) -> &CycleStats {
+        &self.running
+    }
+
+    /// Per-span cycle attribution, keyed by span name, accumulated over
+    /// all completed spans of that name. Nested spans both observe the
+    /// beats inside the inner span.
+    #[must_use]
+    pub const fn phases(&self) -> &BTreeMap<String, CycleStats> {
+        &self.phases
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, _track: u32, _cycle: u64, kind: BeatKind, count: u64) {
+        match kind {
+            BeatKind::Butterfly => self.butterfly_beats += count,
+            BeatKind::Elementwise(op) => self.ewise_beats[op.index()] += count,
+            BeatKind::NetworkMove(net) => self.net_beats[net.index()] += count,
+        }
+        kind.charge(&mut self.running, count);
+    }
+
+    fn mem(&mut self, _track: u32, _cycle: u64, dir: MemDir, _addr: usize, lanes: usize) {
+        match dir {
+            MemDir::Load => {
+                self.reg_loads += 1;
+                self.reg_words_loaded += lanes as u64;
+            }
+            MemDir::Store => {
+                self.reg_stores += 1;
+                self.reg_words_stored += lanes as u64;
+            }
+        }
+    }
+
+    fn span_begin(&mut self, _track: u32, _ts: u64, name: &str) {
+        self.open.push((name.to_string(), self.running));
+    }
+
+    fn span_end(&mut self, _track: u32, _ts: u64, name: &str) {
+        // Tolerate mismatched names (spans from different tracks may
+        // interleave): close the innermost open span with this name.
+        if let Some(pos) = self.open.iter().rposition(|(n, _)| n == name) {
+            let (name, at_begin) = self.open.remove(pos);
+            let cost = self.running.delta(&at_begin);
+            *self.phases.entry(name).or_default() += cost;
+        }
+    }
+}
+
+impl fmt::Display for CounterSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "beat counters:")?;
+        writeln!(f, "  {:<24} {:>12}", "butterfly", self.butterfly_beats)?;
+        for op in EwiseOp::ALL {
+            if self.ewise_beats(op) > 0 {
+                writeln!(f, "  {:<24} {:>12}", op.name(), self.ewise_beats(op))?;
+            }
+        }
+        for kind in NetKind::ALL {
+            if self.net_beats(kind) > 0 {
+                writeln!(f, "  {:<24} {:>12}", kind.name(), self.net_beats(kind))?;
+            }
+        }
+        writeln!(
+            f,
+            "register file: {} loads ({} words), {} stores ({} words)",
+            self.reg_loads, self.reg_words_loaded, self.reg_stores, self.reg_words_stored
+        )?;
+        if !self.phases.is_empty() {
+            writeln!(f, "phases:")?;
+            for (name, stats) in &self.phases {
+                writeln!(f, "  {name:<24} {stats}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bounded event recorder: keeps the most recent `capacity` events and
+/// counts how many older ones were dropped.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A recorder holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub const fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.buf
+    }
+
+    /// Events evicted because the buffer was full.
+    #[must_use]
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.push(TraceEvent::Beat {
+            track,
+            cycle,
+            kind,
+            count: 1,
+        });
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.push(TraceEvent::Beat {
+            track,
+            cycle,
+            kind,
+            count,
+        });
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.push(TraceEvent::Mem {
+            track,
+            cycle,
+            dir,
+            addr,
+            lanes,
+        });
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.push(TraceEvent::SpanBegin {
+            track,
+            ts,
+            name: name.to_string(),
+        });
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.push(TraceEvent::SpanEnd {
+            track,
+            ts,
+            name: name.to_string(),
+        });
+    }
+}
+
+/// One emitted Chrome trace event.
+#[derive(Debug, Clone)]
+struct ChromeEvent {
+    name: String,
+    cat: &'static str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    tid: u32,
+}
+
+/// A run of consecutive identical beats being coalesced.
+#[derive(Debug, Clone, Copy)]
+struct PendingSlice {
+    track: u32,
+    kind: BeatKind,
+    start: u64,
+    count: u64,
+}
+
+/// Chrome trace-event / Perfetto JSON exporter.
+///
+/// Consecutive beats of the same kind on the same track coalesce into a
+/// single duration slice, so an `n`-beat butterfly batch is one event,
+/// not `n`. Spans become `B`/`E` (begin/end) events. One simulated cycle
+/// maps to one microsecond of trace time. The JSON is hand-rolled (the
+/// build environment is offline; no serde) and loads in
+/// `ui.perfetto.dev` or `chrome://tracing`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfettoSink {
+    events: Vec<ChromeEvent>,
+    pending: Option<PendingSlice>,
+    include_mem: bool,
+}
+
+impl PerfettoSink {
+    /// A fresh exporter (register-file transfers not recorded).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also records register-file loads/stores as instant events (can be
+    /// voluminous for large workloads).
+    #[must_use]
+    pub fn with_mem_instants(mut self) -> Self {
+        self.include_mem = true;
+        self
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some(p) = self.pending.take() {
+            self.events.push(ChromeEvent {
+                name: p.kind.name().to_string(),
+                cat: p.kind.category(),
+                ph: 'X',
+                ts: p.start,
+                dur: Some(p.count),
+                tid: p.track,
+            });
+        }
+    }
+
+    /// Number of events emitted so far (after coalescing, excluding one
+    /// possibly still-pending slice).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len() + usize::from(self.pending.is_some())
+    }
+
+    /// Serializes everything seen so far as Chrome trace-event JSON.
+    #[must_use]
+    pub fn to_json(&mut self) -> String {
+        self.flush_pending();
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json_into(&mut out, &e.name);
+            out.push_str("\",\"cat\":\"");
+            escape_json_into(&mut out, e.cat);
+            out.push_str("\",\"ph\":\"");
+            out.push(e.ph);
+            out.push_str("\",\"ts\":");
+            out.push_str(&e.ts.to_string());
+            if let Some(dur) = e.dur {
+                out.push_str(",\"dur\":");
+                out.push_str(&dur.to_string());
+            }
+            if e.ph == 'i' {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&e.tid.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceSink for PerfettoSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        if let Some(p) = &mut self.pending {
+            if p.track == track && p.kind == kind && cycle == p.start + p.count {
+                p.count += count;
+                return;
+            }
+        }
+        self.flush_pending();
+        self.pending = Some(PendingSlice {
+            track,
+            kind,
+            start: cycle,
+            count,
+        });
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        if !self.include_mem {
+            return;
+        }
+        self.flush_pending();
+        let dir_name = match dir {
+            MemDir::Load => "load",
+            MemDir::Store => "store",
+        };
+        self.events.push(ChromeEvent {
+            name: format!("{dir_name} r{addr} ({lanes}w)"),
+            cat: "mem",
+            ph: 'i',
+            ts: cycle,
+            dur: None,
+            tid: track,
+        });
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.flush_pending();
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: "span",
+            ph: 'B',
+            ts,
+            dur: None,
+            tid: track,
+        });
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.flush_pending();
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: "span",
+            ph: 'E',
+            ts,
+            dur: None,
+            tid: track,
+        });
+    }
+}
+
+/// A cloneable handle sharing one sink between an owner and a `Vpu` (or
+/// the thread-local global slot): `Rc<RefCell<S>>` with [`TraceSink`]
+/// delegation, so the owner can inspect the sink after the traced run.
+#[derive(Debug, Default)]
+pub struct SharedSink<S> {
+    inner: Rc<RefCell<S>>,
+}
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wraps a sink in a shared handle.
+    #[must_use]
+    pub fn new(sink: S) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(sink)),
+        }
+    }
+
+    /// Runs `f` with shared access to the inner sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.borrow().enabled()
+    }
+
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.inner.borrow_mut().beat(track, cycle, kind);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.inner.borrow_mut().beats(track, cycle, kind, count);
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.inner.borrow_mut().mem(track, cycle, dir, addr, lanes);
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.inner.borrow_mut().span_begin(track, ts, name);
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.inner.borrow_mut().span_end(track, ts, name);
+    }
+}
+
+thread_local! {
+    static GLOBAL_SINK: RefCell<Option<Box<dyn TraceSink>>> = const { RefCell::new(None) };
+    static GLOBAL_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Installs a thread-local global sink for scheme-level spans (CKKS/BFV
+/// phases, scheduler tasks). Resets the logical sequence clock. Install a
+/// [`SharedSink`] handle (boxed) to keep a second handle for reading the
+/// data back afterwards.
+pub fn install_global(sink: Box<dyn TraceSink>) {
+    GLOBAL_SEQ.with(|seq| seq.set(0));
+    GLOBAL_SINK.with(|slot| *slot.borrow_mut() = Some(sink));
+}
+
+/// Removes and returns the thread-local global sink, if any.
+pub fn take_global() -> Option<Box<dyn TraceSink>> {
+    GLOBAL_SINK.with(|slot| slot.borrow_mut().take())
+}
+
+/// Whether a global sink is installed *and* enabled. Scheme crates check
+/// this before `format!`ing span names.
+#[must_use]
+pub fn global_enabled() -> bool {
+    GLOBAL_SINK.with(|slot| slot.borrow().as_ref().is_some_and(|s| s.enabled()))
+}
+
+fn next_seq() -> u64 {
+    GLOBAL_SEQ.with(|seq| {
+        let t = seq.get();
+        seq.set(t + 1);
+        t
+    })
+}
+
+/// Runs `f` against the global sink if one is installed.
+fn with_global(f: impl FnOnce(&mut dyn TraceSink, u64)) {
+    GLOBAL_SINK.with(|slot| {
+        if let Some(sink) = slot.borrow_mut().as_mut() {
+            f(&mut **sink, next_seq());
+        }
+    });
+}
+
+/// RAII guard closing a scheme-level span on drop. Inert (allocation-free)
+/// when no global sink is installed.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: Option<String>,
+    track: u32,
+}
+
+impl SpanGuard {
+    fn open(track: u32, name: &str) -> Self {
+        let mut opened = None;
+        with_global(|sink, ts| {
+            sink.span_begin(track, ts, name);
+            opened = Some(name.to_string());
+        });
+        Self {
+            name: opened,
+            track,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            with_global(|sink, ts| sink.span_end(self.track, ts, &name));
+        }
+    }
+}
+
+/// Opens a scheme-level span on [`SCHEME_TRACK`] against the global sink.
+/// Returns an inert guard when no sink is installed.
+#[must_use]
+pub fn scheme_span(name: &str) -> SpanGuard {
+    SpanGuard::open(SCHEME_TRACK, name)
+}
+
+/// Like [`scheme_span`], but the name is built lazily so disabled runs
+/// never pay for the `format!`.
+#[must_use]
+pub fn scheme_span_lazy(f: impl FnOnce() -> String) -> SpanGuard {
+    if global_enabled() {
+        SpanGuard::open(SCHEME_TRACK, &f())
+    } else {
+        SpanGuard {
+            name: None,
+            track: SCHEME_TRACK,
+        }
+    }
+}
+
+/// Opens a span on an explicit track against the global sink (the
+/// accelerator scheduler uses one track per VPU slot).
+#[must_use]
+pub fn global_span(track: u32, name: &str) -> SpanGuard {
+    SpanGuard::open(track, name)
+}
+
+/// Emits a matched begin/end span pair with explicit timestamps against
+/// the global sink (for replaying a precomputed schedule, where start and
+/// end times are known rather than discovered). No-op without a sink.
+pub fn global_span_at(track: u32, name: &str, start: u64, end: u64) {
+    GLOBAL_SINK.with(|slot| {
+        if let Some(sink) = slot.borrow_mut().as_mut() {
+            sink.span_begin(track, start, name);
+            sink.span_end(track, end.max(start), name);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::ShiftControls;
+
+    #[test]
+    fn netkind_classifies_all_pass_shapes() {
+        assert_eq!(NetKind::from_pass(&NetworkPass::default()), NetKind::Route);
+        assert_eq!(
+            NetKind::from_pass(&NetworkPass::cg(CgDirection::Dif)),
+            NetKind::CgShuffle
+        );
+        assert_eq!(
+            NetKind::from_pass(&NetworkPass::cg(CgDirection::Dit)),
+            NetKind::CgUnshuffle
+        );
+        let shifts = ShiftControls::from_rotation(8, 1);
+        assert_eq!(
+            NetKind::from_pass(&NetworkPass::shift(shifts.clone())),
+            NetKind::Shift
+        );
+        let both = NetworkPass {
+            cg: Some(CgDirection::Dit),
+            shifts: Some(shifts),
+        };
+        assert_eq!(NetKind::from_pass(&both), NetKind::CgUnshuffleShift);
+    }
+
+    #[test]
+    fn counter_sink_reconstructs_cycle_stats() {
+        let mut sink = CounterSink::new();
+        sink.beat(0, 0, BeatKind::Butterfly);
+        sink.beat(0, 1, BeatKind::Elementwise(EwiseOp::Mul));
+        sink.beats(0, 2, BeatKind::NetworkMove(NetKind::Shift), 5);
+        assert_eq!(sink.running().butterfly, 1);
+        assert_eq!(sink.running().elementwise, 1);
+        assert_eq!(sink.running().network_move, 5);
+        assert_eq!(sink.running().total(), 7);
+        assert_eq!(sink.net_beats(NetKind::Shift), 5);
+        assert_eq!(sink.ewise_beats(EwiseOp::Mul), 1);
+    }
+
+    #[test]
+    fn counter_sink_attributes_spans() {
+        let mut sink = CounterSink::new();
+        sink.span_begin(0, 0, "outer");
+        sink.beat(0, 0, BeatKind::Butterfly);
+        sink.span_begin(0, 1, "inner");
+        sink.beat(0, 1, BeatKind::NetworkMove(NetKind::Shift));
+        sink.span_end(0, 2, "inner");
+        sink.span_end(0, 2, "outer");
+        let outer = sink.phases()["outer"];
+        let inner = sink.phases()["inner"];
+        assert_eq!(outer.total(), 2, "outer observes the nested beat too");
+        assert_eq!(inner.total(), 1);
+        assert_eq!(inner.network_move, 1);
+    }
+
+    #[test]
+    fn counter_sink_tolerates_interleaved_span_ends() {
+        let mut sink = CounterSink::new();
+        sink.span_begin(0, 0, "a");
+        sink.span_begin(1, 0, "b");
+        sink.beat(0, 0, BeatKind::Butterfly);
+        sink.span_end(0, 1, "a");
+        sink.span_end(1, 1, "b");
+        sink.span_end(1, 1, "never-opened");
+        assert_eq!(sink.phases().len(), 2);
+        assert_eq!(sink.phases()["a"].butterfly, 1);
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_counts_drops() {
+        let mut sink = RingBufferSink::new(3);
+        for i in 0..5u64 {
+            sink.beat(0, i, BeatKind::Butterfly);
+        }
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        match &sink.events()[0] {
+            TraceEvent::Beat { cycle, .. } => assert_eq!(*cycle, 2),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfetto_coalesces_consecutive_beats() {
+        let mut sink = PerfettoSink::new();
+        for i in 0..10u64 {
+            sink.beat(0, i, BeatKind::Butterfly);
+        }
+        sink.beat(0, 10, BeatKind::NetworkMove(NetKind::Shift));
+        let json = sink.to_json();
+        assert_eq!(
+            json.matches("\"name\":\"butterfly\"").count(),
+            1,
+            "ten identical beats coalesce into one slice: {json}"
+        );
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"name\":\"net.shift\""));
+    }
+
+    #[test]
+    fn perfetto_emits_valid_json_shape() {
+        let mut sink = PerfettoSink::new().with_mem_instants();
+        sink.span_begin(3, 0, "phase \"x\"\n");
+        sink.beat(3, 0, BeatKind::Elementwise(EwiseOp::Mac));
+        sink.mem(3, 1, MemDir::Load, 7, 64);
+        sink.span_end(3, 1, "phase \"x\"\n");
+        let json = sink.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\"x\\\"\\n"), "escaped: {json}");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"tid\":3"));
+        // Balanced braces/brackets outside strings — cheap validity probe.
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn shared_sink_exposes_data_after_run() {
+        let shared = SharedSink::new(CounterSink::new());
+        let mut handle = shared.clone();
+        handle.beat(0, 0, BeatKind::Butterfly);
+        assert_eq!(shared.with(|s| s.running().butterfly), 1);
+    }
+
+    #[test]
+    fn global_span_api_round_trips() {
+        let shared = SharedSink::new(RingBufferSink::new(16));
+        install_global(Box::new(shared.clone()));
+        assert!(global_enabled());
+        {
+            let _g = scheme_span("ckks.mul");
+            let _h = scheme_span_lazy(|| format!("rotate k={}", 3));
+        }
+        global_span_at(2, "task", 10, 20);
+        let sink = take_global();
+        assert!(sink.is_some());
+        assert!(!global_enabled());
+        shared.with(|s| {
+            assert_eq!(s.events().len(), 6);
+            match &s.events()[0] {
+                TraceEvent::SpanBegin { name, ts, track } => {
+                    assert_eq!(name, "ckks.mul");
+                    assert_eq!(*ts, 0);
+                    assert_eq!(*track, SCHEME_TRACK);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            match &s.events()[5] {
+                TraceEvent::SpanEnd { name, ts, track } => {
+                    assert_eq!(name, "task");
+                    assert_eq!(*ts, 20);
+                    assert_eq!(*track, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn lazy_span_skips_formatting_when_disabled() {
+        assert!(take_global().is_none());
+        let _g = scheme_span_lazy(|| panic!("must not format when no sink installed"));
+    }
+
+    #[test]
+    fn nop_sink_is_disabled_and_zero_sized() {
+        assert!(!NopSink.enabled());
+        assert_eq!(std::mem::size_of::<NopSink>(), 0);
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::control::ShiftControls;
 use crate::network::{CgDirection, NetworkPass};
+use crate::trace::TraceSink;
 use crate::vpu::Vpu;
 use crate::CoreError;
 
@@ -56,7 +57,11 @@ use crate::CoreError;
 /// # Ok(())
 /// # }
 /// ```
-pub fn transpose_square(vpu: &mut Vpu, src_base: usize, dst_base: usize) -> Result<(), CoreError> {
+pub fn transpose_square<S: TraceSink>(
+    vpu: &mut Vpu<S>,
+    src_base: usize,
+    dst_base: usize,
+) -> Result<(), CoreError> {
     let m = vpu.lanes();
     vpu.ensure_depth(dst_base + m);
     // Step 1 — column → diagonal: shift column c down by c; the element
@@ -92,8 +97,8 @@ pub fn transpose_square(vpu: &mut Vpu, src_base: usize, dst_base: usize) -> Resu
 /// # Errors
 ///
 /// Register errors, or a VPU with a lane count other than 4.
-pub fn fig3b_mixed_transpose(
-    vpu: &mut Vpu,
+pub fn fig3b_mixed_transpose<S: TraceSink>(
+    vpu: &mut Vpu<S>,
     src_base: usize,
     dst_base: usize,
 ) -> Result<(), CoreError> {
@@ -107,7 +112,11 @@ pub fn fig3b_mixed_transpose(
     for reg in 0..8 {
         let (y, x1) = (reg >> 1, reg & 1);
         // Pass 1 — CG reorganization: lanes x₀|z → z|x₀ (un-interleave).
-        vpu.route(scratch + reg, src_base + reg, &NetworkPass::cg(CgDirection::Dit))?;
+        vpu.route(
+            scratch + reg,
+            src_base + reg,
+            &NetworkPass::cg(CgDirection::Dit),
+        )?;
         // Pass 2 — shift by 2·x₁ and scatter diagonally: the element with
         // hidden digit z sits at lane (z ⊕ x₁)·2 + x₀ afterwards, and is
         // written to its target register z·4 + y.

@@ -10,6 +10,7 @@ use crate::control::{AutomorphismControlTable, ShiftControls};
 use crate::lane::{ButterflyKind, LaneArray};
 use crate::network::{CgDirection, InterLaneNetwork, NetworkPass};
 use crate::stats::CycleStats;
+use crate::trace::{BeatKind, EwiseOp, MemDir, NetKind, NopSink, TraceSink};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
 
@@ -50,26 +51,86 @@ pub enum PeaseStage<'a> {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct Vpu {
+pub struct Vpu<S: TraceSink = NopSink> {
     regs: LaneArray,
     network: InterLaneNetwork,
     control_table: AutomorphismControlTable,
     stats: CycleStats,
+    sink: S,
+    track: u32,
 }
 
 impl Vpu {
-    /// Creates a VPU with `m` lanes and a register file of `depth` entries.
+    /// Creates an untraced VPU with `m` lanes and a register file of
+    /// `depth` entries. (The sink parameter defaults to [`NopSink`], so
+    /// existing call sites need no annotation; use
+    /// [`Vpu::with_sink`] to attach a tracer.)
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidLaneCount`] unless `m` is a power of two ≥ 2.
     pub fn new(m: usize, modulus: Modulus, depth: usize) -> Result<Self, CoreError> {
+        Self::with_sink(m, modulus, depth, NopSink)
+    }
+}
+
+impl<S: TraceSink> Vpu<S> {
+    /// Creates a VPU with `m` lanes, a register file of `depth` entries,
+    /// and `sink` receiving an event for every pipeline beat.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidLaneCount`] unless `m` is a power of two ≥ 2.
+    pub fn with_sink(m: usize, modulus: Modulus, depth: usize, sink: S) -> Result<Self, CoreError> {
         Ok(Self {
             regs: LaneArray::new(m, modulus, depth)?,
             network: InterLaneNetwork::new(m)?,
             control_table: AutomorphismControlTable::new(m)?,
             stats: CycleStats::new(),
+            sink,
+            track: 0,
         })
+    }
+
+    /// Sets the trace track (Perfetto `tid`) this VPU stamps on its
+    /// events — distinguishes VPUs in a multi-VPU trace.
+    pub fn set_track(&mut self, track: u32) {
+        self.track = track;
+    }
+
+    /// The trace track this VPU stamps on its events.
+    #[must_use]
+    pub const fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// The attached trace sink.
+    #[must_use]
+    pub const fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the VPU, returning the sink (and its recorded data).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Opens a phase span at the current cycle (NTT stage, automorphism,
+    /// transpose, …). Pair with [`Self::span_end`]; the operation
+    /// mappings in `ntt_map` / `auto_map` call these around each phase.
+    pub fn span_begin(&mut self, name: &str) {
+        self.sink.span_begin(self.track, self.stats.total(), name);
+    }
+
+    /// Closes the innermost phase span with this name at the current
+    /// cycle.
+    pub fn span_end(&mut self, name: &str) {
+        self.sink.span_end(self.track, self.stats.total(), name);
     }
 
     /// Lane count `m`.
@@ -113,6 +174,14 @@ impl Vpu {
     /// the Fig 3 pass counts while the mechanics are validated separately
     /// in the `transpose` module).
     pub fn charge_network_moves(&mut self, beats: u64) {
+        if beats > 0 {
+            self.sink.beats(
+                self.track,
+                self.stats.total(),
+                BeatKind::NetworkMove(NetKind::Shift),
+                beats,
+            );
+        }
         self.stats.network_move += beats;
     }
 
@@ -132,7 +201,15 @@ impl Vpu {
             .iter()
             .map(|&x| self.regs.modulus().reduce_u64(x))
             .collect();
-        self.regs.write(addr, &reduced)
+        self.regs.write(addr, &reduced)?;
+        self.sink.mem(
+            self.track,
+            self.stats.total(),
+            MemDir::Load,
+            addr,
+            data.len(),
+        );
+        Ok(())
     }
 
     /// Reads a register back out (models the VPU→SRAM interface).
@@ -140,7 +217,25 @@ impl Vpu {
     /// # Errors
     ///
     /// Bad address.
-    pub fn store(&self, addr: usize) -> Result<Vec<u64>, CoreError> {
+    pub fn store(&mut self, addr: usize) -> Result<Vec<u64>, CoreError> {
+        let out = self.regs.read(addr)?.to_vec();
+        self.sink.mem(
+            self.track,
+            self.stats.total(),
+            MemDir::Store,
+            addr,
+            out.len(),
+        );
+        Ok(out)
+    }
+
+    /// Reads a register without emitting a trace event (for inspection
+    /// through a shared reference; models no interface traffic).
+    ///
+    /// # Errors
+    ///
+    /// Bad address.
+    pub fn peek(&self, addr: usize) -> Result<Vec<u64>, CoreError> {
         Ok(self.regs.read(addr)?.to_vec())
     }
 
@@ -151,8 +246,16 @@ impl Vpu {
     /// Bad register address.
     pub fn ewise_add(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
         self.regs.ewise_add(dst, a, b)?;
-        self.stats.elementwise += 1;
+        self.beat(BeatKind::Elementwise(EwiseOp::Add));
         Ok(())
+    }
+
+    /// Emits the trace event for one beat of `kind`, then charges it.
+    /// The event timestamp is the cycle count *before* the charge, so the
+    /// beat occupies `[cycle, cycle + 1)`.
+    fn beat(&mut self, kind: BeatKind) {
+        self.sink.beat(self.track, self.stats.total(), kind);
+        kind.charge(&mut self.stats, 1);
     }
 
     /// `dst ← a − b` (one element-wise beat).
@@ -162,7 +265,7 @@ impl Vpu {
     /// Bad register address.
     pub fn ewise_sub(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
         self.regs.ewise_sub(dst, a, b)?;
-        self.stats.elementwise += 1;
+        self.beat(BeatKind::Elementwise(EwiseOp::Sub));
         Ok(())
     }
 
@@ -173,7 +276,7 @@ impl Vpu {
     /// Bad register address.
     pub fn ewise_mul(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
         self.regs.ewise_mul(dst, a, b)?;
-        self.stats.elementwise += 1;
+        self.beat(BeatKind::Elementwise(EwiseOp::Mul));
         Ok(())
     }
 
@@ -184,7 +287,7 @@ impl Vpu {
     /// Bad register address.
     pub fn ewise_mac(&mut self, dst: usize, a: usize, b: usize) -> Result<(), CoreError> {
         self.regs.ewise_mac(dst, a, b)?;
-        self.stats.elementwise += 1;
+        self.beat(BeatKind::Elementwise(EwiseOp::Mac));
         Ok(())
     }
 
@@ -201,7 +304,7 @@ impl Vpu {
         consts: &[u64],
     ) -> Result<(), CoreError> {
         self.regs.ewise_mul_const(dst, src, consts)?;
-        self.stats.elementwise += 1;
+        self.beat(BeatKind::Elementwise(EwiseOp::MulConst));
         Ok(())
     }
 
@@ -215,7 +318,7 @@ impl Vpu {
         let data = self.regs.read(src)?.to_vec();
         let out = self.network.traverse(&data, pass);
         self.regs.write(dst, &out)?;
-        self.stats.network_move += 1;
+        self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
     }
 
@@ -235,7 +338,7 @@ impl Vpu {
         let data = self.regs.read(src)?.to_vec();
         let out = self.network.traverse(&data, pass);
         self.regs.write_per_lane(addrs, &out)?;
-        self.stats.network_move += 1;
+        self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
     }
 
@@ -255,7 +358,7 @@ impl Vpu {
         let data = self.regs.read_per_lane(addrs)?;
         let out = self.network.traverse(&data, pass);
         self.regs.write(dst, &out)?;
-        self.stats.network_move += 1;
+        self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
     }
 
@@ -322,7 +425,7 @@ impl Vpu {
                 self.regs.write(addr, &routed)?;
             }
         }
-        self.stats.butterfly += 1;
+        self.beat(BeatKind::Butterfly);
         Ok(())
     }
 
@@ -349,7 +452,7 @@ impl Vpu {
             self.regs.ewise_add(dst, dst, scratch)?;
             // Rotate-and-add is one fused beat: the adder consumes the
             // network output directly.
-            self.stats.elementwise += 1;
+            self.beat(BeatKind::Elementwise(EwiseOp::RotateAdd));
             if d == 1 {
                 break;
             }
@@ -426,7 +529,11 @@ mod tests {
         v.reduce_sum(1, 0, 2).unwrap();
         assert_eq!(v.store(1).unwrap(), vec![36; 8]);
         assert_eq!(v.stats().elementwise, 3, "log2(8) fused beats");
-        assert_eq!(v.stats().network_move, 0, "rotate+add beats count as compute");
+        assert_eq!(
+            v.stats().network_move,
+            0,
+            "rotate+add beats count as compute"
+        );
     }
 
     #[test]
@@ -449,6 +556,82 @@ mod tests {
             assert_eq!(q.mul(*x, half), *orig);
         }
         assert_eq!(v.stats().butterfly, 2);
+    }
+
+    #[test]
+    fn traced_run_reconstructs_stats_bit_exact() {
+        use crate::trace::CounterSink;
+        let q = Modulus::new(97).unwrap();
+        let mut v = Vpu::with_sink(8, q, 32, CounterSink::new()).unwrap();
+        v.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        v.load(1, &[3; 8]).unwrap();
+        v.ewise_mul(2, 0, 1).unwrap();
+        v.rotate(3, 2, 2).unwrap();
+        v.automorphism_pass(4, 3, 3, 1).unwrap();
+        v.reduce_sum(5, 4, 6).unwrap();
+        let tw = [5u64, 7, 11, 13];
+        v.pease_stage(0, &PeaseStage::Forward { twiddles: &tw }, 8)
+            .unwrap();
+        v.charge_network_moves(4);
+        let stats = *v.stats();
+        let sink = v.into_sink();
+        assert_eq!(*sink.running(), stats, "trace-derived totals are bit-exact");
+        assert_eq!(sink.reg_loads(), 2);
+        assert_eq!(
+            sink.net_beats(crate::trace::NetKind::Shift),
+            2 + 4,
+            "rotate + automorphism + bulk charge"
+        );
+    }
+
+    #[test]
+    fn traced_results_match_untraced_results() {
+        use crate::trace::RingBufferSink;
+        let q = Modulus::new(97).unwrap();
+        let mut plain = Vpu::new(8, q, 16).unwrap();
+        let mut traced = Vpu::with_sink(8, q, 16, RingBufferSink::new(64)).unwrap();
+        let data: Vec<u64> = (1..=8).collect();
+        plain.load(0, &data).unwrap();
+        traced.load(0, &data).unwrap();
+        plain.rotate(1, 0, 3).unwrap();
+        traced.rotate(1, 0, 3).unwrap();
+        plain.ewise_add(2, 0, 1).unwrap();
+        traced.ewise_add(2, 0, 1).unwrap();
+        assert_eq!(plain.store(2).unwrap(), traced.store(2).unwrap());
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(!traced.sink().events().is_empty());
+    }
+
+    #[test]
+    fn spans_carry_cycle_timestamps() {
+        use crate::trace::{RingBufferSink, TraceEvent};
+        let q = Modulus::new(97).unwrap();
+        let mut v = Vpu::with_sink(8, q, 16, RingBufferSink::new(64)).unwrap();
+        v.set_track(7);
+        v.load(0, &[1; 8]).unwrap();
+        v.ewise_add(1, 0, 0).unwrap();
+        v.span_begin("phase");
+        v.ewise_add(1, 0, 0).unwrap();
+        v.span_end("phase");
+        let sink = v.into_sink();
+        let spans: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. }))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        match spans[0] {
+            TraceEvent::SpanBegin { track, ts, name } => {
+                assert_eq!(*track, 7);
+                assert_eq!(*ts, 1, "span opens after the first beat");
+                assert_eq!(name, "phase");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match spans[1] {
+            TraceEvent::SpanEnd { ts, .. } => assert_eq!(*ts, 2),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

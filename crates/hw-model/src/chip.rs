@@ -113,12 +113,10 @@ impl ChipModel {
         // SRAM: leakage ∝ capacity at a small fraction of the streaming
         // per-bit power, plus dynamic on the active words.
         let leak = self.config.sram_bytes as f64 * 8.0 * tech.sram_power_per_bit * 0.02;
-        let dynamic = (self.config.vpus * self.config.noc_link_bits) as f64
-            * tech.sram_power_per_bit
-            * 40.0;
-        let noc = 3.0
-            * (self.config.vpus * self.config.noc_link_bits) as f64
-            * tech.mux_power_per_bit;
+        let dynamic =
+            (self.config.vpus * self.config.noc_link_bits) as f64 * tech.sram_power_per_bit * 40.0;
+        let noc =
+            3.0 * (self.config.vpus * self.config.noc_link_bits) as f64 * tech.mux_power_per_bit;
         vpus + leak + dynamic + noc
     }
 
@@ -154,7 +152,10 @@ mod tests {
         let total = chip.total_area(&tech);
         let parts = chip.vpus_area(&tech) + chip.sram_area(&tech) + chip.noc_area(&tech);
         assert!((total - parts).abs() < 1e-6);
-        assert!(chip.sram_area(&tech) > chip.noc_area(&tech), "SRAM dominates the uncore");
+        assert!(
+            chip.sram_area(&tech) > chip.noc_area(&tech),
+            "SRAM dominates the uncore"
+        );
     }
 
     #[test]

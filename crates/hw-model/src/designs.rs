@@ -131,7 +131,10 @@ impl DesignModel {
     /// Panics if `m` is not a power of two ≥ 4.
     #[must_use]
     pub fn new(kind: DesignKind, m: usize) -> Self {
-        assert!(m.is_power_of_two() && m >= 4, "m = {m} must be a power of two >= 4");
+        assert!(
+            m.is_power_of_two() && m >= 4,
+            "m = {m} must be a power of two >= 4"
+        );
         Self { kind, m }
     }
 
@@ -307,10 +310,10 @@ mod tests {
     fn headline_ratios_are_in_range() {
         let t = tech();
         let ours = DesignModel::new(DesignKind::Ours, 64);
-        let worst_area = DesignModel::new(DesignKind::F1, 64).network_area(&t)
-            / ours.network_area(&t);
-        let worst_power = DesignModel::new(DesignKind::F1, 64).network_power(&t)
-            / ours.network_power(&t);
+        let worst_area =
+            DesignModel::new(DesignKind::F1, 64).network_area(&t) / ours.network_area(&t);
+        let worst_power =
+            DesignModel::new(DesignKind::F1, 64).network_power(&t) / ours.network_power(&t);
         // Paper: up to 9.4× area and 6.0× power savings.
         assert!((worst_area - 9.4).abs() < 1.0, "area ratio {worst_area}");
         assert!((worst_power - 6.0).abs() < 0.8, "power ratio {worst_power}");
@@ -322,13 +325,21 @@ mod tests {
         // lanes dominate.
         let t = tech();
         let ours = DesignModel::new(DesignKind::Ours, 64);
-        for kind in [DesignKind::F1, DesignKind::Bts, DesignKind::Ark, DesignKind::Sharp] {
+        for kind in [
+            DesignKind::F1,
+            DesignKind::Bts,
+            DesignKind::Ark,
+            DesignKind::Sharp,
+        ] {
             let d = DesignModel::new(kind, 64);
             let ratio = d.vpu_area(&t) / ours.vpu_area(&t);
             assert!(ratio > 1.0 && ratio < 1.25, "{kind:?}: {ratio}");
         }
         let net_share = ours.network_area(&t) / ours.vpu_area(&t);
-        assert!(net_share < 0.05, "network is a small VPU fraction: {net_share}");
+        assert!(
+            net_share < 0.05,
+            "network is a small VPU fraction: {net_share}"
+        );
     }
 
     #[test]
@@ -339,11 +350,17 @@ mod tests {
         let a256 = DesignModel::new(DesignKind::Ours, 256).network_area(&t);
         let growth = a256 / a4;
         assert!(growth > 64.0, "superlinear: {growth}");
-        assert!((growth - 135.0).abs() < 8.0, "paper reports ~135×: {growth}");
+        assert!(
+            (growth - 135.0).abs() < 8.0,
+            "paper reports ~135×: {growth}"
+        );
         let p4 = DesignModel::new(DesignKind::Ours, 4).network_power(&t);
         let p256 = DesignModel::new(DesignKind::Ours, 256).network_power(&t);
         let pgrowth = p256 / p4;
-        assert!((pgrowth - 127.0).abs() < 10.0, "paper reports ~127×: {pgrowth}");
+        assert!(
+            (pgrowth - 127.0).abs() < 10.0,
+            "paper reports ~127×: {pgrowth}"
+        );
     }
 
     #[test]

@@ -127,7 +127,12 @@ mod tests {
         assert!((ours.network_area_ratio - 1.0).abs() < 1e-12);
         assert!((ours.vpu_power_ratio - 1.0).abs() < 1e-12);
         for r in &rows[..4] {
-            assert!(r.network_area_ratio > 1.0, "{}: {}", r.design, r.network_area_ratio);
+            assert!(
+                r.network_area_ratio > 1.0,
+                "{}: {}",
+                r.design,
+                r.network_area_ratio
+            );
             assert!(r.network_power_ratio > 1.0);
         }
     }

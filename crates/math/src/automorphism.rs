@@ -352,8 +352,12 @@ impl RowColumnDecomposition {
     /// Panics if `c ≥ cols`.
     #[must_use]
     pub fn column_row_map(&self, c: usize) -> AffineMap {
-        AffineMap::new(self.rows, self.map.g % self.rows as u64, self.column_shift(c))
-            .expect("rows is a power of two and g is odd")
+        AffineMap::new(
+            self.rows,
+            self.map.g % self.rows as u64,
+            self.column_shift(c),
+        )
+        .expect("rows is a power of two and g is odd")
     }
 }
 
@@ -411,7 +415,11 @@ impl ShiftDecomposition {
             // *after* the children), leaving an even offset to split.
             let bit = t % 2 == 1;
             bits[level][class] = bit;
-            let t_even = if bit { (t + sub_n as u64 - 1) % sub_n as u64 } else { t };
+            let t_even = if bit {
+                (t + sub_n as u64 - 1) % sub_n as u64
+            } else {
+                t
+            };
             // Even positions (original indices ≡ class mod 2^{level+1}):
             //   2s ↦ 2s·g + t_even  ⇒  s ↦ s·g + t_even/2 (mod sub_n/2).
             node(bits, level + 1, class, sub_n / 2, g, t_even / 2);
@@ -651,11 +659,7 @@ mod tests {
                     let map = AffineMap::new(m, g, t).unwrap();
                     let dec = ShiftDecomposition::decompose(&map);
                     assert_eq!(dec.control_bit_count(), m - 1);
-                    assert_eq!(
-                        dec.apply(&data),
-                        map.permute(&data),
-                        "m={m} g={g} t={t}"
-                    );
+                    assert_eq!(dec.apply(&data), map.permute(&data), "m={m} g={g} t={t}");
                 }
             }
         }

@@ -270,7 +270,10 @@ impl ShoupMul {
     pub fn new(w: u64, q: &Modulus) -> Self {
         debug_assert!(w < q.value());
         let quotient = ((u128::from(w) << 64) / u128::from(q.value())) as u64;
-        Self { operand: w, quotient }
+        Self {
+            operand: w,
+            quotient,
+        }
     }
 
     /// Computes `x · w mod q`.

@@ -199,7 +199,11 @@ impl Poly {
     pub fn scalar_mul(&self, k: u64) -> Self {
         let k = self.modulus.reduce_u64(k);
         Self {
-            coeffs: self.coeffs.iter().map(|&a| self.modulus.mul(a, k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| self.modulus.mul(a, k))
+                .collect(),
             modulus: self.modulus,
             repr: self.repr,
         }

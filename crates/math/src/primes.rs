@@ -93,7 +93,10 @@ pub fn ntt_prime(bits: u32, ntt_len: usize) -> Result<u64, MathError> {
     if !ntt_len.is_power_of_two() {
         return Err(MathError::LengthNotPowerOfTwo { length: ntt_len });
     }
-    assert!((3..=61).contains(&bits), "prime width must be in [3, 61] bits");
+    assert!(
+        (3..=61).contains(&bits),
+        "prime width must be in [3, 61] bits"
+    );
     let step = 2 * ntt_len as u64;
     let hi = (1u64 << bits) - 1;
     let lo = 1u64 << (bits - 1);
@@ -122,7 +125,10 @@ pub fn ntt_prime_chain(bits: u32, ntt_len: usize, count: usize) -> Result<Vec<u6
     if !ntt_len.is_power_of_two() {
         return Err(MathError::LengthNotPowerOfTwo { length: ntt_len });
     }
-    assert!((3..=61).contains(&bits), "prime width must be in [3, 61] bits");
+    assert!(
+        (3..=61).contains(&bits),
+        "prime width must be in [3, 61] bits"
+    );
     let step = 2 * ntt_len as u64;
     let hi = (1u64 << bits) - 1;
     let lo = 1u64 << (bits - 1);
@@ -316,8 +322,8 @@ mod tests {
                 }
             }
         }
-        for n in 0..sieve_limit {
-            assert_eq!(is_prime(n as u64), sieve[n], "n = {n}");
+        for (n, &composite_free) in sieve.iter().enumerate().take(sieve_limit) {
+            assert_eq!(is_prime(n as u64), composite_free, "n = {n}");
         }
     }
 

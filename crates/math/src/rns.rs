@@ -66,10 +66,7 @@ impl RnsBasis {
         for &v in &values {
             product = product.mul_u64(v);
         }
-        let punctured: Vec<UBig> = values
-            .iter()
-            .map(|&v| product.div_rem_u64(v).0)
-            .collect();
+        let punctured: Vec<UBig> = values.iter().map(|&v| product.div_rem_u64(v).0).collect();
         let punctured_mod: Vec<Vec<u64>> = punctured
             .iter()
             .map(|qi| values.iter().map(|&qj| qi.rem_u64(qj)).collect())
@@ -246,8 +243,14 @@ mod tests {
     #[test]
     fn centered_reconstruction_signs() {
         let basis = RnsBasis::new(vec![97, 193]).unwrap();
-        assert_eq!(basis.reconstruct_centered_f64(&basis.decompose_i64(42)), 42.0);
-        assert_eq!(basis.reconstruct_centered_f64(&basis.decompose_i64(-42)), -42.0);
+        assert_eq!(
+            basis.reconstruct_centered_f64(&basis.decompose_i64(42)),
+            42.0
+        );
+        assert_eq!(
+            basis.reconstruct_centered_f64(&basis.decompose_i64(-42)),
+            -42.0
+        );
         assert_eq!(basis.reconstruct_centered_f64(&basis.decompose_i64(0)), 0.0);
         // Near the wrap boundary Q/2 = 9360 (Q = 18721).
         assert_eq!(
@@ -289,7 +292,11 @@ mod tests {
         let smaller = basis.drop_last().unwrap();
         assert_eq!(smaller.len(), 2);
         assert_eq!(
-            smaller.moduli().iter().map(Modulus::value).collect::<Vec<_>>(),
+            smaller
+                .moduli()
+                .iter()
+                .map(Modulus::value)
+                .collect::<Vec<_>>(),
             vec![97, 193]
         );
         let tiny = smaller.drop_last().unwrap();
@@ -403,7 +410,10 @@ impl BasisExtender {
                 let pj = self.to.moduli()[j];
                 let mut acc = 0u64;
                 for (i, &y) in ys.iter().enumerate() {
-                    acc = pj.add(acc, pj.mul(pj.reduce_u64(y), self.punctured_mod_target[i][j]));
+                    acc = pj.add(
+                        acc,
+                        pj.mul(pj.reduce_u64(y), self.punctured_mod_target[i][j]),
+                    );
                 }
                 acc
             })

@@ -120,7 +120,10 @@ mod tests {
         assert!(mean.abs() < 0.05, "mean {mean}");
         // Rounded Gaussian variance ≈ σ² + 1/12.
         let expect = 3.2f64.powi(2) + 1.0 / 12.0;
-        assert!((var - expect).abs() / expect < 0.05, "var {var} vs {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.05,
+            "var {var} vs {expect}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FheOp::HAdd { n, limbs },
     ];
 
-    println!("FHE trace: {} ops at N = 2^12, {limbs} RNS limbs", workload.len());
+    println!(
+        "FHE trace: {} ops at N = 2^12, {limbs} RNS limbs",
+        workload.len()
+    );
     println!(
         "{:<6} {:>12} {:>10} {:>12} {:>12} {:>8}",
         "VPUs", "makespan", "speedup", "NoC cycles", "SRAM bytes", "util"

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uvpu::ckks::bootstrap::{apply_stages_plain, dft_stages, HomomorphicDft};
-use uvpu::ckks::encoder::{C64, Encoder};
+use uvpu::ckks::encoder::{Encoder, C64};
 use uvpu::ckks::keys::KeyGenerator;
 use uvpu::ckks::ops::Evaluator;
 use uvpu::ckks::params::{CkksContext, CkksParams};
@@ -36,13 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hdft.depth(),
         hdft.diagonal_count()
     );
-    println!("  consumes {} of {} levels", hdft.depth(), ctx.params().levels());
+    println!(
+        "  consumes {} of {} levels",
+        hdft.depth(),
+        ctx.params().levels()
+    );
 
     let gks = kg.galois_keys(&sk, &hdft.required_steps())?;
     let x: Vec<C64> = (0..slots)
         .map(|j| C64::new((j as f64 * 0.7).sin(), 0.1))
         .collect();
-    let ct = eval.encrypt(&pk, &encoder.encode(&ctx, ctx.params().levels(), &x)?, &mut rng)?;
+    let ct = eval.encrypt(
+        &pk,
+        &encoder.encode(&ctx, ctx.params().levels(), &x)?,
+        &mut rng,
+    )?;
 
     let out_ct = hdft.apply(&ctx, &eval, &encoder, &ct, &gks)?;
     let got = encoder.decode(&ctx, &eval.decrypt(&sk, &out_ct)?);

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uvpu::ckks::ciphertext::Ciphertext;
-use uvpu::ckks::encoder::{C64, Encoder};
+use uvpu::ckks::encoder::{Encoder, C64};
 use uvpu::ckks::keys::{GaloisKeys, KeyGenerator};
 use uvpu::ckks::ops::Evaluator;
 use uvpu::ckks::params::{CkksContext, CkksParams};
@@ -54,17 +54,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let gks = kg.galois_keys(&sk, &steps)?;
 
-    let ct = eval.encrypt(&pk, &encoder.encode(&ctx, ctx.params().levels(), &slots)?, &mut rng)?;
+    let ct = eval.encrypt(
+        &pk,
+        &encoder.encode(&ctx, ctx.params().levels(), &slots)?,
+        &mut rng,
+    )?;
 
     // mean = Σx / n  (the 1/n fold is a plaintext multiplication).
     let total = reduce_sum(&eval, &ct, &gks, count)?;
-    let inv_n = encoder.encode(&ctx, total.level(), &vec![C64::from(1.0 / count as f64); count])?;
+    let inv_n = encoder.encode(
+        &ctx,
+        total.level(),
+        &vec![C64::from(1.0 / count as f64); count],
+    )?;
     let mean_ct = eval.rescale(&eval.mul_plain(&total, &inv_n)?)?;
 
     // var = Σx² / n − mean².
     let sq = eval.rescale(&eval.mul(&ct, &ct, &rlk)?)?;
     let sq_total = reduce_sum(&eval, &sq, &gks, count)?;
-    let inv_n2 = encoder.encode(&ctx, sq_total.level(), &vec![C64::from(1.0 / count as f64); count])?;
+    let inv_n2 = encoder.encode(
+        &ctx,
+        sq_total.level(),
+        &vec![C64::from(1.0 / count as f64); count],
+    )?;
     let mean_sq_ct = eval.rescale(&eval.mul_plain(&sq_total, &inv_n2)?)?;
     let mean2_ct = eval.rescale(&eval.mul(&mean_ct, &mean_ct, &rlk)?)?;
     let var_ct = eval.sub(&mean_sq_ct, &mean2_ct)?;
@@ -76,8 +88,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let true_mean = data.iter().sum::<f64>() / count as f64;
     let true_var = data.iter().map(|x| (x - true_mean).powi(2)).sum::<f64>() / count as f64;
     println!("encrypted statistics over {count} private samples:");
-    println!("  mean: {mean:.6}  (plaintext {true_mean:.6}, err {:.2e})", (mean - true_mean).abs());
-    println!("  var : {var:.6}  (plaintext {true_var:.6}, err {:.2e})", (var - true_var).abs());
+    println!(
+        "  mean: {mean:.6}  (plaintext {true_mean:.6}, err {:.2e})",
+        (mean - true_mean).abs()
+    );
+    println!(
+        "  var : {var:.6}  (plaintext {true_var:.6}, err {:.2e})",
+        (var - true_var).abs()
+    );
     assert!((mean - true_mean).abs() < 1e-2);
     assert!((var - true_var).abs() < 1e-1);
     println!("  ok — errors within CKKS approximation bounds");

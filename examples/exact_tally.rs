@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rotated = encoder.decode(&eval.decrypt(&sk, &shifted)?);
 
     println!("exact encrypted tally over {voters} voters, {candidates} candidates:");
-    println!("{:<10} {:>8} {:>10} {:>10}", "candidate", "votes", "weighted", "shifted");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10}",
+        "candidate", "votes", "weighted", "shifted"
+    );
     for c in 0..candidates {
         println!(
             "{:<10} {:>8} {:>10} {:>10}",
@@ -70,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(audited[c], expected[c] * weights[c]);
         // Row rotation shifts within the 64-slot row; slots past the
         // candidate block are zero.
-        let expect_shift = if c + 1 < candidates { expected[c + 1] } else { 0 };
+        let expect_shift = if c + 1 < candidates {
+            expected[c + 1]
+        } else {
+            0
+        };
         assert_eq!(rotated[c], expect_shift);
     }
     println!(

@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uvpu::ckks::encoder::{C64, Encoder};
+use uvpu::ckks::encoder::{Encoder, C64};
 use uvpu::ckks::keys::KeyGenerator;
 use uvpu::ckks::linear::LinearTransform;
 use uvpu::ckks::ops::Evaluator;
@@ -34,15 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             weights[i][(i + d) % dim] = C64::from(rng.gen_range(-0.5..0.5));
         }
     }
-    let bias: Vec<C64> = (0..dim).map(|_| C64::from(rng.gen_range(-0.2..0.2))).collect();
+    let bias: Vec<C64> = (0..dim)
+        .map(|_| C64::from(rng.gen_range(-0.2..0.2)))
+        .collect();
     let layer = LinearTransform::from_matrix(&weights);
 
     let baby = 4;
     let gks = kg.galois_keys(&sk, &layer.required_steps(baby))?;
 
     // Client-side: encrypt the features.
-    let x: Vec<C64> = (0..dim).map(|_| C64::from(rng.gen_range(-1.0..1.0))).collect();
-    let ct = eval.encrypt(&pk, &encoder.encode(&ctx, ctx.params().levels(), &x)?, &mut rng)?;
+    let x: Vec<C64> = (0..dim)
+        .map(|_| C64::from(rng.gen_range(-1.0..1.0)))
+        .collect();
+    let ct = eval.encrypt(
+        &pk,
+        &encoder.encode(&ctx, ctx.params().levels(), &x)?,
+        &mut rng,
+    )?;
 
     // Server-side: W·x (BSGS rotations), + b, then the square activation.
     let wx = eval.rescale(&layer.apply(&ctx, &eval, &encoder, &ct, &gks, baby)?)?;
@@ -54,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got = encoder.decode(&ctx, &eval.decrypt(&sk, &y_ct)?);
     let wx_plain = layer.apply_plain(&x);
     println!("private inference: y = (W.x + b)^2 over {dim} encrypted features");
-    println!("  layer: {} diagonals, BSGS baby step {baby}, {} rotation keys", layer.diagonal_count(), layer.required_steps(baby).len());
+    println!(
+        "  layer: {} diagonals, BSGS baby step {baby}, {} rotation keys",
+        layer.diagonal_count(),
+        layer.required_steps(baby).len()
+    );
     let mut max_err: f64 = 0.0;
     for j in 0..dim {
         let expect = (wx_plain[j].re + bias[j].re).powi(2);

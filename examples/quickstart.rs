@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use uvpu::ckks::encoder::{C64, Encoder};
+use uvpu::ckks::encoder::{Encoder, C64};
 use uvpu::ckks::keys::KeyGenerator;
 use uvpu::ckks::ops::Evaluator;
 use uvpu::ckks::params::{CkksContext, CkksParams};
@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vals[0].re, vals[1].re, vals[2].re, vals[3].re
         );
     };
-    println!("CKKS over N = {}, {} levels:", ctx.params().n(), ctx.params().levels());
+    println!(
+        "CKKS over N = {}, {} levels:",
+        ctx.params().n(),
+        ctx.params().levels()
+    );
     show("x", &ct);
     show("x + x", &doubled);
     show("x * x", &squared);

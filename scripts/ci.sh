@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# The full local CI gate, exactly as a checkout with no network runs it:
+# release build, the whole test suite, formatting, and zero-warning lints.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "ci: all green"

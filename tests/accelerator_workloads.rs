@@ -37,22 +37,49 @@ fn inference_trace_scales_with_vpus() {
 fn speedup_is_near_linear_for_wide_traces() {
     let n = 1usize << 10;
     let trace: Vec<FheOp> = (0..8).map(|_| FheOp::HMult { n, limbs: 4 }).collect();
-    let r1 = Accelerator::new(config(1)).expect("c").run(&trace).expect("r");
-    let r8 = Accelerator::new(config(8)).expect("c").run(&trace).expect("r");
+    let r1 = Accelerator::new(config(1))
+        .expect("c")
+        .run(&trace)
+        .expect("r");
+    let r8 = Accelerator::new(config(8))
+        .expect("c")
+        .run(&trace)
+        .expect("r");
     let speedup = r1.makespan as f64 / r8.makespan as f64;
-    assert!(speedup > 6.0, "8 VPUs should give >6x on a wide trace: {speedup:.2}");
+    assert!(
+        speedup > 6.0,
+        "8 VPUs should give >6x on a wide trace: {speedup:.2}"
+    );
 }
 
 #[test]
 fn work_is_conserved_across_machine_shapes() {
     let trace = vec![
-        FheOp::HRot { n: 1 << 12, limbs: 2 },
-        FheOp::HAdd { n: 1 << 12, limbs: 2 },
-        FheOp::HMult { n: 1 << 12, limbs: 2 },
+        FheOp::HRot {
+            n: 1 << 12,
+            limbs: 2,
+        },
+        FheOp::HAdd {
+            n: 1 << 12,
+            limbs: 2,
+        },
+        FheOp::HMult {
+            n: 1 << 12,
+            limbs: 2,
+        },
     ];
-    let r2 = Accelerator::new(config(2)).expect("c").run(&trace).expect("r");
-    let r6 = Accelerator::new(config(6)).expect("c").run(&trace).expect("r");
-    assert_eq!(r2.vpu_stats, r6.vpu_stats, "pipeline beats are machine-independent");
+    let r2 = Accelerator::new(config(2))
+        .expect("c")
+        .run(&trace)
+        .expect("r");
+    let r6 = Accelerator::new(config(6))
+        .expect("c")
+        .run(&trace)
+        .expect("r");
+    assert_eq!(
+        r2.vpu_stats, r6.vpu_stats,
+        "pipeline beats are machine-independent"
+    );
     assert_eq!(r2.sram_traffic_bytes, r6.sram_traffic_bytes);
     assert_eq!(r2.task_count, r6.task_count);
 }
@@ -61,10 +88,11 @@ fn work_is_conserved_across_machine_shapes() {
 fn rotation_heavy_traces_exercise_the_network() {
     // A bootstrapping-shaped trace: many rotations. The VPU time must be
     // dominated by network-move beats, matching the paper's motivation.
-    let trace: Vec<FheOp> = (0..4)
-        .map(|_| FheOp::Automorphism { n: 1 << 14 })
-        .collect();
-    let r = Accelerator::new(config(2)).expect("c").run(&trace).expect("r");
+    let trace: Vec<FheOp> = (0..4).map(|_| FheOp::Automorphism { n: 1 << 14 }).collect();
+    let r = Accelerator::new(config(2))
+        .expect("c")
+        .run(&trace)
+        .expect("r");
     assert_eq!(r.vpu_stats.compute(), 0);
     assert_eq!(r.vpu_stats.network_move, 4 * (1 << 14) / 64);
 }

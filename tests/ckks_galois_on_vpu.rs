@@ -107,7 +107,11 @@ fn eval_map_composition_mirrors_rotation_composition() {
         let composed = galois_eval_map(n, ga).then(&galois_eval_map(n, gb));
         let direct = galois_eval_map(n, gab);
         for i in [0usize, 1, 17, n - 1] {
-            assert_eq!(composed.apply_index(i), direct.apply_index(i), "a={a} b={b}");
+            assert_eq!(
+                composed.apply_index(i),
+                direct.apply_index(i),
+                "a={a} b={b}"
+            );
         }
     }
 }

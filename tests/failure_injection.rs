@@ -24,8 +24,9 @@ fn single_flipped_control_bit_breaks_the_automorphism() {
     // Flip every single control bit in turn; each flip must be detected.
     for level in 0..good.levels() {
         for class in 0..(1usize << level) {
-            let mut bits: Vec<Vec<bool>> =
-                (0..good.levels()).map(|l| good.level_bits(l).to_vec()).collect();
+            let mut bits: Vec<Vec<bool>> = (0..good.levels())
+                .map(|l| good.level_bits(l).to_vec())
+                .collect();
             bits[level][class] ^= true;
             let bad = ShiftControls::from_bits(m, bits).expect("valid shape");
             assert_ne!(
@@ -60,12 +61,8 @@ fn single_corrupted_twiddle_breaks_the_ntt() {
         if s == 1 {
             tw[0] = q.mul(tw[0], ntt.omega()); // inject the fault
         }
-        vpu.pease_stage(
-            0,
-            &uvpu::vpu::vpu::PeaseStage::Forward { twiddles: &tw },
-            m,
-        )
-        .expect("stage");
+        vpu.pease_stage(0, &uvpu::vpu::vpu::PeaseStage::Forward { twiddles: &tw }, m)
+            .expect("stage");
     }
     assert_ne!(vpu.store(0).expect("store"), good, "fault must propagate");
 }
@@ -80,8 +77,10 @@ fn swapped_butterfly_kind_is_not_equivalent() {
     a.write(0, &data).expect("write");
     b.write(0, &data).expect("write");
     let tw = [3u64, 5, 7, 11];
-    a.butterfly_adjacent(0, ButterflyKind::Dif, &tw).expect("bf");
-    b.butterfly_adjacent(0, ButterflyKind::Dit, &tw).expect("bf");
+    a.butterfly_adjacent(0, ButterflyKind::Dif, &tw)
+        .expect("bf");
+    b.butterfly_adjacent(0, ButterflyKind::Dit, &tw)
+        .expect("bf");
     assert_ne!(a.read(0).expect("read"), b.read(0).expect("read"));
 }
 

@@ -42,7 +42,12 @@ fn claim_network_area_and_power_savings() {
     let ours = DesignModel::new(DesignKind::Ours, 64);
     let mut area_ratios = Vec::new();
     let mut power_ratios = Vec::new();
-    for kind in [DesignKind::F1, DesignKind::Bts, DesignKind::Ark, DesignKind::Sharp] {
+    for kind in [
+        DesignKind::F1,
+        DesignKind::Bts,
+        DesignKind::Ark,
+        DesignKind::Sharp,
+    ] {
         let d = DesignModel::new(kind, 64);
         area_ratios.push(d.network_area(&tech) / ours.network_area(&tech));
         power_ratios.push(d.network_power(&tech) / ours.network_power(&tech));
@@ -51,7 +56,10 @@ fn claim_network_area_and_power_savings() {
     let min_area = area_ratios.iter().fold(f64::MAX, |a, &b| a.min(b));
     let max_power = power_ratios.iter().fold(0.0f64, |a, &b| a.max(b));
     assert!((max_area - 9.4).abs() < 0.5, "max area ratio {max_area}");
-    assert!(min_area > 1.4 && min_area < 2.0, "min area ratio {min_area}");
+    assert!(
+        min_area > 1.4 && min_area < 2.0,
+        "min area ratio {min_area}"
+    );
     assert!((max_power - 6.0).abs() < 0.5, "max power ratio {max_power}");
 
     let f1 = DesignModel::new(DesignKind::F1, 64);

@@ -10,9 +10,8 @@ use uvpu::ckks::encoder::C64;
 
 #[test]
 fn ckks_random_program_tracks_reference() {
-    let ctx =
-        ckks::params::CkksContext::new(ckks::params::CkksParams::new(1 << 6, 5, 40).unwrap())
-            .unwrap();
+    let ctx = ckks::params::CkksContext::new(ckks::params::CkksParams::new(1 << 6, 5, 40).unwrap())
+        .unwrap();
     let encoder = ckks::encoder::Encoder::new(&ctx);
     let slots = encoder.slot_count();
     let mut kg = ckks::keys::KeyGenerator::new(&ctx, StdRng::seed_from_u64(101));
@@ -29,7 +28,9 @@ fn ckks_random_program_tracks_reference() {
         let mut ct = eval
             .encrypt(
                 &pk,
-                &encoder.encode(&ctx, ctx.params().levels(), &values).unwrap(),
+                &encoder
+                    .encode(&ctx, ctx.params().levels(), &values)
+                    .unwrap(),
                 &mut rng,
             )
             .unwrap();
@@ -51,10 +52,16 @@ fn ckks_random_program_tracks_reference() {
                 1 if levels_left >= 1 => {
                     // Multiply by a mask of magnitude ≈ 1 (precision-neutral).
                     let mask: Vec<f64> = (0..slots)
-                        .map(|_| rng.gen_range(0.5..1.5) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 })
+                        .map(|_| {
+                            rng.gen_range(0.5..1.5) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 }
+                        })
                         .collect();
                     let pt = encoder
-                        .encode(&ctx, ct.level(), &mask.iter().map(|&x| C64::from(x)).collect::<Vec<_>>())
+                        .encode(
+                            &ctx,
+                            ct.level(),
+                            &mask.iter().map(|&x| C64::from(x)).collect::<Vec<_>>(),
+                        )
                         .unwrap();
                     ct = eval.rescale(&eval.mul_plain(&ct, &pt).unwrap()).unwrap();
                     for (x, m) in reference.iter_mut().zip(&mask) {
@@ -122,8 +129,9 @@ fn bfv_random_program_is_exact() {
         for _ in 0..5 {
             match rng.gen_range(0..3u8) {
                 0 => {
-                    let mask: Vec<u64> =
-                        (0..reference.len()).map(|_| rng.gen_range(0..100)).collect();
+                    let mask: Vec<u64> = (0..reference.len())
+                        .map(|_| rng.gen_range(0..100))
+                        .collect();
                     ct = eval.add_plain(&ct, &encoder.encode(&mask).unwrap());
                     for (x, m) in reference.iter_mut().zip(&mask) {
                         *x = (*x + m) % t;

@@ -1,0 +1,134 @@
+//! Property tests for the trace layer: the event stream is a complete,
+//! exact account of the cycle counters, and attaching (or not attaching)
+//! a sink never changes what the machine computes.
+
+use proptest::prelude::*;
+use uvpu::math::modular::Modulus;
+use uvpu::math::primes::ntt_prime;
+use uvpu::vpu::trace::{CounterSink, NopSink, RingBufferSink, TraceEvent, TraceSink};
+use uvpu::vpu::vpu::Vpu;
+
+const M: usize = 8;
+const DEPTH: usize = 8;
+const OPS: usize = 48;
+
+/// Replays the same random op sequence on any sink-carrying VPU.
+fn run_ops<S: TraceSink>(vpu: &mut Vpu<S>, codes: &[u8], seed: u64) {
+    let q = vpu.modulus();
+    let mut s = seed;
+    let mut next = || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s
+    };
+    // Seed every register so ops always have data to chew on.
+    for addr in 0..DEPTH {
+        let data: Vec<u64> = (0..M).map(|_| q.reduce_u64(next())).collect();
+        vpu.load(addr, &data).unwrap();
+    }
+    for &code in codes {
+        let dst = next() as usize % DEPTH;
+        let a = next() as usize % DEPTH;
+        let b = next() as usize % DEPTH;
+        match code % 9 {
+            0 => vpu.ewise_add(dst, a, b).unwrap(),
+            1 => vpu.ewise_sub(dst, a, b).unwrap(),
+            2 => vpu.ewise_mul(dst, a, b).unwrap(),
+            3 => vpu.ewise_mac(dst, a, b).unwrap(),
+            4 => {
+                let c: Vec<u64> = (0..M).map(|_| q.reduce_u64(next())).collect();
+                vpu.ewise_mul_const(dst, a, &c).unwrap();
+            }
+            5 => vpu.rotate(dst, a, next() % M as u64).unwrap(),
+            6 => {
+                // Odd automorphism index, merged with a random shift.
+                let g = (next() % M as u64) | 1;
+                vpu.automorphism_pass(dst, a, g, next() % M as u64).unwrap();
+            }
+            7 => {
+                let scratch = (a + 1) % DEPTH;
+                if dst != scratch {
+                    vpu.reduce_sum(dst, a, scratch).unwrap();
+                }
+            }
+            _ => vpu.charge_network_moves(next() % 5),
+        }
+    }
+}
+
+fn modulus() -> Modulus {
+    Modulus::new(ntt_prime(30, 1 << 10).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The sum of cycles carried by traced beat events is exactly
+    /// `CycleStats::total()` — every charged cycle appears in the event
+    /// stream once, and nothing else does.
+    #[test]
+    fn traced_event_cycles_sum_to_cycle_stats(
+        codes in prop::collection::vec(any::<u8>(), OPS),
+        len in 1usize..OPS,
+        seed in any::<u64>(),
+    ) {
+        let q = modulus();
+        let mut vpu = Vpu::with_sink(
+            M,
+            q,
+            DEPTH,
+            (CounterSink::new(), RingBufferSink::new(1 << 14)),
+        )
+        .unwrap();
+        run_ops(&mut vpu, &codes[..len], seed);
+
+        let stats = *vpu.stats();
+        let (counter, ring) = vpu.into_sink();
+
+        // Counter registry: per-field bit-exact reconstruction.
+        prop_assert_eq!(*counter.running(), stats);
+
+        // Raw event stream: beat counts sum to the total.
+        prop_assert_eq!(ring.dropped(), 0);
+        let mut summed = 0u64;
+        let mut expected_next = 0u64;
+        for event in ring.events() {
+            if let TraceEvent::Beat { cycle, count, .. } = event {
+                // Beats are contiguous: each batch starts where the
+                // previous one ended.
+                prop_assert_eq!(*cycle, expected_next);
+                expected_next = cycle + count;
+                summed += count;
+            }
+        }
+        prop_assert_eq!(summed, stats.total());
+    }
+
+    /// Tracing is purely observational: the same op sequence on a
+    /// `NopSink` VPU and on a fully-instrumented VPU leaves bit-identical
+    /// register contents and cycle counters.
+    #[test]
+    fn nop_sink_runs_bit_identical_to_traced(
+        codes in prop::collection::vec(any::<u8>(), OPS),
+        len in 1usize..OPS,
+        seed in any::<u64>(),
+    ) {
+        let q = modulus();
+        let mut plain = Vpu::with_sink(M, q, DEPTH, NopSink).unwrap();
+        let mut traced = Vpu::with_sink(
+            M,
+            q,
+            DEPTH,
+            (CounterSink::new(), RingBufferSink::new(1 << 14)),
+        )
+        .unwrap();
+        run_ops(&mut plain, &codes[..len], seed);
+        run_ops(&mut traced, &codes[..len], seed);
+
+        prop_assert_eq!(plain.stats(), traced.stats());
+        for addr in 0..DEPTH {
+            prop_assert_eq!(plain.peek(addr).unwrap(), traced.peek(addr).unwrap());
+        }
+    }
+}

@@ -36,8 +36,14 @@ fn vpu_polynomial_multiplication_pipeline() {
 
     let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 1)).collect();
     let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(2 * i + 5)).collect();
-    let fa = plan.execute_forward_negacyclic(&mut vpu, &a).expect("fa").output;
-    let fb = plan.execute_forward_negacyclic(&mut vpu, &b).expect("fb").output;
+    let fa = plan
+        .execute_forward_negacyclic(&mut vpu, &a)
+        .expect("fa")
+        .output;
+    let fb = plan
+        .execute_forward_negacyclic(&mut vpu, &b)
+        .expect("fb")
+        .output;
 
     // Pointwise product through the lanes, column by column.
     let mut prod = vec![0u64; n];
@@ -47,7 +53,10 @@ fn vpu_polynomial_multiplication_pipeline() {
         vpu.ewise_mul(2, 0, 1).expect("mul");
         prod[c * m..(c + 1) * m].copy_from_slice(&vpu.store(2).expect("store"));
     }
-    let got = plan.execute_inverse_negacyclic(&mut vpu, &prod).expect("inv").output;
+    let got = plan
+        .execute_inverse_negacyclic(&mut vpu, &prod)
+        .expect("inv")
+        .output;
     assert_eq!(got, naive_negacyclic_mul(&a, &b, &q));
 }
 
@@ -101,7 +110,9 @@ fn every_operation_reports_consistent_cycle_stats() {
     let data: Vec<u64> = (0..n as u64).collect();
 
     vpu.reset_stats();
-    let ntt = plan.execute_forward_negacyclic(&mut vpu, &data).expect("run");
+    let ntt = plan
+        .execute_forward_negacyclic(&mut vpu, &data)
+        .expect("run");
     // The per-execution delta must equal the VPU's global accumulation.
     assert_eq!(*vpu.stats(), ntt.stats);
     // Ideal beats are a lower bound on compute beats.

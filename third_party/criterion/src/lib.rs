@@ -1,0 +1,205 @@
+//! A minimal, dependency-free, API-compatible subset of `criterion`.
+//!
+//! The offline build environment cannot fetch the real crate, so this
+//! stand-in implements the benchmark-harness surface the workspace's
+//! `benches/` use: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`black_box`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain wall-clock median over a
+//! fixed sample count — good enough for relative comparisons, with none
+//! of the real crate's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark's closure and measures it.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            measured: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, recording `samples` wall-clock samples after one
+    /// warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2]
+    }
+}
+
+fn report(name: &str, median: Duration) {
+    println!("bench  {name:<48} median {median:>12.3?}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.median());
+    }
+
+    /// Benches a closure that receives `input` under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.median());
+    }
+
+    /// Ends the group (no-op; symmetry with the real API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benches a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.median());
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut acc = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("cg", 8).to_string(), "cg/8");
+    }
+}
