@@ -9,9 +9,8 @@
 
 use crate::config::AcceleratorConfig;
 use crate::machine::AccelReport;
-use crate::workload::{measure_task, FheOp, Task};
+use crate::workload::{premeasure, FheOp, Task};
 use crate::AccelError;
-use std::collections::HashMap;
 use uvpu_core::stats::CycleStats;
 use uvpu_core::trace;
 
@@ -74,17 +73,10 @@ impl TaskGraph {
     ///
     /// Kernel-mapping errors.
     pub fn critical_path_beats(&self, lanes: usize) -> Result<u64, AccelError> {
-        let mut memo: HashMap<(crate::workload::TaskKind, usize), u64> = HashMap::new();
+        let memo = premeasure(&self.tasks, lanes)?;
         let mut cost = vec![0u64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let own = match memo.get(&(t.kind, t.n)) {
-                Some(&c) => c,
-                None => {
-                    let c = measure_task(t, lanes)?.total();
-                    memo.insert((t.kind, t.n), c);
-                    c
-                }
-            };
+            let own = memo[&(t.kind, t.n)].total();
             let pred_max = self.preds[i].iter().map(|&p| cost[p]).max().unwrap_or(0);
             cost[i] = pred_max + own;
         }
@@ -111,7 +103,12 @@ impl TaskGraph {
         }
         let v = config.vpu_count;
         let n_tasks = self.tasks.len();
-        let mut memo: HashMap<(crate::workload::TaskKind, usize), CycleStats> = HashMap::new();
+        // All distinct shapes are measured up front (in parallel when
+        // host threads are available); the event loop below replays the
+        // sequential hit/miss accounting exactly.
+        let memo = premeasure(&self.tasks, config.lanes)?;
+        let mut first_seen: std::collections::HashSet<(crate::workload::TaskKind, usize)> =
+            std::collections::HashSet::new();
         let mut finish = vec![u64::MAX; n_tasks];
         let mut scheduled = vec![false; n_tasks];
         let mut vpu_free = vec![0u64; v];
@@ -134,18 +131,12 @@ impl TaskGraph {
                 }
                 let ready_at = self.preds[i].iter().map(|&p| finish[p]).max().unwrap_or(0);
                 let task = &self.tasks[i];
-                let stats = match memo.get(&(task.kind, task.n)) {
-                    Some(s) => {
-                        memo_hits += 1;
-                        *s
-                    }
-                    None => {
-                        memo_misses += 1;
-                        let s = measure_task(task, config.lanes)?;
-                        memo.insert((task.kind, task.n), s);
-                        s
-                    }
-                };
+                if first_seen.insert((task.kind, task.n)) {
+                    memo_misses += 1;
+                } else {
+                    memo_hits += 1;
+                }
+                let stats = memo[&(task.kind, task.n)];
                 let (slot, _) = vpu_free
                     .iter()
                     .enumerate()

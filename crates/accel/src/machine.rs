@@ -2,7 +2,7 @@
 //! list scheduler (paper Fig 1(a)).
 
 use crate::config::AcceleratorConfig;
-use crate::workload::{measure_task, FheOp, Task};
+use crate::workload::{FheOp, Task};
 use crate::AccelError;
 use std::fmt;
 use uvpu_core::stats::CycleStats;
@@ -166,9 +166,13 @@ impl Accelerator {
         let mut noc_cycles = 0u64;
         let mut traffic = 0u64;
         // Memoize kernel measurements: tasks of the same shape cost the
-        // same cycles (the simulator is deterministic).
-        let mut memo: std::collections::HashMap<(crate::workload::TaskKind, usize), CycleStats> =
-            std::collections::HashMap::new();
+        // same cycles (the simulator is deterministic). The distinct
+        // shapes are measured up front — in parallel when host threads
+        // are available — and the sweep below replays the sequential
+        // hit/miss accounting (first occurrence of a shape = miss).
+        let memo = crate::workload::premeasure(tasks, self.config.lanes)?;
+        let mut first_seen: std::collections::HashSet<(crate::workload::TaskKind, usize)> =
+            std::collections::HashSet::new();
         let mut memo_hits = 0u64;
         let mut memo_misses = 0u64;
         // With a global trace sink installed, every scheduled task emits
@@ -176,18 +180,12 @@ impl Accelerator {
         // the compute window, timestamped from the scheduler timeline.
         let tracing = trace::global_enabled();
         for task in tasks {
-            let stats = match memo.get(&(task.kind, task.n)) {
-                Some(s) => {
-                    memo_hits += 1;
-                    *s
-                }
-                None => {
-                    memo_misses += 1;
-                    let s = measure_task(task, self.config.lanes)?;
-                    memo.insert((task.kind, task.n), s);
-                    s
-                }
-            };
+            if first_seen.insert((task.kind, task.n)) {
+                memo_misses += 1;
+            } else {
+                memo_hits += 1;
+            }
+            let stats = memo[&(task.kind, task.n)];
             // Earliest-available VPU (list scheduling).
             let (slot, _) = vpu_free_at
                 .iter()

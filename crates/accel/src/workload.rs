@@ -208,23 +208,56 @@ impl FheOp {
     ///
     /// Kernel-mapping errors from the VPU simulator.
     pub fn latency_beats(&self, lanes: usize) -> Result<u64, AccelError> {
-        let mut memo: std::collections::HashMap<(TaskKind, usize), u64> =
-            std::collections::HashMap::new();
+        let tasks = self.lower();
+        let memo = premeasure(&tasks, lanes)?;
         let mut total = 0u64;
-        for task in self.lower() {
-            let key = (task.kind, task.n);
-            let beats = match memo.get(&key) {
-                Some(&b) => b,
-                None => {
-                    let b = measure_task(&task, lanes)?.total();
-                    memo.insert(key, b);
-                    b
-                }
-            };
-            total += beats;
+        for task in &tasks {
+            total += memo[&(task.kind, task.n)].total();
         }
         Ok(total)
     }
+}
+
+/// Measures every distinct `(kind, n)` shape appearing in `tasks`, in
+/// parallel across host threads when more than one is available.
+///
+/// The simulator is deterministic, so tasks of the same shape cost the
+/// same cycles; measuring each shape once and fanning the independent
+/// measurements out over [`uvpu_par`] workers is bit-exact regardless of
+/// thread count. Shapes are measured in first-occurrence task order and
+/// the first failing shape's error is returned, matching what a
+/// sequential memoized sweep would report.
+///
+/// # Errors
+///
+/// As [`measure_task`], for the first failing shape in task order.
+pub fn premeasure(
+    tasks: &[Task],
+    lanes: usize,
+) -> Result<std::collections::HashMap<(TaskKind, usize), CycleStats>, AccelError> {
+    let mut shapes: Vec<(TaskKind, usize)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for t in tasks {
+        if seen.insert((t.kind, t.n)) {
+            shapes.push((t.kind, t.n));
+        }
+    }
+    let measured = uvpu_par::par_map_indexed(shapes.len(), |i| {
+        let (kind, n) = shapes[i];
+        measure_task(
+            &Task {
+                kind,
+                n,
+                noc_bytes: 0,
+            },
+            lanes,
+        )
+    });
+    let mut memo = std::collections::HashMap::with_capacity(shapes.len());
+    for (shape, result) in shapes.into_iter().zip(measured) {
+        memo.insert(shape, result?);
+    }
+    Ok(memo)
 }
 
 /// Measures one task's VPU cycle cost by actually executing the kernel on
@@ -242,13 +275,13 @@ pub fn measure_task(task: &Task, lanes: usize) -> Result<CycleStats, AccelError>
     let mut vpu = Vpu::new(lanes, q, 8)?;
     match task.kind {
         TaskKind::Ntt => {
-            let plan = NttPlan::new(q, n, lanes)?;
+            let plan = NttPlan::cached(q, n, lanes)?;
             let data: Vec<u64> = (0..n as u64).collect();
             let run = plan.execute_forward_negacyclic(&mut vpu, &data)?;
             Ok(run.stats)
         }
         TaskKind::Automorphism => {
-            let plan = AutomorphismMapping::new(n, lanes, 5, 0)?;
+            let plan = AutomorphismMapping::cached(n, lanes, 5, 0)?;
             let data: Vec<u64> = (0..n as u64).collect();
             let run = plan.execute(&mut vpu, &data)?;
             Ok(run.stats)

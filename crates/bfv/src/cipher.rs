@@ -33,10 +33,14 @@ impl Ciphertext {
 #[must_use]
 pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Vec<u64> {
     let q = params.modulus();
-    let mut fa = a.to_vec();
-    let mut fb = b.to_vec();
-    params.ntt().forward_inplace(&mut fa);
-    params.ntt().forward_inplace(&mut fb);
+    // The two forward transforms are independent — run them as a pair on
+    // the worker pool (a no-op at one thread).
+    let mut fwd = uvpu_par::par_map_vec(vec![a.to_vec(), b.to_vec()], |_, mut f| {
+        params.ntt().forward_inplace(&mut f);
+        f
+    });
+    let fb = fwd.pop().expect("pair");
+    let mut fa = fwd.pop().expect("pair");
     for (x, y) in fa.iter_mut().zip(&fb) {
         *x = q.mul(*x, *y);
     }
@@ -58,8 +62,40 @@ pub(crate) fn b_from_a_s_e(params: &BfvParams, a: &[u64], s: &[i64], e: &[i64]) 
 }
 
 /// Exact negacyclic convolution of centered operands over ℤ (`i128`).
+///
+/// The parallel path gathers each output coefficient independently
+/// (`out[k] = Σ_{i+j=k} a_i·b_j − Σ_{i+j=k+n} a_i·b_j`); `i128` sums are
+/// exact integers, so the result is bit-identical to the sequential
+/// scatter loop regardless of summation order or thread count.
 fn exact_negacyclic(a: &[i64], b: &[i64]) -> Vec<i128> {
     let n = a.len();
+    let threads = uvpu_par::max_threads();
+    if threads > 1 && n >= 128 {
+        let chunk = n.div_ceil(threads * 2);
+        let parts: Vec<Vec<i128>> = uvpu_par::par_map_indexed(n.div_ceil(chunk), |ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(n);
+            (lo..hi)
+                .map(|k| {
+                    let mut acc = 0i128;
+                    for (i, &x) in a.iter().enumerate() {
+                        if x == 0 {
+                            continue;
+                        }
+                        let (j, negate) = if i <= k {
+                            (k - i, false)
+                        } else {
+                            (k + n - i, true)
+                        };
+                        let p = i128::from(x) * i128::from(b[j]);
+                        acc += if negate { -p } else { p };
+                    }
+                    acc
+                })
+                .collect()
+        });
+        return parts.concat();
+    }
     let mut out = vec![0i128; n];
     for (i, &x) in a.iter().enumerate() {
         if x == 0 {
@@ -355,13 +391,21 @@ impl<'a> Evaluator<'a> {
         let mask = (1u64 << w) - 1;
         let mut acc0 = vec![0u64; n];
         let mut acc1 = vec![0u64; n];
-        for (i, (b_i, a_i)) in key.parts.iter().enumerate() {
+        // Digit products are independent; compute them on the pool and
+        // accumulate sequentially in digit order so the modular sums are
+        // bit-identical to the sequential path.
+        let products = uvpu_par::par_map_indexed(key.parts.len(), |i| {
+            let (b_i, a_i) = &key.parts[i];
             let digit: Vec<u64> = d.iter().map(|&v| (v >> (w * i as u32)) & mask).collect();
             if digit.iter().all(|&x| x == 0) {
-                continue;
+                return None;
             }
-            let p0 = ring_mul_q(params, &digit, b_i);
-            let p1 = ring_mul_q(params, &digit, a_i);
+            Some((
+                ring_mul_q(params, &digit, b_i),
+                ring_mul_q(params, &digit, a_i),
+            ))
+        });
+        for (p0, p1) in products.into_iter().flatten() {
             for k in 0..n {
                 acc0[k] = q.add(acc0[k], p0[k]);
                 acc1[k] = q.add(acc1[k], p1[k]);

@@ -11,6 +11,7 @@
 use crate::params::BfvParams;
 use crate::BfvError;
 use std::collections::HashMap;
+use std::sync::Arc;
 use uvpu_math::modular::Modulus;
 use uvpu_math::ntt::NttTable;
 
@@ -42,7 +43,7 @@ pub struct Plaintext {
 pub struct BatchEncoder {
     n: usize,
     t: Modulus,
-    ntt_t: NttTable,
+    ntt_t: Arc<NttTable>,
     /// `slot_to_pos[slot]` = position in the (bit-reversed) NTT output
     /// that evaluates at that slot's root exponent.
     slot_to_pos: Vec<usize>,
@@ -59,7 +60,7 @@ impl BatchEncoder {
     pub fn new(params: &BfvParams) -> Result<Self, BfvError> {
         let n = params.n();
         let t = params.plain_modulus();
-        let ntt_t = NttTable::new(t, n)?;
+        let ntt_t = uvpu_math::cache::ntt_table(t, n)?;
         let two_n = 2 * n as u64;
 
         // Discrete-log table for ψ: ψ^k → k (t is tiny, ψ has order 2N).

@@ -1,6 +1,7 @@
 //! BFV parameters.
 
 use crate::BfvError;
+use std::sync::Arc;
 use uvpu_math::modular::Modulus;
 use uvpu_math::ntt::NttTable;
 
@@ -32,7 +33,8 @@ pub struct BfvParams {
     delta: u64,
     /// Relinearization decomposition base `2^w`.
     decomp_bits: u32,
-    ntt: NttTable,
+    /// Shared via the process-wide plan cache.
+    ntt: Arc<NttTable>,
     error_std: f64,
 }
 
@@ -109,7 +111,7 @@ impl BfvParams {
         let t = Modulus::new(t_value)?;
         debug_assert_eq!(q.value() % t_value, 1);
         debug_assert_eq!(q.value() % (2 * n as u64), 1);
-        let ntt = NttTable::new(q, n)?;
+        let ntt = uvpu_math::cache::ntt_table(q, n)?;
         Ok(Self {
             n,
             q,
@@ -159,7 +161,7 @@ impl BfvParams {
 
     /// The NTT table under `q`.
     #[must_use]
-    pub const fn ntt(&self) -> &NttTable {
+    pub fn ntt(&self) -> &NttTable {
         &self.ntt
     }
 

@@ -314,35 +314,41 @@ impl<'a> Evaluator<'a> {
             .collect();
         basis.push((ctx.special_modulus(), ctx.special_ntt(), special_key_idx));
 
-        let mut acc0: Vec<uvpu_math::poly::Poly> = basis
-            .iter()
-            .map(|&(m, _, _)| {
-                uvpu_math::poly::Poly::from_evaluations(vec![0; n], m).expect("power-of-two degree")
-            })
-            .collect();
-        let mut acc1 = acc0.clone();
-        for (j, digit) in digits.iter().enumerate() {
-            for (idx, &(m, table, key_idx)) in basis.iter().enumerate() {
+        // Each basis prime accumulates independently; the digit loop `j`
+        // stays sequential *inside* each prime, so the per-prime
+        // accumulation order (and thus every rounding-free modular sum)
+        // is identical to the sequential path for any thread count.
+        let acc_pairs = uvpu_par::par_map_indexed(basis.len(), |idx| {
+            let (m, table, key_idx) = basis[idx];
+            let mut a0 = uvpu_math::poly::Poly::from_evaluations(vec![0; n], m)
+                .expect("power-of-two degree");
+            let mut a1 = a0.clone();
+            for (j, digit) in digits.iter().enumerate() {
                 let dp = uvpu_math::poly::Poly::from_coeffs(
                     digit.iter().map(|&c| m.from_i64(c)).collect(),
                     m,
                 )
                 .map_err(CkksError::Math)?
                 .to_evaluation(table);
-                acc0[idx] = acc0[idx]
+                a0 = a0
                     .add(&dp.mul(&key.parts[j].0[key_idx]).map_err(CkksError::Math)?)
                     .map_err(CkksError::Math)?;
-                acc1[idx] = acc1[idx]
+                a1 = a1
                     .add(&dp.mul(&key.parts[j].1[key_idx]).map_err(CkksError::Math)?)
                     .map_err(CkksError::Math)?;
             }
+            Ok::<_, CkksError>((a0, a1))
+        });
+        let mut acc0 = Vec::with_capacity(basis.len());
+        let mut acc1 = Vec::with_capacity(basis.len());
+        for pair in acc_pairs {
+            let (a0, a1) = pair?;
+            acc0.push(a0);
+            acc1.push(a1);
         }
         let down = |acc: Vec<uvpu_math::poly::Poly>| -> Result<RnsPoly, CkksError> {
-            let coeff: Vec<uvpu_math::poly::Poly> = acc
-                .into_iter()
-                .enumerate()
-                .map(|(idx, p)| p.to_coefficient(basis[idx].1))
-                .collect();
+            let coeff: Vec<uvpu_math::poly::Poly> =
+                uvpu_par::par_map_vec(acc, |idx, p| p.to_coefficient(basis[idx].1));
             self.mod_down(coeff, level)
         };
         Ok((down(acc0)?, down(acc1)?))
@@ -358,24 +364,20 @@ impl<'a> Evaluator<'a> {
         let ctx = self.ctx;
         let special = polys.pop().expect("special residue present");
         let p_mod = ctx.special_modulus();
-        let out: Vec<uvpu_math::poly::Poly> = polys
-            .into_iter()
-            .enumerate()
-            .map(|(i, poly)| {
-                let m = ctx.modulus(i);
-                let p_inv = m.inv(m.reduce_u64(p_mod.value())).expect("distinct primes");
-                let coeffs: Vec<u64> = poly
-                    .coeffs()
-                    .iter()
-                    .zip(special.coeffs())
-                    .map(|(&c_i, &c_p)| {
-                        let centered = p_mod.to_centered(c_p);
-                        m.mul(m.sub(c_i, m.from_i64(centered)), p_inv)
-                    })
-                    .collect();
-                uvpu_math::poly::Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
-            })
-            .collect();
+        let out: Vec<uvpu_math::poly::Poly> = uvpu_par::par_map_vec(polys, |i, poly| {
+            let m = ctx.modulus(i);
+            let p_inv = m.inv(m.reduce_u64(p_mod.value())).expect("distinct primes");
+            let coeffs: Vec<u64> = poly
+                .coeffs()
+                .iter()
+                .zip(special.coeffs())
+                .map(|(&c_i, &c_p)| {
+                    let centered = p_mod.to_centered(c_p);
+                    m.mul(m.sub(c_i, m.from_i64(centered)), p_inv)
+                })
+                .collect();
+            uvpu_math::poly::Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+        });
         let _ = level;
         RnsPoly::from_parts(out, ctx)
     }

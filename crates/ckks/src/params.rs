@@ -9,6 +9,8 @@
 //! noise analysis holds and all homomorphic identities are exact); they
 //! are not security-reviewed for production use.
 
+use std::sync::Arc;
+
 use crate::CkksError;
 use uvpu_math::modular::Modulus;
 use uvpu_math::ntt::NttTable;
@@ -120,16 +122,20 @@ impl CkksParams {
 }
 
 /// Precomputed per-level bases and per-prime NTT tables.
+///
+/// NTT tables come from the process-wide plan cache
+/// ([`uvpu_math::cache::ntt_table`]): two contexts over the same prime
+/// chain (bench sweeps, key regeneration) share one set of twiddles.
 #[derive(Debug, Clone)]
 pub struct CkksContext {
     params: CkksParams,
     /// `bases[ℓ]` covers primes `0..=ℓ`.
     bases: Vec<RnsBasis>,
-    /// `ntt[i]` is the table for prime `i`.
-    ntt: Vec<NttTable>,
+    /// `ntt[i]` is the (shared) table for prime `i`.
+    ntt: Vec<Arc<NttTable>>,
     moduli: Vec<Modulus>,
     special_modulus: Modulus,
-    special_ntt: NttTable,
+    special_ntt: Arc<NttTable>,
 }
 
 impl CkksContext {
@@ -152,11 +158,12 @@ impl CkksContext {
             .map_err(CkksError::Math)?;
         let ntt = moduli
             .iter()
-            .map(|&m| NttTable::new(m, params.n()))
+            .map(|&m| uvpu_math::cache::ntt_table(m, params.n()))
             .collect::<Result<_, _>>()
             .map_err(CkksError::Math)?;
         let special_modulus = Modulus::new(params.special_prime()).map_err(CkksError::Math)?;
-        let special_ntt = NttTable::new(special_modulus, params.n()).map_err(CkksError::Math)?;
+        let special_ntt =
+            uvpu_math::cache::ntt_table(special_modulus, params.n()).map_err(CkksError::Math)?;
         Ok(Self {
             params,
             bases,
@@ -175,7 +182,7 @@ impl CkksContext {
 
     /// The NTT table under the special modulus.
     #[must_use]
-    pub const fn special_ntt(&self) -> &NttTable {
+    pub fn special_ntt(&self) -> &NttTable {
         &self.special_ntt
     }
 

@@ -215,43 +215,36 @@ impl RnsPoly {
     /// Level mismatch or coefficient-form operands.
     pub fn mul(&self, other: &Self) -> Result<Self, CkksError> {
         self.check(other)?;
-        let polys = self
-            .polys
-            .iter()
-            .zip(&other.polys)
-            .map(|(a, b)| a.mul(b))
-            .collect::<Result<_, _>>()
-            .map_err(CkksError::Math)?;
+        // RNS residues are independent; the per-limb products run on the
+        // worker pool (collected in limb order, so bit-exact at any
+        // thread count).
+        let polys =
+            uvpu_par::par_map_indexed(self.polys.len(), |i| self.polys[i].mul(&other.polys[i]))
+                .into_iter()
+                .collect::<Result<_, _>>()
+                .map_err(CkksError::Math)?;
         Ok(Self {
             polys,
             level: self.level,
         })
     }
 
-    /// Converts all residues to evaluation form.
+    /// Converts all residues to evaluation form (per-limb NTTs on the
+    /// worker pool).
     #[must_use]
     pub fn to_evaluation(self, ctx: &CkksContext) -> Self {
-        let polys = self
-            .polys
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| p.to_evaluation(ctx.ntt(i)))
-            .collect();
+        let polys = uvpu_par::par_map_vec(self.polys, |i, p| p.to_evaluation(ctx.ntt(i)));
         Self {
             polys,
             level: self.level,
         }
     }
 
-    /// Converts all residues to coefficient form.
+    /// Converts all residues to coefficient form (per-limb inverse NTTs
+    /// on the worker pool).
     #[must_use]
     pub fn to_coefficient(self, ctx: &CkksContext) -> Self {
-        let polys = self
-            .polys
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| p.to_coefficient(ctx.ntt(i)))
-            .collect();
+        let polys = uvpu_par::par_map_vec(self.polys, |i, p| p.to_coefficient(ctx.ntt(i)));
         Self {
             polys,
             level: self.level,
@@ -264,10 +257,8 @@ impl RnsPoly {
     ///
     /// Even `g` or evaluation-form input.
     pub fn galois(&self, g: u64) -> Result<Self, CkksError> {
-        let polys = self
-            .polys
-            .iter()
-            .map(|p| p.galois(g))
+        let polys = uvpu_par::par_map_indexed(self.polys.len(), |i| self.polys[i].galois(g))
+            .into_iter()
             .collect::<Result<_, _>>()
             .map_err(CkksError::Math)?;
         Ok(Self {
@@ -312,26 +303,24 @@ impl RnsPoly {
         );
         let src = &self.polys[j];
         let q_j = ctx.modulus(j).value();
-        let polys = (0..=self.level)
-            .map(|i| {
-                let m = ctx.modulus(i);
-                let coeffs: Vec<u64> = src
-                    .coeffs()
-                    .iter()
-                    .map(|&c| {
-                        // Centered lift: values in (−q_j/2, q_j/2] keep the
-                        // gadget noise small.
-                        let centered = if c > q_j / 2 {
-                            c as i64 - q_j as i64
-                        } else {
-                            c as i64
-                        };
-                        m.from_i64(centered)
-                    })
-                    .collect();
-                Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
-            })
-            .collect();
+        let polys = uvpu_par::par_map_indexed(self.level + 1, |i| {
+            let m = ctx.modulus(i);
+            let coeffs: Vec<u64> = src
+                .coeffs()
+                .iter()
+                .map(|&c| {
+                    // Centered lift: values in (−q_j/2, q_j/2] keep the
+                    // gadget noise small.
+                    let centered = if c > q_j / 2 {
+                        c as i64 - q_j as i64
+                    } else {
+                        c as i64
+                    };
+                    m.from_i64(centered)
+                })
+                .collect();
+            Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+        });
         Self {
             polys,
             level: self.level,
@@ -394,29 +383,27 @@ impl RnsPoly {
         );
         let last = &self.polys[self.level];
         let q_last = ctx.modulus(self.level).value();
-        let polys = (0..self.level)
-            .map(|i| {
-                let m = ctx.modulus(i);
-                let q_last_inv = m.inv(m.reduce_u64(q_last)).expect("co-prime chain");
-                let coeffs: Vec<u64> = self.polys[i]
-                    .coeffs()
-                    .iter()
-                    .zip(last.coeffs())
-                    .map(|(&c_i, &c_last)| {
-                        // Centered representative of c mod q_last keeps the
-                        // rounding error at ±1/2.
-                        let centered = if c_last > q_last / 2 {
-                            c_last as i64 - q_last as i64
-                        } else {
-                            c_last as i64
-                        };
-                        let diff = m.sub(c_i, m.from_i64(centered));
-                        m.mul(diff, q_last_inv)
-                    })
-                    .collect();
-                Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
-            })
-            .collect();
+        let polys = uvpu_par::par_map_indexed(self.level, |i| {
+            let m = ctx.modulus(i);
+            let q_last_inv = m.inv(m.reduce_u64(q_last)).expect("co-prime chain");
+            let coeffs: Vec<u64> = self.polys[i]
+                .coeffs()
+                .iter()
+                .zip(last.coeffs())
+                .map(|(&c_i, &c_last)| {
+                    // Centered representative of c mod q_last keeps the
+                    // rounding error at ±1/2.
+                    let centered = if c_last > q_last / 2 {
+                        c_last as i64 - q_last as i64
+                    } else {
+                        c_last as i64
+                    };
+                    let diff = m.sub(c_i, m.from_i64(centered));
+                    m.mul(diff, q_last_inv)
+                })
+                .collect();
+            Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+        });
         Ok(Self {
             polys,
             level: self.level - 1,

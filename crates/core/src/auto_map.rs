@@ -99,6 +99,22 @@ impl AutomorphismMapping {
         })
     }
 
+    /// Returns the process-wide cached plan for `(n, m, g, t)`, building
+    /// it on first use — the control-bit decomposition
+    /// ([`RowColumnDecomposition`]) solves one affine map per column, so
+    /// schedulers that re-measure the same automorphism shape (the
+    /// accelerator's `measure_task`) should share the plan instead of
+    /// re-deriving it.
+    ///
+    /// # Errors
+    ///
+    /// As [`AutomorphismMapping::new`]; failures are not cached.
+    pub fn cached(n: usize, m: usize, g: u64, t: u64) -> Result<std::sync::Arc<Self>, CoreError> {
+        static PLANS: uvpu_par::Memo<(usize, usize, u64, u64), AutomorphismMapping> =
+            uvpu_par::Memo::new();
+        PLANS.get_or_try_insert_with(&(n, m, g, t), || Self::new(n, m, g, t))
+    }
+
     /// Convenience constructor for the paper's Eq (1): `σ_{Φ,r}` with
     /// `g = Φ^r mod N`.
     ///
@@ -162,17 +178,45 @@ impl AutomorphismMapping {
         vpu.span_begin("automorphism");
         let cols = self.n / self.m;
         let mut output = vec![0u64; self.n];
-        for c in 0..cols {
-            // Column c across the lanes: lane r holds element r·C + c.
-            let column: Vec<u64> = (0..self.m).map(|r| input[r * cols + c]).collect();
-            vpu.load(0, &column)?;
-            let row_map = self.decomposition.column_row_map(c);
-            vpu.automorphism_pass(1, 0, row_map.multiplier(), row_map.offset())?;
-            let routed = vpu.store(1)?;
-            // Eq (3): the whole column is stored to its target column.
-            let target = self.decomposition.column_target(c);
-            for (r, &v) in routed.iter().enumerate() {
-                output[r * cols + target] = v;
+        // Parallel path: columns are independent single network passes,
+        // so workers route them on private scratch VPUs while the real
+        // VPU is charged analytically — one network-move beat per
+        // column, in column order, exactly like the sequential loop.
+        if uvpu_par::max_threads() > 1 && cols > 1 {
+            let modulus = vpu.modulus();
+            let routed_cols: Vec<Result<Vec<u64>, CoreError>> = uvpu_par::par_map_indexed_with(
+                cols,
+                || Vpu::new(self.m, modulus, 2),
+                |scratch, c| {
+                    let worker = scratch.as_mut().map_err(|e| e.clone())?;
+                    let column: Vec<u64> = (0..self.m).map(|r| input[r * cols + c]).collect();
+                    worker.load(0, &column)?;
+                    let row_map = self.decomposition.column_row_map(c);
+                    worker.automorphism_pass(1, 0, row_map.multiplier(), row_map.offset())?;
+                    worker.store(1)
+                },
+            );
+            for (c, routed) in routed_cols.into_iter().enumerate() {
+                let routed = routed?;
+                vpu.charge_network_moves(1);
+                let target = self.decomposition.column_target(c);
+                for (r, &v) in routed.iter().enumerate() {
+                    output[r * cols + target] = v;
+                }
+            }
+        } else {
+            for c in 0..cols {
+                // Column c across the lanes: lane r holds element r·C + c.
+                let column: Vec<u64> = (0..self.m).map(|r| input[r * cols + c]).collect();
+                vpu.load(0, &column)?;
+                let row_map = self.decomposition.column_row_map(c);
+                vpu.automorphism_pass(1, 0, row_map.multiplier(), row_map.offset())?;
+                let routed = vpu.store(1)?;
+                // Eq (3): the whole column is stored to its target column.
+                let target = self.decomposition.column_target(c);
+                for (r, &v) in routed.iter().enumerate() {
+                    output[r * cols + target] = v;
+                }
             }
         }
         vpu.span_end("automorphism");

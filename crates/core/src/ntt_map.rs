@@ -14,7 +14,7 @@
 //! paper Table III.
 
 use crate::stats::CycleStats;
-use crate::trace::TraceSink;
+use crate::trace::{EwiseOp, TraceSink};
 use crate::vpu::{PeaseStage, Vpu};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
@@ -415,6 +415,19 @@ impl NttPlan {
         })
     }
 
+    /// Returns the process-wide cached plan for `(q, n, m)`, building it
+    /// on first use. Plan construction pays a root search plus per-stage
+    /// twiddle generation for every dimension; schedulers and benches
+    /// that repeatedly execute the same shape should share the plan.
+    ///
+    /// # Errors
+    ///
+    /// As [`NttPlan::new`]; failures are not cached.
+    pub fn cached(modulus: Modulus, n: usize, m: usize) -> Result<std::sync::Arc<Self>, CoreError> {
+        static PLANS: uvpu_par::Memo<(u64, usize, usize), NttPlan> = uvpu_par::Memo::new();
+        PLANS.get_or_try_insert_with(&(modulus.value(), n, m), || Self::new(modulus, n, m))
+    }
+
     /// Transform length `N`.
     #[must_use]
     pub const fn n(&self) -> usize {
@@ -750,14 +763,39 @@ impl NttPlan {
     /// Applies the inter-dimension twiddles for dimension `t` directly on
     /// the logical state (values are position-independent scalings; the
     /// pipeline beat is charged by the caller).
+    ///
+    /// The scaling of element `code` depends only on `code`, so the state
+    /// is split into contiguous chunks mapped in parallel and written
+    /// back in chunk order — bit-exact for any thread count.
     fn apply_twiddles(&self, state: &mut [u64], t: usize, inverse: bool) {
         let root = if inverse { self.omega_inv } else { self.omega };
-        for (code, v) in state.iter_mut().enumerate() {
+        let scale = |code: usize, v: u64| {
             let digits = self.digits(code);
             let e = self.twiddle_exponent(t, &digits);
             if e != 0 {
-                *v = self.modulus.mul(*v, self.modulus.pow(root, e));
+                self.modulus.mul(v, self.modulus.pow(root, e))
+            } else {
+                v
             }
+        };
+        let threads = uvpu_par::max_threads();
+        if threads > 1 && self.n >= 1024 {
+            let chunk = self.n.div_ceil(threads * 4);
+            let src: &[u64] = state;
+            let parts: Vec<Vec<u64>> = uvpu_par::par_map_indexed(self.n.div_ceil(chunk), |ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(self.n);
+                (lo..hi).map(|code| scale(code, src[code])).collect()
+            });
+            let mut lo = 0;
+            for part in parts {
+                state[lo..lo + part.len()].copy_from_slice(&part);
+                lo += part.len();
+            }
+            return;
+        }
+        for (code, v) in state.iter_mut().enumerate() {
+            *v = scale(code, *v);
         }
     }
 
@@ -796,6 +834,46 @@ impl NttPlan {
             col_codes[col][lane] = code;
         }
         let shard_count = vpus.len();
+        // Parallel path: every column's lane transform is independent, so
+        // workers run the identical `SmallNtt` code on private scratch
+        // VPUs while the *real* shards are charged analytically below —
+        // in the same deterministic round-robin order as the sequential
+        // loop, so both the outputs and the per-shard `CycleStats` are
+        // bit-identical for any thread count. (Register-file mem events
+        // land on the scratch VPUs' `NopSink` in this mode; cycle
+        // counters, the accounting invariant, are unaffected.)
+        if uvpu_par::max_threads() > 1 && cols > 1 {
+            let src: &[u64] = state;
+            let outputs: Vec<Result<Vec<u64>, CoreError>> = uvpu_par::par_map_indexed_with(
+                col_codes.len(),
+                || Vpu::new(self.m, self.modulus, 2),
+                |scratch, col| {
+                    let vpu = scratch.as_mut().map_err(|e| e.clone())?;
+                    let column: Vec<u64> = col_codes[col]
+                        .iter()
+                        .map(|&c| if c == UNUSED { 0 } else { src[c] })
+                        .collect();
+                    vpu.load(0, &column)?;
+                    match direction {
+                        Direction::Forward => small.run_forward(vpu, 0)?,
+                        Direction::Inverse => small.run_inverse(vpu, 0)?,
+                    }
+                    vpu.store(0)
+                },
+            );
+            let stage_beats = u64::from(log2_exact(d_t));
+            for (col, (codes, out)) in col_codes.iter().zip(outputs).enumerate() {
+                let out = out?;
+                let vpu = &mut vpus[col % shard_count];
+                vpu.charge_butterflies(stage_beats);
+                if direction == Direction::Inverse {
+                    // The `L^{-1}` fold of `SmallNtt::run_inverse`.
+                    vpu.charge_elementwise_ops(EwiseOp::MulConst, 1);
+                }
+                self.scatter_column(state, codes, &out, t, direction);
+            }
+            return Ok(());
+        }
         for (col, codes) in col_codes.iter().enumerate() {
             let vpu = &mut vpus[col % shard_count];
             let column: Vec<u64> = codes
@@ -808,28 +886,42 @@ impl NttPlan {
                 Direction::Inverse => small.run_inverse(vpu, 0)?,
             }
             let out = vpu.store(0)?;
-            // Forward: position p now holds X[brv(p)]; the code at lane
-            // (grp·d + p) had digit i_t = p, so the transformed value with
-            // k_t = brv(p) belongs to code with digit brv(p).
-            for (lane, &code) in codes.iter().enumerate() {
-                if code == UNUSED {
-                    continue;
-                }
-                let grp_pos = lane % d_t;
-                let mut digits = self.digits(code);
-                match direction {
-                    Direction::Forward => {
-                        digits[t] = bit_reverse(grp_pos, log2_exact(d_t));
-                    }
-                    Direction::Inverse => {
-                        digits[t] = grp_pos;
-                    }
-                }
-                let target = self.pack(&digits);
-                state[target] = out[lane];
-            }
+            self.scatter_column(state, codes, &out, t, direction);
         }
         Ok(())
+    }
+
+    /// Writes one transformed column back into the logical state.
+    ///
+    /// Forward: position p holds X\[brv(p)\]; the code at lane
+    /// (grp·d + p) had digit i_t = p, so the transformed value with
+    /// k_t = brv(p) belongs to the code with digit brv(p).
+    fn scatter_column(
+        &self,
+        state: &mut [u64],
+        codes: &[usize],
+        out: &[u64],
+        t: usize,
+        direction: Direction,
+    ) {
+        let d_t = self.dims[t];
+        for (lane, &code) in codes.iter().enumerate() {
+            if code == usize::MAX {
+                continue;
+            }
+            let grp_pos = lane % d_t;
+            let mut digits = self.digits(code);
+            match direction {
+                Direction::Forward => {
+                    digits[t] = bit_reverse(grp_pos, log2_exact(d_t));
+                }
+                Direction::Inverse => {
+                    digits[t] = grp_pos;
+                }
+            }
+            let target = self.pack(&digits);
+            state[target] = out[lane];
+        }
     }
 
     /// Executes the forward **cyclic** transform: output `X[k] = Σ_i

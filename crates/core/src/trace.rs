@@ -25,6 +25,27 @@
 //! models without a cycle clock, so they emit spans through a
 //! thread-local global sink ([`install_global`]) using a logical sequence
 //! counter instead, on the reserved [`SCHEME_TRACK`].
+//!
+//! # Sequence-clock semantics under concurrency
+//!
+//! The global sink slot is *thread-local*, so spans emitted from
+//! `uvpu-par` pool workers would silently vanish with the plain
+//! [`install_global`]. [`install_global_sync`] fixes this: it takes a
+//! [`SyncSink`] (an `Arc<Mutex<_>>` handle, `Send` unlike
+//! [`SharedSink`]'s `Rc`), installs it on the calling thread, *and*
+//! registers `uvpu-par` worker hooks so every pool worker installs a
+//! clone of the same handle on entry and removes it on exit.
+//!
+//! Under `install_global_sync` the logical sequence clock is a single
+//! process-wide atomic shared by the installer and all workers: it stays
+//! strictly monotonic (every event gets a unique timestamp, and the
+//! begin of a span always precedes its end), but timestamps from
+//! *different* workers interleave in arrival order — only the per-thread
+//! subsequences carry program-order meaning. Cycle *counts* (the
+//! [`CounterSink`] totals) are unaffected: parallel execution charges
+//! the same beats, merely observed from several threads. The plain
+//! thread-local [`install_global`] path keeps its original per-thread
+//! clock starting at 0.
 
 use crate::network::{CgDirection, NetworkPass};
 use crate::stats::CycleStats;
@@ -32,6 +53,8 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Track (Perfetto `tid`) used by scheme-level spans emitted through the
 /// thread-local global sink.
@@ -870,16 +893,117 @@ impl<S: TraceSink> TraceSink for SharedSink<S> {
     }
 }
 
+/// A `Send` cloneable handle sharing one sink across threads:
+/// `Arc<Mutex<S>>` with [`TraceSink`] delegation. The cross-thread
+/// counterpart of [`SharedSink`] — install it with
+/// [`install_global_sync`] so `uvpu-par` pool workers inherit it.
+#[derive(Debug, Default)]
+pub struct SyncSink<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for SyncSink<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: TraceSink> SyncSink<S> {
+    /// Wraps a sink in a thread-safe shared handle.
+    #[must_use]
+    pub fn new(sink: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the inner sink. Poisoning is
+    /// ignored: sinks stay structurally valid after a panicking writer.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<S: TraceSink> TraceSink for SyncSink<S> {
+    fn enabled(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .enabled()
+    }
+
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.with(|s| s.beat(track, cycle, kind));
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.with(|s| s.beats(track, cycle, kind, count));
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.with(|s| s.mem(track, cycle, dir, addr, lanes));
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.with(|s| s.span_begin(track, ts, name));
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.with(|s| s.span_end(track, ts, name));
+    }
+}
+
 thread_local! {
     static GLOBAL_SINK: RefCell<Option<Box<dyn TraceSink>>> = const { RefCell::new(None) };
     static GLOBAL_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// When set, the logical clock for this thread's global sink is the
+    /// process-wide shared counter instead of [`GLOBAL_SEQ`].
+    static SHARED_SEQ: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+}
+
+/// What pool workers install on entry when a sync global sink is active:
+/// a factory for sink handles plus the shared sequence clock.
+struct Propagate {
+    make: Box<dyn Fn() -> Box<dyn TraceSink> + Send + Sync>,
+    seq: Arc<AtomicU64>,
+}
+
+static PROPAGATE: Mutex<Option<Arc<Propagate>>> = Mutex::new(None);
+
+fn propagate_state() -> Option<Arc<Propagate>> {
+    PROPAGATE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// `uvpu-par` worker start hook: adopt the propagated sync sink handle
+/// and the shared sequence clock for this worker's lifetime.
+fn worker_adopt_global() {
+    if let Some(state) = propagate_state() {
+        SHARED_SEQ.with(|slot| *slot.borrow_mut() = Some(Arc::clone(&state.seq)));
+        GLOBAL_SINK.with(|slot| *slot.borrow_mut() = Some((state.make)()));
+    }
+}
+
+/// `uvpu-par` worker exit hook: drop this worker's sink handle.
+fn worker_release_global() {
+    GLOBAL_SINK.with(|slot| slot.borrow_mut().take());
+    SHARED_SEQ.with(|slot| slot.borrow_mut().take());
 }
 
 /// Installs a thread-local global sink for scheme-level spans (CKKS/BFV
 /// phases, scheduler tasks). Resets the logical sequence clock. Install a
 /// [`SharedSink`] handle (boxed) to keep a second handle for reading the
 /// data back afterwards.
+///
+/// The installed sink is visible to *this thread only*; spans emitted
+/// from `uvpu-par` pool workers are not captured. Use
+/// [`install_global_sync`] when traced work runs on the pool.
 pub fn install_global(sink: Box<dyn TraceSink>) {
+    SHARED_SEQ.with(|slot| slot.borrow_mut().take());
     GLOBAL_SEQ.with(|seq| seq.set(0));
     GLOBAL_SINK.with(|slot| *slot.borrow_mut() = Some(sink));
 }
@@ -887,6 +1011,37 @@ pub fn install_global(sink: Box<dyn TraceSink>) {
 /// Removes and returns the thread-local global sink, if any.
 pub fn take_global() -> Option<Box<dyn TraceSink>> {
     GLOBAL_SINK.with(|slot| slot.borrow_mut().take())
+}
+
+/// Installs `sink` as the global span sink for this thread *and* for
+/// every `uvpu-par` pool worker spawned while it is installed
+/// (install-on-spawn via [`uvpu_par::install_worker_hooks`]).
+///
+/// The logical sequence clock becomes one process-wide monotonic atomic
+/// shared by all participating threads (see the module docs for what
+/// that means for cross-thread timestamp ordering). Keep a clone of the
+/// handle to read the data back; uninstall with [`take_global_sync`].
+pub fn install_global_sync<S: TraceSink + Send + 'static>(sink: SyncSink<S>) {
+    let seq = Arc::new(AtomicU64::new(0));
+    let factory = sink.clone();
+    *PROPAGATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(Propagate {
+        make: Box::new(move || Box::new(factory.clone()) as Box<dyn TraceSink>),
+        seq: Arc::clone(&seq),
+    }));
+    uvpu_par::install_worker_hooks(worker_adopt_global, worker_release_global);
+    SHARED_SEQ.with(|slot| *slot.borrow_mut() = Some(seq));
+    GLOBAL_SINK.with(|slot| *slot.borrow_mut() = Some(Box::new(sink)));
+}
+
+/// Uninstalls a [`install_global_sync`] sink: stops propagation into new
+/// pool workers, unregisters the worker hooks, and returns this thread's
+/// handle (if any). Workers currently running keep their clones until
+/// they exit.
+pub fn take_global_sync() -> Option<Box<dyn TraceSink>> {
+    *PROPAGATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    uvpu_par::clear_worker_hooks();
+    SHARED_SEQ.with(|slot| slot.borrow_mut().take());
+    take_global()
 }
 
 /// Whether a global sink is installed *and* enabled. Scheme crates check
@@ -897,6 +1052,14 @@ pub fn global_enabled() -> bool {
 }
 
 fn next_seq() -> u64 {
+    let shared = SHARED_SEQ.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|seq| seq.fetch_add(1, Ordering::Relaxed))
+    });
+    if let Some(ts) = shared {
+        return ts;
+    }
     GLOBAL_SEQ.with(|seq| {
         let t = seq.get();
         seq.set(t + 1);

@@ -185,6 +185,33 @@ impl<S: TraceSink> Vpu<S> {
         self.stats.network_move += beats;
     }
 
+    /// Charges butterfly beats computed analytically by a planner whose
+    /// functional work ran elsewhere (the parallel column passes of
+    /// `ntt_map::NttPlan` execute lanes on per-worker scratch VPUs and
+    /// charge the real shards here, keeping cycle accounting identical
+    /// to the sequential per-beat path for any thread count).
+    pub fn charge_butterflies(&mut self, beats: u64) {
+        if beats > 0 {
+            self.sink
+                .beats(self.track, self.stats.total(), BeatKind::Butterfly, beats);
+        }
+        self.stats.butterfly += beats;
+    }
+
+    /// Charges element-wise lane-ALU beats of opcode `op` computed
+    /// analytically by a planner (see [`charge_butterflies`](Self::charge_butterflies)).
+    pub fn charge_elementwise_ops(&mut self, op: EwiseOp, beats: u64) {
+        if beats > 0 {
+            self.sink.beats(
+                self.track,
+                self.stats.total(),
+                BeatKind::Elementwise(op),
+                beats,
+            );
+        }
+        self.stats.elementwise += beats;
+    }
+
     /// Grows the register file to at least `depth` entries.
     pub fn ensure_depth(&mut self, depth: usize) {
         self.regs.ensure_depth(depth);

@@ -1,0 +1,85 @@
+//! Process-wide plan caches for expensive precomputed tables.
+//!
+//! Every [`CkksContext`]-style consumer used to rebuild its
+//! [`NttTable`]s from scratch; benches sweeping `(q, n)` grids paid the
+//! root search and twiddle generation over and over. These memos
+//! (backed by [`uvpu_par::Memo`], a sharded `Mutex<HashMap>` behind a
+//! `OnceLock`) build each table once per process and hand out shared
+//! [`Arc`]s, safe to use from any pool worker.
+//!
+//! Keys are `(q.value(), n)` — a [`Modulus`] is fully determined by its
+//! value, so the Barrett ratio never needs to participate in the key.
+//!
+//! [`CkksContext`]: ../../uvpu_ckks/params/struct.CkksContext.html
+
+use std::sync::Arc;
+
+use uvpu_par::Memo;
+
+use crate::modular::Modulus;
+use crate::ntt::{CyclicNtt, NttTable};
+use crate::MathError;
+
+static NTT_TABLES: Memo<(u64, usize), NttTable> = Memo::new();
+static CYCLIC_NTTS: Memo<(u64, usize), CyclicNtt> = Memo::new();
+
+/// Returns the process-wide negacyclic [`NttTable`] for `(q, n)`,
+/// building it on first use.
+///
+/// # Errors
+///
+/// Propagates [`NttTable::new`]'s errors (length not a power of two, no
+/// `2n`-th root of unity mod `q`); failures are not cached.
+pub fn ntt_table(q: Modulus, n: usize) -> Result<Arc<NttTable>, MathError> {
+    NTT_TABLES.get_or_try_insert_with(&(q.value(), n), || NttTable::new(q, n))
+}
+
+/// Returns the process-wide cyclic [`CyclicNtt`] for `(q, n)`, building
+/// it on first use.
+///
+/// # Errors
+///
+/// Propagates [`CyclicNtt::new`]'s errors; failures are not cached.
+pub fn cyclic_ntt(q: Modulus, n: usize) -> Result<Arc<CyclicNtt>, MathError> {
+    CYCLIC_NTTS.get_or_try_insert_with(&(q.value(), n), || CyclicNtt::new(q, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_prime;
+
+    #[test]
+    fn cached_tables_are_shared_and_correct() {
+        let q = Modulus::new(ntt_prime(30, 1 << 8).unwrap()).unwrap();
+        let a = ntt_table(q, 1 << 8).unwrap();
+        let b = ntt_table(q, 1 << 8).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (q, n) ⇒ same table");
+
+        let fresh = NttTable::new(q, 1 << 8).unwrap();
+        let mut x: Vec<u64> = (0..1 << 8).collect();
+        let mut y = x.clone();
+        a.forward_inplace(&mut x);
+        fresh.forward_inplace(&mut y);
+        assert_eq!(x, y, "cached table computes the same transform");
+    }
+
+    #[test]
+    fn cyclic_cache_round_trips() {
+        let q = Modulus::new(97).unwrap();
+        let ntt = cyclic_ntt(q, 16).unwrap();
+        assert!(Arc::ptr_eq(&ntt, &cyclic_ntt(q, 16).unwrap()));
+        let mut a: Vec<u64> = (0..16).collect();
+        let orig = a.clone();
+        ntt.forward_inplace(&mut a);
+        ntt.inverse_inplace(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let q = Modulus::new(97).unwrap();
+        assert!(ntt_table(q, 12).is_err(), "non-power-of-two length");
+        assert!(cyclic_ntt(q, 64).is_err(), "97 has no 64th root of unity");
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod automorphism;
 pub mod bigint;
+pub mod cache;
 pub mod modular;
 pub mod montgomery;
 pub mod ntt;

@@ -217,6 +217,11 @@ pub struct CyclicNtt {
     omega: u64,
     omega_inv: u64,
     n_inv: u64,
+    /// `fwd_stages[s][j] = ω^{j·n/2^{s+1}}` as a Shoup pair: the twiddles
+    /// of butterfly stage `s` (block length `2^{s+1}`), identical for
+    /// every block of the stage. `n − 1` entries total per direction.
+    fwd_stages: Vec<Vec<ShoupMul>>,
+    inv_stages: Vec<Vec<ShoupMul>>,
 }
 
 impl CyclicNtt {
@@ -231,13 +236,40 @@ impl CyclicNtt {
             return Err(MathError::LengthNotPowerOfTwo { length: n });
         }
         let omega = min_root_of_unity(&modulus, n as u64)?;
+        let omega_inv = modulus.inv(omega)?;
         Ok(Self {
             modulus,
             n,
             omega,
-            omega_inv: modulus.inv(omega)?,
+            omega_inv,
             n_inv: modulus.inv(n as u64)?,
+            fwd_stages: Self::stage_twiddles(&modulus, n, omega),
+            inv_stages: Self::stage_twiddles(&modulus, n, omega_inv),
         })
+    }
+
+    /// Per-stage twiddle tables with Shoup pairs: stage `s` uses block
+    /// length `len = 2^{s+1}` and twiddles `w^j` for `j < len/2`, where
+    /// `w = root^{n/len}`. The same `w^j` sequence repeats in every
+    /// block of a stage, so it is generated once here instead of paying
+    /// a full modular multiply per element inside the transform.
+    fn stage_twiddles(q: &Modulus, n: usize, root: u64) -> Vec<Vec<ShoupMul>> {
+        let mut stages = Vec::with_capacity(n.trailing_zeros() as usize);
+        let mut len = 2;
+        while len <= n {
+            let wlen = q.pow(root, (n / len) as u64);
+            let mut w = 1u64;
+            let table = (0..len / 2)
+                .map(|_| {
+                    let pair = ShoupMul::new(w, q);
+                    w = q.mul(w, wlen);
+                    pair
+                })
+                .collect();
+            stages.push(table);
+            len *= 2;
+        }
+        stages
     }
 
     /// The transform length.
@@ -252,26 +284,29 @@ impl CyclicNtt {
         self.omega
     }
 
+    /// The inverse root ω⁻¹ used by [`inverse_inplace`](Self::inverse_inplace).
+    #[must_use]
+    pub const fn omega_inv(&self) -> u64 {
+        self.omega_inv
+    }
+
     /// The modulus.
     #[must_use]
     pub const fn modulus(&self) -> Modulus {
         self.modulus
     }
 
-    fn transform(&self, a: &mut [u64], root: u64) {
+    fn transform(&self, a: &mut [u64], stages: &[Vec<ShoupMul>]) {
         let q = &self.modulus;
         crate::util::bit_reverse_permute(a);
         let mut len = 2;
-        while len <= self.n {
-            let wlen = q.pow(root, (self.n / len) as u64);
+        for twiddles in stages {
             for start in (0..self.n).step_by(len) {
-                let mut w = 1u64;
-                for j in 0..len / 2 {
+                for (j, w) in twiddles.iter().enumerate() {
                     let u = a[start + j];
-                    let v = q.mul(a[start + j + len / 2], w);
+                    let v = w.mul(a[start + j + len / 2], q);
                     a[start + j] = q.add(u, v);
                     a[start + j + len / 2] = q.sub(u, v);
-                    w = q.mul(w, wlen);
                 }
             }
             len *= 2;
@@ -285,7 +320,7 @@ impl CyclicNtt {
     /// Panics if `a.len() != self.n()`.
     pub fn forward_inplace(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal transform length");
-        self.transform(a, self.omega);
+        self.transform(a, &self.fwd_stages);
     }
 
     /// Inverse cyclic NTT, natural order in/out.
@@ -295,7 +330,7 @@ impl CyclicNtt {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_inplace(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal transform length");
-        self.transform(a, self.omega_inv);
+        self.transform(a, &self.inv_stages);
         for x in a.iter_mut() {
             *x = self.modulus.mul(*x, self.n_inv);
         }

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Host-parallelism benchmark: times the data-parallel CKKS hot path
+# (N = 2^13, 5 RNS limbs, multiply + relinearize + rescale) at 1 and 4
+# worker threads, checks that the result digests and traced cycle totals
+# are bit-identical, and writes BENCH_par.json.
+#
+# The speedup is whatever the host actually delivers: on a single-core
+# container it is ~1.0x by physics (the pool still runs, interleaved on
+# one core); on a >= 4-core host the RNS/limb fan-out is expected to
+# reach >= 2x. host_cores is recorded so the number can be judged.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p uvpu-bench --bin trace_report
+
+run() {
+    ./target/release/trace_report --threads "$1" --bench
+}
+
+line1=$(run 1)
+line4=$(run 4)
+echo "$line1"
+echo "$line4"
+
+field() {
+    printf '%s\n' "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"
+}
+
+d1=$(field "$line1" digest)
+d4=$(field "$line4" digest)
+c1=$(field "$line1" cycles)
+c4=$(field "$line4" cycles)
+w1=$(field "$line1" wall_ms)
+w4=$(field "$line4" wall_ms)
+n=$(field "$line1" n)
+limbs=$(field "$line1" limbs)
+
+if [ "$d1" != "$d4" ]; then
+    echo "bench_par: FAIL — digests differ across thread counts ($d1 vs $d4)" >&2
+    exit 1
+fi
+if [ "$c1" != "$c4" ]; then
+    echo "bench_par: FAIL — cycle totals differ across thread counts ($c1 vs $c4)" >&2
+    exit 1
+fi
+
+cores=$(nproc 2>/dev/null || echo 1)
+speedup=$(awk "BEGIN { printf \"%.2f\", $w1 / $w4 }")
+
+cat > BENCH_par.json <<EOF
+{
+  "workload": "ckks_mul_rescale",
+  "n": $n,
+  "limbs": $limbs,
+  "host_cores": $cores,
+  "digest": "$d1",
+  "cycles": $c1,
+  "runs": [
+    { "threads": 1, "wall_ms": $w1 },
+    { "threads": 4, "wall_ms": $w4 }
+  ],
+  "speedup_4_over_1": $speedup,
+  "bit_identical": true,
+  "cycles_thread_invariant": true
+}
+EOF
+
+echo "bench_par: digests and cycle totals bit-identical across thread counts"
+echo "bench_par: ${w1} ms @ 1 thread, ${w4} ms @ 4 threads (${speedup}x on ${cores} core(s))"
+echo "bench_par: wrote BENCH_par.json"

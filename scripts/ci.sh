@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # The full local CI gate, exactly as a checkout with no network runs it:
 # release build, the whole test suite, formatting, and zero-warning lints.
+# The test suite runs twice — single-threaded and with a 4-worker host
+# pool — because every result is required to be bit-identical regardless
+# of the UVPU_THREADS setting.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
-cargo test --workspace -q --offline
+UVPU_THREADS=1 cargo test --workspace -q --offline
+UVPU_THREADS=4 cargo test --workspace -q --offline
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "ci: all green"

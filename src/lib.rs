@@ -9,6 +9,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`par`] | `uvpu-par` | scoped host worker pool and plan-cache memo (`UVPU_THREADS`) |
 //! | [`math`] | `uvpu-math` | modular arithmetic, NTTs, RNS, automorphism index algebra |
 //! | [`vpu`] | `uvpu-core` | **the paper's contribution**: lanes, inter-lane network, control solver, NTT/automorphism mapping |
 //! | [`hw_model`] | `uvpu-hw-model` | calibrated area/power models of Ours / F1 / BTS / ARK / SHARP |
@@ -45,3 +46,4 @@ pub use uvpu_ckks as ckks;
 pub use uvpu_core as vpu;
 pub use uvpu_hw_model as hw_model;
 pub use uvpu_math as math;
+pub use uvpu_par as par;

@@ -1,0 +1,219 @@
+//! The contract of the `uvpu-par` host-parallel layer: every result —
+//! scheme-level RNS math, lane-level functional simulation, accelerator
+//! schedules, and traced cycle totals — is bit-identical for any worker
+//! count. These tests run each workload under 1, 2, 4, and 7 threads
+//! (an odd count deliberately not dividing the work evenly) and demand
+//! equality, plus check that trace events emitted *from pool workers*
+//! reach a globally installed sync sink.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uvpu::accel::config::AcceleratorConfig;
+use uvpu::accel::graph::bootstrap_graph;
+use uvpu::accel::machine::Accelerator;
+use uvpu::accel::workload::FheOp;
+use uvpu::ckks::ciphertext::Ciphertext;
+use uvpu::ckks::encoder::{Encoder, C64};
+use uvpu::ckks::keys::KeyGenerator;
+use uvpu::ckks::ops::Evaluator;
+use uvpu::ckks::params::{CkksContext, CkksParams};
+use uvpu::ckks::rns_poly::RnsPoly;
+use uvpu::math::{modular::Modulus, primes::ntt_prime};
+use uvpu::vpu::auto_map::AutomorphismMapping;
+use uvpu::vpu::ntt_map::NttPlan;
+use uvpu::vpu::trace::{self, CounterSink, RingBufferSink, SyncSink, TraceEvent};
+use uvpu::vpu::vpu::Vpu;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `f` once per thread count and asserts all results are equal.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let baseline = uvpu::par::with_threads(1, &f);
+    for t in &THREAD_COUNTS[1..] {
+        let r = uvpu::par::with_threads(*t, &f);
+        assert_eq!(baseline, r, "result diverged at {t} threads");
+    }
+}
+
+fn ckks_ctx() -> CkksContext {
+    CkksContext::new(CkksParams::new(1 << 7, 3, 40).expect("params")).expect("context")
+}
+
+fn coeffs(ct: &Ciphertext) -> Vec<Vec<u64>> {
+    ct.parts
+        .iter()
+        .flat_map(|p| (0..=p.level()).map(|i| p.residue(i).coeffs().to_vec()))
+        .collect()
+}
+
+#[test]
+fn rns_ops_are_bit_identical_across_thread_counts() {
+    let ctx = ckks_ctx();
+    let n = ctx.params().n();
+    let a_coeffs: Vec<i64> = (0..n as i64).map(|i| i * 37 - 1000).collect();
+    let b_coeffs: Vec<i64> = (0..n as i64).map(|i| 5000 - i * 11).collect();
+    assert_thread_invariant(|| {
+        let a = RnsPoly::from_signed(&ctx, 3, &a_coeffs).expect("a");
+        let b = RnsPoly::from_signed(&ctx, 3, &b_coeffs).expect("b");
+        let ae = a.to_evaluation(&ctx);
+        let be = b.to_evaluation(&ctx);
+        let prod = ae.mul(&be).expect("mul").to_coefficient(&ctx);
+        let rot = prod.galois(5).expect("galois");
+        let dropped = prod.rescale(&ctx).expect("rescale");
+        (prod, rot, dropped)
+    });
+}
+
+#[test]
+fn ckks_mul_rescale_is_bit_identical_across_thread_counts() {
+    let ctx = ckks_ctx();
+    let enc = Encoder::new(&ctx);
+    let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(11));
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk).expect("pk");
+    let rlk = kg.relin_key(&sk).expect("rlk");
+    let eval = Evaluator::new(&ctx);
+    let x: Vec<C64> = (0..ctx.params().slot_count())
+        .map(|j| C64::from(0.5 + j as f64 * 0.01))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(12);
+    let ct = eval
+        .encrypt(&pk, &enc.encode(&ctx, 3, &x).expect("encode"), &mut rng)
+        .expect("encrypt");
+    assert_thread_invariant(|| {
+        let out = eval
+            .rescale(&eval.mul(&ct, &ct, &rlk).expect("mul"))
+            .expect("rescale");
+        coeffs(&out)
+    });
+}
+
+#[test]
+fn lane_simulation_is_bit_identical_across_thread_counts() {
+    let (n, m) = (1 << 10, 64);
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let data: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37) % 1000)
+        .collect();
+    assert_thread_invariant(|| {
+        let plan = NttPlan::new(q, n, m).expect("plan");
+        let mut vpu = Vpu::new(m, q, 8).expect("vpu");
+        let fwd = plan
+            .execute_forward_negacyclic(&mut vpu, &data)
+            .expect("forward");
+        let auto = AutomorphismMapping::new(n, m, 5, 0)
+            .expect("auto plan")
+            .execute(&mut vpu, &fwd.output)
+            .expect("auto");
+        let back = plan
+            .execute_inverse_negacyclic(&mut vpu, &fwd.output)
+            .expect("inverse");
+        assert_eq!(back.output, data, "NTT round trip");
+        (fwd.output, fwd.stats, auto.output, auto.stats, *vpu.stats())
+    });
+}
+
+#[test]
+fn accel_reports_are_bit_identical_across_thread_counts() {
+    let ops = [
+        FheOp::HMult {
+            n: 1 << 10,
+            limbs: 3,
+        },
+        FheOp::HRot {
+            n: 1 << 10,
+            limbs: 2,
+        },
+        FheOp::Ntt { n: 1 << 11 },
+    ];
+    let graph = bootstrap_graph(1 << 10, 2, 3, 4);
+    assert_thread_invariant(|| {
+        let flat = Accelerator::new(AcceleratorConfig::default())
+            .expect("accel")
+            .run(&ops)
+            .expect("run");
+        let dag = graph
+            .schedule(&AcceleratorConfig::default())
+            .expect("schedule");
+        let cp = graph.critical_path_beats(64).expect("critical path");
+        let latency = ops[0].latency_beats(64).expect("latency");
+        (flat, dag, cp, latency)
+    });
+}
+
+#[test]
+fn counter_sink_totals_match_cycle_stats_under_parallel_run() {
+    let (n, m) = (1 << 11, 64);
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let data: Vec<u64> = (0..n as u64).collect();
+    for t in THREAD_COUNTS {
+        uvpu::par::with_threads(t, || {
+            let counter = SyncSink::new(CounterSink::new());
+            let plan = NttPlan::new(q, n, m).expect("plan");
+            let mut vpu = Vpu::with_sink(m, q, 8, counter.clone()).expect("vpu");
+            let run = plan
+                .execute_forward_negacyclic(&mut vpu, &data)
+                .expect("ntt");
+            AutomorphismMapping::new(n, m, 5, 0)
+                .expect("auto plan")
+                .execute(&mut vpu, &data)
+                .expect("auto");
+            let traced = counter.with(|c| *c.running());
+            assert_eq!(
+                traced,
+                *vpu.stats(),
+                "trace-derived totals diverged from CycleStats at {t} threads"
+            );
+            assert!(run.stats.total() > 0);
+        });
+    }
+}
+
+#[test]
+fn worker_emitted_spans_reach_the_sync_global_sink() {
+    uvpu::par::with_threads(4, || {
+        let sink = SyncSink::new(RingBufferSink::new(1024));
+        trace::install_global_sync(sink.clone());
+        let spans = 16usize;
+        uvpu::par::par_map_indexed(spans, |i| {
+            // Emitted from whichever pool worker picks up index `i`:
+            // without install-on-spawn propagation these would vanish
+            // into the worker's unset thread-local slot.
+            trace::global_span_at(7, &format!("worker.{i}"), i as u64, i as u64 + 1);
+        });
+        trace::take_global_sync();
+        let (begins, ends) = sink.with(|rb| {
+            let begins = rb
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::SpanBegin { track: 7, .. }))
+                .count();
+            let ends = rb
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::SpanEnd { track: 7, .. }))
+                .count();
+            (begins, ends)
+        });
+        assert_eq!(begins, spans, "every worker-side span begin captured");
+        assert_eq!(ends, spans, "every worker-side span end captured");
+    });
+}
+
+#[test]
+fn plan_caches_share_one_table_per_key() {
+    let n = 1 << 9;
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let a = uvpu::math::cache::ntt_table(q, n).expect("table");
+    let b = uvpu::math::cache::ntt_table(q, n).expect("table");
+    assert!(std::sync::Arc::ptr_eq(&a, &b), "NTT table memoized");
+    let p1 = NttPlan::cached(q, n, 64).expect("plan");
+    let p2 = NttPlan::cached(q, n, 64).expect("plan");
+    assert!(std::sync::Arc::ptr_eq(&p1, &p2), "NTT plan memoized");
+    let m1 = AutomorphismMapping::cached(n, 64, 5, 0).expect("map");
+    let m2 = AutomorphismMapping::cached(n, 64, 5, 0).expect("map");
+    assert!(
+        std::sync::Arc::ptr_eq(&m1, &m2),
+        "automorphism plan memoized"
+    );
+}
