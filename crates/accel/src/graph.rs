@@ -152,7 +152,7 @@ impl TaskGraph {
                     trace::global_span_at(track, "noc.transfer", start, start + transfer);
                     trace::global_span_at(
                         track,
-                        &format!("{} n={}", task.kind.name(), task.n),
+                        &format!("task.{} n={}", task.kind.name(), task.n),
                         start + transfer,
                         end,
                     );

@@ -201,7 +201,9 @@ impl Accelerator {
                 trace::global_span_at(track, "noc.transfer", start, start + transfer);
                 trace::global_span_at(
                     track,
-                    &format!("{} n={}", task.kind.name(), task.n),
+                    // The `task.` prefix marks cycle-timestamped scheduler
+                    // spans for per-task attribution downstream.
+                    &format!("task.{} n={}", task.kind.name(), task.n),
                     start + transfer,
                     start + transfer + compute,
                 );
@@ -348,11 +350,11 @@ mod tests {
                 })
                 .collect();
             assert!(
-                names.iter().any(|n| n.starts_with("ntt n=1024")),
+                names.iter().any(|n| n.starts_with("task.ntt n=1024")),
                 "{names:?}"
             );
             assert!(
-                names.iter().any(|n| n.starts_with("automorphism")),
+                names.iter().any(|n| n.starts_with("task.automorphism")),
                 "{names:?}"
             );
             assert!(names.iter().any(|n| n == "noc.transfer"), "{names:?}");

@@ -1,0 +1,116 @@
+//! Utilization & energy attribution report: runs the reference
+//! workload with a [`ProfilerSink`](uvpu_metrics::profiler::ProfilerSink)
+//! attached to every layer and writes the versioned
+//! `BENCH_metrics.json` snapshot (schema: [`uvpu_metrics::snapshot`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin metrics_report -- \
+//!     [--threads N] [--smoke] [--out PATH] [--no-advisory] [--check BASELINE]
+//! ```
+//!
+//! - `--threads N` pins the `uvpu-par` worker pool. The snapshot core is
+//!   byte-identical for any value; only the advisory wall-clock changes.
+//! - `--smoke` runs the reduced-size variant (CI fast path).
+//! - `--out PATH` writes the snapshot there (default `BENCH_metrics.json`;
+//!   `-` skips writing).
+//! - `--no-advisory` omits the advisory section, producing a file that is
+//!   byte-comparable with `cmp`.
+//! - `--check BASELINE` is the regression gate: after the run, the
+//!   deterministic core is diffed line-by-line against the committed
+//!   baseline (advisory sections on either side are ignored). Any drift
+//!   in cycle totals, utilization, energy attribution, or schema prints
+//!   the differing lines and exits nonzero. Wall-clock never gates.
+//!
+//! Prints one machine-readable summary line:
+//!
+//! ```text
+//! METRICS workload=ckks_mul_rescale variant=full threads=4 cycles=12345 utilization=0.8123 energy_pj=123456.7 wall_ms=81.2
+//! ```
+
+use uvpu_bench::metrics_workload;
+use uvpu_metrics::snapshot;
+
+fn main() {
+    let mut out_path = "BENCH_metrics.json".to_string();
+    let mut smoke = false;
+    let mut advisory = true;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let t: usize = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads takes a positive integer");
+                uvpu_par::set_thread_override(Some(t));
+            }
+            "--smoke" => smoke = true,
+            "--no-advisory" => advisory = false,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let threads = uvpu_par::max_threads();
+    let run = metrics_workload::run(smoke);
+
+    println!(
+        "METRICS workload={} variant={} threads={threads} cycles={} \
+         utilization={:.4} energy_pj={:.1} wall_ms={:.1}",
+        metrics_workload::WORKLOAD,
+        if smoke { "smoke" } else { "full" },
+        run.cycles,
+        run.utilization,
+        run.energy_pj,
+        run.wall_ms
+    );
+
+    if out_path != "-" {
+        let contents = if advisory {
+            snapshot::with_advisory(
+                &run.core_json,
+                &[
+                    ("wall_ms", format!("{:.1}", run.wall_ms)),
+                    ("threads", threads.to_string()),
+                    (
+                        "host_cores",
+                        std::thread::available_parallelism()
+                            .map_or(0, std::num::NonZeroUsize::get)
+                            .to_string(),
+                    ),
+                ],
+            )
+        } else {
+            run.core_json.clone()
+        };
+        std::fs::write(&out_path, &contents).expect("write snapshot");
+        println!("metrics: wrote {} bytes to {out_path}", contents.len());
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let drift = snapshot::diff(&baseline, &run.core_json, 20);
+        if drift.is_empty() {
+            println!("gate: snapshot matches baseline {baseline_path} — OK");
+        } else {
+            eprintln!(
+                "gate: snapshot drifted from baseline {baseline_path} ({} lines):",
+                drift.len()
+            );
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            eprintln!(
+                "If the change is intentional, regenerate the baseline: \
+                 cargo run --release --bin metrics_report -- --no-advisory --out {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,9 +4,14 @@
 //! asserts that the cycle totals reconstructed purely from trace events
 //! are bit-identical to the VPU's own [`CycleStats`] accounting.
 //!
-//! Usage: `cargo run --release --bin trace_report -- [--threads N] [--bench] [OUTPUT.json]`
+//! Usage: `cargo run --release --bin trace_report -- [--threads N] [--bench] [--json PATH] [OUTPUT.json]`
 //! (default output: `uvpu_trace.json`; open it in `ui.perfetto.dev` or
 //! `chrome://tracing`).
+//!
+//! `--json PATH` additionally writes the per-phase breakdown as
+//! machine-readable JSON, in the same per-phase object shape as the
+//! `metrics_report` snapshot (see [`uvpu_metrics::snapshot`]), so
+//! downstream tooling parses one schema for both reports.
 //!
 //! `--threads N` pins the `uvpu-par` host worker pool to `N` threads
 //! (overriding `UVPU_THREADS` and the detected core count). Results are
@@ -153,6 +158,7 @@ fn run_bench() {
 
 fn main() {
     let mut out_path = "uvpu_trace.json".to_string();
+    let mut json_path: Option<String> = None;
     let mut bench = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -166,6 +172,7 @@ fn main() {
                 uvpu_par::set_thread_override(Some(t));
             }
             "--bench" => bench = true,
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
             other => out_path = other.to_string(),
         }
     }
@@ -299,4 +306,16 @@ fn main() {
         "perfetto: wrote {events} events ({} bytes) to {out_path} — open in ui.perfetto.dev",
         json.len()
     );
+
+    // --- Machine-readable phase breakdown (shared snapshot schema) ---
+    if let Some(path) = json_path {
+        let phases =
+            shared.with(|(counter, _)| uvpu_metrics::snapshot::phases_to_json(counter.phases(), 2));
+        let doc = format!(
+            "{{\n  \"schema\": \"{}\",\n  \"workload\": \"trace_report\",\n  \"phases\": {phases}\n}}\n",
+            uvpu_metrics::snapshot::SCHEMA
+        );
+        std::fs::write(&path, &doc).expect("write phase json");
+        println!("phases: wrote {} bytes to {path}", doc.len());
+    }
 }

@@ -145,6 +145,175 @@ mod tests {
     }
 }
 
+/// The profiled reference workload behind `metrics_report`,
+/// `tests/metrics_consistency.rs`, and the CI regression gate.
+///
+/// One function runs the full stack with a single [`ProfilerSink`]
+/// attached everywhere a sink can go — inline on the cycle-level VPU,
+/// and (through [`SyncSink`]) as the process-global sink seen by the
+/// accelerator scheduler and the CKKS/BFV scheme layers — and returns
+/// the deterministic snapshot. Keeping the workload in the library (not
+/// the binary) is what makes the determinism tests meaningful: the test
+/// and the report profile literally the same code.
+pub mod metrics_workload {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+    use uvpu_accel::config::AcceleratorConfig;
+    use uvpu_accel::machine::Accelerator;
+    use uvpu_accel::workload::FheOp;
+    use uvpu_core::trace::{self, SyncSink};
+    use uvpu_metrics::profiler::ProfilerSink;
+
+    /// Workload identifier stamped into the snapshot.
+    pub const WORKLOAD: &str = "ckks_mul_rescale";
+    /// Track id for the cycle-level VPU, clear of the accelerator's
+    /// scheduler slots and `SCHEME_TRACK`.
+    pub const VPU_TRACK: u32 = 10;
+
+    /// One profiled run.
+    #[derive(Debug, Clone)]
+    pub struct WorkloadRun {
+        /// The deterministic snapshot core (no advisory section) —
+        /// byte-identical across runs and `UVPU_THREADS` settings.
+        pub core_json: String,
+        /// Wall-clock of the profiled region (advisory only).
+        pub wall_ms: f64,
+        /// Total attributed cycles (for the summary line).
+        pub cycles: u64,
+        /// Whole-run utilization (for the summary line).
+        pub utilization: f64,
+        /// Total attributed energy in pJ (for the summary line).
+        pub energy_pj: f64,
+    }
+
+    /// Runs the reference workload and returns its snapshot.
+    ///
+    /// `smoke` shrinks the ring degrees (2^10 instead of 2^12) for the
+    /// CI fast path; the variant name is stamped into the snapshot so a
+    /// smoke snapshot can never be diffed against a full baseline by
+    /// accident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage of the stack fails (deterministic inputs —
+    /// a failure is a bug, not an environment condition) or if the
+    /// trace-derived cycle totals diverge from the VPU's own
+    /// accounting.
+    #[must_use]
+    pub fn run(smoke: bool) -> WorkloadRun {
+        let variant = if smoke { "smoke" } else { "full" };
+        let (m, log_n) = (64usize, if smoke { 10u32 } else { 12u32 });
+        let n = 1usize << log_n;
+
+        // One profiler shared by every layer. `SyncSink` makes it both
+        // cloneable (same instance inline on the VPU and installed
+        // globally) and `Send` (the global install propagates into
+        // `uvpu-par` pool workers).
+        let shared = SyncSink::new(ProfilerSink::new(m));
+        trace::install_global_sync(shared.clone());
+        let start = Instant::now();
+
+        // --- Cycle-level: negacyclic NTT + automorphism on one VPU ----
+        let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+        let plan = NttPlan::new(q, n, m).expect("plan");
+        let mut vpu = Vpu::with_sink(m, q, 8, shared.clone()).expect("vpu");
+        vpu.set_track(VPU_TRACK);
+        let data: Vec<u64> = (0..n as u64).collect();
+        plan.execute_forward_negacyclic(&mut vpu, &data)
+            .expect("ntt run");
+        AutomorphismMapping::new(n, m, 5, 0)
+            .expect("auto plan")
+            .execute(&mut vpu, &data)
+            .expect("auto run");
+
+        // --- Scheduler-level: a batch on the multi-VPU accelerator ----
+        Accelerator::new(AcceleratorConfig::default())
+            .expect("accel")
+            .run(&[
+                FheOp::HMult { n, limbs: 3 },
+                FheOp::HRot { n, limbs: 3 },
+                FheOp::Ntt { n },
+                FheOp::Automorphism { n },
+            ])
+            .expect("accel run");
+
+        // --- Scheme-level: CKKS multiply + rescale ---------------------
+        {
+            use uvpu_ckks::encoder::{Encoder, C64};
+            use uvpu_ckks::keys::KeyGenerator;
+            use uvpu_ckks::ops::Evaluator;
+            use uvpu_ckks::params::{CkksContext, CkksParams};
+
+            let ctx =
+                CkksContext::new(CkksParams::new(1 << 6, 3, 40).expect("params")).expect("context");
+            let enc = Encoder::new(&ctx);
+            let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+            let sk = kg.secret_key();
+            let pk = kg.public_key(&sk).expect("pk");
+            let rlk = kg.relin_key(&sk).expect("rlk");
+            let eval = Evaluator::new(&ctx);
+            let mut rng = StdRng::seed_from_u64(2);
+            let x: Vec<C64> = (0..32).map(|j| C64::from(1.0 + j as f64 * 0.01)).collect();
+            let ct = eval
+                .encrypt(&pk, &enc.encode(&ctx, 3, &x).expect("encode"), &mut rng)
+                .expect("encrypt");
+            let sum = eval.add(&ct, &ct).expect("add");
+            let _ = eval
+                .rescale(&eval.mul(&sum, &ct, &rlk).expect("mul"))
+                .expect("rescale");
+        }
+
+        // --- Scheme-level: a BFV multiply ------------------------------
+        {
+            use uvpu_bfv::cipher::Evaluator;
+            use uvpu_bfv::encoder::BatchEncoder;
+            use uvpu_bfv::keys::KeyGenerator;
+            use uvpu_bfv::params::BfvParams;
+
+            let params = BfvParams::new(1 << 6, 50).expect("bfv params");
+            let enc = BatchEncoder::new(&params).expect("bfv encoder");
+            let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(3));
+            let sk = kg.secret_key();
+            let pk = kg.public_key(&sk).expect("bfv pk");
+            let rlk = kg.relin_key(&sk).expect("bfv rlk");
+            let eval = Evaluator::new(&params);
+            let mut rng = StdRng::seed_from_u64(4);
+            let ct = eval
+                .encrypt(&pk, &enc.encode(&[41]).expect("encode"), &mut rng)
+                .expect("bfv encrypt");
+            let sum = eval.add(&ct, &ct);
+            let _ = eval.mul(&sum, &ct, &rlk).expect("bfv mul");
+        }
+
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        trace::take_global_sync();
+        let vpu_stats = *vpu.stats();
+
+        let (core_json, cycles, utilization, energy_pj) = shared.with(|p| {
+            assert_eq!(
+                *p.running(),
+                vpu_stats,
+                "trace-derived cycle totals must be bit-identical to CycleStats"
+            );
+            (
+                p.snapshot(WORKLOAD, variant),
+                p.running().total(),
+                p.running().utilization(),
+                p.energy_total_pj(),
+            )
+        });
+        WorkloadRun {
+            core_json,
+            wall_ms,
+            cycles,
+            utilization,
+            energy_pj,
+        }
+    }
+}
+
 /// Minimal JSON emission for the flat table rows (keeps the evaluation
 /// harness dependency-free; all values are numbers or plain strings).
 pub mod json {

@@ -165,6 +165,7 @@ impl<'a> Evaluator<'a> {
         pt: &Plaintext,
         rng: &mut R,
     ) -> Result<Ciphertext, BfvError> {
+        let _span = scheme_span("bfv.encrypt");
         let params = self.params;
         let q = params.modulus();
         let n = params.n();
@@ -258,6 +259,7 @@ impl<'a> Evaluator<'a> {
     /// Homomorphic addition (exact).
     #[must_use]
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let _span = scheme_span("bfv.add");
         let q = self.params.modulus();
         let size = a.size().max(b.size());
         let n = self.params.n();

@@ -67,6 +67,7 @@ impl<'a> Evaluator<'a> {
         pt: &Plaintext,
         rng: &mut R,
     ) -> Result<Ciphertext, CkksError> {
+        let _span = scheme_span("ckks.encrypt");
         let ctx = self.ctx;
         let level = pt.poly.level();
         let v = RnsPoly::sample_ternary(ctx, level, rng)?.to_evaluation(ctx);
@@ -160,6 +161,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`CkksError::ScaleMismatch`] or substrate errors.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let _span = scheme_span("ckks.add");
         let (a, b) = self.align(a, b)?;
         let size = a.size().max(b.size());
         let level = a.level();

@@ -15,7 +15,7 @@
 //! automorphism at every size.
 
 use crate::stats::CycleStats;
-use crate::trace::TraceSink;
+use crate::trace::{MemDir, TraceSink};
 use crate::vpu::Vpu;
 use crate::CoreError;
 use uvpu_math::automorphism::{AffineMap, RowColumnDecomposition};
@@ -180,8 +180,9 @@ impl AutomorphismMapping {
         let mut output = vec![0u64; self.n];
         // Parallel path: columns are independent single network passes,
         // so workers route them on private scratch VPUs while the real
-        // VPU is charged analytically — one network-move beat per
-        // column, in column order, exactly like the sequential loop.
+        // VPU is charged analytically — per column a load, one
+        // network-move beat, and a store, in column order, so the traced
+        // event stream is bit-identical to the sequential loop's.
         if uvpu_par::max_threads() > 1 && cols > 1 {
             let modulus = vpu.modulus();
             let routed_cols: Vec<Result<Vec<u64>, CoreError>> = uvpu_par::par_map_indexed_with(
@@ -198,7 +199,9 @@ impl AutomorphismMapping {
             );
             for (c, routed) in routed_cols.into_iter().enumerate() {
                 let routed = routed?;
+                vpu.charge_mem(MemDir::Load, 0, self.m);
                 vpu.charge_network_moves(1);
+                vpu.charge_mem(MemDir::Store, 1, routed.len());
                 let target = self.decomposition.column_target(c);
                 for (r, &v) in routed.iter().enumerate() {
                     output[r * cols + target] = v;

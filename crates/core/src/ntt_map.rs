@@ -14,7 +14,7 @@
 //! paper Table III.
 
 use crate::stats::CycleStats;
-use crate::trace::{EwiseOp, TraceSink};
+use crate::trace::{EwiseOp, MemDir, TraceSink};
 use crate::vpu::{PeaseStage, Vpu};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
@@ -838,10 +838,10 @@ impl NttPlan {
         // workers run the identical `SmallNtt` code on private scratch
         // VPUs while the *real* shards are charged analytically below —
         // in the same deterministic round-robin order as the sequential
-        // loop, so both the outputs and the per-shard `CycleStats` are
-        // bit-identical for any thread count. (Register-file mem events
-        // land on the scratch VPUs' `NopSink` in this mode; cycle
-        // counters, the accounting invariant, are unaffected.)
+        // loop, so the outputs, the per-shard `CycleStats`, and the
+        // traced beat/mem event streams are all bit-identical for any
+        // thread count (the scratch VPUs' own events land on `NopSink`s;
+        // each column's load/store is re-emitted on its real shard).
         if uvpu_par::max_threads() > 1 && cols > 1 {
             let src: &[u64] = state;
             let outputs: Vec<Result<Vec<u64>, CoreError>> = uvpu_par::par_map_indexed_with(
@@ -865,11 +865,13 @@ impl NttPlan {
             for (col, (codes, out)) in col_codes.iter().zip(outputs).enumerate() {
                 let out = out?;
                 let vpu = &mut vpus[col % shard_count];
+                vpu.charge_mem(MemDir::Load, 0, self.m);
                 vpu.charge_butterflies(stage_beats);
                 if direction == Direction::Inverse {
                     // The `L^{-1}` fold of `SmallNtt::run_inverse`.
                     vpu.charge_elementwise_ops(EwiseOp::MulConst, 1);
                 }
+                vpu.charge_mem(MemDir::Store, 0, out.len());
                 self.scatter_column(state, codes, &out, t, direction);
             }
             return Ok(());

@@ -73,6 +73,42 @@ impl CycleStats {
         }
     }
 
+    /// Utilization that distinguishes "empty" from "perfect": `None`
+    /// when no cycles elapsed, `Some(compute / total)` otherwise.
+    ///
+    /// Use this in reports and snapshots where an all-zero interval must
+    /// render as `n/a`/`null` rather than as 100% — the convention of
+    /// [`utilization`](Self::utilization) is right for folding but wrong
+    /// for display.
+    #[must_use]
+    pub fn utilization_checked(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.compute() as f64 / total as f64)
+        }
+    }
+
+    /// Utilization of the interval between an `earlier` snapshot and
+    /// now: [`utilization_checked`](Self::utilization_checked) of
+    /// [`delta`](Self::delta). `None` when the interval is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use uvpu_core::stats::CycleStats;
+    ///
+    /// let before = CycleStats { butterfly: 10, elementwise: 0, network_move: 10 };
+    /// let after = CycleStats { butterfly: 16, elementwise: 0, network_move: 12 };
+    /// assert_eq!(after.utilization_since(&before), Some(0.75));
+    /// assert_eq!(after.utilization_since(&after), None);
+    /// ```
+    #[must_use]
+    pub fn utilization_since(&self, earlier: &Self) -> Option<f64> {
+        self.delta(earlier).utilization_checked()
+    }
+
     /// Per-field saturating difference `self − earlier`: the cycles
     /// spent between an `earlier` snapshot and now. Saturating rather
     /// than panicking, so a snapshot taken after a counter reset
@@ -183,6 +219,43 @@ mod tests {
         assert_eq!(d.elementwise, 0, "saturates instead of wrapping");
         assert_eq!(d.network_move, 0);
         assert_eq!(CycleStats::new().delta(&a), CycleStats::new());
+    }
+
+    #[test]
+    fn checked_utilization_distinguishes_empty_from_perfect() {
+        assert_eq!(CycleStats::new().utilization_checked(), None);
+        let perfect = CycleStats {
+            butterfly: 5,
+            elementwise: 0,
+            network_move: 0,
+        };
+        assert_eq!(perfect.utilization_checked(), Some(1.0));
+        let s = CycleStats {
+            butterfly: 60,
+            elementwise: 20,
+            network_move: 20,
+        };
+        assert_eq!(s.utilization_checked(), Some(s.utilization()));
+    }
+
+    #[test]
+    fn utilization_since_measures_the_interval() {
+        let before = CycleStats {
+            butterfly: 100,
+            elementwise: 0,
+            network_move: 100,
+        };
+        let after = CycleStats {
+            butterfly: 103,
+            elementwise: 0,
+            network_move: 101,
+        };
+        assert_eq!(after.utilization_since(&before), Some(0.75));
+        // Empty interval: None, not the global ratio.
+        assert_eq!(after.utilization_since(&after), None);
+        // Reset between snapshots (earlier > self): delta saturates to
+        // zero, so the interval reads as empty.
+        assert_eq!(before.utilization_since(&after), None);
     }
 
     #[test]

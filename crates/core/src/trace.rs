@@ -423,6 +423,7 @@ pub struct CounterSink {
     running: CycleStats,
     open: Vec<(String, CycleStats)>,
     phases: BTreeMap<String, CycleStats>,
+    unmatched_span_ends: u64,
 }
 
 impl CounterSink {
@@ -483,6 +484,14 @@ impl CounterSink {
     pub const fn phases(&self) -> &BTreeMap<String, CycleStats> {
         &self.phases
     }
+
+    /// Span-end events that matched no open span and were therefore not
+    /// attributed anywhere. Nonzero means the instrumentation emitted
+    /// unbalanced span pairs — a bug worth surfacing, not swallowing.
+    #[must_use]
+    pub const fn unmatched_span_ends(&self) -> u64 {
+        self.unmatched_span_ends
+    }
 }
 
 impl TraceSink for CounterSink {
@@ -523,6 +532,8 @@ impl TraceSink for CounterSink {
             let (name, at_begin) = self.open.remove(pos);
             let cost = self.running.delta(&at_begin);
             *self.phases.entry(name).or_default() += cost;
+        } else {
+            self.unmatched_span_ends += 1;
         }
     }
 }
@@ -563,6 +574,9 @@ pub struct RingBufferSink {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    dropped_beats: u64,
+    dropped_mems: u64,
+    dropped_spans: u64,
 }
 
 impl RingBufferSink {
@@ -574,12 +588,22 @@ impl RingBufferSink {
             buf: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
+            dropped_beats: 0,
+            dropped_mems: 0,
+            dropped_spans: 0,
         }
     }
 
     fn push(&mut self, event: TraceEvent) {
         if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+            match self.buf.pop_front() {
+                Some(TraceEvent::Beat { .. }) => self.dropped_beats += 1,
+                Some(TraceEvent::Mem { .. }) => self.dropped_mems += 1,
+                Some(TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. }) => {
+                    self.dropped_spans += 1;
+                }
+                None => {}
+            }
             self.dropped += 1;
         }
         self.buf.push_back(event);
@@ -595,6 +619,25 @@ impl RingBufferSink {
     #[must_use]
     pub const fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Evicted events by category: `(beats, mems, spans)`. Sums to
+    /// [`dropped`](Self::dropped); span drops are the ones that silently
+    /// corrupt downstream phase attribution, so they get their own bin.
+    #[must_use]
+    pub const fn dropped_by_kind(&self) -> (u64, u64, u64) {
+        (self.dropped_beats, self.dropped_mems, self.dropped_spans)
+    }
+
+    /// Discards all retained events and resets every drop counter,
+    /// keeping the capacity. Lets one recorder be reused across runs
+    /// without carrying stale drop totals into the next report.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+        self.dropped_beats = 0;
+        self.dropped_mems = 0;
+        self.dropped_spans = 0;
     }
 
     /// Maximum number of retained events.
@@ -1215,6 +1258,7 @@ mod tests {
         sink.span_end(1, 1, "never-opened");
         assert_eq!(sink.phases().len(), 2);
         assert_eq!(sink.phases()["a"].butterfly, 1);
+        assert_eq!(sink.unmatched_span_ends(), 1, "the bad end is counted");
     }
 
     #[test]
@@ -1229,6 +1273,30 @@ mod tests {
             TraceEvent::Beat { cycle, .. } => assert_eq!(*cycle, 2),
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn ring_buffer_attributes_drops_by_category_and_clears() {
+        let mut sink = RingBufferSink::new(2);
+        sink.beat(0, 0, BeatKind::Butterfly);
+        sink.mem(0, 1, MemDir::Load, 0, 64);
+        sink.span_begin(0, 2, "s");
+        sink.span_end(0, 3, "s");
+        // Capacity 2: the beat and the mem were evicted; the two span
+        // events remain.
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.dropped_by_kind(), (1, 1, 0));
+        sink.span_begin(0, 4, "t");
+        assert_eq!(sink.dropped_by_kind(), (1, 1, 1));
+        let (b, m, s) = sink.dropped_by_kind();
+        assert_eq!(b + m + s, sink.dropped(), "categories partition total");
+        sink.clear();
+        assert_eq!(sink.events().len(), 0);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.dropped_by_kind(), (0, 0, 0));
+        assert_eq!(sink.capacity(), 2, "capacity survives clear");
+        sink.beat(0, 5, BeatKind::Butterfly);
+        assert_eq!(sink.events().len(), 1, "reusable after clear");
     }
 
     #[test]

@@ -217,6 +217,17 @@ impl<S: TraceSink> Vpu<S> {
         self.regs.ensure_depth(depth);
     }
 
+    /// Emits the register-file interface trace event of a load/store
+    /// whose data movement happened elsewhere (a worker's private
+    /// scratch VPU). Keeps the traced mem stream identical between the
+    /// sequential and data-parallel execution paths, the same way beats
+    /// are charged analytically (see
+    /// [`charge_butterflies`](Self::charge_butterflies)).
+    pub fn charge_mem(&mut self, dir: MemDir, addr: usize, lanes: usize) {
+        self.sink
+            .mem(self.track, self.stats.total(), dir, addr, lanes);
+    }
+
     /// Loads a vector into a register (models the SRAM→VPU interface; not
     /// charged to the compute pipeline).
     ///

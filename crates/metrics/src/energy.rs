@@ -1,0 +1,284 @@
+//! Per-beat energy quanta derived from the calibrated hardware model.
+//!
+//! The `uvpu-hw-model` unit costs are *powers* (mW) at the model's 1 GHz
+//! clock; since `1 mW / 1 GHz = 1 pJ`, a component consuming `P` mW
+//! dissipates exactly `P` pJ in every cycle it is active. This module
+//! re-expresses the Table IV power bins as per-beat energy quanta so a
+//! trace of pipeline beats can be priced component by component.
+//!
+//! Attribution model (matching the paper's "Ours" design — 2
+//! constant-geometry stages, log₂ m shift stages, m lane ports, and `m`
+//! compute lanes):
+//!
+//! | Beat | Active components |
+//! |---|---|
+//! | butterfly | lanes + CG stages + ports + base |
+//! | element-wise | lanes only (no network traversal) |
+//! | `net.route` | ports + base |
+//! | `net.cg_*` | CG stages + ports + base |
+//! | `net.shift` | shift stages + ports + base |
+//! | `net.cg_*+shift` | CG + shift stages + ports + base |
+//! | register-file word | per-word SRAM streaming energy |
+//!
+//! By construction the four network bins sum to exactly
+//! [`DesignModel::network_power`](uvpu_hw_model::designs::DesignModel::network_power)
+//! of the "Ours" design (activity 1.0) — a beat that exercises the whole
+//! network costs precisely the Table IV network power, so the breakdown
+//! of a live workload is consistent with the static tables by identity,
+//! not by tuning (verified in this module's tests).
+
+use uvpu_core::trace::{BeatKind, NetKind};
+use uvpu_hw_model::tech::TechParams;
+
+/// A component bin of the energy breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The `m` lane ALUs during butterfly beats.
+    LanesButterfly,
+    /// The `m` lane ALUs during element-wise beats.
+    LanesEwise,
+    /// The two constant-geometry (perfect shuffle) stages.
+    NetCg,
+    /// The log₂ m shift stages.
+    NetShift,
+    /// The per-lane network ports (drivers and vertical wiring).
+    NetPorts,
+    /// The shared network periphery (the affine fit constant).
+    NetBase,
+    /// Register-file ⇄ SRAM word transfers.
+    RegFile,
+}
+
+impl Component {
+    /// All components, in snapshot rendering order.
+    pub const ALL: [Self; 7] = [
+        Self::LanesButterfly,
+        Self::LanesEwise,
+        Self::NetCg,
+        Self::NetShift,
+        Self::NetPorts,
+        Self::NetBase,
+        Self::RegFile,
+    ];
+
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::LanesButterfly => 0,
+            Self::LanesEwise => 1,
+            Self::NetCg => 2,
+            Self::NetShift => 3,
+            Self::NetPorts => 4,
+            Self::NetBase => 5,
+            Self::RegFile => 6,
+        }
+    }
+
+    /// Stable snapshot name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::LanesButterfly => "lanes.butterfly",
+            Self::LanesEwise => "lanes.ewise",
+            Self::NetCg => "net.cg_stages",
+            Self::NetShift => "net.shift_stages",
+            Self::NetPorts => "net.ports",
+            Self::NetBase => "net.base",
+            Self::RegFile => "regfile",
+        }
+    }
+
+    /// Coarse group for the share summary (`lanes` / `network` /
+    /// `regfile`).
+    #[must_use]
+    pub const fn group(self) -> &'static str {
+        match self {
+            Self::LanesButterfly | Self::LanesEwise => "lanes",
+            Self::NetCg | Self::NetShift | Self::NetPorts | Self::NetBase => "network",
+            Self::RegFile => "regfile",
+        }
+    }
+}
+
+/// Per-beat energy quanta (pJ) for an `m`-lane VPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    lanes: usize,
+    /// All `m` lanes computing for one cycle.
+    pub lane_beat_pj: f64,
+    /// The 2 CG stages switching for one cycle.
+    pub cg_beat_pj: f64,
+    /// The log₂ m shift stages switching for one cycle.
+    pub shift_beat_pj: f64,
+    /// The `m` lane ports driving for one cycle.
+    pub ports_beat_pj: f64,
+    /// The shared periphery for one cycle.
+    pub base_beat_pj: f64,
+    /// One 64-bit word through the register file.
+    pub regfile_word_pj: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for `lanes` lanes from explicit tech parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two ≥ 4 (the same domain as
+    /// [`uvpu_hw_model::designs::DesignModel::new`]).
+    #[must_use]
+    pub fn from_tech(tech: &TechParams, lanes: usize) -> Self {
+        assert!(
+            lanes.is_power_of_two() && lanes >= 4,
+            "lanes = {lanes} must be a power of two >= 4"
+        );
+        let m = lanes as f64;
+        let w = f64::from(tech.word_bits);
+        let log_m = f64::from(lanes.trailing_zeros());
+        Self {
+            lanes,
+            lane_beat_pj: tech.lane_power * m,
+            cg_beat_pj: tech.mux_power_per_bit * w * m * 2.0,
+            shift_beat_pj: tech.mux_power_per_bit * w * m * log_m,
+            ports_beat_pj: tech.port_power_per_lane * m,
+            base_beat_pj: tech.base_power,
+            regfile_word_pj: tech.sram_power_per_bit * w,
+        }
+    }
+
+    /// The calibrated ASAP7 model for `lanes` lanes.
+    #[must_use]
+    pub fn asap7(lanes: usize) -> Self {
+        Self::from_tech(&TechParams::asap7(), lanes)
+    }
+
+    /// Lane count this model prices.
+    #[must_use]
+    pub const fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Energy of a fully-active network traversal (all four bins) — by
+    /// construction equal to the Table IV network power of the "Ours"
+    /// design at this lane count, read in pJ/cycle.
+    #[must_use]
+    pub fn network_active_pj(&self) -> f64 {
+        self.cg_beat_pj + self.shift_beat_pj + self.ports_beat_pj + self.base_beat_pj
+    }
+
+    /// Adds one beat batch's component activations into `counts`
+    /// (indexed by [`Component::index`]; [`Component::RegFile`] counts
+    /// words, not beats, and is never touched here).
+    pub fn charge_beats(kind: BeatKind, count: u64, counts: &mut [u64; 7]) {
+        match kind {
+            BeatKind::Butterfly => {
+                counts[Component::LanesButterfly.index()] += count;
+                counts[Component::NetCg.index()] += count;
+                counts[Component::NetPorts.index()] += count;
+                counts[Component::NetBase.index()] += count;
+            }
+            BeatKind::Elementwise(_) => {
+                counts[Component::LanesEwise.index()] += count;
+            }
+            BeatKind::NetworkMove(net) => {
+                counts[Component::NetPorts.index()] += count;
+                counts[Component::NetBase.index()] += count;
+                match net {
+                    NetKind::Route => {}
+                    NetKind::CgShuffle | NetKind::CgUnshuffle => {
+                        counts[Component::NetCg.index()] += count;
+                    }
+                    NetKind::Shift => {
+                        counts[Component::NetShift.index()] += count;
+                    }
+                    NetKind::CgShuffleShift | NetKind::CgUnshuffleShift => {
+                        counts[Component::NetCg.index()] += count;
+                        counts[Component::NetShift.index()] += count;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prices one component's activation count (beats, or words for
+    /// [`Component::RegFile`]) in pJ.
+    #[must_use]
+    pub fn component_pj(&self, component: Component, count: u64) -> f64 {
+        let per = match component {
+            Component::LanesButterfly | Component::LanesEwise => self.lane_beat_pj,
+            Component::NetCg => self.cg_beat_pj,
+            Component::NetShift => self.shift_beat_pj,
+            Component::NetPorts => self.ports_beat_pj,
+            Component::NetBase => self.base_beat_pj,
+            Component::RegFile => self.regfile_word_pj,
+        };
+        per * count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::EwiseOp;
+    use uvpu_hw_model::designs::{DesignKind, DesignModel};
+
+    #[test]
+    fn network_bins_sum_to_table4_power() {
+        // 1 mW at 1 GHz = 1 pJ/cycle: a fully-active traversal must cost
+        // exactly the "Ours" network power of Table IV, at every lane
+        // count the table covers.
+        let tech = TechParams::asap7();
+        for m in [4usize, 8, 16, 32, 64, 128, 256] {
+            let em = EnergyModel::from_tech(&tech, m);
+            let table = DesignModel::new(DesignKind::Ours, m).network_power(&tech);
+            assert!(
+                (em.network_active_pj() - table).abs() < 1e-9,
+                "m={m}: {} vs {table}",
+                em.network_active_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_dominate_the_network() {
+        // Table II's observation, seen through the energy lens: one
+        // compute beat costs far more than one network traversal.
+        let em = EnergyModel::asap7(64);
+        assert!(em.lane_beat_pj > 10.0 * em.network_active_pj());
+    }
+
+    #[test]
+    fn charge_matches_attribution_table() {
+        let mut counts = [0u64; 7];
+        EnergyModel::charge_beats(BeatKind::Butterfly, 3, &mut counts);
+        EnergyModel::charge_beats(BeatKind::Elementwise(EwiseOp::Mul), 2, &mut counts);
+        EnergyModel::charge_beats(BeatKind::NetworkMove(NetKind::Shift), 5, &mut counts);
+        EnergyModel::charge_beats(
+            BeatKind::NetworkMove(NetKind::CgShuffleShift),
+            1,
+            &mut counts,
+        );
+        EnergyModel::charge_beats(BeatKind::NetworkMove(NetKind::Route), 4, &mut counts);
+        assert_eq!(counts[Component::LanesButterfly.index()], 3);
+        assert_eq!(counts[Component::LanesEwise.index()], 2);
+        assert_eq!(counts[Component::NetCg.index()], 3 + 1);
+        assert_eq!(counts[Component::NetShift.index()], 5 + 1);
+        assert_eq!(counts[Component::NetPorts.index()], 3 + 5 + 1 + 4);
+        assert_eq!(counts[Component::NetBase.index()], 3 + 5 + 1 + 4);
+        assert_eq!(counts[Component::RegFile.index()], 0);
+    }
+
+    #[test]
+    fn pricing_scales_linearly() {
+        let em = EnergyModel::asap7(64);
+        let one = em.component_pj(Component::NetShift, 1);
+        assert!((em.component_pj(Component::NetShift, 10) - 10.0 * one).abs() < 1e-12);
+        assert_eq!(em.component_pj(Component::RegFile, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_lane_count() {
+        let _ = EnergyModel::asap7(48);
+    }
+}

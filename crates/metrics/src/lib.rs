@@ -1,0 +1,75 @@
+//! `uvpu-metrics` — utilization and energy attribution for the VPU stack.
+//!
+//! The paper's evaluation rests on two kinds of numbers: throughput
+//! *utilization* (compute cycles over total cycles — Table III) and
+//! per-component *area/power breakdowns* (Tables II and IV). The static
+//! `table*` bins regenerate those for fixed kernels; this crate closes
+//! the loop for **live workloads**: a [`profiler::ProfilerSink`] consumes
+//! the `uvpu-core` trace-event stream and attributes every beat, memory
+//! transfer, and span to
+//!
+//! 1. **per-phase lane/network utilization** — the same
+//!    [`CycleStats::utilization`](uvpu_core::stats::CycleStats::utilization)
+//!    figure of Table III, but broken down by trace span (NTT dimension,
+//!    rescale, key-switch, scheduler task, …); and
+//! 2. **per-component dynamic energy** — using the calibrated
+//!    `uvpu-hw-model` unit costs. At the model's 1 GHz clock, a
+//!    component consuming `P` mW dissipates exactly `P` pJ per active
+//!    cycle, so the [`energy::EnergyModel`] per-beat costs are the
+//!    Table IV power bins re-expressed as energy quanta.
+//!
+//! Everything is **deterministic by construction**: the profiler stores
+//! only integer event counts (energy is multiplied out at snapshot
+//! time), registry maps are ordered, and the JSON snapshot
+//! ([`snapshot`]) renders with fixed field order and fixed float
+//! precision. Two runs of the same workload — at any `UVPU_THREADS`
+//! setting — produce byte-identical snapshots, which is what lets
+//! `scripts/ci.sh` gate on a committed baseline with a plain byte diff.
+//!
+//! # Layout
+//!
+//! - [`registry`] — counters, gauges, log₂-bucket histograms, and
+//!   labeled counter families in ordered maps;
+//! - [`energy`] — per-beat energy quanta derived from
+//!   [`TechParams`](uvpu_hw_model::tech::TechParams);
+//! - [`profiler`] — the [`TraceSink`](uvpu_core::trace::TraceSink)
+//!   implementation doing the attribution;
+//! - [`snapshot`] — the versioned `BENCH_*.json` schema: rendering,
+//!   advisory-section handling, and baseline diffing.
+//!
+//! # Example
+//!
+//! ```
+//! use uvpu_core::trace::TraceSink;
+//! use uvpu_core::vpu::Vpu;
+//! use uvpu_core::ntt_map::NttPlan;
+//! use uvpu_math::{modular::Modulus, primes::ntt_prime};
+//! use uvpu_metrics::profiler::ProfilerSink;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (n, m) = (1usize << 10, 64);
+//! let q = Modulus::new(ntt_prime(50, n)?)?;
+//! let mut vpu = Vpu::with_sink(m, q, 8, ProfilerSink::new(m))?;
+//! let run = NttPlan::new(q, n, m)?.execute_forward_negacyclic(&mut vpu, &vec![1; n])?;
+//! let profiler = vpu.into_sink();
+//! // Trace-derived totals are bit-identical to the VPU's own stats …
+//! assert_eq!(*profiler.running(), run.stats);
+//! // … and the top-level phase carries the Table III utilization.
+//! let phase = &profiler.phases()["ntt.forward_negacyclic"];
+//! assert_eq!(phase.utilization(), run.stats.utilization());
+//! assert!(profiler.energy_total_pj() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod profiler;
+pub mod registry;
+pub mod snapshot;
+
+// The doc-test above needs uvpu-math paths; re-export for convenience.
+#[doc(hidden)]
+pub use uvpu_core;

@@ -1,0 +1,327 @@
+//! The profiler: a [`TraceSink`] that turns the PR-1 event stream into
+//! utilization and energy attribution.
+//!
+//! A [`ProfilerSink`] can sit anywhere a sink can: inline on a
+//! [`Vpu`](uvpu_core::vpu::Vpu) (cycle-level beats and phase spans),
+//! behind [`SyncSink`](uvpu_core::trace::SyncSink) as the process-global
+//! sink (scheme-level spans, scheduler task spans, and spans emitted
+//! from `uvpu-par` pool workers), or teed with other sinks. One
+//! profiler instance shared across all of those yields a single
+//! coherent snapshot.
+//!
+//! What it maintains:
+//!
+//! - `running`: the [`CycleStats`] reconstructed purely from beats —
+//!   bit-identical to the VPU's own accounting for a traced run;
+//! - `phases`: per-span cycle attribution (nested spans both observe
+//!   inner beats), from which per-phase utilization is derived;
+//! - `tasks`: scheduler task attribution — spans named `task.*` carry
+//!   cycle timestamps from the accelerator's timeline, so their
+//!   durations are exact per-task cycle counts;
+//! - component activation counts priced by an [`EnergyModel`] at
+//!   snapshot time (counts, not floats, accumulate — so the result is
+//!   independent of event arrival order across worker threads);
+//! - a [`MetricsRegistry`] of beat/mem/span counters and histograms.
+//!
+//! Span durations measured on the *logical* clock (scheme-level spans on
+//! [`SCHEME_TRACK`]) are deliberately **not** attributed as cycles: a
+//! sequence number measures event counts, not time, and interleaves
+//! nondeterministically across threads. Scheme spans are only counted.
+
+use crate::energy::{Component, EnergyModel};
+use crate::registry::MetricsRegistry;
+use std::collections::BTreeMap;
+use uvpu_core::stats::CycleStats;
+use uvpu_core::trace::{BeatKind, MemDir, TraceSink, SCHEME_TRACK};
+
+/// Per-task attribution record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Completed spans of this task shape.
+    pub count: u64,
+    /// Total cycles across those spans (timestamp deltas on the
+    /// scheduler timeline).
+    pub cycles: u64,
+}
+
+/// The utilization / energy attribution profiler.
+///
+/// See the [module docs](self) for the attribution model and the crate
+/// docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ProfilerSink {
+    energy: EnergyModel,
+    registry: MetricsRegistry,
+    running: CycleStats,
+    component_counts: [u64; 7],
+    open: Vec<OpenSpan>,
+    phases: BTreeMap<String, CycleStats>,
+    tasks: BTreeMap<String, TaskRecord>,
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    track: u32,
+    name: String,
+    begin_ts: u64,
+    at_begin: CycleStats,
+}
+
+impl ProfilerSink {
+    /// A fresh profiler pricing energy for `lanes` lanes with the
+    /// calibrated ASAP7 model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        Self::with_energy_model(EnergyModel::asap7(lanes))
+    }
+
+    /// A fresh profiler with an explicit energy model.
+    #[must_use]
+    pub fn with_energy_model(energy: EnergyModel) -> Self {
+        let mut registry = MetricsRegistry::new();
+        registry.set_gauge("lanes", energy.lanes() as f64);
+        Self {
+            energy,
+            registry,
+            running: CycleStats::new(),
+            component_counts: [0; 7],
+            open: Vec::new(),
+            phases: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+        }
+    }
+
+    /// The energy model in use.
+    #[must_use]
+    pub const fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The metrics registry (beat/mem/span counters, histograms).
+    #[must_use]
+    pub const fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Cycle totals reconstructed purely from trace events — for a
+    /// traced run, bit-identical to the VPU's own
+    /// [`stats`](uvpu_core::vpu::Vpu::stats).
+    #[must_use]
+    pub const fn running(&self) -> &CycleStats {
+        &self.running
+    }
+
+    /// Per-phase cycle attribution keyed by span name, accumulated over
+    /// all completed spans of that name.
+    #[must_use]
+    pub const fn phases(&self) -> &BTreeMap<String, CycleStats> {
+        &self.phases
+    }
+
+    /// Per-task attribution: scheduler spans named `task.*`, keyed by
+    /// the task shape (the name without its `task.` prefix).
+    #[must_use]
+    pub const fn tasks(&self) -> &BTreeMap<String, TaskRecord> {
+        &self.tasks
+    }
+
+    /// Activation counts per [`Component`] (beats; words for
+    /// [`Component::RegFile`]).
+    #[must_use]
+    pub fn component_count(&self, component: Component) -> u64 {
+        self.component_counts[component.index()]
+    }
+
+    /// Energy attributed to one component so far (pJ).
+    #[must_use]
+    pub fn component_pj(&self, component: Component) -> f64 {
+        self.energy
+            .component_pj(component, self.component_counts[component.index()])
+    }
+
+    /// Total attributed dynamic energy (pJ).
+    #[must_use]
+    pub fn energy_total_pj(&self) -> f64 {
+        Component::ALL.iter().map(|&c| self.component_pj(c)).sum()
+    }
+
+    /// Energy share of a coarse component group (`"lanes"`,
+    /// `"network"`, `"regfile"`); zero when nothing was attributed yet.
+    #[must_use]
+    pub fn group_share(&self, group: &str) -> f64 {
+        let total = self.energy_total_pj();
+        if total == 0.0 {
+            return 0.0;
+        }
+        Component::ALL
+            .iter()
+            .filter(|c| c.group() == group)
+            .map(|&c| self.component_pj(c))
+            .sum::<f64>()
+            / total
+    }
+
+    /// Renders the deterministic snapshot JSON (no advisory section).
+    /// See [`crate::snapshot`] for the schema.
+    #[must_use]
+    pub fn snapshot(&self, workload: &str, variant: &str) -> String {
+        crate::snapshot::render(self, workload, variant)
+    }
+}
+
+impl TraceSink for ProfilerSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, _track: u32, _cycle: u64, kind: BeatKind, count: u64) {
+        kind.charge(&mut self.running, count);
+        EnergyModel::charge_beats(kind, count, &mut self.component_counts);
+        self.registry.inc_family("beats", kind.name(), count);
+    }
+
+    fn mem(&mut self, _track: u32, _cycle: u64, dir: MemDir, _addr: usize, lanes: usize) {
+        self.component_counts[Component::RegFile.index()] += lanes as u64;
+        let label = match dir {
+            MemDir::Load => "load",
+            MemDir::Store => "store",
+        };
+        self.registry.inc_family("mem.ops", label, 1);
+        self.registry.inc_family("mem.words", label, lanes as u64);
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.open.push(OpenSpan {
+            track,
+            name: name.to_string(),
+            begin_ts: ts,
+            at_begin: self.running,
+        });
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        // Close the innermost open span matching (track, name); tolerate
+        // a track mismatch (fall back to name-only) so hand-emitted span
+        // pairs with inconsistent tracks still close, but *count*
+        // genuinely unmatched ends instead of dropping them silently.
+        let pos = self
+            .open
+            .iter()
+            .rposition(|s| s.track == track && s.name == name)
+            .or_else(|| self.open.iter().rposition(|s| s.name == name));
+        let Some(pos) = pos else {
+            self.registry.inc("span.unmatched_end", 1);
+            return;
+        };
+        let span = self.open.remove(pos);
+        let cost = self.running.delta(&span.at_begin);
+        *self.phases.entry(span.name.clone()).or_default() += cost;
+        self.registry.inc_family("span.count", &span.name, 1);
+        // Timestamp-based duration attribution only where timestamps are
+        // cycles (never on the scheme track's logical sequence clock).
+        if track != SCHEME_TRACK {
+            if let Some(shape) = span.name.strip_prefix("task.") {
+                let cycles = ts.saturating_sub(span.begin_ts);
+                let rec = self.tasks.entry(shape.to_string()).or_default();
+                rec.count += 1;
+                rec.cycles += cycles;
+                self.registry.observe("task.cycle_hist", cycles);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::{EwiseOp, NetKind};
+
+    #[test]
+    fn running_totals_match_beats() {
+        let mut p = ProfilerSink::new(64);
+        p.beat(0, 0, BeatKind::Butterfly);
+        p.beats(0, 1, BeatKind::Elementwise(EwiseOp::Mac), 4);
+        p.beats(0, 5, BeatKind::NetworkMove(NetKind::Shift), 2);
+        assert_eq!(p.running().butterfly, 1);
+        assert_eq!(p.running().elementwise, 4);
+        assert_eq!(p.running().network_move, 2);
+        assert_eq!(p.registry().family("beats")["butterfly"], 1);
+        assert_eq!(p.registry().family("beats")["ewise.mac"], 4);
+        assert_eq!(p.registry().family("beats")["net.shift"], 2);
+    }
+
+    #[test]
+    fn phases_attribute_nested_spans() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(0, 0, "outer");
+        p.beat(0, 0, BeatKind::Butterfly);
+        p.span_begin(0, 1, "inner");
+        p.beat(0, 1, BeatKind::NetworkMove(NetKind::Shift));
+        p.span_end(0, 2, "inner");
+        p.span_end(0, 2, "outer");
+        assert_eq!(p.phases()["outer"].total(), 2);
+        assert_eq!(p.phases()["inner"].total(), 1);
+        assert_eq!(p.registry().family("span.count")["outer"], 1);
+        assert_eq!(p.registry().counter("span.unmatched_end"), 0);
+        p.span_end(0, 3, "never-opened");
+        assert_eq!(p.registry().counter("span.unmatched_end"), 1);
+    }
+
+    #[test]
+    fn task_spans_attribute_cycle_durations() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(2, 100, "task.ntt n=1024");
+        p.span_end(2, 350, "task.ntt n=1024");
+        p.span_begin(3, 0, "task.ntt n=1024");
+        p.span_end(3, 50, "task.ntt n=1024");
+        let rec = p.tasks()["ntt n=1024"];
+        assert_eq!(rec.count, 2);
+        assert_eq!(rec.cycles, 300);
+        let h = p.registry().histogram("task.cycle_hist").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 300);
+    }
+
+    #[test]
+    fn scheme_spans_are_counted_but_not_timed() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(SCHEME_TRACK, 0, "task.fake-on-scheme-track");
+        p.span_end(SCHEME_TRACK, 99, "task.fake-on-scheme-track");
+        p.span_begin(SCHEME_TRACK, 100, "ckks.mul");
+        p.span_end(SCHEME_TRACK, 101, "ckks.mul");
+        assert!(p.tasks().is_empty(), "sequence clocks are not cycle time");
+        assert_eq!(p.registry().family("span.count")["ckks.mul"], 1);
+    }
+
+    #[test]
+    fn mem_words_price_the_register_file() {
+        let mut p = ProfilerSink::new(64);
+        p.mem(0, 0, MemDir::Load, 3, 64);
+        p.mem(0, 1, MemDir::Store, 4, 64);
+        assert_eq!(p.component_count(Component::RegFile), 128);
+        assert_eq!(p.registry().family("mem.words")["load"], 64);
+        assert_eq!(p.registry().family("mem.ops")["store"], 1);
+        let expected = p.energy_model().regfile_word_pj * 128.0;
+        assert!((p.component_pj(Component::RegFile) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_groups_partition_the_total() {
+        let mut p = ProfilerSink::new(64);
+        p.beats(0, 0, BeatKind::Butterfly, 100);
+        p.beats(0, 100, BeatKind::NetworkMove(NetKind::CgShuffleShift), 10);
+        p.mem(0, 110, MemDir::Load, 0, 64);
+        let total = p.energy_total_pj();
+        assert!(total > 0.0);
+        let sum: f64 = ["lanes", "network", "regfile"]
+            .iter()
+            .map(|g| p.group_share(g))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.group_share("lanes") > p.group_share("network"));
+    }
+}

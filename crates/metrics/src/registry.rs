@@ -1,0 +1,290 @@
+//! A small, deterministic metrics registry.
+//!
+//! Four metric kinds, mirroring what production telemetry stacks
+//! (Prometheus-style) expose, but with two constraints this workspace
+//! cares about:
+//!
+//! - **Determinism**: all maps are [`BTreeMap`]s and all values are
+//!   integers (or explicitly-set gauges), so a registry filled by a
+//!   deterministic event stream renders to a byte-identical snapshot on
+//!   every run and at every `UVPU_THREADS` setting.
+//! - **No dependencies**: the build environment is offline; everything
+//!   is hand-rolled.
+//!
+//! | Kind | Entry point | Use |
+//! |---|---|---|
+//! | counter | [`MetricsRegistry::inc`] | monotonically growing event counts |
+//! | gauge | [`MetricsRegistry::set_gauge`] | last-written configuration values |
+//! | histogram | [`MetricsRegistry::observe`] | log₂-bucketed distributions |
+//! | family | [`MetricsRegistry::inc_family`] | counters keyed by a label value |
+
+use std::collections::BTreeMap;
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket `k` counts observations `v` with `⌊log₂ v⌋ = k` (so bucket 0
+/// holds `v = 1`, bucket 10 holds `1024..=2047`, …); zero-valued
+/// observations get their own bucket. Exact `count` and `sum` are kept
+/// alongside, so means stay exact even though the buckets are coarse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations equal to zero.
+    pub zeros: u64,
+    /// `buckets[k]` = observations with `⌊log₂ v⌋ = k`.
+    pub buckets: [u64; 64],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations, saturating at `u64::MAX`.
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    // Not derivable: `[u64; 64]` has no `Default` (arrays stop at 32).
+    fn default() -> Self {
+        Self {
+            zeros: 0,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v == 0 {
+            self.zeros += 1;
+        } else {
+            self.buckets[(63 - v.leading_zeros()) as usize] += 1;
+        }
+    }
+
+    /// Mean observation, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The non-empty buckets as `(label, count)` pairs, zeros first.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        if self.zeros > 0 {
+            out.push(("0".to_string(), self.zeros));
+        }
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push((format!("2^{k}"), c));
+            }
+        }
+        out
+    }
+}
+
+/// The registry: ordered maps from metric name to value.
+///
+/// Names are free-form dotted strings (`"beats.butterfly"`). A name
+/// belongs to exactly one kind; mixing kinds under one name is a
+/// programming error and panics in debug builds (release builds keep
+/// the first kind and ignore the mismatched write).
+///
+/// # Example
+///
+/// ```
+/// use uvpu_metrics::registry::MetricsRegistry;
+///
+/// let mut r = MetricsRegistry::new();
+/// r.inc("events", 3);
+/// r.inc("events", 2);
+/// r.set_gauge("lanes", 64.0);
+/// r.observe("task.cycles", 1500);
+/// r.inc_family("beats", "butterfly", 10);
+/// assert_eq!(r.counter("events"), 5);
+/// assert_eq!(r.family("beats").get("butterfly"), Some(&10));
+/// assert_eq!(r.histogram("task.cycles").unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    families: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        debug_assert!(
+            !self.gauges.contains_key(name) && !self.histograms.contains_key(name),
+            "metric {name} already registered with a different kind"
+        );
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        debug_assert!(
+            !self.counters.contains_key(name) && !self.histograms.contains_key(name),
+            "metric {name} already registered with a different kind"
+        );
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        debug_assert!(
+            !self.counters.contains_key(name) && !self.gauges.contains_key(name),
+            "metric {name} already registered with a different kind"
+        );
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Adds `delta` to label `label` of the counter family `family`.
+    pub fn inc_family(&mut self, family: &str, label: &str, delta: u64) {
+        *self
+            .families
+            .entry(family.to_string())
+            .or_default()
+            .entry(label.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (zero if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The labeled counters of `family` (empty map if absent).
+    #[must_use]
+    pub fn family(&self, family: &str) -> &BTreeMap<String, u64> {
+        static EMPTY: BTreeMap<String, u64> = BTreeMap::new();
+        self.families.get(family).unwrap_or(&EMPTY)
+    }
+
+    /// All counters, ordered by name.
+    #[must_use]
+    pub const fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, ordered by name.
+    #[must_use]
+    pub const fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All histograms, ordered by name.
+    #[must_use]
+    pub const fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    /// All families, ordered by name (labels ordered within).
+    #[must_use]
+    pub const fn families(&self) -> &BTreeMap<String, BTreeMap<String, u64>> {
+        &self.families
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 1024, 2047, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.buckets[0], 2, "two observations of 1");
+        assert_eq!(h.buckets[1], 2, "2 and 3 share ⌊log₂⌋ = 1");
+        assert_eq!(h.buckets[10], 2, "1024 and 2047 share bucket 10");
+        assert_eq!(h.buckets[63], 1);
+        assert_eq!(h.sum, u64::MAX, "sum saturates instead of overflowing");
+        let labels: Vec<String> = h.nonzero_buckets().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["0", "2^0", "2^1", "2^10", "2^63"]);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), None);
+        h.observe(10);
+        h.observe(20);
+        assert_eq!(h.mean(), Some(15.0));
+    }
+
+    #[test]
+    fn registry_round_trips_every_kind() {
+        let mut r = MetricsRegistry::new();
+        r.inc("c", 1);
+        r.inc("c", 41);
+        r.set_gauge("g", 2.5);
+        r.set_gauge("g", 3.5);
+        r.observe("h", 7);
+        r.inc_family("f", "x", 2);
+        r.inc_family("f", "y", 3);
+        r.inc_family("f", "x", 1);
+        assert_eq!(r.counter("c"), 42);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(3.5));
+        assert_eq!(r.gauge("missing"), None);
+        assert_eq!(r.histogram("h").unwrap().sum, 7);
+        assert!(r.histogram("missing").is_none());
+        assert_eq!(r.family("f")["x"], 3);
+        assert!(r.family("missing").is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let mut r = MetricsRegistry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            r.inc(name, 1);
+            r.inc_family("fam", name, 1);
+        }
+        let names: Vec<&String> = r.counters().keys().collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        let labels: Vec<&String> = r.family("fam").keys().collect();
+        assert_eq!(labels, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics_in_debug() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("x", 1.0);
+        r.inc("x", 1);
+    }
+}

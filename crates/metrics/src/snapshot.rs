@@ -1,0 +1,478 @@
+//! The versioned `BENCH_*.json` snapshot schema.
+//!
+//! A snapshot is the machine-readable result of profiling one workload.
+//! Its **deterministic core** — schema id, workload id, cycle totals,
+//! per-phase utilization, per-component energy, per-task attribution,
+//! and the registry dump — is rendered with fixed field order, sorted
+//! keys, and fixed float precision, so repeated runs (at any
+//! `UVPU_THREADS`) produce byte-identical text. An optional
+//! **advisory** section (wall-clock, thread count, host shape) carries
+//! the run-dependent facts; it is always the last top-level key and is
+//! stripped before any comparison ([`strip_advisory`]).
+//!
+//! ## Versioning rules
+//!
+//! The `"schema"` field is `uvpu-metrics/v<N>`. Any change that alters
+//! the rendered bytes of the deterministic core for an unchanged
+//! workload — a new field, a renamed phase, a float precision change, a
+//! cost-model recalibration — must bump `N` and regenerate the
+//! committed baselines in the same commit. Advisory-only changes don't
+//! bump the version. The CI gate compares baselines byte-for-byte, so
+//! an unversioned schema drift fails loudly rather than silently.
+//!
+//! ## Layout (one field per line, 2-space indent)
+//!
+//! ```json
+//! {
+//!   "schema": "uvpu-metrics/v1",
+//!   "workload": "ckks_mul_rescale",
+//!   "variant": "full",
+//!   "lanes": 64,
+//!   "cycles": { "butterfly": …, "elementwise": …, "network_move": …, "total": …, "utilization": … },
+//!   "phases": { "<span name>": { …same shape as cycles… }, … },
+//!   "energy": { "components_pj": { … }, "total_pj": …, "shares": { "lanes": …, "network": …, "regfile": … } },
+//!   "tasks": { "<task shape>": { "count": …, "cycles": … }, … },
+//!   "counters": { … }, "gauges": { … }, "families": { … }, "histograms": { … },
+//!   "advisory": { "wall_ms": …, … }
+//! }
+//! ```
+//!
+//! `utilization` is `null` for phases with zero total cycles (a logical
+//! span that charged no beats — rendering `1.0` there would read as
+//! "perfectly utilized"; see
+//! [`CycleStats::utilization_checked`](uvpu_core::stats::CycleStats::utilization_checked)).
+
+use crate::energy::Component;
+use crate::profiler::ProfilerSink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use uvpu_core::stats::CycleStats;
+
+/// Current schema identifier.
+pub const SCHEMA: &str = "uvpu-metrics/v1";
+
+/// Marker introducing the advisory section (always the last key).
+const ADVISORY_MARKER: &str = ",\n  \"advisory\": {";
+
+/// Fixed-precision rendering for ratios (utilization, shares).
+fn fmt_ratio(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Fixed-precision rendering for energies (pJ).
+fn fmt_pj(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `CycleStats` as a single-line JSON object with its
+/// utilization (`null` when the stats are empty).
+#[must_use]
+pub fn cycle_stats_json(stats: &CycleStats) -> String {
+    let util = stats
+        .utilization_checked()
+        .map_or_else(|| "null".to_string(), fmt_ratio);
+    format!(
+        "{{\"butterfly\": {}, \"elementwise\": {}, \"network_move\": {}, \"total\": {}, \"utilization\": {}}}",
+        stats.butterfly,
+        stats.elementwise,
+        stats.network_move,
+        stats.total(),
+        util
+    )
+}
+
+/// Renders a per-phase breakdown map as a JSON object (one phase per
+/// line at the given indent). Shared by the `metrics_report` snapshot
+/// and `trace_report --json`, so both emit the same schema.
+#[must_use]
+pub fn phases_to_json(phases: &BTreeMap<String, CycleStats>, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    if phases.is_empty() {
+        return "{}".to_string();
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, stats)) in phases.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{inner}\"{}\": {}",
+            escape(name),
+            cycle_stats_json(stats)
+        );
+        if i + 1 < phases.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{pad}}}");
+    out
+}
+
+/// Renders the deterministic snapshot core for a profiler. No advisory
+/// section; the result ends with `}` and a newline.
+#[must_use]
+pub fn render(profiler: &ProfilerSink, workload: &str, variant: &str) -> String {
+    let reg = profiler.registry();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(workload));
+    let _ = writeln!(out, "  \"variant\": \"{}\",", escape(variant));
+    let _ = writeln!(out, "  \"lanes\": {},", profiler.energy_model().lanes());
+
+    let _ = writeln!(
+        out,
+        "  \"cycles\": {},",
+        cycle_stats_json(profiler.running())
+    );
+    let _ = writeln!(
+        out,
+        "  \"phases\": {},",
+        phases_to_json(profiler.phases(), 2)
+    );
+
+    // Energy: per-component pJ, total, and coarse shares.
+    out.push_str("  \"energy\": {\n    \"components_pj\": {\n");
+    for (i, c) in Component::ALL.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      \"{}\": {}",
+            c.name(),
+            fmt_pj(profiler.component_pj(*c))
+        );
+        out.push_str(if i + 1 < Component::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    },\n");
+    let _ = writeln!(
+        out,
+        "    \"total_pj\": {},",
+        fmt_pj(profiler.energy_total_pj())
+    );
+    let _ = writeln!(
+        out,
+        "    \"shares\": {{\"lanes\": {}, \"network\": {}, \"regfile\": {}}}",
+        fmt_ratio(profiler.group_share("lanes")),
+        fmt_ratio(profiler.group_share("network")),
+        fmt_ratio(profiler.group_share("regfile"))
+    );
+    out.push_str("  },\n");
+
+    // Tasks: scheduler attribution.
+    if profiler.tasks().is_empty() {
+        out.push_str("  \"tasks\": {},\n");
+    } else {
+        out.push_str("  \"tasks\": {\n");
+        let n = profiler.tasks().len();
+        for (i, (shape, rec)) in profiler.tasks().iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"cycles\": {}}}",
+                escape(shape),
+                rec.count,
+                rec.cycles
+            );
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n");
+    }
+
+    // Registry dump: counters, gauges, families, histograms.
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in reg.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(name), v);
+    }
+    out.push_str(if reg.counters().is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in reg.gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(name), fmt_ratio(*v));
+    }
+    out.push_str(if reg.gauges().is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"families\": {");
+    for (i, (family, labels)) in reg.families().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {{", escape(family));
+        for (j, (label, v)) in labels.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", escape(label), v);
+        }
+        out.push('}');
+    }
+    out.push_str(if reg.families().is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in reg.histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+            escape(name),
+            h.count,
+            h.sum
+        );
+        for (j, (label, c)) in h.nonzero_buckets().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{label}\": {c}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str(if reg.histograms().is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+
+    out.push_str("}\n");
+    out
+}
+
+/// Appends an advisory section (pre-rendered `"key": value` pairs, in
+/// the given order) to a deterministic core produced by [`render`].
+///
+/// # Panics
+///
+/// Panics if `core` does not end with the `}`-newline produced by
+/// [`render`].
+#[must_use]
+pub fn with_advisory(core: &str, fields: &[(&str, String)]) -> String {
+    let body = core
+        .strip_suffix("}\n")
+        .expect("core snapshot must end with `}` and a newline");
+    // Re-open the object: the core's last section line must gain a comma.
+    let body = body.strip_suffix('\n').unwrap_or(body);
+    let mut out = String::with_capacity(core.len() + 128);
+    out.push_str(body);
+    out.push_str(ADVISORY_MARKER);
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(k), v);
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Returns the deterministic core of a snapshot: everything before the
+/// advisory section (re-closed as valid JSON), or the input unchanged
+/// (normalized to end with one newline) when no advisory is present.
+#[must_use]
+pub fn strip_advisory(snapshot: &str) -> String {
+    match snapshot.find(ADVISORY_MARKER) {
+        Some(pos) => {
+            let mut out = snapshot[..pos].to_string();
+            out.push_str("\n}\n");
+            out
+        }
+        None => {
+            let mut out = snapshot.trim_end_matches('\n').to_string();
+            out.push('\n');
+            out
+        }
+    }
+}
+
+/// Line-by-line comparison of two snapshots' deterministic cores.
+/// Returns human-readable drift descriptions (empty = identical). At
+/// most `limit` differing lines are reported, with a summary line when
+/// truncated.
+#[must_use]
+pub fn diff(baseline: &str, current: &str, limit: usize) -> Vec<String> {
+    let a = strip_advisory(baseline);
+    let b = strip_advisory(current);
+    if a == b {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let mut differing = 0usize;
+    for i in 0..la.len().max(lb.len()) {
+        let x = la.get(i).copied().unwrap_or("<missing>");
+        let y = lb.get(i).copied().unwrap_or("<missing>");
+        if x != y {
+            differing += 1;
+            if out.len() < limit {
+                out.push(format!(
+                    "line {}: baseline `{}` != current `{}`",
+                    i + 1,
+                    x.trim(),
+                    y.trim()
+                ));
+            }
+        }
+    }
+    if differing > out.len() {
+        out.push(format!(
+            "… and {} more differing lines",
+            differing - out.len()
+        ));
+    }
+    if out.is_empty() {
+        // Same lines but different line structure (e.g. trailing junk).
+        out.push("snapshots differ in whitespace/line structure".to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerSink;
+    use uvpu_core::trace::{BeatKind, MemDir, NetKind, TraceSink};
+
+    fn sample_profiler() -> ProfilerSink {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(0, 0, "ntt.forward");
+        p.beats(0, 0, BeatKind::Butterfly, 96);
+        p.beats(0, 96, BeatKind::NetworkMove(NetKind::Shift), 32);
+        p.span_end(0, 128, "ntt.forward");
+        p.mem(0, 128, MemDir::Load, 0, 64);
+        p.span_begin(3, 100, "task.ntt n=1024");
+        p.span_end(3, 228, "task.ntt n=1024");
+        p
+    }
+
+    /// Cheap structural validity probe: balanced braces outside strings.
+    fn assert_balanced_json(json: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced at: …{json}");
+        }
+        assert_eq!(depth, 0, "unbalanced: {json}");
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn render_is_valid_and_repeatable() {
+        let p = sample_profiler();
+        let a = render(&p, "unit", "test");
+        let b = render(&p, "unit", "test");
+        assert_eq!(a, b, "rendering is deterministic");
+        assert_balanced_json(&a);
+        assert!(a.starts_with("{\n  \"schema\": \"uvpu-metrics/v1\""));
+        assert!(a.contains("\"workload\": \"unit\""));
+        assert!(a.contains("\"ntt.forward\": {\"butterfly\": 96"));
+        assert!(a.contains("\"utilization\": 0.750000"));
+        assert!(a.contains("\"ntt n=1024\": {\"count\": 1, \"cycles\": 128}"));
+        assert!(a.contains("\"lanes.butterfly\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_profile_renders_cleanly() {
+        let p = ProfilerSink::new(64);
+        let s = render(&p, "empty", "test");
+        assert_balanced_json(&s);
+        assert!(s.contains("\"utilization\": null"), "{s}");
+        assert!(s.contains("\"tasks\": {}"));
+        assert!(s.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn advisory_round_trip() {
+        let p = sample_profiler();
+        let core = render(&p, "unit", "test");
+        let full = with_advisory(
+            &core,
+            &[
+                ("wall_ms", "12.5".to_string()),
+                ("threads", "4".to_string()),
+            ],
+        );
+        assert_balanced_json(&full);
+        assert!(full.contains("\"advisory\": {"));
+        assert!(full.contains("\"wall_ms\": 12.5"));
+        assert_eq!(strip_advisory(&full), core, "strip restores the core");
+        assert_eq!(strip_advisory(&core), core, "strip is id on cores");
+    }
+
+    #[test]
+    fn diff_reports_drift_and_only_drift() {
+        let p = sample_profiler();
+        let core = render(&p, "unit", "test");
+        assert!(diff(&core, &core, 20).is_empty());
+        // Advisory differences are invisible to the diff.
+        let a = with_advisory(&core, &[("wall_ms", "1.0".to_string())]);
+        let b = with_advisory(&core, &[("wall_ms", "999.0".to_string())]);
+        assert!(diff(&a, &b, 20).is_empty());
+        // A cycle-total drift is visible and names the line.
+        let drifted = core.replace("\"butterfly\": 96", "\"butterfly\": 97");
+        let d = diff(&core, &drifted, 20);
+        assert!(!d.is_empty());
+        assert!(d[0].contains("butterfly"), "{d:?}");
+        // Truncation.
+        let d1 = diff(&core, &drifted, 0);
+        assert_eq!(d1.len(), 1);
+        assert!(d1[0].contains("more differing lines"), "{d1:?}");
+    }
+
+    #[test]
+    fn phases_json_shape_is_shared() {
+        let p = sample_profiler();
+        let json = phases_to_json(p.phases(), 0);
+        assert_balanced_json(&json);
+        assert!(json.contains("\"ntt.forward\""));
+        assert_eq!(phases_to_json(&std::collections::BTreeMap::new(), 0), "{}");
+    }
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Metrics snapshot benchmark + regression gate.
+#
+# 1. Determinism sweep: the reference workload is profiled at 1, 2, and 4
+#    worker threads with `--no-advisory`; the snapshot files must be
+#    byte-identical (`cmp`) — utilization and energy attribution may not
+#    depend on UVPU_THREADS.
+# 2. Snapshot: writes BENCH_metrics.json (with the advisory wall-clock /
+#    thread-count section) for humans and dashboards.
+# 3. Gate: diffs the deterministic core against the committed baseline
+#    (BENCH_metrics_baseline.json / BENCH_metrics_baseline_smoke.json).
+#    Cycle totals, per-phase utilization, and the energy breakdown gate
+#    exactly; wall-clock is advisory only and never gates.
+#
+# Usage: scripts/bench_metrics.sh [--smoke]
+#   --smoke runs the reduced-size variant (the CI fast path).
+#
+# To regenerate a baseline after an intentional cost-model change:
+#   cargo run --release -p uvpu-bench --bin metrics_report -- \
+#       [--smoke] --no-advisory --out BENCH_metrics_baseline[_smoke].json
+set -eu
+cd "$(dirname "$0")/.."
+
+variant=full
+variant_flag=""
+baseline=BENCH_metrics_baseline.json
+out=BENCH_metrics.json
+for arg in "$@"; do
+    case "$arg" in
+    --smoke)
+        variant=smoke
+        variant_flag="--smoke"
+        baseline=BENCH_metrics_baseline_smoke.json
+        out=BENCH_metrics_smoke.json
+        ;;
+    *)
+        echo "bench_metrics: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cargo build --release --offline -p uvpu-bench --bin metrics_report
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for t in 1 2 4; do
+    # shellcheck disable=SC2086 # variant_flag is intentionally word-split
+    ./target/release/metrics_report --threads "$t" $variant_flag \
+        --no-advisory --out "$tmpdir/snap_t$t.json" >/dev/null
+done
+for t in 2 4; do
+    if ! cmp -s "$tmpdir/snap_t1.json" "$tmpdir/snap_t$t.json"; then
+        echo "bench_metrics: FAIL — snapshot differs between 1 and $t threads:" >&2
+        diff "$tmpdir/snap_t1.json" "$tmpdir/snap_t$t.json" >&2 || true
+        exit 1
+    fi
+done
+echo "bench_metrics: snapshots byte-identical at 1/2/4 threads ($variant)"
+
+# shellcheck disable=SC2086
+./target/release/metrics_report $variant_flag --out "$out" --check "$baseline"
+echo "bench_metrics: wrote $out (advisory included); gate vs $baseline passed"

@@ -12,4 +12,8 @@ UVPU_THREADS=1 cargo test --workspace -q --offline
 UVPU_THREADS=4 cargo test --workspace -q --offline
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
+# Metrics determinism sweep + snapshot regression gate (smoke variant):
+# fails on any drift in cycle totals, utilization, or energy attribution
+# against the committed baseline.
+sh scripts/bench_metrics.sh --smoke
 echo "ci: all green"

@@ -13,6 +13,7 @@
 //! | [`math`] | `uvpu-math` | modular arithmetic, NTTs, RNS, automorphism index algebra |
 //! | [`vpu`] | `uvpu-core` | **the paper's contribution**: lanes, inter-lane network, control solver, NTT/automorphism mapping |
 //! | [`hw_model`] | `uvpu-hw-model` | calibrated area/power models of Ours / F1 / BTS / ARK / SHARP |
+//! | [`metrics`] | `uvpu-metrics` | utilization & energy attribution profiler with deterministic JSON snapshots |
 //! | [`ckks`] | `uvpu-ckks` | a full RNS-CKKS scheme as the workload generator |
 //! | [`bfv`] | `uvpu-bfv` | an exact-arithmetic BFV scheme (the paper's "similarly supported" claim) |
 //! | [`accel`] | `uvpu-accel` | the multi-VPU accelerator simulator (NoC + SRAM + scheduler) |
@@ -46,4 +47,5 @@ pub use uvpu_ckks as ckks;
 pub use uvpu_core as vpu;
 pub use uvpu_hw_model as hw_model;
 pub use uvpu_math as math;
+pub use uvpu_metrics as metrics;
 pub use uvpu_par as par;

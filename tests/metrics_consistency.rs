@@ -1,0 +1,92 @@
+//! Determinism contract of the metrics layer: the `BENCH_metrics.json`
+//! snapshot core is a pure function of the workload — byte-identical
+//! across repeated runs and across every `UVPU_THREADS` setting. This is
+//! what lets CI gate on the snapshot with a literal byte comparison.
+//!
+//! The workload under test is the library function behind the
+//! `metrics_report` binary, so these tests exercise exactly what the CI
+//! gate measures.
+
+use uvpu_bench::metrics_workload;
+use uvpu_metrics::snapshot;
+
+/// Runs the smoke workload under a pinned worker count.
+/// `with_threads` serializes the runs internally, which also keeps the
+/// process-global trace sink installs from interleaving.
+fn snapshot_at(threads: usize) -> String {
+    uvpu::par::with_threads(threads, || metrics_workload::run(true).core_json)
+}
+
+#[test]
+fn snapshot_is_bit_identical_across_thread_counts() {
+    let reference = snapshot_at(1);
+    for threads in [2usize, 4, 7] {
+        let other = snapshot_at(threads);
+        assert_eq!(
+            reference, other,
+            "snapshot core must not depend on the worker count (threads = {threads})"
+        );
+    }
+}
+
+#[test]
+fn snapshot_is_bit_identical_across_repeated_runs() {
+    let a = snapshot_at(4);
+    let b = snapshot_at(4);
+    assert_eq!(a, b, "repeated runs must render identical snapshots");
+}
+
+#[test]
+fn snapshot_has_the_expected_shape_and_content() {
+    let core = snapshot_at(2);
+    assert!(core.starts_with("{\n  \"schema\": \"uvpu-metrics/v1\""));
+    assert!(core.contains("\"workload\": \"ckks_mul_rescale\""));
+    assert!(core.contains("\"variant\": \"smoke\""));
+    // Every layer contributed: cycle-level NTT phases, scheduler task
+    // spans, and CKKS/BFV scheme spans.
+    assert!(core.contains("\"ntt.forward_negacyclic\""));
+    assert!(core.contains("\"task.ntt"));
+    assert!(core.contains("\"ckks.rescale\""));
+    assert!(core.contains("\"bfv.mul\""));
+    // Energy attribution is present and the advisory section is not.
+    assert!(core.contains("\"lanes.butterfly\""));
+    assert!(!core.contains("\"advisory\""));
+    // Balanced span instrumentation: no unmatched ends were counted.
+    assert!(!core.contains("span.unmatched_end"));
+}
+
+#[test]
+fn advisory_section_never_affects_the_gate() {
+    let core = snapshot_at(1);
+    let a = snapshot::with_advisory(&core, &[("wall_ms", "1.5".into())]);
+    let b = snapshot::with_advisory(&core, &[("wall_ms", "9000.0".into())]);
+    assert_ne!(a, b, "advisory fields do differ as bytes");
+    assert!(
+        snapshot::diff(&a, &b, 10).is_empty(),
+        "but the gate's diff must not see them"
+    );
+    assert_eq!(snapshot::strip_advisory(&a), core);
+}
+
+#[test]
+fn energy_shares_are_sane_and_lane_dominated() {
+    let run = uvpu::par::with_threads(2, || metrics_workload::run(true));
+    assert!(run.energy_pj > 0.0);
+    assert!(run.cycles > 0);
+    assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+    // Paper Table II's observation holds for live workloads too: the
+    // lanes dominate the network by a wide margin.
+    let shares_line = run
+        .core_json
+        .lines()
+        .find(|l| l.contains("\"shares\""))
+        .expect("snapshot has a shares line");
+    let lanes: f64 = shares_line
+        .split("\"lanes\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .expect("lanes share")
+        .parse()
+        .expect("lanes share parses");
+    assert!(lanes > 0.9, "lane share {lanes} should dominate");
+}

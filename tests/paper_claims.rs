@@ -94,6 +94,47 @@ fn claim_table3_utilization_envelope() {
 }
 
 #[test]
+fn claim_table3_utilization_via_profiler() {
+    // The metrics layer's per-phase utilization must agree with the
+    // simulator's own CycleStats *exactly* (both are derived from the
+    // same beat stream), and with the paper's Table III within the same
+    // envelope as the direct measurement.
+    use uvpu::metrics::profiler::ProfilerSink;
+
+    for &(log_n, paper_ntt, _) in &PAPER_TABLE3[..3] {
+        let (n, m) = (1usize << log_n, 64usize);
+        let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+        let plan = NttPlan::new(q, n, m).expect("plan");
+        let mut vpu = Vpu::with_sink(m, q, 8, ProfilerSink::new(m)).expect("vpu");
+        let data: Vec<u64> = (0..n as u64).collect();
+        let run = plan
+            .execute_forward_negacyclic(&mut vpu, &data)
+            .expect("ntt run");
+        let profiler = vpu.into_sink();
+
+        let phase = profiler.phases()["ntt.forward_negacyclic"];
+        assert_eq!(
+            phase, run.stats,
+            "2^{log_n}: profiler phase attribution must be bit-identical to CycleStats"
+        );
+        assert_eq!(
+            phase.utilization_checked(),
+            Some(run.stats.utilization()),
+            "2^{log_n}: derived utilization must match exactly"
+        );
+        let delta = (100.0 * phase.utilization() - paper_ntt).abs();
+        assert!(
+            delta < 13.0,
+            "2^{log_n}: profiler-measured {:.1}% vs paper {paper_ntt:.1}%",
+            100.0 * phase.utilization()
+        );
+        // Energy attribution is live and lane-dominated (Table II).
+        assert!(profiler.energy_total_pj() > 0.0);
+        assert!(profiler.group_share("lanes") > profiler.group_share("network"));
+    }
+}
+
+#[test]
 fn claim_critical_path_stage_count() {
     // §III-B: "with typical numbers of lanes like m = 32, 64, there are
     // only 7 to 8 stages".
