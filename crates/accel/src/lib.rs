@@ -35,6 +35,7 @@
 pub mod config;
 pub mod graph;
 pub mod machine;
+pub mod recovery;
 pub mod workload;
 
 use std::fmt;
@@ -54,6 +55,15 @@ pub enum AccelError {
     },
     /// An error bubbled up from the VPU simulator.
     Core(uvpu_core::CoreError),
+    /// A task still failed online detection after exhausting its retry
+    /// budget (and any quarantine-driven remap) — see
+    /// [`recovery`](crate::recovery).
+    FaultUnrecoverable {
+        /// Index of the task in the submitted list.
+        task_index: usize,
+        /// Attempts made (first execution plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -64,6 +74,13 @@ impl fmt::Display for AccelError {
                 write!(f, "working set of {needed} B exceeds {capacity} B of SRAM")
             }
             Self::Core(e) => write!(f, "vpu error: {e}"),
+            Self::FaultUnrecoverable {
+                task_index,
+                attempts,
+            } => write!(
+                f,
+                "task {task_index} still faulty after {attempts} attempts"
+            ),
         }
     }
 }

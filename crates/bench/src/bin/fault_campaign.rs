@@ -1,0 +1,117 @@
+//! Fault-injection campaign driver: sweeps a site × kind × rate grid
+//! through the recovery scheduler and writes the deterministic
+//! `uvpu-fault/v1` JSON coverage report (see
+//! [`uvpu_fault::campaign`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin fault_campaign -- \
+//!     [--threads N] [--smoke] [--seed S] [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! - `--threads N` pins the `uvpu-par` worker pool. The report is
+//!   byte-identical for any value: every kernel attempt runs pinned to
+//!   one thread inside the executor, so this flag only proves the
+//!   invariance (CI runs the smoke campaign at 1, 2 and 4 threads and
+//!   `cmp`s the outputs).
+//! - `--smoke` runs the reduced grid (CI fast path); the default is the
+//!   full grid with higher rates, a larger ring, and stuck-at-zero
+//!   coverage.
+//! - `--seed S` sets the campaign base seed (default 3404).
+//! - `--out PATH` writes the JSON report there (default
+//!   `BENCH_fault.json`; `-` skips writing).
+//! - `--check BASELINE` is the regression gate: the report is diffed
+//!   line-by-line against the committed baseline and any drift —
+//!   coverage, detection counts, retry/quarantine behavior — prints the
+//!   differing lines and exits nonzero.
+//!
+//! Prints one machine-readable summary line:
+//!
+//! ```text
+//! FAULT variant=smoke seed=3404 cells=16 injected=123 detected=45 \
+//!     recovered=12 silent=0 unrecoverable=0 wall_ms=81.2
+//! ```
+
+use uvpu_fault::campaign::{run_campaign, CampaignConfig};
+use uvpu_metrics::snapshot;
+
+fn main() {
+    let mut out_path = "BENCH_fault.json".to_string();
+    let mut smoke = false;
+    let mut seed = 3404u64;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let t: usize = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads takes a positive integer");
+                uvpu_par::set_thread_override(Some(t));
+            }
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed takes a u64");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let cfg = if smoke {
+        CampaignConfig::smoke(seed)
+    } else {
+        CampaignConfig::full(seed)
+    };
+    let start = std::time::Instant::now();
+    let report = run_campaign(&cfg).expect("campaign run");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let json = report.to_json();
+
+    let injected: u64 = report.cells.iter().map(|c| c.injected).sum();
+    let detected: u64 = report.cells.iter().map(|c| c.detected).sum();
+    let recovered: u64 = report.cells.iter().map(|c| c.recovered).sum();
+    let unrecoverable: u64 = report.cells.iter().map(|c| c.unrecoverable).sum();
+    println!(
+        "FAULT variant={} seed={seed} cells={} injected={injected} detected={detected} \
+         recovered={recovered} silent={} unrecoverable={unrecoverable} wall_ms={wall_ms:.1}",
+        if smoke { "smoke" } else { "full" },
+        report.cells.len(),
+        report.total_silent(),
+    );
+
+    if out_path != "-" {
+        std::fs::write(&out_path, &json).expect("write report");
+        println!("fault: wrote {} bytes to {out_path}", json.len());
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let drift = snapshot::diff(&baseline, &json, 20);
+        if drift.is_empty() {
+            println!("gate: report matches baseline {baseline_path} — OK");
+        } else {
+            eprintln!(
+                "gate: report drifted from baseline {baseline_path} ({} lines):",
+                drift.len()
+            );
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            eprintln!(
+                "If the change is intentional, regenerate the baseline: \
+                 cargo run --release --bin fault_campaign -- --smoke --out {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

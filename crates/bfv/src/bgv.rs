@@ -115,7 +115,7 @@ impl<'a> BgvEvaluator<'a> {
         let q = self.params.modulus();
         let a = uvpu_math::sampling::uniform(rng, self.params.n(), q.value());
         let e = self.scaled_error(rng);
-        let b = b_from_a_s_e(self.params, &a, &sk.signed, &e);
+        let b = b_from_a_s_e(self.params, &a, &sk.signed, &e)?;
         Ok(BgvPublicKey { b, a })
     }
 
@@ -137,8 +137,8 @@ impl<'a> BgvEvaluator<'a> {
         let u_q: Vec<u64> = u.iter().map(|&c| q.from_i64(c)).collect();
         let e1 = self.scaled_error(rng);
         let e2 = self.scaled_error(rng);
-        let ub = ring_mul_q(params, &pk.b, &u_q);
-        let ua = ring_mul_q(params, &pk.a, &u_q);
+        let ub = ring_mul_q(params, &pk.b, &u_q)?;
+        let ua = ring_mul_q(params, &pk.a, &u_q)?;
         let c0: Vec<u64> = (0..n)
             .map(|k| {
                 // The message rides in the low bits, centered mod t.
@@ -162,15 +162,16 @@ impl<'a> BgvEvaluator<'a> {
         let params = self.params;
         let q = params.modulus();
         let t = params.plain_modulus();
+        crate::cipher::require_parts(&ct.parts, 1)?;
         let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
         let mut acc = ct.parts[0].clone();
         let mut s_pow = s.clone();
         for part in &ct.parts[1..] {
-            let prod = ring_mul_q(params, part, &s_pow);
+            let prod = ring_mul_q(params, part, &s_pow)?;
             for (a, p) in acc.iter_mut().zip(&prod) {
                 *a = q.add(*a, *p);
             }
-            s_pow = ring_mul_q(params, &s_pow, &s);
+            s_pow = ring_mul_q(params, &s_pow, &s)?;
         }
         let coeffs: Vec<u64> = acc
             .iter()
@@ -213,14 +214,16 @@ impl<'a> BgvEvaluator<'a> {
     ) -> Result<BgvCiphertext, BfvError> {
         let params = self.params;
         let q = params.modulus();
-        let d0 = ring_mul_q(params, &a.parts[0], &b.parts[0]);
-        let mut d1 = ring_mul_q(params, &a.parts[0], &b.parts[1]);
-        let d1b = ring_mul_q(params, &a.parts[1], &b.parts[0]);
+        crate::cipher::require_parts(&a.parts, 2)?;
+        crate::cipher::require_parts(&b.parts, 2)?;
+        let d0 = ring_mul_q(params, &a.parts[0], &b.parts[0])?;
+        let mut d1 = ring_mul_q(params, &a.parts[0], &b.parts[1])?;
+        let d1b = ring_mul_q(params, &a.parts[1], &b.parts[0])?;
         for (x, y) in d1.iter_mut().zip(&d1b) {
             *x = q.add(*x, *y);
         }
-        let d2 = ring_mul_q(params, &a.parts[1], &b.parts[1]);
-        let (ks0, ks1) = self.keyswitch(&d2, rlk);
+        let d2 = ring_mul_q(params, &a.parts[1], &b.parts[1])?;
+        let (ks0, ks1) = self.keyswitch(&d2, rlk)?;
         let c0 = d0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
         let c1 = d1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
         Ok(BgvCiphertext {
@@ -240,7 +243,7 @@ impl<'a> BgvEvaluator<'a> {
     ) -> Result<BgvKeySwitchKey, BfvError> {
         let q = self.params.modulus();
         let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
-        let s2 = ring_mul_q(self.params, &s, &s);
+        let s2 = ring_mul_q(self.params, &s, &s)?;
         self.keyswitch_key(sk, &s2, rng)
     }
 
@@ -287,7 +290,7 @@ impl<'a> BgvEvaluator<'a> {
         for _ in 0..digits {
             let a = uvpu_math::sampling::uniform(rng, self.params.n(), q.value());
             let e = self.scaled_error(rng);
-            let mut b = b_from_a_s_e(self.params, &a, &sk.signed, &e);
+            let mut b = b_from_a_s_e(self.params, &a, &sk.signed, &e)?;
             for (bi, &ti) in b.iter_mut().zip(target) {
                 *bi = q.add(*bi, q.mul(q.reduce_u64(base), ti));
             }
@@ -297,7 +300,11 @@ impl<'a> BgvEvaluator<'a> {
         Ok(BgvKeySwitchKey { parts })
     }
 
-    fn keyswitch(&self, d: &[u64], key: &BgvKeySwitchKey) -> (Vec<u64>, Vec<u64>) {
+    fn keyswitch(
+        &self,
+        d: &[u64],
+        key: &BgvKeySwitchKey,
+    ) -> Result<(Vec<u64>, Vec<u64>), BfvError> {
         let params = self.params;
         let q = params.modulus();
         let n = params.n();
@@ -310,14 +317,14 @@ impl<'a> BgvEvaluator<'a> {
             if digit.iter().all(|&x| x == 0) {
                 continue;
             }
-            let p0 = ring_mul_q(params, &digit, b_i);
-            let p1 = ring_mul_q(params, &digit, a_i);
+            let p0 = ring_mul_q(params, &digit, b_i)?;
+            let p1 = ring_mul_q(params, &digit, a_i)?;
             for k in 0..n {
                 acc0[k] = q.add(acc0[k], p0[k]);
                 acc1[k] = q.add(acc1[k], p1[k]);
             }
         }
-        (acc0, acc1)
+        Ok((acc0, acc1))
     }
 
     /// Rotates the batched rows by `step` — the same automorphism network
@@ -338,9 +345,10 @@ impl<'a> BgvEvaluator<'a> {
             .get(&g)
             .ok_or(BfvError::MissingGaloisKey { step })?;
         let q = self.params.modulus();
+        crate::cipher::require_parts(&ct.parts, 2)?;
         let t0 = apply_galois_coeff(&ct.parts[0], g, &q);
         let t1 = apply_galois_coeff(&ct.parts[1], g, &q);
-        let (ks0, ks1) = self.keyswitch(&t1, key);
+        let (ks0, ks1) = self.keyswitch(&t1, key)?;
         let c0 = t0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
         Ok(BgvCiphertext {
             parts: vec![c0, ks1],

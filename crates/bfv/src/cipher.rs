@@ -29,9 +29,19 @@ impl Ciphertext {
     }
 }
 
+/// Requires `ct` to carry at least `needed` polynomials.
+pub(crate) fn require_parts(parts: &[Vec<u64>], needed: usize) -> Result<(), BfvError> {
+    if parts.len() < needed {
+        return Err(BfvError::CiphertextTooShort {
+            needed,
+            got: parts.len(),
+        });
+    }
+    Ok(())
+}
+
 /// Ring product mod `q` via the parameter set's NTT.
-#[must_use]
-pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Vec<u64> {
+pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, BfvError> {
     let q = params.modulus();
     // The two forward transforms are independent — run them as a pair on
     // the worker pool (a no-op at one thread).
@@ -39,26 +49,34 @@ pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Vec<u64> {
         params.ntt().forward_inplace(&mut f);
         f
     });
-    let fb = fwd.pop().expect("pair");
-    let mut fa = fwd.pop().expect("pair");
+    let (fb, fa) = match (fwd.pop(), fwd.pop()) {
+        (Some(fb), Some(fa)) => (fb, fa),
+        _ => return Err(BfvError::Internal("parallel NTT pair lost an operand")),
+    };
+    let mut fa = fa;
     for (x, y) in fa.iter_mut().zip(&fb) {
         *x = q.mul(*x, *y);
     }
     params.ntt().inverse_inplace(&mut fa);
-    fa
+    Ok(fa)
 }
 
 /// `b = −(a·s) + e` (mod q), shared by public-key and keyswitch-key
 /// generation.
-#[must_use]
-pub(crate) fn b_from_a_s_e(params: &BfvParams, a: &[u64], s: &[i64], e: &[i64]) -> Vec<u64> {
+pub(crate) fn b_from_a_s_e(
+    params: &BfvParams,
+    a: &[u64],
+    s: &[i64],
+    e: &[i64],
+) -> Result<Vec<u64>, BfvError> {
     let q = params.modulus();
     let s_q: Vec<u64> = s.iter().map(|&c| q.from_i64(c)).collect();
-    let a_s = ring_mul_q(params, a, &s_q);
-    a_s.iter()
+    let a_s = ring_mul_q(params, a, &s_q)?;
+    Ok(a_s
+        .iter()
         .zip(e)
         .map(|(&x, &err)| q.add(q.neg(x), q.from_i64(err)))
-        .collect()
+        .collect())
 }
 
 /// Exact negacyclic convolution of centered operands over ℤ (`i128`).
@@ -174,8 +192,8 @@ impl<'a> Evaluator<'a> {
         let gauss = uvpu_math::sampling::GaussianSampler::new(params.error_std());
         let e1 = gauss.sample_vec(rng, n);
         let e2 = gauss.sample_vec(rng, n);
-        let ub = ring_mul_q(params, &pk.b, &u_q);
-        let ua = ring_mul_q(params, &pk.a, &u_q);
+        let ub = ring_mul_q(params, &pk.b, &u_q)?;
+        let ua = ring_mul_q(params, &pk.a, &u_q)?;
         let delta = params.delta();
         let c0: Vec<u64> = (0..n)
             .map(|k| {
@@ -193,19 +211,21 @@ impl<'a> Evaluator<'a> {
     ///
     /// # Errors
     ///
-    /// Substrate errors.
+    /// [`BfvError::CiphertextTooShort`] for an empty ciphertext, or
+    /// substrate errors.
     pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Result<Plaintext, BfvError> {
         let params = self.params;
         let q = params.modulus();
+        require_parts(&ct.parts, 1)?;
         let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
         let mut acc = ct.parts[0].clone();
         let mut s_pow = s.clone();
         for part in &ct.parts[1..] {
-            let prod = ring_mul_q(params, part, &s_pow);
+            let prod = ring_mul_q(params, part, &s_pow)?;
             for (a, p) in acc.iter_mut().zip(&prod) {
                 *a = q.add(*a, *p);
             }
-            s_pow = ring_mul_q(params, &s_pow, &s);
+            s_pow = ring_mul_q(params, &s_pow, &s)?;
         }
         let t = params.plain_modulus();
         let t_val = i128::from(t.value());
@@ -238,11 +258,11 @@ impl<'a> Evaluator<'a> {
         let mut acc = ct.parts[0].clone();
         let mut s_pow = s.clone();
         for part in &ct.parts[1..] {
-            let prod = ring_mul_q(params, part, &s_pow);
+            let prod = ring_mul_q(params, part, &s_pow)?;
             for (a, p) in acc.iter_mut().zip(&prod) {
                 *a = q.add(*a, *p);
             }
-            s_pow = ring_mul_q(params, &s_pow, &s);
+            s_pow = ring_mul_q(params, &s_pow, &s)?;
         }
         let mut max_noise = 0f64;
         for (k, &v) in acc.iter().enumerate() {
@@ -289,15 +309,19 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Adds a plaintext: `c₀ += Δ·m`.
-    #[must_use]
-    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    ///
+    /// # Errors
+    ///
+    /// [`BfvError::CiphertextTooShort`] for an empty ciphertext.
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, BfvError> {
         let q = self.params.modulus();
         let delta = self.params.delta();
+        require_parts(&ct.parts, 1)?;
         let mut parts = ct.parts.clone();
         for (c, &m) in parts[0].iter_mut().zip(&pt.coeffs) {
             *c = q.add(*c, q.mul(delta, self.params.plain_modulus().reduce_u64(m)));
         }
-        Ciphertext { parts }
+        Ok(Ciphertext { parts })
     }
 
     /// Multiplies by a plaintext (slot-wise once batched).
@@ -308,8 +332,11 @@ impl<'a> Evaluator<'a> {
     /// value is small. Broadcast (all-slots-equal) masks encode to a
     /// constant polynomial and only scale noise by that constant; prefer
     /// them on noisy ciphertexts, or check [`Self::noise_budget`].
-    #[must_use]
-    pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, BfvError> {
         let q = self.params.modulus();
         let m_q: Vec<u64> = pt
             .coeffs
@@ -322,13 +349,13 @@ impl<'a> Evaluator<'a> {
                 )
             })
             .collect();
-        Ciphertext {
+        Ok(Ciphertext {
             parts: ct
                 .parts
                 .iter()
                 .map(|p| ring_mul_q(self.params, p, &m_q))
-                .collect(),
-        }
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Homomorphic multiplication with relinearization: the ciphertext
@@ -337,7 +364,8 @@ impl<'a> Evaluator<'a> {
     ///
     /// # Errors
     ///
-    /// Substrate errors.
+    /// [`BfvError::CiphertextTooShort`] for operands with fewer than two
+    /// polynomials, or substrate errors.
     pub fn mul(
         &self,
         a: &Ciphertext,
@@ -347,6 +375,8 @@ impl<'a> Evaluator<'a> {
         let _span = scheme_span("bfv.mul");
         let params = self.params;
         let q = params.modulus();
+        require_parts(&a.parts, 2)?;
+        require_parts(&b.parts, 2)?;
         let centered = |p: &[u64]| -> Vec<i64> { p.iter().map(|&v| q.to_centered(v)).collect() };
         let (a0, a1) = (centered(&a.parts[0]), centered(&a.parts[1]));
         let (b0, b1) = (centered(&b.parts[0]), centered(&b.parts[1]));
@@ -375,7 +405,7 @@ impl<'a> Evaluator<'a> {
         let c1 = scale(&d1);
         let c2 = scale(&d2);
 
-        let (ks0, ks1) = self.keyswitch(&c2, rlk);
+        let (ks0, ks1) = self.keyswitch(&c2, rlk)?;
         let c0: Vec<u64> = c0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
         let c1: Vec<u64> = c1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
         Ok(Ciphertext {
@@ -384,7 +414,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Base-`2^w` keyswitch of `d` under `key`.
-    fn keyswitch(&self, d: &[u64], key: &KeySwitchKey) -> (Vec<u64>, Vec<u64>) {
+    fn keyswitch(&self, d: &[u64], key: &KeySwitchKey) -> Result<(Vec<u64>, Vec<u64>), BfvError> {
         let _span = scheme_span("bfv.keyswitch");
         let params = self.params;
         let q = params.modulus();
@@ -407,13 +437,14 @@ impl<'a> Evaluator<'a> {
                 ring_mul_q(params, &digit, a_i),
             ))
         });
-        for (p0, p1) in products.into_iter().flatten() {
+        for pair in products.into_iter().flatten() {
+            let (p0, p1) = (pair.0?, pair.1?);
             for k in 0..n {
                 acc0[k] = q.add(acc0[k], p0[k]);
                 acc1[k] = q.add(acc1[k], p1[k]);
             }
         }
-        (acc0, acc1)
+        Ok((acc0, acc1))
     }
 
     /// Rotates the batched rows by `step` (HRot): the Galois automorphism
@@ -430,7 +461,7 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Ciphertext, BfvError> {
         let _span = scheme_span_lazy(|| format!("bfv.rotate_rows step={step}"));
         let (g, key) = gks.for_step(self.params, step)?;
-        Ok(self.apply_galois(ct, g, key))
+        self.apply_galois(ct, g, key)
     }
 
     /// Swaps the two batched rows (column rotation).
@@ -445,22 +476,29 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Ciphertext, BfvError> {
         let _span = scheme_span("bfv.rotate_columns");
         let (g, key) = gks.for_row_swap(self.params)?;
-        Ok(self.apply_galois(ct, g, key))
+        self.apply_galois(ct, g, key)
     }
 
-    fn apply_galois(&self, ct: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
+    fn apply_galois(
+        &self,
+        ct: &Ciphertext,
+        g: u64,
+        key: &KeySwitchKey,
+    ) -> Result<Ciphertext, BfvError> {
         let q = self.params.modulus();
+        require_parts(&ct.parts, 2)?;
         let t0 = apply_galois_coeff(&ct.parts[0], g, &q);
         let t1 = apply_galois_coeff(&ct.parts[1], g, &q);
-        let (ks0, ks1) = self.keyswitch(&t1, key);
+        let (ks0, ks1) = self.keyswitch(&t1, key)?;
         let c0 = t0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
-        Ciphertext {
+        Ok(Ciphertext {
             parts: vec![c0, ks1],
-        }
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::encoder::BatchEncoder;
@@ -564,7 +602,10 @@ mod tests {
             .unwrap();
         let out = f.enc.decode(
             &eval
-                .decrypt(&f.sk, &eval.mul_plain(&ct, &f.enc.encode(&w).unwrap()))
+                .decrypt(
+                    &f.sk,
+                    &eval.mul_plain(&ct, &f.enc.encode(&w).unwrap()).unwrap(),
+                )
                 .unwrap(),
         );
         for j in 0..32 {
@@ -572,7 +613,10 @@ mod tests {
         }
         let out = f.enc.decode(
             &eval
-                .decrypt(&f.sk, &eval.add_plain(&ct, &f.enc.encode(&w).unwrap()))
+                .decrypt(
+                    &f.sk,
+                    &eval.add_plain(&ct, &f.enc.encode(&w).unwrap()).unwrap(),
+                )
                 .unwrap(),
         );
         for j in 0..32 {
@@ -631,6 +675,32 @@ mod tests {
             assert_eq!(w, x.pow(4) % 257, "slot {j}");
         }
         assert!(eval.noise_budget(&sk, &quad).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn malformed_ciphertexts_are_typed_errors_not_panics() {
+        let mut f = fix(1 << 5);
+        let eval = Evaluator::new(&f.params);
+        let empty = Ciphertext { parts: vec![] };
+        match eval.decrypt(&f.sk, &empty) {
+            Err(BfvError::CiphertextTooShort { needed: 1, got: 0 }) => {}
+            other => panic!("expected CiphertextTooShort, got {other:?}"),
+        }
+        let vals: Vec<u64> = (0..32).collect();
+        let ct = eval
+            .encrypt(&f.pk, &f.enc.encode(&vals).unwrap(), &mut f.rng)
+            .unwrap();
+        let truncated = Ciphertext {
+            parts: ct.parts[..1].to_vec(),
+        };
+        assert!(matches!(
+            eval.mul(&truncated, &ct, &f.rlk),
+            Err(BfvError::CiphertextTooShort { needed: 2, got: 1 })
+        ));
+        assert!(matches!(
+            eval.add_plain(&empty, &f.enc.encode(&vals).unwrap()),
+            Err(BfvError::CiphertextTooShort { .. })
+        ));
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
     pub fn public_key(&mut self, sk: &SecretKey) -> Result<PublicKey, BfvError> {
         let a = self.sample_uniform();
         let e = self.sample_error();
-        let b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e);
+        let b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e)?;
         Ok(PublicKey { b, a })
     }
 
@@ -122,7 +122,7 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
         for _ in 0..digits {
             let a = self.sample_uniform();
             let e = self.sample_error();
-            let mut b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e);
+            let mut b = crate::cipher::b_from_a_s_e(self.params, &a, &sk.signed, &e)?;
             for (bi, &ti) in b.iter_mut().zip(target) {
                 *bi = q.add(*bi, q.mul(q.reduce_u64(base), ti));
             }
@@ -140,7 +140,7 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
     pub fn relin_key(&mut self, sk: &SecretKey) -> Result<KeySwitchKey, BfvError> {
         let q = self.params.modulus();
         let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
-        let s2 = crate::cipher::ring_mul_q(self.params, &s, &s);
+        let s2 = crate::cipher::ring_mul_q(self.params, &s, &s)?;
         self.keyswitch_key(sk, &s2)
     }
 
@@ -184,7 +184,7 @@ mod tests {
         // b + a·s must be small (= e).
         let q = params.modulus();
         let s: Vec<u64> = sk.signed.iter().map(|&c| q.from_i64(c)).collect();
-        let a_s = crate::cipher::ring_mul_q(&params, &pk.a, &s);
+        let a_s = crate::cipher::ring_mul_q(&params, &pk.a, &s).unwrap();
         for (b, x) in pk.b.iter().zip(&a_s) {
             let v = q.to_centered(q.add(*b, *x));
             assert!(v.abs() < 40, "residual noise {v}");

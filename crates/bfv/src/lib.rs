@@ -54,9 +54,11 @@
 #![warn(missing_docs)]
 
 pub mod bgv;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod cipher;
 pub mod encoder;
 pub mod keys;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod params;
 
 use std::fmt;
@@ -80,6 +82,16 @@ pub enum BfvError {
         /// The requested rotation step.
         step: i64,
     },
+    /// A ciphertext has too few polynomials for the operation.
+    CiphertextTooShort {
+        /// Polynomials the operation requires.
+        needed: usize,
+        /// Polynomials the ciphertext has.
+        got: usize,
+    },
+    /// An internal invariant was violated (a bug, surfaced as an error
+    /// instead of a panic).
+    Internal(&'static str),
     /// An error bubbled up from the mathematical substrate.
     Math(MathError),
 }
@@ -94,6 +106,13 @@ impl fmt::Display for BfvError {
             Self::MissingGaloisKey { step } => {
                 write!(f, "no galois key generated for rotation step {step}")
             }
+            Self::CiphertextTooShort { needed, got } => {
+                write!(
+                    f,
+                    "ciphertext has {got} polynomials, operation needs {needed}"
+                )
+            }
+            Self::Internal(why) => write!(f, "internal invariant violated: {why}"),
             Self::Math(e) => write!(f, "math error: {e}"),
         }
     }

@@ -109,8 +109,13 @@ impl BfvParams {
         }
         let q = Modulus::new(candidate)?;
         let t = Modulus::new(t_value)?;
-        debug_assert_eq!(q.value() % t_value, 1);
-        debug_assert_eq!(q.value() % (2 * n as u64), 1);
+        // The lattice search guarantees both congruences; verify anyway
+        // so a search bug surfaces as a typed error, not bad ciphertexts.
+        if q.value() % t_value != 1 || q.value() % (2 * n as u64) != 1 {
+            return Err(BfvError::Internal(
+                "prime search returned q violating its congruences",
+            ));
+        }
         let ntt = uvpu_math::cache::ntt_table(q, n)?;
         Ok(Self {
             n,
@@ -173,6 +178,7 @@ impl BfvParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -35,6 +35,13 @@ pub enum CkksError {
         /// The requested rotation step.
         step: i64,
     },
+    /// A level or prime index beyond the context's modulus chain.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of entries available.
+        len: usize,
+    },
     /// An error bubbled up from the mathematical substrate.
     Math(MathError),
 }
@@ -55,6 +62,9 @@ impl fmt::Display for CkksError {
             }
             Self::MissingGaloisKey { step } => {
                 write!(f, "no galois key generated for rotation step {step}")
+            }
+            Self::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} beyond the {len}-entry modulus chain")
             }
             Self::Math(e) => write!(f, "math error: {e}"),
         }

@@ -192,31 +192,79 @@ impl CkksContext {
         &self.params
     }
 
+    /// The basis covering primes `0..=level`, as a typed error on an
+    /// out-of-range level.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::IndexOutOfRange`] if `level > self.params().levels()`.
+    pub fn try_basis(&self, level: usize) -> Result<&RnsBasis, CkksError> {
+        self.bases.get(level).ok_or(CkksError::IndexOutOfRange {
+            index: level,
+            len: self.bases.len(),
+        })
+    }
+
     /// The basis covering primes `0..=level`.
     ///
     /// # Panics
     ///
-    /// Panics if `level > self.params().levels()`.
+    /// Panics if `level > self.params().levels()`; use
+    /// [`try_basis`](Self::try_basis) for a typed error instead.
     #[must_use]
     pub fn basis(&self, level: usize) -> &RnsBasis {
         &self.bases[level]
+    }
+
+    /// The NTT table for prime index `i`, as a typed error on an
+    /// out-of-range index.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::IndexOutOfRange`] if `i` is out of range.
+    pub fn try_ntt(&self, i: usize) -> Result<&NttTable, CkksError> {
+        self.ntt
+            .get(i)
+            .map(AsRef::as_ref)
+            .ok_or(CkksError::IndexOutOfRange {
+                index: i,
+                len: self.ntt.len(),
+            })
     }
 
     /// The NTT table for prime index `i`.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range; use [`try_ntt`](Self::try_ntt) for
+    /// a typed error instead.
     #[must_use]
     pub fn ntt(&self, i: usize) -> &NttTable {
         &self.ntt[i]
+    }
+
+    /// The modulus for prime index `i`, as a typed error on an
+    /// out-of-range index.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::IndexOutOfRange`] if `i` is out of range.
+    pub fn try_modulus(&self, i: usize) -> Result<Modulus, CkksError> {
+        self.moduli
+            .get(i)
+            .copied()
+            .ok_or(CkksError::IndexOutOfRange {
+                index: i,
+                len: self.moduli.len(),
+            })
     }
 
     /// The modulus for prime index `i`.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range; use
+    /// [`try_modulus`](Self::try_modulus) for a typed error instead.
     #[must_use]
     pub fn modulus(&self, i: usize) -> Modulus {
         self.moduli[i]
@@ -259,5 +307,24 @@ mod tests {
         }
         assert_eq!(ctx.ntt(0).n(), 1 << 8);
         assert_eq!(ctx.modulus(2).value(), ctx.params().primes()[2]);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_typed_errors() {
+        let ctx = CkksContext::new(CkksParams::new(1 << 8, 2, 40).unwrap()).unwrap();
+        assert!(ctx.try_basis(2).is_ok());
+        assert!(matches!(
+            ctx.try_basis(7),
+            Err(crate::CkksError::IndexOutOfRange { index: 7, len: 3 })
+        ));
+        assert!(matches!(
+            ctx.try_ntt(9),
+            Err(crate::CkksError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(
+            ctx.try_modulus(1).map(|m| m.value()),
+            Ok(ctx.params().primes()[1])
+        );
+        assert!(ctx.try_modulus(3).is_err());
     }
 }

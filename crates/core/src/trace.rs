@@ -237,6 +237,70 @@ pub enum MemDir {
     Store,
 }
 
+/// A datapath location where the mutating fault hooks
+/// ([`TraceSink::fault_data`]) can observe — and corrupt — in-flight
+/// words. The sites mirror the physical structures of paper Fig 1(b):
+/// lane butterfly outputs, the two network stage groups, and the
+/// register-file read port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Paired-lane butterfly outputs inside a Pease CG stage.
+    LaneButterfly,
+    /// Constant-geometry (perfect shuffle) network link outputs.
+    NetworkCg,
+    /// Shift-stage network link outputs (rotations, automorphisms,
+    /// transposes, straight routes).
+    NetworkShift,
+    /// The register-file read port feeding the VPU→SRAM interface
+    /// (`Vpu::store`, i.e. the `charge_mem` points).
+    RegFileRead,
+}
+
+impl FaultSite {
+    /// All sites, in [`Self::index`] order.
+    pub const ALL: [Self; 4] = [
+        Self::LaneButterfly,
+        Self::NetworkCg,
+        Self::NetworkShift,
+        Self::RegFileRead,
+    ];
+
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::LaneButterfly => 0,
+            Self::NetworkCg => 1,
+            Self::NetworkShift => 2,
+            Self::RegFileRead => 3,
+        }
+    }
+
+    /// Stable display name (report keys, campaign JSON).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::LaneButterfly => "lane_butterfly",
+            Self::NetworkCg => "network_cg",
+            Self::NetworkShift => "network_shift",
+            Self::RegFileRead => "regfile_read",
+        }
+    }
+
+    /// The site a network-only traversal of `kind` exercises: the CG
+    /// stages when a shuffle is active, the shift stages otherwise.
+    #[must_use]
+    pub const fn from_net(kind: NetKind) -> Self {
+        match kind {
+            NetKind::CgShuffle | NetKind::CgUnshuffle => Self::NetworkCg,
+            NetKind::Route
+            | NetKind::Shift
+            | NetKind::CgShuffleShift
+            | NetKind::CgUnshuffleShift => Self::NetworkShift,
+        }
+    }
+}
+
 /// Receiver for trace events.
 ///
 /// Every hook has an empty default body, so a sink only overrides what it
@@ -283,6 +347,25 @@ pub trait TraceSink {
     fn span_end(&mut self, track: u32, ts: u64, name: &str) {
         let _ = (track, ts, name);
     }
+
+    /// Whether the mutating fault hooks are live. The VPU checks this
+    /// before reading data back out of the register file for
+    /// [`fault_data`](Self::fault_data), so the default `false` keeps the
+    /// fault machinery entirely off the hot path — [`NopSink`] (and every
+    /// ordinary observer sink) monomorphizes the injection call sites to
+    /// nothing.
+    fn fault_hooks_enabled(&self) -> bool {
+        false
+    }
+
+    /// Mutating hook over the in-flight words at a fault `site` — a
+    /// fault injector overwrites entries of `data` to model bit flips or
+    /// stuck-at defects. Only called when
+    /// [`fault_hooks_enabled`](Self::fault_hooks_enabled) returns true.
+    /// Observer sinks leave the default empty body.
+    fn fault_data(&mut self, track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        let _ = (track, cycle, site, data);
+    }
 }
 
 /// The default sink: discards everything.
@@ -322,6 +405,14 @@ impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
     fn span_end(&mut self, track: u32, ts: u64, name: &str) {
         (**self).span_end(track, ts, name);
     }
+
+    fn fault_hooks_enabled(&self) -> bool {
+        (**self).fault_hooks_enabled()
+    }
+
+    fn fault_data(&mut self, track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        (**self).fault_data(track, cycle, site, data);
+    }
 }
 
 /// A tee: every event goes to both halves (`enabled` if either is).
@@ -355,6 +446,15 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     fn span_end(&mut self, track: u32, ts: u64, name: &str) {
         self.0.span_end(track, ts, name);
         self.1.span_end(track, ts, name);
+    }
+
+    fn fault_hooks_enabled(&self) -> bool {
+        self.0.fault_hooks_enabled() || self.1.fault_hooks_enabled()
+    }
+
+    fn fault_data(&mut self, track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        self.0.fault_data(track, cycle, site, data);
+        self.1.fault_data(track, cycle, site, data);
     }
 }
 
@@ -577,6 +677,7 @@ pub struct RingBufferSink {
     dropped_beats: u64,
     dropped_mems: u64,
     dropped_spans: u64,
+    dropped_since_read: u64,
 }
 
 impl RingBufferSink {
@@ -591,6 +692,7 @@ impl RingBufferSink {
             dropped_beats: 0,
             dropped_mems: 0,
             dropped_spans: 0,
+            dropped_since_read: 0,
         }
     }
 
@@ -605,6 +707,7 @@ impl RingBufferSink {
                 None => {}
             }
             self.dropped += 1;
+            self.dropped_since_read += 1;
         }
         self.buf.push_back(event);
     }
@@ -629,6 +732,21 @@ impl RingBufferSink {
         (self.dropped_beats, self.dropped_mems, self.dropped_spans)
     }
 
+    /// Events evicted since the last [`mark_read`](Self::mark_read)
+    /// (or construction). Querying does *not* clear the mark, so a
+    /// fault campaign can poll the high-water count between cells
+    /// without losing it; call `mark_read` to start a new window.
+    #[must_use]
+    pub const fn dropped_since_last_read(&self) -> u64 {
+        self.dropped_since_read
+    }
+
+    /// Starts a new `dropped_since_last_read` window. Lifetime drop
+    /// totals ([`dropped`](Self::dropped), per-kind bins) are untouched.
+    pub fn mark_read(&mut self) {
+        self.dropped_since_read = 0;
+    }
+
     /// Discards all retained events and resets every drop counter,
     /// keeping the capacity. Lets one recorder be reused across runs
     /// without carrying stale drop totals into the next report.
@@ -638,6 +756,7 @@ impl RingBufferSink {
         self.dropped_beats = 0;
         self.dropped_mems = 0;
         self.dropped_spans = 0;
+        self.dropped_since_read = 0;
     }
 
     /// Maximum number of retained events.
@@ -934,6 +1053,14 @@ impl<S: TraceSink> TraceSink for SharedSink<S> {
     fn span_end(&mut self, track: u32, ts: u64, name: &str) {
         self.inner.borrow_mut().span_end(track, ts, name);
     }
+
+    fn fault_hooks_enabled(&self) -> bool {
+        self.inner.borrow().fault_hooks_enabled()
+    }
+
+    fn fault_data(&mut self, track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        self.inner.borrow_mut().fault_data(track, cycle, site, data);
+    }
 }
 
 /// A `Send` cloneable handle sharing one sink across threads:
@@ -995,6 +1122,17 @@ impl<S: TraceSink> TraceSink for SyncSink<S> {
 
     fn span_end(&mut self, track: u32, ts: u64, name: &str) {
         self.with(|s| s.span_end(track, ts, name));
+    }
+
+    fn fault_hooks_enabled(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .fault_hooks_enabled()
+    }
+
+    fn fault_data(&mut self, track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        self.with(|s| s.fault_data(track, cycle, site, data));
     }
 }
 
@@ -1297,6 +1435,26 @@ mod tests {
         assert_eq!(sink.capacity(), 2, "capacity survives clear");
         sink.beat(0, 5, BeatKind::Butterfly);
         assert_eq!(sink.events().len(), 1, "reusable after clear");
+    }
+
+    #[test]
+    fn ring_buffer_high_water_mark_survives_queries() {
+        let mut sink = RingBufferSink::new(2);
+        for i in 0..5u64 {
+            sink.beat(0, i, BeatKind::Butterfly);
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.dropped_since_last_read(), 3);
+        // Querying does not clear the mark.
+        assert_eq!(sink.dropped_since_last_read(), 3);
+        sink.mark_read();
+        assert_eq!(sink.dropped_since_last_read(), 0);
+        assert_eq!(sink.dropped(), 3, "lifetime total survives mark_read");
+        sink.beat(0, 5, BeatKind::Butterfly);
+        assert_eq!(sink.dropped_since_last_read(), 1, "new window counts");
+        assert_eq!(sink.dropped(), 4);
+        sink.clear();
+        assert_eq!(sink.dropped_since_last_read(), 0, "clear resets the mark");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::control::{AutomorphismControlTable, ShiftControls};
 use crate::lane::{ButterflyKind, LaneArray};
 use crate::network::{CgDirection, InterLaneNetwork, NetworkPass};
 use crate::stats::CycleStats;
-use crate::trace::{BeatKind, EwiseOp, MemDir, NetKind, NopSink, TraceSink};
+use crate::trace::{BeatKind, EwiseOp, FaultSite, MemDir, NetKind, NopSink, TraceSink};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
 
@@ -256,7 +256,18 @@ impl<S: TraceSink> Vpu<S> {
     ///
     /// Bad address.
     pub fn store(&mut self, addr: usize) -> Result<Vec<u64>, CoreError> {
-        let out = self.regs.read(addr)?.to_vec();
+        let mut out = self.regs.read(addr)?.to_vec();
+        if self.sink.fault_hooks_enabled() {
+            // Register-file read at the store interface: the words leave
+            // the modular datapath, so injected corruption stays raw
+            // (possibly ≥ q) — exactly what a range guard must catch.
+            self.sink.fault_data(
+                self.track,
+                self.stats.total(),
+                FaultSite::RegFileRead,
+                &mut out,
+            );
+        }
         self.sink.mem(
             self.track,
             self.stats.total(),
@@ -294,6 +305,43 @@ impl<S: TraceSink> Vpu<S> {
     fn beat(&mut self, kind: BeatKind) {
         self.sink.beat(self.track, self.stats.total(), kind);
         kind.charge(&mut self.stats, 1);
+    }
+
+    /// Offers an in-flight vector to the sink's fault-injection hook
+    /// ([`TraceSink::fault_data`]). With the default [`NopSink`] the
+    /// enabled check is a constant `false`, so the whole call compiles
+    /// away on the untraced path. Corrupted words re-enter a modular
+    /// pipeline stage immediately after these sites, so they are
+    /// captured back into `[0, q)` here; only the register-file *read*
+    /// site (the store interface, which leaves the datapath) carries
+    /// raw out-of-range words.
+    fn fault_hook(&mut self, site: FaultSite, data: &mut [u64]) {
+        if self.sink.fault_hooks_enabled() {
+            self.sink
+                .fault_data(self.track, self.stats.total(), site, data);
+            let q = self.regs.modulus();
+            for x in data.iter_mut() {
+                *x = q.reduce_u64(*x);
+            }
+        }
+    }
+
+    /// [`fault_hook`](Self::fault_hook) applied in place to a register —
+    /// used where a lane stage writes its result back before the next
+    /// observable boundary (butterfly outputs). The read/modify/write
+    /// only happens when a fault-injecting sink is attached.
+    fn fault_hook_reg(&mut self, site: FaultSite, addr: usize) -> Result<(), CoreError> {
+        if self.sink.fault_hooks_enabled() {
+            let mut data = self.regs.read(addr)?.to_vec();
+            self.sink
+                .fault_data(self.track, self.stats.total(), site, &mut data);
+            let q = self.regs.modulus();
+            for x in &mut data {
+                *x = q.reduce_u64(*x);
+            }
+            self.regs.write(addr, &data)?;
+        }
+        Ok(())
     }
 
     /// `dst ← a − b` (one element-wise beat).
@@ -354,7 +402,8 @@ impl<S: TraceSink> Vpu<S> {
     /// Bad register address.
     pub fn route(&mut self, dst: usize, src: usize, pass: &NetworkPass) -> Result<(), CoreError> {
         let data = self.regs.read(src)?.to_vec();
-        let out = self.network.traverse(&data, pass);
+        let mut out = self.network.traverse(&data, pass);
+        self.fault_hook(FaultSite::from_net(NetKind::from_pass(pass)), &mut out);
         self.regs.write(dst, &out)?;
         self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
@@ -374,7 +423,8 @@ impl<S: TraceSink> Vpu<S> {
         addrs: &[usize],
     ) -> Result<(), CoreError> {
         let data = self.regs.read(src)?.to_vec();
-        let out = self.network.traverse(&data, pass);
+        let mut out = self.network.traverse(&data, pass);
+        self.fault_hook(FaultSite::from_net(NetKind::from_pass(pass)), &mut out);
         self.regs.write_per_lane(addrs, &out)?;
         self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
@@ -394,7 +444,8 @@ impl<S: TraceSink> Vpu<S> {
         pass: &NetworkPass,
     ) -> Result<(), CoreError> {
         let data = self.regs.read_per_lane(addrs)?;
-        let out = self.network.traverse(&data, pass);
+        let mut out = self.network.traverse(&data, pass);
+        self.fault_hook(FaultSite::from_net(NetKind::from_pass(pass)), &mut out);
         self.regs.write(dst, &out)?;
         self.beat(BeatKind::NetworkMove(NetKind::from_pass(pass)));
         Ok(())
@@ -450,16 +501,20 @@ impl<S: TraceSink> Vpu<S> {
         match stage {
             PeaseStage::Forward { twiddles } => {
                 let data = self.regs.read(addr)?.to_vec();
-                let routed = self.network.cg_pass_grouped(&data, CgDirection::Dif, group);
+                let mut routed = self.network.cg_pass_grouped(&data, CgDirection::Dif, group);
+                self.fault_hook(FaultSite::NetworkCg, &mut routed);
                 self.regs.write(addr, &routed)?;
                 self.regs
                     .butterfly_adjacent(addr, ButterflyKind::Dif, twiddles)?;
+                self.fault_hook_reg(FaultSite::LaneButterfly, addr)?;
             }
             PeaseStage::Inverse { twiddles } => {
                 self.regs
                     .butterfly_adjacent(addr, ButterflyKind::Dit, twiddles)?;
+                self.fault_hook_reg(FaultSite::LaneButterfly, addr)?;
                 let data = self.regs.read(addr)?.to_vec();
-                let routed = self.network.cg_pass_grouped(&data, CgDirection::Dit, group);
+                let mut routed = self.network.cg_pass_grouped(&data, CgDirection::Dit, group);
+                self.fault_hook(FaultSite::NetworkCg, &mut routed);
                 self.regs.write(addr, &routed)?;
             }
         }
@@ -485,7 +540,8 @@ impl<S: TraceSink> Vpu<S> {
         while d >= 1 {
             let controls = ShiftControls::from_rotation(m, d as u64);
             let data = self.regs.read(dst)?.to_vec();
-            let rotated = self.network.shift_pass(&data, &controls);
+            let mut rotated = self.network.shift_pass(&data, &controls);
+            self.fault_hook(FaultSite::NetworkShift, &mut rotated);
             self.regs.write(scratch, &rotated)?;
             self.regs.ewise_add(dst, dst, scratch)?;
             // Rotate-and-add is one fused beat: the adder consumes the

@@ -1,0 +1,353 @@
+//! Site × rate fault campaigns with a deterministic JSON coverage
+//! report.
+//!
+//! A campaign cell fixes one [`FaultSite`], one [`FaultKind`], and one
+//! injection rate, then pushes a task list through the recovery
+//! scheduler with a [`FaultyExecutor`] on slot 0. The cell's outcome is
+//! classified against fault-free golden digests:
+//!
+//! - `injected`: words actually corrupted by the injector;
+//! - `detected`: attempts flagged by an online detector;
+//! - `recovered`: tasks that were flagged at least once and still
+//!   completed with a clean attempt;
+//! - `silent`: accepted task outputs whose digest differs from the
+//!   golden digest — corruption that slipped past every detector;
+//! - `unrecoverable`: `1` when the run aborted with
+//!   [`AccelError::FaultUnrecoverable`].
+//!
+//! The report renders to sorted-key JSON with integer-only values, so
+//! a fixed-seed campaign is byte-identical on every run and at every
+//! `UVPU_THREADS` — gate it in CI with
+//! [`uvpu_metrics::snapshot::diff`] like the metrics snapshots.
+
+use crate::detect::standard_detectors;
+use crate::exec::FaultyExecutor;
+use crate::kernel::Kernel;
+use crate::plan::{FaultKind, FaultPlan};
+use crate::{digest64, mix64};
+use std::collections::BTreeMap;
+use uvpu_accel::config::AcceleratorConfig;
+use uvpu_accel::machine::Accelerator;
+use uvpu_accel::recovery::RetryPolicy;
+use uvpu_accel::workload::{Task, TaskKind};
+use uvpu_accel::AccelError;
+use uvpu_core::trace::{FaultSite, NopSink};
+
+/// The JSON schema tag of campaign reports. Bump on any shape change.
+pub const SCHEMA: &str = "uvpu-fault/v1";
+
+/// Shape of one campaign sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base seed; each cell derives its own seed from it.
+    pub seed: u64,
+    /// Sites to sweep.
+    pub sites: Vec<FaultSite>,
+    /// Injection rates to sweep, in parts per million.
+    pub rates_ppm: Vec<u32>,
+    /// Fault kinds to sweep at every (site, rate) point.
+    pub kinds: Vec<FaultKind>,
+    /// The task list each cell runs.
+    pub tasks: Vec<Task>,
+    /// VPU lane count.
+    pub lanes: usize,
+    /// VPU count of the simulated machine.
+    pub vpus: usize,
+    /// Recovery policy for every cell.
+    pub policy: RetryPolicy,
+}
+
+impl CampaignConfig {
+    /// The CI smoke campaign: every site, two kinds, two rates, a
+    /// small NTT/automorphism/element-wise task mix — finishes in
+    /// seconds and exercises detection, retry, and quarantine.
+    ///
+    /// The task order matters for coverage: the list scheduler places
+    /// task 0 on slot 0 (the faulty slot), and the automorphism kernel
+    /// is the only one that routes data through the shift network — so
+    /// it goes first. The cheap automorphism + element-wise slot-0
+    /// timeline then leaves slot 0 earliest-free again when the second
+    /// NTT is scheduled, covering the butterfly and CG-network sites.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        let n = 256;
+        let tasks = vec![
+            Task {
+                kind: TaskKind::Automorphism,
+                n,
+                noc_bytes: 2 * n * 8,
+            },
+            Task {
+                kind: TaskKind::Ntt,
+                n,
+                noc_bytes: 2 * n * 8,
+            },
+            Task {
+                kind: TaskKind::Elementwise { passes: 2 },
+                n,
+                noc_bytes: 3 * n * 8,
+            },
+            Task {
+                kind: TaskKind::Ntt,
+                n,
+                noc_bytes: 2 * n * 8,
+            },
+        ];
+        Self {
+            seed,
+            sites: FaultSite::ALL.to_vec(),
+            rates_ppm: vec![2_000, 20_000],
+            kinds: vec![
+                FaultKind::BitFlip { bit: 9 },
+                FaultKind::StuckAtOne { bit: 5 },
+            ],
+            tasks,
+            lanes: 16,
+            vpus: 2,
+            policy: RetryPolicy {
+                max_retries: 5,
+                backoff_cycles: 32,
+                quarantine_threshold: 2,
+            },
+        }
+    }
+
+    /// The full campaign: the smoke grid plus higher rates, a larger
+    /// ring, and stuck-at-zero coverage.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        let mut cfg = Self::smoke(seed);
+        cfg.rates_ppm = vec![500, 5_000, 50_000];
+        cfg.kinds = vec![
+            FaultKind::BitFlip { bit: 9 },
+            FaultKind::BitFlip { bit: 51 },
+            FaultKind::StuckAtOne { bit: 5 },
+            FaultKind::StuckAtZero { bit: 0 },
+        ];
+        cfg.tasks = cfg
+            .tasks
+            .iter()
+            .map(|t| Task {
+                n: 1 << 10,
+                noc_bytes: t.noc_bytes * 4,
+                ..*t
+            })
+            .collect();
+        cfg
+    }
+}
+
+/// Outcome of one (site, kind, rate) campaign cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellReport {
+    /// Site the cell injected at.
+    pub site: FaultSite,
+    /// Fault kind injected.
+    pub kind: FaultKind,
+    /// Injection rate in ppm.
+    pub rate_ppm: u32,
+    /// Words corrupted by the injector.
+    pub injected: u64,
+    /// Attempts flagged by detectors.
+    pub detected: u64,
+    /// Tasks recovered after at least one flagged attempt.
+    pub recovered: u64,
+    /// Accepted outputs differing from the golden digest.
+    pub silent: u64,
+    /// 1 when the cell aborted as unrecoverable.
+    pub unrecoverable: u64,
+    /// Retry attempts the cell spent.
+    pub retries: u64,
+    /// Slots quarantined during the cell.
+    pub quarantined: u64,
+    /// Per-detector detection counts (sorted by detector name).
+    pub detected_by: BTreeMap<String, u64>,
+}
+
+/// A full campaign sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Base seed the campaign ran with.
+    pub seed: u64,
+    /// Task count per cell.
+    pub tasks_per_cell: usize,
+    /// Per-cell outcomes, in sweep order (site-major, then kind, then
+    /// rate — a deterministic order).
+    pub cells: Vec<CellReport>,
+}
+
+impl CampaignReport {
+    /// Total silently-corrupted accepted outputs across all cells (the
+    /// number that must be zero for the coverage claim to hold).
+    #[must_use]
+    pub fn total_silent(&self) -> u64 {
+        self.cells.iter().map(|c| c.silent).sum()
+    }
+
+    /// Renders the deterministic JSON document (sorted keys, integer
+    /// values, trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.cells.len() * 256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"tasks_per_cell\": {},\n", self.tasks_per_cell));
+        out.push_str(&format!("  \"total_silent\": {},\n", self.total_silent()));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"site\": \"{}\",\n", c.site.name()));
+            out.push_str(&format!("      \"kind\": \"{}\",\n", c.kind.name()));
+            out.push_str(&format!("      \"rate_ppm\": {},\n", c.rate_ppm));
+            out.push_str(&format!("      \"injected\": {},\n", c.injected));
+            out.push_str(&format!("      \"detected\": {},\n", c.detected));
+            out.push_str(&format!("      \"recovered\": {},\n", c.recovered));
+            out.push_str(&format!("      \"silent\": {},\n", c.silent));
+            out.push_str(&format!("      \"unrecoverable\": {},\n", c.unrecoverable));
+            out.push_str(&format!("      \"retries\": {},\n", c.retries));
+            out.push_str(&format!("      \"quarantined\": {},\n", c.quarantined));
+            out.push_str("      \"detected_by\": {");
+            let mut first = true;
+            for (name, count) in &c.detected_by {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{name}\": {count}"));
+            }
+            out.push_str("}\n");
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs the campaign sweep: one recovery-scheduled execution of the
+/// task list per (site, kind, rate) cell, classified against fault-free
+/// golden digests.
+///
+/// # Errors
+///
+/// Kernel-mapping errors from the VPU simulator (an unrecoverable cell
+/// is *not* an error — it is recorded in that cell's report).
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, AccelError> {
+    // Golden digests: each task shape's fault-free output, memoized.
+    let mut golden: BTreeMap<(String, usize), u64> = BTreeMap::new();
+    for task in &cfg.tasks {
+        let key = (task.kind.name(), task.n);
+        if let std::collections::btree_map::Entry::Vacant(e) = golden.entry(key) {
+            let kernel = Kernel::for_task(task, cfg.lanes)?;
+            let (output, _) = uvpu_par::with_threads(1, || kernel.run(NopSink, &kernel.input()))?;
+            e.insert(digest64(&output));
+        }
+    }
+    let golden_digests: Vec<u64> = cfg
+        .tasks
+        .iter()
+        .map(|t| golden[&(t.kind.name(), t.n)])
+        .collect();
+    let mut cells = Vec::new();
+    for &site in &cfg.sites {
+        for &kind in &cfg.kinds {
+            for &rate_ppm in &cfg.rates_ppm {
+                let cell_seed = mix64(
+                    cfg.seed
+                        ^ mix64(site.index() as u64)
+                        ^ mix64(u64::from(rate_ppm))
+                        ^ mix64(kind.name().len() as u64 ^ kind.apply(0)),
+                );
+                let plan = FaultPlan::new(cell_seed, site, kind, rate_ppm);
+                let mut exec =
+                    FaultyExecutor::new(plan, 0, cfg.lanes, standard_detectors(cell_seed));
+                let mut accel = Accelerator::new(AcceleratorConfig {
+                    vpu_count: cfg.vpus,
+                    lanes: cfg.lanes,
+                    ..AcceleratorConfig::default()
+                })?;
+                let mut cell = CellReport {
+                    site,
+                    kind,
+                    rate_ppm,
+                    injected: 0,
+                    detected: 0,
+                    recovered: 0,
+                    silent: 0,
+                    unrecoverable: 0,
+                    retries: 0,
+                    quarantined: 0,
+                    detected_by: BTreeMap::new(),
+                };
+                match accel.run_tasks_with_recovery(&cfg.tasks, &mut exec, &cfg.policy) {
+                    Ok(r) => {
+                        cell.detected = r.detected_faults;
+                        cell.recovered = r.recovered_tasks;
+                        cell.retries = r.retries;
+                        cell.quarantined = r.quarantined_slots.len() as u64;
+                        cell.silent = r
+                            .task_digests
+                            .iter()
+                            .zip(&golden_digests)
+                            .filter(|(got, want)| got != want)
+                            .count() as u64;
+                    }
+                    Err(AccelError::FaultUnrecoverable { .. }) => {
+                        cell.unrecoverable = 1;
+                    }
+                    Err(other) => return Err(other),
+                }
+                cell.injected = exec.injected_words();
+                cell.detected_by = exec.registry().family("fault.detected").clone();
+                cells.push(cell);
+            }
+        }
+    }
+    Ok(CampaignReport {
+        seed: cfg.seed,
+        tasks_per_cell: cfg.tasks.len(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_covers_all_sites_without_silent_corruption() {
+        let report = run_campaign(&CampaignConfig::smoke(0xFA_17)).unwrap();
+        assert_eq!(report.cells.len(), 4 * 2 * 2, "site × kind × rate grid");
+        assert_eq!(report.total_silent(), 0, "no silent corruption");
+        let injected: u64 = report.cells.iter().map(|c| c.injected).sum();
+        let detected: u64 = report.cells.iter().map(|c| c.detected).sum();
+        assert!(injected > 0, "the campaign actually injected faults");
+        assert!(detected > 0, "detectors fired");
+        for site in FaultSite::ALL {
+            let site_injected: u64 = report
+                .cells
+                .iter()
+                .filter(|c| c.site == site)
+                .map(|c| c.injected)
+                .sum();
+            assert!(site_injected > 0, "site {} never fired", site.name());
+        }
+    }
+
+    #[test]
+    fn campaign_json_is_byte_reproducible() {
+        let a = run_campaign(&CampaignConfig::smoke(7)).unwrap().to_json();
+        let b = run_campaign(&CampaignConfig::smoke(7)).unwrap().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"uvpu-fault/v1\""));
+        assert!(a.ends_with("}\n"));
+        let c = run_campaign(&CampaignConfig::smoke(8)).unwrap().to_json();
+        assert_ne!(a, c, "the seed matters");
+    }
+}

@@ -1,0 +1,309 @@
+//! Online error detectors: cheap algebraic guards run after every task
+//! attempt.
+//!
+//! All three built-in detectors are *exact* on a fault-free run — they
+//! exploit algebraic identities (residue range, invertibility,
+//! linearity) that the bit-exact kernels satisfy identically, so a
+//! clean attempt can never be flagged. That property is load-bearing:
+//! the retry loop in [`uvpu_accel::recovery`] converges because a
+//! re-execution on a healthy slot is guaranteed to pass detection.
+//!
+//! Detector cycle costs are reported per attempt and charged into the
+//! scheduler timeline as `check_cycles` (see ARCHITECTURE.md §11 for
+//! how they land in the energy component bins).
+
+use crate::kernel::Kernel;
+use crate::mix64;
+use uvpu_accel::AccelError;
+use uvpu_core::trace::{NopSink, SharedSink};
+
+use crate::inject::InjectorSink;
+
+/// The shared fault environment of one attempt: detectors that re-run
+/// the kernel (shadow vectors) do so through the same injector, so
+/// their probes live in the same corrupted world as the attempt.
+pub type FaultEnv = SharedSink<InjectorSink>;
+
+/// What one detector concluded about one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorOutcome {
+    /// `true` when the detector flags the attempt as faulty.
+    pub flagged: bool,
+    /// Pipeline cycles the check cost (charged to the attempt's slot).
+    pub check_cycles: u64,
+}
+
+/// An online check over one completed task attempt.
+pub trait Detector {
+    /// Stable snake_case name for metrics families and reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the attempt that mapped `input` to `output` through
+    /// `kernel`. `env` is the attempt's fault environment when it ran
+    /// on the faulty slot (`None` on healthy slots); detectors that
+    /// re-execute the kernel must run *through* it so persistent faults
+    /// affect the probe the way they affected the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator.
+    fn check(
+        &mut self,
+        kernel: &Kernel,
+        env: Option<&FaultEnv>,
+        input: &[u64],
+        output: &[u64],
+    ) -> Result<DetectorOutcome, AccelError>;
+}
+
+/// Flags any output word outside `[0, q)`.
+///
+/// Residues are invariants of every kernel, so this is free of false
+/// positives and costs one comparison pass. It catches high-bit
+/// corruption at the register-file read site (the only site whose
+/// words leave the datapath un-reduced); corruption captured back into
+/// range by a modular stage needs the algebraic probes below.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangeGuard;
+
+impl Detector for RangeGuard {
+    fn name(&self) -> &'static str {
+        "range_guard"
+    }
+
+    fn check(
+        &mut self,
+        kernel: &Kernel,
+        _env: Option<&FaultEnv>,
+        _input: &[u64],
+        output: &[u64],
+    ) -> Result<DetectorOutcome, AccelError> {
+        let q = kernel.modulus().value();
+        Ok(DetectorOutcome {
+            flagged: output.iter().any(|&x| x >= q),
+            // One compare pass over the vector, one column per beat.
+            check_cycles: output.len().div_ceil(64).max(1) as u64,
+        })
+    }
+}
+
+/// Re-derives the input from the output through the kernel's exact
+/// inverse (inverse NTT on a clean VPU, inverse index map, inverse
+/// constant multiply) and compares.
+///
+/// Because every kernel is a bijection on `Z_q^n`, *any* corruption of
+/// the output maps back to a different input — this probe alone makes
+/// silent output corruption impossible on covered attempts. It is also
+/// the most expensive check (a full inverse execution for NTT tasks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundTripProbe;
+
+impl Detector for RoundTripProbe {
+    fn name(&self) -> &'static str {
+        "round_trip"
+    }
+
+    fn check(
+        &mut self,
+        kernel: &Kernel,
+        _env: Option<&FaultEnv>,
+        input: &[u64],
+        output: &[u64],
+    ) -> Result<DetectorOutcome, AccelError> {
+        let q = kernel.modulus();
+        // An out-of-range word can't be a kernel output at all; bail
+        // before the inverse, which expects valid residues.
+        if output.iter().any(|&x| x >= q.value()) {
+            return Ok(DetectorOutcome {
+                flagged: true,
+                check_cycles: output.len().div_ceil(64).max(1) as u64,
+            });
+        }
+        let (back, cycles) = kernel.invert(output)?;
+        Ok(DetectorOutcome {
+            flagged: back != input,
+            check_cycles: cycles,
+        })
+    }
+}
+
+/// Negacyclic linearity check: runs a deterministic shadow vector `b`
+/// and the sum `a + b` through the *same* fault environment and flags
+/// when `K(a) + K(b) ≠ K(a + b)`.
+///
+/// All kernels are linear over `Z_q`, so the identity holds exactly on
+/// clean hardware. A fault hitting any of the three executions breaks
+/// it with overwhelming probability — including faults in the shadow
+/// runs themselves, which is correct behavior: the check monitors the
+/// *environment*, and a retry re-rolls transient faults while
+/// quarantine handles persistent ones.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearityProbe {
+    /// Seed for the shadow vector (vary per campaign, not per attempt,
+    /// to keep attempts bit-comparable).
+    pub seed: u64,
+}
+
+impl LinearityProbe {
+    /// A probe whose shadow vector derives from `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    fn shadow(&self, kernel: &Kernel) -> Vec<u64> {
+        let q = kernel.modulus();
+        (0..kernel.n() as u64)
+            .map(|i| q.reduce_u64(mix64(self.seed ^ i)))
+            .collect()
+    }
+}
+
+impl Detector for LinearityProbe {
+    fn name(&self) -> &'static str {
+        "linearity"
+    }
+
+    fn check(
+        &mut self,
+        kernel: &Kernel,
+        env: Option<&FaultEnv>,
+        input: &[u64],
+        output: &[u64],
+    ) -> Result<DetectorOutcome, AccelError> {
+        let q = kernel.modulus();
+        let b = self.shadow(kernel);
+        let ab: Vec<u64> = input
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| q.add(q.reduce_u64(x), y))
+            .collect();
+        let ((fb, sb), (fab, sab)) = match env {
+            Some(shared) => (
+                kernel.run(shared.clone(), &b)?,
+                kernel.run(shared.clone(), &ab)?,
+            ),
+            None => (kernel.run(NopSink, &b)?, kernel.run(NopSink, &ab)?),
+        };
+        let flagged = output
+            .iter()
+            .zip(fb.iter().zip(&fab))
+            .any(|(&fa, (&fb, &fab))| {
+                q.add(q.reduce_u64(fa), q.reduce_u64(fb)) != q.reduce_u64(fab)
+            });
+        Ok(DetectorOutcome {
+            flagged,
+            check_cycles: sb.total() + sab.total(),
+        })
+    }
+}
+
+/// The standard detector battery: range guard, round-trip probe, and
+/// linearity probe, in increasing cost order.
+#[must_use]
+pub fn standard_detectors(seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(RangeGuard),
+        Box::new(RoundTripProbe),
+        Box::new(LinearityProbe::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultPlan};
+    use uvpu_accel::workload::{Task, TaskKind};
+    use uvpu_core::trace::FaultSite;
+
+    fn kernel(kind: TaskKind) -> Kernel {
+        Kernel::for_task(
+            &Task {
+                kind,
+                n: 256,
+                noc_bytes: 0,
+            },
+            16,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_runs_never_flag() {
+        for kind in [
+            TaskKind::Ntt,
+            TaskKind::Automorphism,
+            TaskKind::Elementwise { passes: 2 },
+        ] {
+            let k = kernel(kind);
+            let input = k.input();
+            let (output, _) = k.run(NopSink, &input).unwrap();
+            for d in &mut standard_detectors(9) {
+                let o = d.check(&k, None, &input, &output).unwrap();
+                assert!(!o.flagged, "{} false-positived on {kind:?}", d.name());
+                assert!(o.check_cycles > 0, "{} is not free", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn range_guard_catches_out_of_range_words() {
+        let k = kernel(TaskKind::Ntt);
+        let input = k.input();
+        let (mut output, _) = k.run(NopSink, &input).unwrap();
+        output[17] |= 1 << 62; // high-bit corruption at the store site
+        let o = RangeGuard.check(&k, None, &input, &output).unwrap();
+        assert!(o.flagged);
+    }
+
+    #[test]
+    fn round_trip_catches_any_in_range_corruption() {
+        for kind in [
+            TaskKind::Ntt,
+            TaskKind::Automorphism,
+            TaskKind::Elementwise { passes: 2 },
+        ] {
+            let k = kernel(kind);
+            let input = k.input();
+            let (mut output, _) = k.run(NopSink, &input).unwrap();
+            // Corrupt one word but stay a valid residue: invisible to
+            // the range guard, fatal to the round trip.
+            output[5] = k.modulus().add(output[5], 1);
+            assert!(
+                !RangeGuard.check(&k, None, &input, &output).unwrap().flagged,
+                "in-range corruption evades the range guard"
+            );
+            let o = RoundTripProbe.check(&k, None, &input, &output).unwrap();
+            assert!(o.flagged, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn linearity_probe_sees_environment_faults() {
+        use uvpu_core::trace::SharedSink;
+        // A persistent stuck-at fault corrupts the butterfly site; the
+        // attempt and the shadow runs all pass through it, and the
+        // linearity identity shatters.
+        let k = kernel(TaskKind::Ntt);
+        let plan = FaultPlan::new(
+            77,
+            FaultSite::LaneButterfly,
+            FaultKind::StuckAtOne { bit: 13 },
+            60_000,
+        );
+        let env = SharedSink::new(InjectorSink::new(plan, 16));
+        let input = k.input();
+        // Pin to one host thread like the executor does: the parallel
+        // mapping paths charge beats analytically and would bypass the
+        // injector entirely.
+        uvpu_par::with_threads(1, || {
+            let (output, _) = k.run(env.clone(), &input).unwrap();
+            assert!(env.with(|s| s.injected_total()) > 0, "faults landed");
+            let o = LinearityProbe::new(9)
+                .check(&k, Some(&env), &input, &output)
+                .unwrap();
+            assert!(o.flagged);
+        });
+    }
+}

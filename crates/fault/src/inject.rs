@@ -1,0 +1,215 @@
+//! The injector sink: a [`TraceSink`] that corrupts in-flight data at
+//! the VPU's fault hooks according to a [`FaultPlan`].
+
+use crate::plan::FaultPlan;
+use uvpu_core::trace::{FaultSite, TraceSink};
+
+/// One applied corruption, for post-mortem inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Site the corruption landed on.
+    pub site: FaultSite,
+    /// VPU beat-clock cycle of the event.
+    pub cycle: u64,
+    /// Lane whose word was corrupted.
+    pub lane: usize,
+    /// Word value before corruption.
+    pub before: u64,
+    /// Word value after corruption.
+    pub after: u64,
+}
+
+/// A fault-injecting trace sink.
+///
+/// Attach it to a VPU (directly or via
+/// [`SharedSink`](uvpu_core::trace::SharedSink) when detectors need to
+/// share the environment across kernel runs) and every fault hook at
+/// the plan's site rolls the plan's deterministic per-word coin.
+/// Only corruptions that actually *change* a word are counted as
+/// injected — a stuck-at-zero landing on a zero bit is electrically
+/// present but architecturally masked.
+///
+/// Call [`begin_attempt`](Self::begin_attempt) before each re-execution
+/// of a task: it restarts the per-site event numbering so persistent
+/// faults reproduce at the same logical positions, and stamps the
+/// attempt number into transient decisions so they re-roll.
+#[derive(Debug, Clone)]
+pub struct InjectorSink {
+    plan: FaultPlan,
+    attempt: u32,
+    event_counts: [u64; 4],
+    injected_attempt: u64,
+    injected_total: u64,
+    records: Vec<FaultRecord>,
+    record_cap: usize,
+}
+
+impl InjectorSink {
+    /// An injector for `plan`, keeping at most `record_cap` detailed
+    /// fault records (counters are always exact).
+    #[must_use]
+    pub const fn new(plan: FaultPlan, record_cap: usize) -> Self {
+        Self {
+            plan,
+            attempt: 0,
+            event_counts: [0; 4],
+            injected_attempt: 0,
+            injected_total: 0,
+            records: Vec::new(),
+            record_cap,
+        }
+    }
+
+    /// Restarts per-site event numbering for re-execution `attempt` of
+    /// the same task (see the type docs).
+    pub fn begin_attempt(&mut self, attempt: u32) {
+        self.attempt = attempt;
+        self.event_counts = [0; 4];
+        self.injected_attempt = 0;
+    }
+
+    /// The plan driving this injector.
+    #[must_use]
+    pub const fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Words corrupted (changed) during the current attempt.
+    #[must_use]
+    pub const fn injected_attempt(&self) -> u64 {
+        self.injected_attempt
+    }
+
+    /// Words corrupted (changed) across all attempts.
+    #[must_use]
+    pub const fn injected_total(&self) -> u64 {
+        self.injected_total
+    }
+
+    /// Detailed records of the first corruptions (up to the cap).
+    #[must_use]
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+}
+
+impl TraceSink for InjectorSink {
+    fn fault_hooks_enabled(&self) -> bool {
+        true
+    }
+
+    fn fault_data(&mut self, _track: u32, cycle: u64, site: FaultSite, data: &mut [u64]) {
+        let event_idx = self.event_counts[site.index()];
+        self.event_counts[site.index()] += 1;
+        if site != self.plan.site {
+            return;
+        }
+        let (w0, w1) = self.plan.cycle_window;
+        if cycle < w0 || cycle >= w1 {
+            return;
+        }
+        for (lane, word) in data.iter_mut().enumerate() {
+            if !self.plan.corrupts(event_idx, lane, self.attempt) {
+                continue;
+            }
+            let corrupted = self.plan.kind.apply(*word);
+            if corrupted == *word {
+                continue; // architecturally masked
+            }
+            if self.records.len() < self.record_cap {
+                self.records.push(FaultRecord {
+                    site,
+                    cycle,
+                    lane,
+                    before: *word,
+                    after: corrupted,
+                });
+            }
+            *word = corrupted;
+            self.injected_attempt += 1;
+            self.injected_total += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+    use uvpu_core::trace::SharedSink;
+    use uvpu_core::vpu::Vpu;
+    use uvpu_math::modular::Modulus;
+
+    fn plan(site: FaultSite, rate_ppm: u32) -> FaultPlan {
+        FaultPlan::new(1234, site, FaultKind::BitFlip { bit: 2 }, rate_ppm)
+    }
+
+    #[test]
+    fn injector_corrupts_store_reads_deterministically() {
+        let run = || {
+            let q = Modulus::new(97).unwrap();
+            let sink = InjectorSink::new(plan(FaultSite::RegFileRead, 400_000), 64);
+            let mut vpu = Vpu::with_sink(8, q, 8, sink).unwrap();
+            vpu.load(0, &[10, 20, 30, 40, 50, 60, 70, 80]).unwrap();
+            let out = vpu.store(0).unwrap();
+            let sink = vpu.into_sink();
+            (out, sink.injected_total(), sink.records().to_vec())
+        };
+        let (out_a, injected_a, rec_a) = run();
+        let (out_b, injected_b, _) = run();
+        assert_eq!(out_a, out_b, "bit-reproducible corruption");
+        assert_eq!(injected_a, injected_b);
+        assert!(injected_a > 0, "40% per-word rate over 8 lanes fires");
+        assert_ne!(
+            out_a,
+            vec![10, 20, 30, 40, 50, 60, 70, 80],
+            "corruption visible at the store interface"
+        );
+        for r in &rec_a {
+            assert_eq!(r.after, r.before ^ 4, "single-bit flip of bit 2");
+        }
+    }
+
+    #[test]
+    fn off_site_events_pass_through() {
+        let q = Modulus::new(97).unwrap();
+        let sink = InjectorSink::new(plan(FaultSite::NetworkShift, 1_000_000), 8);
+        let mut vpu = Vpu::with_sink(8, q, 8, sink).unwrap();
+        vpu.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let out = vpu.store(0).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(vpu.into_sink().injected_total(), 0);
+    }
+
+    #[test]
+    fn network_sites_stay_in_range_after_injection() {
+        // Write-back sites re-reduce mod q, so even a 100% flip rate
+        // leaves every stored word a valid residue.
+        let q = Modulus::new(97).unwrap();
+        let sink = SharedSink::new(InjectorSink::new(
+            plan(FaultSite::NetworkShift, 1_000_000),
+            8,
+        ));
+        let mut vpu = Vpu::with_sink(8, q, 8, sink.clone()).unwrap();
+        vpu.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        vpu.rotate(1, 0, 3).unwrap();
+        let out = vpu.store(1).unwrap();
+        assert!(sink.with(|s| s.injected_total()) > 0);
+        assert!(out.iter().all(|&x| x < 97), "{out:?}");
+        assert_ne!(out, vec![6, 7, 8, 1, 2, 3, 4, 5], "rotation corrupted");
+    }
+
+    #[test]
+    fn cycle_window_gates_injection() {
+        let q = Modulus::new(97).unwrap();
+        let mut p = plan(FaultSite::NetworkShift, 1_000_000);
+        p.cycle_window = (100, 200); // the rotate below runs at cycle 0
+        let sink = InjectorSink::new(p, 8);
+        let mut vpu = Vpu::with_sink(8, q, 8, sink).unwrap();
+        vpu.load(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        vpu.rotate(1, 0, 3).unwrap();
+        assert_eq!(vpu.store(1).unwrap(), vec![6, 7, 8, 1, 2, 3, 4, 5]);
+        assert_eq!(vpu.into_sink().injected_total(), 0);
+    }
+}

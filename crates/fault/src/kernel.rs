@@ -1,0 +1,257 @@
+//! Task kernels as re-runnable, invertible objects.
+//!
+//! The recovery executor and the online detectors both need to run a
+//! scheduler [`Task`]'s kernel on demand — on a clean VPU for golden
+//! references and inverse probes, or under a shared fault environment
+//! for the attempt itself and the shadow-vector checks. [`Kernel`]
+//! packages the three task kinds behind one interface, mirroring the
+//! recipes of [`uvpu_accel::workload::measure_task`] so a fault
+//! campaign prices exactly the kernels the machine model schedules.
+
+use uvpu_accel::workload::{Task, TaskKind};
+use uvpu_accel::AccelError;
+use uvpu_core::auto_map::AutomorphismMapping;
+use uvpu_core::ntt_map::NttPlan;
+use uvpu_core::stats::CycleStats;
+use uvpu_core::trace::TraceSink;
+use uvpu_core::vpu::Vpu;
+use uvpu_core::CoreError;
+use uvpu_math::modular::Modulus;
+use uvpu_math::primes::ntt_prime;
+
+/// The automorphism element every kernel instance uses (matches
+/// `measure_task`).
+const AUTO_G: u64 = 5;
+
+/// A task kernel bound to a lane count and modulus, executable any
+/// number of times under any trace sink.
+///
+/// All three kinds are *linear* maps over `Z_q^n` and *invertible*
+/// (inverse NTT, inverse automorphism index map, inverse constant
+/// multiply), which is what makes the linearity and round-trip
+/// detectors exact: on a fault-free run they can never fire.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    kind: TaskKind,
+    n: usize,
+    lanes: usize,
+    q: Modulus,
+}
+
+impl Kernel {
+    /// Builds the kernel for `task` on `lanes` lanes, choosing the same
+    /// NTT-friendly ~50-bit modulus as the machine model's measurement
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator (e.g. no suitable
+    /// prime, or `n` incompatible with the lane count).
+    pub fn for_task(task: &Task, lanes: usize) -> Result<Self, AccelError> {
+        let n = task.n;
+        let q = Modulus::new(ntt_prime(50, n.max(lanes * 2)).map_err(CoreError::Math)?)
+            .map_err(CoreError::Math)?;
+        Ok(Self {
+            kind: task.kind,
+            n,
+            lanes,
+            q,
+        })
+    }
+
+    /// The kernel's modulus.
+    #[must_use]
+    pub const fn modulus(&self) -> Modulus {
+        self.q
+    }
+
+    /// The kernel's ring degree.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The canonical input vector for this kernel's tasks: the ramp
+    /// `0, 1, …, n−1` reduced mod `q` — deterministic, shared by the
+    /// golden run and every attempt.
+    #[must_use]
+    pub fn input(&self) -> Vec<u64> {
+        (0..self.n as u64).map(|x| self.q.reduce_u64(x)).collect()
+    }
+
+    /// The per-lane constant vector of the element-wise kernel (small
+    /// odd ramp; every entry is a unit mod the ~50-bit prime `q`).
+    fn ewise_consts(&self) -> Vec<u64> {
+        (0..self.lanes as u64)
+            .map(|i| self.q.reduce_u64(3 + 2 * i))
+            .collect()
+    }
+
+    /// Runs the kernel forward over `input` under `sink`, returning the
+    /// output vector and the pipeline cycles of just this run.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator.
+    pub fn run<S: TraceSink>(
+        &self,
+        sink: S,
+        input: &[u64],
+    ) -> Result<(Vec<u64>, CycleStats), AccelError> {
+        let mut vpu = Vpu::with_sink(self.lanes, self.q, 8, sink)?;
+        match self.kind {
+            TaskKind::Ntt => {
+                let plan = NttPlan::cached(self.q, self.n, self.lanes)?;
+                let run = plan.execute_forward_negacyclic(&mut vpu, input)?;
+                Ok((run.output, run.stats))
+            }
+            TaskKind::Automorphism => {
+                let plan = AutomorphismMapping::cached(self.n, self.lanes, AUTO_G, 0)?;
+                let run = plan.execute(&mut vpu, input)?;
+                Ok((run.output, run.stats))
+            }
+            TaskKind::Elementwise { passes } => {
+                let consts = self.ewise_consts();
+                let cols = self.n.div_ceil(self.lanes);
+                let mut output = Vec::with_capacity(cols * self.lanes);
+                for c in 0..cols {
+                    let start = c * self.lanes;
+                    let mut column = vec![0u64; self.lanes];
+                    for (i, slot) in column.iter_mut().enumerate() {
+                        if let Some(&x) = input.get(start + i) {
+                            *slot = x;
+                        }
+                    }
+                    vpu.load(0, &column)?;
+                    for _ in 0..passes {
+                        vpu.ewise_mul_const(0, 0, &consts)?;
+                    }
+                    output.extend(vpu.store(0)?);
+                }
+                output.truncate(self.n);
+                Ok((output, *vpu.stats()))
+            }
+        }
+    }
+
+    /// Recovers the kernel input from `output` via the exact inverse
+    /// operation, returning the candidate input and the cycles the
+    /// probe costs. The inverse NTT runs on a clean VPU; the
+    /// automorphism and constant-multiply inverses are host-side
+    /// algebra priced at one pass over the vector.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-mapping errors from the VPU simulator, or an `output`
+    /// length mismatch.
+    pub fn invert(&self, output: &[u64]) -> Result<(Vec<u64>, u64), AccelError> {
+        if output.len() != self.n {
+            return Err(AccelError::Core(CoreError::Math(
+                uvpu_math::MathError::LengthMismatch {
+                    left: self.n,
+                    right: output.len(),
+                },
+            )));
+        }
+        let cols = self.n.div_ceil(self.lanes) as u64;
+        match self.kind {
+            TaskKind::Ntt => {
+                let plan = NttPlan::cached(self.q, self.n, self.lanes)?;
+                let mut vpu = Vpu::new(self.lanes, self.q, 8)?;
+                let run = plan.execute_inverse_negacyclic(&mut vpu, output)?;
+                Ok((run.output, run.stats.total()))
+            }
+            TaskKind::Automorphism => {
+                // Forward: output[(i·g) mod n] = input[i], so reading
+                // the forward index map back out inverts it exactly.
+                let mut input = vec![0u64; self.n];
+                for (i, slot) in input.iter_mut().enumerate() {
+                    *slot = output[(i as u64 * AUTO_G) as usize % self.n];
+                }
+                Ok((input, cols))
+            }
+            TaskKind::Elementwise { passes } => {
+                let consts = self.ewise_consts();
+                let inv: Vec<u64> = consts
+                    .iter()
+                    .map(|&c| self.q.inv(c).map_err(CoreError::Math))
+                    .collect::<Result<_, _>>()?;
+                let mut input = output.to_vec();
+                for (i, x) in input.iter_mut().enumerate() {
+                    let c = inv[i % self.lanes];
+                    let mut v = self.q.reduce_u64(*x);
+                    for _ in 0..passes {
+                        v = self.q.mul(v, c);
+                    }
+                    *x = v;
+                }
+                Ok((input, cols * passes as u64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::NopSink;
+
+    fn task(kind: TaskKind, n: usize) -> Task {
+        Task {
+            kind,
+            n,
+            noc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_its_inverse() {
+        for kind in [
+            TaskKind::Ntt,
+            TaskKind::Automorphism,
+            TaskKind::Elementwise { passes: 3 },
+        ] {
+            let k = Kernel::for_task(&task(kind, 256), 16).unwrap();
+            let input = k.input();
+            let (output, stats) = k.run(NopSink, &input).unwrap();
+            let (back, probe_cycles) = k.invert(&output).unwrap();
+            assert_eq!(back, input, "{kind:?} inverse recovers the input");
+            assert!(stats.total() > 0);
+            assert!(probe_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn kernels_are_linear_maps() {
+        for kind in [
+            TaskKind::Ntt,
+            TaskKind::Automorphism,
+            TaskKind::Elementwise { passes: 2 },
+        ] {
+            let k = Kernel::for_task(&task(kind, 256), 16).unwrap();
+            let q = k.modulus();
+            let a = k.input();
+            let b: Vec<u64> = (0..256u64).map(|i| q.reduce_u64(i * 31 + 7)).collect();
+            let ab: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+            let (fa, _) = k.run(NopSink, &a).unwrap();
+            let (fb, _) = k.run(NopSink, &b).unwrap();
+            let (fab, _) = k.run(NopSink, &ab).unwrap();
+            let sum: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.add(x, y)).collect();
+            assert_eq!(sum, fab, "{kind:?} is additive");
+        }
+    }
+
+    #[test]
+    fn run_matches_measure_task_cycle_costs() {
+        // The campaign's recovery timeline should price the same cycles
+        // the stock scheduler does.
+        for kind in [TaskKind::Ntt, TaskKind::Automorphism] {
+            let t = task(kind, 256);
+            let k = Kernel::for_task(&t, 16).unwrap();
+            let (_, stats) = k.run(NopSink, &k.input()).unwrap();
+            let measured = uvpu_accel::workload::measure_task(&t, 16).unwrap();
+            assert_eq!(stats, measured, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Fault plans: what to corrupt, where, when, and how often.
+
+use crate::mix64;
+use uvpu_core::trace::FaultSite;
+
+/// The corruption applied to one 64-bit word.
+///
+/// Bit flips are *transient* (an SEU-style upset): the decision hash
+/// includes the attempt number, so a retry of the same task re-rolls
+/// the dice and converges. Stuck-at kinds are *persistent* (a broken
+/// line on one VPU): their hash excludes the attempt, so every retry on
+/// the faulty slot reproduces the same corruption and only a
+/// quarantine-driven remap recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Transient single-bit flip of bit `bit % 64`.
+    BitFlip {
+        /// Bit position (taken mod 64).
+        bit: u8,
+    },
+    /// Persistent line stuck at 0: bit `bit % 64` is forced low.
+    StuckAtZero {
+        /// Bit position (taken mod 64).
+        bit: u8,
+    },
+    /// Persistent line stuck at 1: bit `bit % 64` is forced high.
+    StuckAtOne {
+        /// Bit position (taken mod 64).
+        bit: u8,
+    },
+}
+
+impl FaultKind {
+    /// Stable snake_case name for reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::BitFlip { .. } => "bit_flip",
+            Self::StuckAtZero { .. } => "stuck_at_zero",
+            Self::StuckAtOne { .. } => "stuck_at_one",
+        }
+    }
+
+    /// `true` when the fault survives re-execution on the same slot.
+    #[must_use]
+    pub const fn persistent(self) -> bool {
+        !matches!(self, Self::BitFlip { .. })
+    }
+
+    /// Applies the corruption to one word, returning the new value.
+    #[must_use]
+    pub const fn apply(self, word: u64) -> u64 {
+        match self {
+            Self::BitFlip { bit } => word ^ (1u64 << (bit % 64)),
+            Self::StuckAtZero { bit } => word & !(1u64 << (bit % 64)),
+            Self::StuckAtOne { bit } => word | (1u64 << (bit % 64)),
+        }
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Every corruption decision is a stateless hash of
+/// `(seed, site, per-site event index within the attempt, lane)` — plus
+/// the attempt number for transient kinds — compared against
+/// `rate_ppm` parts per million. No RNG state is carried between
+/// events, so the same plan over the same event stream corrupts the
+/// same words regardless of host thread count or execution order of
+/// unrelated work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// The datapath site this plan corrupts; events at other sites pass
+    /// through untouched.
+    pub site: FaultSite,
+    /// What the corruption does to a selected word.
+    pub kind: FaultKind,
+    /// Half-open cycle window `[start, end)` in which the plan is armed
+    /// (cycles are the VPU's own beat clock).
+    pub cycle_window: (u64, u64),
+    /// Per-word corruption probability in parts per million.
+    pub rate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// An always-armed plan (window `[0, u64::MAX)`).
+    #[must_use]
+    pub const fn new(seed: u64, site: FaultSite, kind: FaultKind, rate_ppm: u32) -> Self {
+        Self {
+            seed,
+            site,
+            kind,
+            cycle_window: (0, u64::MAX),
+            rate_ppm,
+        }
+    }
+
+    /// Decides whether the word at `lane` of per-site event `event_idx`
+    /// (counted within one attempt) is corrupted on `attempt`.
+    #[must_use]
+    pub fn corrupts(&self, event_idx: u64, lane: usize, attempt: u32) -> bool {
+        if self.rate_ppm == 0 {
+            return false;
+        }
+        let mut h = mix64(self.seed);
+        h = mix64(h ^ self.site.index() as u64);
+        h = mix64(h ^ event_idx);
+        h = mix64(h ^ lane as u64);
+        if !self.kind.persistent() {
+            h = mix64(h ^ u64::from(attempt));
+        }
+        h % 1_000_000 < u64::from(self.rate_ppm)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_apply_bitwise() {
+        assert_eq!(FaultKind::BitFlip { bit: 0 }.apply(0b10), 0b11);
+        assert_eq!(FaultKind::BitFlip { bit: 1 }.apply(0b10), 0b00);
+        assert_eq!(FaultKind::StuckAtZero { bit: 1 }.apply(0b11), 0b01);
+        assert_eq!(FaultKind::StuckAtOne { bit: 2 }.apply(0), 0b100);
+        assert_eq!(
+            FaultKind::BitFlip { bit: 64 }.apply(1),
+            0,
+            "bit index wraps mod 64"
+        );
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_scaled() {
+        let plan = |rate| {
+            FaultPlan::new(
+                42,
+                FaultSite::LaneButterfly,
+                FaultKind::BitFlip { bit: 3 },
+                rate,
+            )
+        };
+        let p = plan(100_000); // 10%
+        for event in 0..100 {
+            for lane in 0..8 {
+                assert_eq!(p.corrupts(event, lane, 0), p.corrupts(event, lane, 0));
+            }
+        }
+        let count = |p: &FaultPlan, attempt| {
+            (0..1000u64)
+                .flat_map(|e| (0..8).map(move |l| (e, l)))
+                .filter(|&(e, l)| p.corrupts(e, l, attempt))
+                .count()
+        };
+        assert_eq!(count(&plan(0), 0), 0, "zero rate never fires");
+        let lo = count(&plan(10_000), 0);
+        let hi = count(&plan(500_000), 0);
+        assert!(lo > 0 && hi > lo, "rate ordering: {lo} < {hi}");
+        assert!(hi > 3_000 && hi < 5_000, "50% of 8000 words, roughly: {hi}");
+    }
+
+    #[test]
+    fn transient_rerolls_per_attempt_persistent_does_not() {
+        let flip = FaultPlan::new(
+            7,
+            FaultSite::NetworkCg,
+            FaultKind::BitFlip { bit: 0 },
+            300_000,
+        );
+        let stuck = FaultPlan {
+            kind: FaultKind::StuckAtOne { bit: 0 },
+            ..flip
+        };
+        let pattern = |p: &FaultPlan, attempt| -> Vec<bool> {
+            (0..200u64)
+                .flat_map(|e| (0..4).map(move |l| (e, l)))
+                .map(|(e, l)| p.corrupts(e, l, attempt))
+                .collect()
+        };
+        assert_eq!(pattern(&stuck, 0), pattern(&stuck, 5), "persistent repeats");
+        assert_ne!(pattern(&flip, 0), pattern(&flip, 1), "transient re-rolls");
+    }
+}

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Server-side audit: weight each slot (e.g. district multiplier) and
     // rotate to produce a shifted view, homomorphically and exactly.
     let weights: Vec<u64> = (0..candidates).map(|c| (c as u64 % 3) + 1).collect();
-    let weighted = eval.mul_plain(&tally, &encoder.encode(&weights)?);
+    let weighted = eval.mul_plain(&tally, &encoder.encode(&weights)?)?;
     let shifted = eval.rotate_rows(&tally, 1, &gks)?;
     let _ = &rlk; // relin key reserved for ciphertext-ciphertext audits
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Fault-injection campaign + regression gate.
+#
+# 1. Determinism sweep: the fixed-seed smoke campaign runs at 1, 2, and
+#    4 worker threads; the JSON coverage reports must be byte-identical
+#    (`cmp`) — fault decisions, detection counts, and recovery behavior
+#    may not depend on UVPU_THREADS.
+# 2. Gate: the report is diffed against the committed baseline
+#    (BENCH_fault_baseline_smoke.json). Any drift in injected/detected/
+#    recovered/silent counts per campaign cell gates exactly.
+#
+# Usage: scripts/bench_fault.sh [--smoke]
+#   --smoke runs the reduced grid (the CI fast path and the only gated
+#   variant); without it the full grid also runs, ungated, and writes
+#   BENCH_fault.json for inspection.
+#
+# To regenerate the baseline after an intentional change to the fault
+# model, detectors, or recovery policy:
+#   cargo run --release -p uvpu-bench --bin fault_campaign -- \
+#       --smoke --out BENCH_fault_baseline_smoke.json
+set -eu
+cd "$(dirname "$0")/.."
+
+smoke_only=0
+for arg in "$@"; do
+    case "$arg" in
+    --smoke) smoke_only=1 ;;
+    *)
+        echo "bench_fault: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cargo build --release --offline -p uvpu-bench --bin fault_campaign
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for t in 1 2 4; do
+    ./target/release/fault_campaign --smoke --threads "$t" \
+        --out "$tmpdir/fault_t$t.json" >/dev/null
+done
+for t in 2 4; do
+    if ! cmp -s "$tmpdir/fault_t1.json" "$tmpdir/fault_t$t.json"; then
+        echo "bench_fault: FAIL — campaign report differs between 1 and $t threads:" >&2
+        diff "$tmpdir/fault_t1.json" "$tmpdir/fault_t$t.json" >&2 || true
+        exit 1
+    fi
+done
+echo "bench_fault: campaign reports byte-identical at 1/2/4 threads (smoke)"
+
+./target/release/fault_campaign --smoke --out - \
+    --check BENCH_fault_baseline_smoke.json
+echo "bench_fault: gate vs BENCH_fault_baseline_smoke.json passed"
+
+if [ "$smoke_only" -eq 0 ]; then
+    ./target/release/fault_campaign --out BENCH_fault.json
+    echo "bench_fault: wrote BENCH_fault.json (full grid, ungated)"
+fi

@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # fails on any drift in cycle totals, utilization, or energy attribution
 # against the committed baseline.
 sh scripts/bench_metrics.sh --smoke
+# Fault-campaign determinism sweep + coverage regression gate (smoke
+# variant): fails if injection, detection, or recovery behavior drifts
+# from the committed baseline, or differs across UVPU_THREADS.
+sh scripts/bench_fault.sh --smoke
 echo "ci: all green"

@@ -45,6 +45,7 @@ pub use uvpu_accel as accel;
 pub use uvpu_bfv as bfv;
 pub use uvpu_ckks as ckks;
 pub use uvpu_core as vpu;
+pub use uvpu_fault as fault;
 pub use uvpu_hw_model as hw_model;
 pub use uvpu_math as math;
 pub use uvpu_metrics as metrics;

@@ -1,0 +1,168 @@
+//! Property-based fault-recovery tests: for *any* seeded single-bit
+//! fault plan, online detection fires before corruption is accepted
+//! (no silent corruption), and the retry/quarantine machinery converges
+//! bit-exactly to the fault-free result.
+
+use proptest::prelude::*;
+use uvpu::accel::config::AcceleratorConfig;
+use uvpu::accel::machine::Accelerator;
+use uvpu::accel::recovery::RetryPolicy;
+use uvpu::accel::workload::{Task, TaskKind};
+use uvpu::accel::AccelError;
+use uvpu::fault::detect::standard_detectors;
+use uvpu::fault::exec::FaultyExecutor;
+use uvpu::fault::plan::{FaultKind, FaultPlan};
+use uvpu::vpu::trace::FaultSite;
+
+const LANES: usize = 16;
+
+fn tasks() -> Vec<Task> {
+    let n = 128;
+    vec![
+        Task {
+            kind: TaskKind::Automorphism,
+            n,
+            noc_bytes: 2 * n * 8,
+        },
+        Task {
+            kind: TaskKind::Ntt,
+            n,
+            noc_bytes: 2 * n * 8,
+        },
+        Task {
+            kind: TaskKind::Elementwise { passes: 2 },
+            n,
+            noc_bytes: 3 * n * 8,
+        },
+    ]
+}
+
+/// Runs the task list through a recovery-scheduled [`FaultyExecutor`]
+/// (fault on slot 0 of a 2-VPU machine). Returns the result plus the
+/// executor's injected-word and detection counts.
+///
+/// The executor pins every kernel to one host thread internally, so
+/// this must NOT be wrapped in `uvpu_par::with_threads` (non-reentrant).
+fn run(plan: FaultPlan, policy: &RetryPolicy) -> (Result<Vec<u64>, AccelError>, u64, u64) {
+    let mut exec = FaultyExecutor::new(plan, 0, LANES, standard_detectors(plan.seed ^ 0x5eed));
+    let mut accel = Accelerator::new(AcceleratorConfig {
+        vpu_count: 2,
+        lanes: LANES,
+        ..AcceleratorConfig::default()
+    })
+    .expect("accelerator config");
+    let result = accel
+        .run_tasks_with_recovery(&tasks(), &mut exec, policy)
+        .map(|r| r.task_digests);
+    let detected: u64 = exec
+        .registry()
+        .family("fault.detected")
+        .values()
+        .copied()
+        .sum();
+    (result, exec.injected_words(), detected)
+}
+
+fn golden_digests() -> Vec<u64> {
+    let clean = FaultPlan::new(
+        0,
+        FaultSite::LaneButterfly,
+        FaultKind::BitFlip { bit: 0 },
+        0,
+    );
+    let (digests, injected, _) = run(clean, &RetryPolicy::default());
+    assert_eq!(injected, 0, "zero-rate plan must not inject");
+    digests.expect("fault-free run succeeds")
+}
+
+fn site(idx: usize) -> FaultSite {
+    FaultSite::ALL[idx % FaultSite::ALL.len()]
+}
+
+fn kind(sel: u8, bit: u8) -> FaultKind {
+    match sel % 3 {
+        0 => FaultKind::BitFlip { bit },
+        1 => FaultKind::StuckAtOne { bit },
+        _ => FaultKind::StuckAtZero { bit },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded single-bit fault plan: either the run converges to
+    /// the bit-exact fault-free digests (so every corruption was either
+    /// detected-and-retried or architecturally masked), or it surfaces
+    /// a typed `FaultUnrecoverable` backed by detections — never
+    /// silently corrupted output.
+    #[test]
+    fn no_silent_corruption_under_any_single_bit_plan(
+        seed in any::<u64>(),
+        site_idx in 0usize..4,
+        kind_sel in any::<u8>(),
+        bit in 0u8..64,
+        rate_ppm in 50u32..40_000,
+    ) {
+        let golden = golden_digests();
+        let plan = FaultPlan::new(seed, site(site_idx), kind(kind_sel, bit), rate_ppm);
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_cycles: 16,
+            quarantine_threshold: 2,
+        };
+        let (result, _injected, detected) = run(plan, &policy);
+        match result {
+            Ok(digests) => {
+                prop_assert_eq!(digests, golden);
+            }
+            Err(AccelError::FaultUnrecoverable { .. }) => {
+                // Surrender is only legal if detection kept firing.
+                prop_assert!(detected > 0, "unrecoverable without any detection");
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// With quarantine at threshold 1, a single retry is always enough:
+    /// the first detection benches the faulty slot and the retry runs
+    /// clean on the healthy one, converging bit-exactly — even at
+    /// injection rates where the faulty slot can essentially never
+    /// complete an attempt without corruption.
+    #[test]
+    fn retry_converges_bit_exactly_with_one_retry(
+        seed in any::<u64>(),
+        site_idx in 0usize..4,
+        bit in 0u8..64,
+        rate_ppm in 10_000u32..1_000_000,
+    ) {
+        let golden = golden_digests();
+        let plan = FaultPlan::new(seed, site(site_idx), FaultKind::BitFlip { bit }, rate_ppm);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            backoff_cycles: 16,
+            quarantine_threshold: 1,
+        };
+        let (result, _, _) = run(plan, &policy);
+        match result {
+            Ok(digests) => prop_assert_eq!(digests, golden),
+            Err(e) => prop_assert!(false, "max_retries=1 with quarantine must converge: {e}"),
+        }
+    }
+
+    /// The whole pipeline is deterministic: the same plan twice gives
+    /// identical digests, injection counts, and detection counts.
+    #[test]
+    fn recovery_is_bit_reproducible(
+        seed in any::<u64>(),
+        site_idx in 0usize..4,
+        rate_ppm in 100u32..20_000,
+    ) {
+        let plan = FaultPlan::new(seed, site(site_idx), FaultKind::BitFlip { bit: 11 }, rate_ppm);
+        let policy = RetryPolicy::default();
+        let a = run(plan, &policy);
+        let b = run(plan, &policy);
+        prop_assert_eq!(format!("{:?}", a.0), format!("{:?}", b.0));
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+}

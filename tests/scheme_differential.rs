@@ -132,7 +132,9 @@ fn bfv_random_program_is_exact() {
                     let mask: Vec<u64> = (0..reference.len())
                         .map(|_| rng.gen_range(0..100))
                         .collect();
-                    ct = eval.add_plain(&ct, &encoder.encode(&mask).unwrap());
+                    ct = eval
+                        .add_plain(&ct, &encoder.encode(&mask).unwrap())
+                        .unwrap();
                     for (x, m) in reference.iter_mut().zip(&mask) {
                         *x = (*x + m) % t;
                     }
@@ -145,7 +147,9 @@ fn bfv_random_program_is_exact() {
                     // only scales noise by the scalar.
                     let c = rng.gen_range(2..8u64);
                     let mask = vec![c; reference.len()];
-                    ct = eval.mul_plain(&ct, &encoder.encode(&mask).unwrap());
+                    ct = eval
+                        .mul_plain(&ct, &encoder.encode(&mask).unwrap())
+                        .unwrap();
                     for x in reference.iter_mut() {
                         *x = *x * c % t;
                     }
