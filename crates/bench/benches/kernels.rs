@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the lazy-reduction kernel layer: Harvey
+//! lazy butterflies vs the fully-reduced reference transforms, and the
+//! fused `ntt_pointwise_intt` pipeline vs the three-pass equivalent.
+//!
+//! The allocation-per-op accounting lives in the `bench_kernels` binary
+//! (it needs a counting global allocator); these benchmarks only compare
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uvpu_math::modular::Modulus;
+use uvpu_math::ntt::NttTable;
+use uvpu_math::primes::ntt_prime;
+use uvpu_math::{kernel, pool};
+
+fn lazy_vs_reference_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 7 + 3)).collect();
+        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pool::take_copy(&data);
+                kernel::forward_inplace(&table, &mut a);
+                black_box(&a);
+                pool::recycle(a);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pool::take_copy(&data);
+                table.forward_inplace_reference(&mut a);
+                black_box(&a);
+                pool::recycle(a);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fused_vs_three_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negacyclic_mul");
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let x: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 7 + 3)).collect();
+        let y: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 13 + 5)).collect();
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = pool::take_scratch(n);
+                kernel::ntt_pointwise_intt(&table, &x, &y, &mut out);
+                black_box(&out);
+                pool::recycle(out);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("three_pass", n), &n, |b, _| {
+            b.iter(|| {
+                let mut fx = x.clone();
+                let mut fy = y.clone();
+                table.forward_inplace_reference(&mut fx);
+                table.forward_inplace_reference(&mut fy);
+                for (a, &bv) in fx.iter_mut().zip(&fy) {
+                    *a = q.mul(*a, bv);
+                }
+                table.inverse_inplace_reference(&mut fx);
+                black_box(fx)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lazy_vs_reference_forward, fused_vs_three_pass);
+criterion_main!(benches);

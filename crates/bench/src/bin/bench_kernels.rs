@@ -1,0 +1,324 @@
+//! Kernel benchmark: allocation accounting and output digests for the
+//! fused lazy-reduction pipelines (`BENCH_kernels.json`, schema
+//! `uvpu-kernels/v1`).
+//!
+//! The binary installs a counting global allocator, warms the polynomial
+//! pool, and then measures every hot kernel in steady state:
+//!
+//! - `ntt_forward` / `ntt_inverse` — the Harvey lazy-reduction transforms
+//!   of `uvpu_math::kernel` on pooled scratch;
+//! - `ntt_pointwise_intt` — the fused forward → pointwise → inverse
+//!   pipeline;
+//! - `ntt_accumulate_pair` — the eval-domain keyswitch inner loop;
+//! - `bfv_ring_mul_q` — the BFV ring product built on the fusion;
+//! - `ckks_rns_mul` — `RnsPoly::mul` across the whole RNS chain.
+//!
+//! The deterministic core of the snapshot holds, per kernel, the FNV-1a
+//! digest of the output (bit-exactness witness) and the steady-state heap
+//! allocations per op (the pool-amortization witness: 0 for the slice
+//! kernels, a small constant for the `RnsPoly` wrapper's bookkeeping).
+//! Wall-clock ns/op and the pool hit/miss counters are advisory only —
+//! they depend on the host and warm-up history and never gate.
+//!
+//! Measurement always runs with the worker pool pinned to one thread so
+//! every pool borrow and recycle lands on the same thread-local free
+//! list; digests are thread-invariant anyway (see
+//! `tests/kernel_consistency.rs`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin bench_kernels -- \
+//!     [--smoke] [--out PATH] [--no-advisory] [--check BASELINE]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use uvpu_metrics::snapshot;
+
+/// Counts every heap allocation made by the process (relaxed: the
+/// measured region is single-threaded).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// FNV-1a over the coefficients, the digest stamped into the snapshot.
+fn fnv1a(mut h: u64, xs: &[u64]) -> u64 {
+    for &x in xs {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+struct CaseResult {
+    name: &'static str,
+    n: usize,
+    digest: u64,
+    allocs_per_op: u64,
+    ns_per_op: f64,
+}
+
+/// Runs `op` (which returns the digest of its output) through warm-up
+/// and a measured steady-state loop, checking digest stability.
+fn measure(
+    name: &'static str,
+    n: usize,
+    warmup: usize,
+    iters: usize,
+    mut op: impl FnMut() -> u64,
+) -> CaseResult {
+    let mut digest = 0u64;
+    for _ in 0..warmup {
+        digest = op();
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let d = op();
+        assert_eq!(d, digest, "{name}: output digest drifted across iterations");
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    CaseResult {
+        name,
+        n,
+        digest,
+        allocs_per_op: allocs / iters as u64,
+        ns_per_op: elapsed.as_nanos() as f64 / iters as f64,
+    }
+}
+
+fn run_cases(smoke: bool) -> Vec<CaseResult> {
+    use uvpu_math::modular::Modulus;
+    use uvpu_math::ntt::NttTable;
+    use uvpu_math::primes::ntt_prime;
+    use uvpu_math::{kernel, pool};
+
+    let n = if smoke { 1usize << 8 } else { 1usize << 12 };
+    let (warmup, iters) = if smoke { (4usize, 16usize) } else { (8, 64) };
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let table = NttTable::new(q, n).expect("table");
+    let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 7 + 3)).collect();
+    let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 13 + 5)).collect();
+
+    let mut out = Vec::with_capacity(8);
+
+    out.push(measure("ntt_forward", n, warmup, iters, || {
+        let mut x = pool::take_copy(&a);
+        kernel::forward_inplace(&table, &mut x);
+        let d = fnv1a(FNV_OFFSET, &x);
+        pool::recycle(x);
+        d
+    }));
+
+    out.push(measure("ntt_inverse", n, warmup, iters, || {
+        let mut x = pool::take_copy(&a);
+        kernel::inverse_inplace(&table, &mut x);
+        let d = fnv1a(FNV_OFFSET, &x);
+        pool::recycle(x);
+        d
+    }));
+
+    out.push(measure("ntt_pointwise_intt", n, warmup, iters, || {
+        let mut x = pool::take_scratch(n);
+        kernel::ntt_pointwise_intt(&table, &a, &b, &mut x);
+        let d = fnv1a(FNV_OFFSET, &x);
+        pool::recycle(x);
+        d
+    }));
+
+    out.push(measure("ntt_accumulate_pair", n, warmup, iters, || {
+        let mut acc0 = pool::take_zeroed(n);
+        let mut acc1 = pool::take_zeroed(n);
+        kernel::ntt_accumulate_pair(&table, &a, &b, &a, &mut acc0, &mut acc1);
+        let d = fnv1a(fnv1a(FNV_OFFSET, &acc0), &acc1);
+        pool::recycle(acc0);
+        pool::recycle(acc1);
+        d
+    }));
+
+    {
+        use uvpu_bfv::cipher::ring_mul_q;
+        use uvpu_bfv::params::BfvParams;
+
+        let params = BfvParams::new(n, 50).expect("bfv params");
+        let qb = params.modulus();
+        let ba: Vec<u64> = (0..n as u64).map(|i| qb.reduce_u64(i * 7 + 3)).collect();
+        let bb: Vec<u64> = (0..n as u64).map(|i| qb.reduce_u64(i * 13 + 5)).collect();
+        out.push(measure("bfv_ring_mul_q", n, warmup, iters, || {
+            let p = ring_mul_q(&params, &ba, &bb).expect("ring_mul_q");
+            let d = fnv1a(FNV_OFFSET, &p);
+            uvpu_math::pool::recycle(p);
+            d
+        }));
+    }
+
+    {
+        use uvpu_ckks::params::{CkksContext, CkksParams};
+        use uvpu_ckks::rns_poly::RnsPoly;
+
+        let ckks_n = if smoke { 1usize << 6 } else { 1usize << 8 };
+        let level = 3usize;
+        let ctx = CkksContext::new(CkksParams::new(ckks_n, level, 40).expect("ckks params"))
+            .expect("ckks context");
+        let coeffs_a: Vec<i64> = (0..ckks_n as i64).map(|k| k % 41 - 20).collect();
+        let coeffs_b: Vec<i64> = (0..ckks_n as i64).map(|k| (k * 3) % 37 - 18).collect();
+        let ra = RnsPoly::from_signed(&ctx, level, &coeffs_a)
+            .expect("rns a")
+            .to_evaluation(&ctx);
+        let rb = RnsPoly::from_signed(&ctx, level, &coeffs_b)
+            .expect("rns b")
+            .to_evaluation(&ctx);
+        out.push(measure("ckks_rns_mul", ckks_n, warmup, iters, || {
+            let r = ra.mul(&rb).expect("rns mul");
+            let mut d = FNV_OFFSET;
+            for i in 0..=level {
+                d = fnv1a(d, r.residue(i).coeffs());
+            }
+            r.recycle();
+            d
+        }));
+    }
+
+    out
+}
+
+fn core_json(variant: &str, cases: &[CaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"uvpu-kernels/v1\",\n");
+    let _ = writeln!(s, "  \"variant\": \"{variant}\",");
+    s.push_str("  \"threads\": 1,\n");
+    s.push_str("  \"kernels\": {\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{ \"n\": {}, \"digest\": \"0x{:016x}\", \"allocs_per_op\": {} }}{comma}",
+            c.name, c.n, c.digest, c.allocs_per_op
+        );
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut smoke = false;
+    let mut advisory = true;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-advisory" => advisory = false,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let variant = if smoke { "smoke" } else { "full" };
+
+    // The deterministic core requires all pool traffic on one thread.
+    uvpu_par::set_thread_override(Some(1));
+
+    let wall = Instant::now();
+    let cases = run_cases(smoke);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let core = core_json(variant, &cases);
+    let pool_stats = uvpu_math::pool::stats();
+
+    for c in &cases {
+        println!(
+            "KERNEL name={} variant={variant} n={} digest=0x{:016x} allocs_per_op={} ns_per_op={:.0}",
+            c.name, c.n, c.digest, c.allocs_per_op, c.ns_per_op
+        );
+    }
+
+    if out_path != "-" {
+        let contents = if advisory {
+            let mut fields: Vec<(String, String)> = cases
+                .iter()
+                .map(|c| {
+                    (
+                        format!("ns_per_op.{}", c.name),
+                        format!("{:.1}", c.ns_per_op),
+                    )
+                })
+                .collect();
+            fields.push(("kernel.pool.hits".to_string(), pool_stats.hits.to_string()));
+            fields.push((
+                "kernel.pool.misses".to_string(),
+                pool_stats.misses.to_string(),
+            ));
+            fields.push((
+                "kernel.pool.bytes_live".to_string(),
+                pool_stats.bytes_live.to_string(),
+            ));
+            fields.push(("wall_ms".to_string(), format!("{wall_ms:.1}")));
+            fields.push((
+                "host_cores".to_string(),
+                std::thread::available_parallelism()
+                    .map_or(0, std::num::NonZeroUsize::get)
+                    .to_string(),
+            ));
+            let borrowed: Vec<(&str, String)> = fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            snapshot::with_advisory(&core, &borrowed)
+        } else {
+            core.clone()
+        };
+        std::fs::write(&out_path, &contents).expect("write snapshot");
+        println!("kernels: wrote {} bytes to {out_path}", contents.len());
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let drift = snapshot::diff(&baseline, &core, 20);
+        if drift.is_empty() {
+            println!("gate: kernel snapshot matches baseline {baseline_path} — OK");
+        } else {
+            eprintln!(
+                "gate: kernel snapshot drifted from baseline {baseline_path} ({} lines):",
+                drift.len()
+            );
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            eprintln!(
+                "If the change is intentional, regenerate the baseline: \
+                 cargo run --release --bin bench_kernels -- --smoke --no-advisory --out {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

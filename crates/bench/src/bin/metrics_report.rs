@@ -72,6 +72,10 @@ fn main() {
 
     if out_path != "-" {
         let contents = if advisory {
+            // Pool counters are advisory: hit/miss splits depend on the
+            // thread count and warm-up history (only the outputs are
+            // required to be deterministic).
+            let pool = uvpu_math::pool::stats();
             snapshot::with_advisory(
                 &run.core_json,
                 &[
@@ -83,6 +87,9 @@ fn main() {
                             .map_or(0, std::num::NonZeroUsize::get)
                             .to_string(),
                     ),
+                    ("kernel.pool.hits", pool.hits.to_string()),
+                    ("kernel.pool.misses", pool.misses.to_string()),
+                    ("kernel.pool.bytes_live", pool.bytes_live.to_string()),
                 ],
             )
         } else {

@@ -41,24 +41,21 @@ pub(crate) fn require_parts(parts: &[Vec<u64>], needed: usize) -> Result<(), Bfv
 }
 
 /// Ring product mod `q` via the parameter set's NTT.
-pub(crate) fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, BfvError> {
-    let q = params.modulus();
-    // The two forward transforms are independent — run them as a pair on
-    // the worker pool (a no-op at one thread).
-    let mut fwd = uvpu_par::par_map_vec(vec![a.to_vec(), b.to_vec()], |_, mut f| {
-        params.ntt().forward_inplace(&mut f);
-        f
-    });
-    let (fb, fa) = match (fwd.pop(), fwd.pop()) {
-        (Some(fb), Some(fa)) => (fb, fa),
-        _ => return Err(BfvError::Internal("parallel NTT pair lost an operand")),
-    };
-    let mut fa = fa;
-    for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = q.mul(*x, *y);
-    }
-    params.ntt().inverse_inplace(&mut fa);
-    Ok(fa)
+///
+/// Runs the fused lazy-reduction pipeline: both operands stay in Harvey's
+/// `[0, 4q)` range through the forward transforms and a single pointwise
+/// pass feeds the inverse, with scratch borrowed from the polynomial pool
+/// instead of fresh heap allocations. Public so the benchmark harness can
+/// measure the primitive directly; inputs must be length-`n` slices of
+/// canonical (`< q`) residues.
+///
+/// # Errors
+///
+/// Substrate errors (cannot occur for valid parameters).
+pub fn ring_mul_q(params: &BfvParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, BfvError> {
+    let mut out = uvpu_math::pool::take_scratch(params.n());
+    uvpu_math::kernel::ntt_pointwise_intt(params.ntt(), a, b, &mut out);
+    Ok(out)
 }
 
 /// `b = −(a·s) + e` (mod q), shared by public-key and keyswitch-key
@@ -202,6 +199,8 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
         let c1: Vec<u64> = (0..n).map(|k| q.add(ua[k], q.from_i64(e2[k]))).collect();
+        uvpu_math::pool::recycle(ub);
+        uvpu_math::pool::recycle(ua);
         Ok(Ciphertext {
             parts: vec![c0, c1],
         })
@@ -225,8 +224,11 @@ impl<'a> Evaluator<'a> {
             for (a, p) in acc.iter_mut().zip(&prod) {
                 *a = q.add(*a, *p);
             }
-            s_pow = ring_mul_q(params, &s_pow, &s)?;
+            uvpu_math::pool::recycle(prod);
+            let next = ring_mul_q(params, &s_pow, &s)?;
+            uvpu_math::pool::recycle(std::mem::replace(&mut s_pow, next));
         }
+        uvpu_math::pool::recycle(s_pow);
         let t = params.plain_modulus();
         let t_val = i128::from(t.value());
         let q_val = i128::from(q.value());
@@ -262,8 +264,11 @@ impl<'a> Evaluator<'a> {
             for (a, p) in acc.iter_mut().zip(&prod) {
                 *a = q.add(*a, *p);
             }
-            s_pow = ring_mul_q(params, &s_pow, &s)?;
+            uvpu_math::pool::recycle(prod);
+            let next = ring_mul_q(params, &s_pow, &s)?;
+            uvpu_math::pool::recycle(std::mem::replace(&mut s_pow, next));
         }
+        uvpu_math::pool::recycle(s_pow);
         let mut max_noise = 0f64;
         for (k, &v) in acc.iter().enumerate() {
             // noise = v − round(q/t)·m (centered): use exact t·v − q·m.
@@ -283,7 +288,7 @@ impl<'a> Evaluator<'a> {
         let q = self.params.modulus();
         let size = a.size().max(b.size());
         let n = self.params.n();
-        let zero = vec![0u64; n];
+        let zero = uvpu_math::pool::take_zeroed(n);
         let parts = (0..size)
             .map(|k| {
                 let x = a.parts.get(k).unwrap_or(&zero);
@@ -291,21 +296,29 @@ impl<'a> Evaluator<'a> {
                 x.iter().zip(y).map(|(&u, &v)| q.add(u, v)).collect()
             })
             .collect();
+        uvpu_math::pool::recycle(zero);
         Ciphertext { parts }
     }
 
     /// Homomorphic subtraction (exact).
+    ///
+    /// Subtracts part-wise (`x − y ≡ x + (−y) mod q`) without materializing
+    /// a negated copy of `b`.
     #[must_use]
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         let q = self.params.modulus();
-        let neg = Ciphertext {
-            parts: b
-                .parts
-                .iter()
-                .map(|p| p.iter().map(|&v| q.neg(v)).collect())
-                .collect(),
-        };
-        self.add(a, &neg)
+        let size = a.size().max(b.size());
+        let n = self.params.n();
+        let zero = uvpu_math::pool::take_zeroed(n);
+        let parts = (0..size)
+            .map(|k| {
+                let x = a.parts.get(k).unwrap_or(&zero);
+                let y = b.parts.get(k).unwrap_or(&zero);
+                x.iter().zip(y).map(|(&u, &v)| q.sub(u, v)).collect()
+            })
+            .collect();
+        uvpu_math::pool::recycle(zero);
+        Ciphertext { parts }
     }
 
     /// Adds a plaintext: `c₀ += Δ·m`.
@@ -405,15 +418,26 @@ impl<'a> Evaluator<'a> {
         let c1 = scale(&d1);
         let c2 = scale(&d2);
 
-        let (ks0, ks1) = self.keyswitch(&c2, rlk)?;
-        let c0: Vec<u64> = c0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
-        let c1: Vec<u64> = c1.iter().zip(&ks1).map(|(&x, &y)| q.add(x, y)).collect();
+        let (mut ks0, mut ks1) = self.keyswitch(&c2, rlk)?;
+        for (x, &y) in ks0.iter_mut().zip(&c0) {
+            *x = q.add(*x, y);
+        }
+        for (x, &y) in ks1.iter_mut().zip(&c1) {
+            *x = q.add(*x, y);
+        }
         Ok(Ciphertext {
-            parts: vec![c0, c1],
+            parts: vec![ks0, ks1],
         })
     }
 
     /// Base-`2^w` keyswitch of `d` under `key`.
+    ///
+    /// Digit products are accumulated in the *evaluation* domain against
+    /// the key's precomputed NTT images (`parts_eval`), so the whole call
+    /// pays one forward transform per non-zero digit and exactly two
+    /// inverse transforms — instead of two full NTT round-trips per digit.
+    /// The inverse NTT is linear over `Z_q`, so the result is bit-identical
+    /// to summing coefficient-domain products.
     fn keyswitch(&self, d: &[u64], key: &KeySwitchKey) -> Result<(Vec<u64>, Vec<u64>), BfvError> {
         let _span = scheme_span("bfv.keyswitch");
         let params = self.params;
@@ -421,30 +445,50 @@ impl<'a> Evaluator<'a> {
         let n = params.n();
         let w = params.decomp_bits();
         let mask = (1u64 << w) - 1;
-        let mut acc0 = vec![0u64; n];
-        let mut acc1 = vec![0u64; n];
+        let table = params.ntt();
         // Digit products are independent; compute them on the pool and
         // accumulate sequentially in digit order so the modular sums are
         // bit-identical to the sequential path.
-        let products = uvpu_par::par_map_indexed(key.parts.len(), |i| {
-            let (b_i, a_i) = &key.parts[i];
-            let digit: Vec<u64> = d.iter().map(|&v| (v >> (w * i as u32)) & mask).collect();
+        let products = uvpu_par::par_map_indexed(key.parts_eval.len(), |i| {
+            let (b_eval, a_eval) = &key.parts_eval[i];
+            let mut digit = uvpu_math::pool::take_scratch(n);
+            for (o, &v) in digit.iter_mut().zip(d) {
+                *o = (v >> (w * i as u32)) & mask;
+            }
             if digit.iter().all(|&x| x == 0) {
+                uvpu_math::pool::recycle(digit);
                 return None;
             }
-            Some((
-                ring_mul_q(params, &digit, b_i),
-                ring_mul_q(params, &digit, a_i),
-            ))
+            let mut p0 = uvpu_math::pool::take_zeroed(n);
+            let mut p1 = uvpu_math::pool::take_zeroed(n);
+            uvpu_math::kernel::ntt_accumulate_pair(table, &digit, b_eval, a_eval, &mut p0, &mut p1);
+            uvpu_math::pool::recycle(digit);
+            Some((p0, p1))
         });
-        for pair in products.into_iter().flatten() {
-            let (p0, p1) = (pair.0?, pair.1?);
-            for k in 0..n {
-                acc0[k] = q.add(acc0[k], p0[k]);
-                acc1[k] = q.add(acc1[k], p1[k]);
+        let mut acc0 = uvpu_math::pool::take_zeroed(n);
+        let mut acc1 = uvpu_math::pool::take_zeroed(n);
+        for (p0, p1) in products.into_iter().flatten() {
+            for (a, &p) in acc0.iter_mut().zip(&p0) {
+                *a = q.add(*a, p);
             }
+            for (a, &p) in acc1.iter_mut().zip(&p1) {
+                *a = q.add(*a, p);
+            }
+            uvpu_math::pool::recycle(p0);
+            uvpu_math::pool::recycle(p1);
         }
-        Ok((acc0, acc1))
+        // Two inverse transforms total, independent — run them as a pair
+        // on the worker pool (a no-op at one thread).
+        let mut inv = uvpu_par::par_map_vec(vec![acc0, acc1], |_, mut f| {
+            table.inverse_inplace(&mut f);
+            f
+        });
+        match (inv.pop(), inv.pop()) {
+            (Some(acc1), Some(acc0)) => Ok((acc0, acc1)),
+            _ => Err(BfvError::Internal(
+                "parallel inverse NTT pair lost an operand",
+            )),
+        }
     }
 
     /// Rotates the batched rows by `step` (HRot): the Galois automorphism
@@ -489,10 +533,13 @@ impl<'a> Evaluator<'a> {
         require_parts(&ct.parts, 2)?;
         let t0 = apply_galois_coeff(&ct.parts[0], g, &q);
         let t1 = apply_galois_coeff(&ct.parts[1], g, &q);
-        let (ks0, ks1) = self.keyswitch(&t1, key)?;
-        let c0 = t0.iter().zip(&ks0).map(|(&x, &y)| q.add(x, y)).collect();
+        let (mut ks0, ks1) = self.keyswitch(&t1, key)?;
+        for (x, &y) in ks0.iter_mut().zip(&t0) {
+            *x = q.add(*x, y);
+        }
+        uvpu_math::pool::recycle(t1);
         Ok(Ciphertext {
-            parts: vec![c0, ks1],
+            parts: vec![ks0, ks1],
         })
     }
 }

@@ -26,6 +26,10 @@ pub struct PublicKey {
 pub struct KeySwitchKey {
     /// `(b_i, a_i)` pairs, one per digit.
     pub(crate) parts: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Forward-NTT images of `parts`, precomputed at keygen so every
+    /// keyswitch can accumulate digit products in the evaluation domain
+    /// and pay only two inverse transforms per call.
+    pub(crate) parts_eval: Vec<(Vec<u64>, Vec<u64>)>,
 }
 
 /// Galois keys indexed by Galois element.
@@ -129,7 +133,17 @@ impl<'a, R: Rng> KeyGenerator<'a, R> {
             parts.push((b, a));
             base = base.wrapping_shl(w); // 2^{wi}; overflow harmless past q's bits
         }
-        Ok(KeySwitchKey { parts })
+        let parts_eval = parts
+            .iter()
+            .map(|(b, a)| {
+                let mut fb = b.clone();
+                self.params.ntt().forward_inplace(&mut fb);
+                let mut fa = a.clone();
+                self.params.ntt().forward_inplace(&mut fa);
+                (fb, fa)
+            })
+            .collect();
+        Ok(KeySwitchKey { parts, parts_eval })
     }
 
     /// The relinearization key (target `s²`).

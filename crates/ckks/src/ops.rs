@@ -75,8 +75,11 @@ impl<'a> Evaluator<'a> {
         let e1 = RnsPoly::sample_error(ctx, level, rng)?;
         let b = pk.b.truncate_level(level)?.to_evaluation(ctx);
         let a = pk.a.truncate_level(level)?.to_evaluation(ctx);
-        let c0 = v.mul(&b)?.to_coefficient(ctx).add(&e0)?.add(&pt.poly)?;
-        let c1 = v.mul(&a)?.to_coefficient(ctx).add(&e1)?;
+        let mut c0 = v.mul(&b)?.to_coefficient(ctx);
+        c0.add_assign(&e0)?;
+        c0.add_assign(&pt.poly)?;
+        let mut c1 = v.mul(&a)?.to_coefficient(ctx);
+        c1.add_assign(&e1)?;
         Ok(Ciphertext {
             parts: vec![c0, c1],
             scale: pt.scale,
@@ -100,9 +103,9 @@ impl<'a> Evaluator<'a> {
         let a = RnsPoly::sample_uniform(ctx, level, rng)?;
         let e = RnsPoly::sample_error(ctx, level, rng)?;
         let s = sk.at_level(ctx, level)?.to_evaluation(ctx);
-        let c0 = e
-            .sub(&a.clone().to_evaluation(ctx).mul(&s)?.to_coefficient(ctx))?
-            .add(&pt.poly)?;
+        let mut c0 = e;
+        c0.sub_assign(&a.clone().to_evaluation(ctx).mul(&s)?.to_coefficient(ctx))?;
+        c0.add_assign(&pt.poly)?;
         Ok(Ciphertext {
             parts: vec![c0, a],
             scale: pt.scale,
@@ -122,7 +125,7 @@ impl<'a> Evaluator<'a> {
         let mut acc = ct.parts[0].clone().to_evaluation(ctx);
         let mut s_pow = s.clone();
         for part in &ct.parts[1..] {
-            acc = acc.add(&part.clone().to_evaluation(ctx).mul(&s_pow)?)?;
+            acc.add_assign(&part.clone().to_evaluation(ctx).mul(&s_pow)?)?;
             s_pow = s_pow.mul(&s)?;
         }
         Ok(Plaintext {
@@ -165,9 +168,9 @@ impl<'a> Evaluator<'a> {
         let (a, b) = self.align(a, b)?;
         let size = a.size().max(b.size());
         let level = a.level();
+        let zero = RnsPoly::zero(self.ctx, level)?;
         let mut parts = Vec::with_capacity(size);
         for k in 0..size {
-            let zero = RnsPoly::zero(self.ctx, level)?;
             let x = a.parts.get(k).unwrap_or(&zero);
             let y = b.parts.get(k).unwrap_or(&zero);
             parts.push(x.add(y)?);
@@ -184,11 +187,20 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`CkksError::ScaleMismatch`] or substrate errors.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
-        let neg = Ciphertext {
-            parts: b.parts.iter().map(RnsPoly::neg).collect(),
-            scale: b.scale,
-        };
-        self.add(a, &neg)
+        let (a, b) = self.align(a, b)?;
+        let size = a.size().max(b.size());
+        let level = a.level();
+        let zero = RnsPoly::zero(self.ctx, level)?;
+        let mut parts = Vec::with_capacity(size);
+        for k in 0..size {
+            let x = a.parts.get(k).unwrap_or(&zero);
+            let y = b.parts.get(k).unwrap_or(&zero);
+            parts.push(x.sub(y)?);
+        }
+        Ok(Ciphertext {
+            parts,
+            scale: a.scale.max(b.scale),
+        })
     }
 
     /// Adds a plaintext to a ciphertext.
@@ -210,7 +222,7 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|p| p.truncate_level(level))
             .collect::<Result<_, _>>()?;
-        parts[0] = parts[0].add(&pt.poly.truncate_level(level)?)?;
+        parts[0].add_assign(&pt.poly.truncate_level(level)?)?;
         Ok(Ciphertext {
             parts,
             scale: ct.scale,
@@ -270,12 +282,15 @@ impl<'a> Evaluator<'a> {
         let b0 = b.parts[0].truncate_level(level)?.to_evaluation(ctx);
         let b1 = b.parts[1].truncate_level(level)?.to_evaluation(ctx);
         let d0 = a0.mul(&b0)?;
-        let d1 = a0.mul(&b1)?.add(&a1.mul(&b0)?)?;
+        let mut d1 = a0.mul(&b1)?;
+        d1.add_assign(&a1.mul(&b0)?)?;
         let d2 = a1.mul(&b1)?.to_coefficient(ctx);
         // Relinearize d2·s² into (ks0, ks1).
         let (ks0, ks1) = self.keyswitch(&d2, rlk)?;
-        let c0 = d0.to_coefficient(ctx).add(&ks0)?;
-        let c1 = d1.to_coefficient(ctx).add(&ks1)?;
+        let mut c0 = d0.to_coefficient(ctx);
+        c0.add_assign(&ks0)?;
+        let mut c1 = d1.to_coefficient(ctx);
+        c1.add_assign(&ks1)?;
         Ok(Ciphertext {
             parts: vec![c0, c1],
             scale: a.scale * b.scale,
@@ -320,25 +335,34 @@ impl<'a> Evaluator<'a> {
         // stays sequential *inside* each prime, so the per-prime
         // accumulation order (and thus every rounding-free modular sum)
         // is identical to the sequential path for any thread count.
+        //
+        // The digit product is the fused kernel pipeline: one pooled
+        // scratch buffer holds the reduced digit, one lazy forward NTT is
+        // shared by both key halves, and the products accumulate directly
+        // into the output buffers — no per-digit Poly materializations.
         let acc_pairs = uvpu_par::par_map_indexed(basis.len(), |idx| {
             let (m, table, key_idx) = basis[idx];
-            let mut a0 = uvpu_math::poly::Poly::from_evaluations(vec![0; n], m)
-                .expect("power-of-two degree");
-            let mut a1 = a0.clone();
+            let mut a0 = uvpu_math::pool::take_zeroed(n);
+            let mut a1 = uvpu_math::pool::take_zeroed(n);
+            let mut digit_scratch = uvpu_math::pool::take_scratch(n);
             for (j, digit) in digits.iter().enumerate() {
-                let dp = uvpu_math::poly::Poly::from_coeffs(
-                    digit.iter().map(|&c| m.from_i64(c)).collect(),
-                    m,
-                )
-                .map_err(CkksError::Math)?
-                .to_evaluation(table);
-                a0 = a0
-                    .add(&dp.mul(&key.parts[j].0[key_idx]).map_err(CkksError::Math)?)
-                    .map_err(CkksError::Math)?;
-                a1 = a1
-                    .add(&dp.mul(&key.parts[j].1[key_idx]).map_err(CkksError::Math)?)
-                    .map_err(CkksError::Math)?;
+                for (o, &c) in digit_scratch.iter_mut().zip(digit.iter()) {
+                    *o = m.from_i64(c);
+                }
+                uvpu_math::kernel::ntt_accumulate_pair(
+                    table,
+                    &digit_scratch,
+                    key.parts[j].0[key_idx].coeffs(),
+                    key.parts[j].1[key_idx].coeffs(),
+                    &mut a0,
+                    &mut a1,
+                );
             }
+            uvpu_math::pool::recycle(digit_scratch);
+            let a0 =
+                uvpu_math::poly::Poly::from_reduced_evaluations(a0, m).map_err(CkksError::Math)?;
+            let a1 =
+                uvpu_math::poly::Poly::from_reduced_evaluations(a1, m).map_err(CkksError::Math)?;
             Ok::<_, CkksError>((a0, a1))
         });
         let mut acc0 = Vec::with_capacity(basis.len());
@@ -368,17 +392,19 @@ impl<'a> Evaluator<'a> {
         let p_mod = ctx.special_modulus();
         let out: Vec<uvpu_math::poly::Poly> = uvpu_par::par_map_vec(polys, |i, poly| {
             let m = ctx.modulus(i);
-            let p_inv = m.inv(m.reduce_u64(p_mod.value())).expect("distinct primes");
-            let coeffs: Vec<u64> = poly
-                .coeffs()
-                .iter()
-                .zip(special.coeffs())
-                .map(|(&c_i, &c_p)| {
-                    let centered = p_mod.to_centered(c_p);
-                    m.mul(m.sub(c_i, m.from_i64(centered)), p_inv)
-                })
-                .collect();
-            uvpu_math::poly::Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+            // (P mod q_i)⁻¹ is precomputed (with its Shoup quotient) in
+            // the context instead of being re-derived per limb per call.
+            let p_inv = ctx.mod_down_inv(i);
+            let mut coeffs = uvpu_math::pool::take_scratch(poly.n());
+            for (o, (&c_i, &c_p)) in coeffs
+                .iter_mut()
+                .zip(poly.coeffs().iter().zip(special.coeffs()))
+            {
+                let centered = p_mod.to_centered(c_p);
+                *o = p_inv.mul(m.sub(c_i, m.from_i64(centered)), &m);
+            }
+            poly.recycle();
+            uvpu_math::poly::Poly::from_reduced_coeffs(coeffs, m).expect("power-of-two degree")
         });
         let _ = level;
         RnsPoly::from_parts(out, ctx)
@@ -445,11 +471,12 @@ impl<'a> Evaluator<'a> {
                 "rotation expects a relinearized (2-part) ciphertext".into(),
             ));
         }
-        let t0 = ct.parts[0].galois(g)?;
+        let mut t0 = ct.parts[0].galois(g)?;
         let t1 = ct.parts[1].galois(g)?;
         let (ks0, ks1) = self.keyswitch(&t1, key)?;
+        t0.add_assign(&ks0)?;
         Ok(Ciphertext {
-            parts: vec![t0.add(&ks0)?, ks1],
+            parts: vec![t0, ks1],
             scale: ct.scale,
         })
     }
@@ -485,14 +512,15 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|&step| {
                 let (g, key) = gks.for_step(self.ctx, step)?;
-                let t0 = ct.parts[0].galois(g)?;
+                let mut t0 = ct.parts[0].galois(g)?;
                 let rotated: Vec<Vec<i64>> = digits
                     .iter()
                     .map(|d| crate::keys::galois_signed(d, g))
                     .collect();
                 let (ks0, ks1) = self.keyswitch_digits(&rotated, key, level)?;
+                t0.add_assign(&ks0)?;
                 Ok(Ciphertext {
-                    parts: vec![t0.add(&ks0)?, ks1],
+                    parts: vec![t0, ks1],
                     scale: ct.scale,
                 })
             })

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use crate::CkksError;
-use uvpu_math::modular::Modulus;
+use uvpu_math::modular::{Modulus, ShoupMul};
 use uvpu_math::ntt::NttTable;
 use uvpu_math::primes::{ntt_prime, ntt_prime_chain};
 use uvpu_math::rns::RnsBasis;
@@ -136,6 +136,13 @@ pub struct CkksContext {
     moduli: Vec<Modulus>,
     special_modulus: Modulus,
     special_ntt: Arc<NttTable>,
+    /// `rescale_inv[ℓ][i] = (q_ℓ mod q_i)⁻¹ mod q_i` as a Shoup pair, for
+    /// `i < ℓ` — the per-limb constant of `RnsPoly::rescale`, hoisted out
+    /// of the hot loop.
+    rescale_inv: Vec<Vec<ShoupMul>>,
+    /// `mod_down_inv[i] = (P mod q_i)⁻¹ mod q_i` as a Shoup pair — the
+    /// per-limb constant of the keyswitch mod-down.
+    mod_down_inv: Vec<ShoupMul>,
 }
 
 impl CkksContext {
@@ -164,6 +171,23 @@ impl CkksContext {
         let special_modulus = Modulus::new(params.special_prime()).map_err(CkksError::Math)?;
         let special_ntt =
             uvpu_math::cache::ntt_table(special_modulus, params.n()).map_err(CkksError::Math)?;
+        let mut rescale_inv = Vec::with_capacity(moduli.len());
+        for (l, &q_l) in moduli.iter().enumerate() {
+            let mut row = Vec::with_capacity(l);
+            for &m in &moduli[..l] {
+                let inv = m.inv(m.reduce_u64(q_l.value())).map_err(CkksError::Math)?;
+                row.push(ShoupMul::new(inv, &m));
+            }
+            rescale_inv.push(row);
+        }
+        let mod_down_inv = moduli
+            .iter()
+            .map(|&m| {
+                let inv = m.inv(m.reduce_u64(special_modulus.value()))?;
+                Ok(ShoupMul::new(inv, &m))
+            })
+            .collect::<Result<_, uvpu_math::MathError>>()
+            .map_err(CkksError::Math)?;
         Ok(Self {
             params,
             bases,
@@ -171,7 +195,32 @@ impl CkksContext {
             moduli,
             special_modulus,
             special_ntt,
+            rescale_inv,
+            mod_down_inv,
         })
+    }
+
+    /// The precomputed Shoup pair `(q_level mod q_i)⁻¹ mod q_i`, `i <
+    /// level` — the rescale constant for limb `i` when dropping prime
+    /// `q_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= level` or `level` is out of range.
+    #[must_use]
+    pub fn rescale_inv(&self, level: usize, i: usize) -> ShoupMul {
+        self.rescale_inv[level][i]
+    }
+
+    /// The precomputed Shoup pair `(P mod q_i)⁻¹ mod q_i` — the mod-down
+    /// constant for limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn mod_down_inv(&self, i: usize) -> ShoupMul {
+        self.mod_down_inv[i]
     }
 
     /// The special modulus `P` for hybrid keyswitching.

@@ -7,6 +7,7 @@ use crate::params::CkksContext;
 use crate::CkksError;
 use rand::Rng;
 use uvpu_math::poly::{Poly, Representation};
+use uvpu_math::pool;
 
 /// A polynomial under an RNS basis (`level + 1` residue polynomials).
 ///
@@ -165,18 +166,22 @@ impl RnsPoly {
     ///
     /// Level or representation mismatch.
     pub fn add(&self, other: &Self) -> Result<Self, CkksError> {
+        let mut out = self.clone();
+        out.add_assign(other)?;
+        Ok(out)
+    }
+
+    /// In-place residue-wise addition: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Level or representation mismatch.
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), CkksError> {
         self.check(other)?;
-        let polys = self
-            .polys
-            .iter()
-            .zip(&other.polys)
-            .map(|(a, b)| a.add(b))
-            .collect::<Result<_, _>>()
-            .map_err(CkksError::Math)?;
-        Ok(Self {
-            polys,
-            level: self.level,
-        })
+        for (a, b) in self.polys.iter_mut().zip(&other.polys) {
+            a.add_assign(b).map_err(CkksError::Math)?;
+        }
+        Ok(())
     }
 
     /// Residue-wise subtraction.
@@ -185,26 +190,47 @@ impl RnsPoly {
     ///
     /// Level or representation mismatch.
     pub fn sub(&self, other: &Self) -> Result<Self, CkksError> {
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
+    }
+
+    /// In-place residue-wise subtraction: `self -= other`.
+    ///
+    /// # Errors
+    ///
+    /// Level or representation mismatch.
+    pub fn sub_assign(&mut self, other: &Self) -> Result<(), CkksError> {
         self.check(other)?;
-        let polys = self
-            .polys
-            .iter()
-            .zip(&other.polys)
-            .map(|(a, b)| a.sub(b))
-            .collect::<Result<_, _>>()
-            .map_err(CkksError::Math)?;
-        Ok(Self {
-            polys,
-            level: self.level,
-        })
+        for (a, b) in self.polys.iter_mut().zip(&other.polys) {
+            a.sub_assign(b).map_err(CkksError::Math)?;
+        }
+        Ok(())
     }
 
     /// Negation.
     #[must_use]
     pub fn neg(&self) -> Self {
-        Self {
-            polys: self.polys.iter().map(Poly::neg).collect(),
-            level: self.level,
+        let mut out = self.clone();
+        out.negate_assign();
+        out
+    }
+
+    /// In-place negation.
+    pub fn negate_assign(&mut self) {
+        for p in &mut self.polys {
+            p.negate_assign();
+        }
+    }
+
+    /// Returns every residue's coefficient buffer to the polynomial pool.
+    ///
+    /// Purely an optimization: hot loops that produce and discard
+    /// intermediate polynomials can recycle them so the next borrow is a
+    /// pool hit instead of a fresh heap allocation.
+    pub fn recycle(self) {
+        for p in self.polys {
+            p.recycle();
         }
     }
 
@@ -305,21 +331,18 @@ impl RnsPoly {
         let q_j = ctx.modulus(j).value();
         let polys = uvpu_par::par_map_indexed(self.level + 1, |i| {
             let m = ctx.modulus(i);
-            let coeffs: Vec<u64> = src
-                .coeffs()
-                .iter()
-                .map(|&c| {
-                    // Centered lift: values in (−q_j/2, q_j/2] keep the
-                    // gadget noise small.
-                    let centered = if c > q_j / 2 {
-                        c as i64 - q_j as i64
-                    } else {
-                        c as i64
-                    };
-                    m.from_i64(centered)
-                })
-                .collect();
-            Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+            let mut coeffs = pool::take_scratch(src.n());
+            for (o, &c) in coeffs.iter_mut().zip(src.coeffs()) {
+                // Centered lift: values in (−q_j/2, q_j/2] keep the
+                // gadget noise small.
+                let centered = if c > q_j / 2 {
+                    c as i64 - q_j as i64
+                } else {
+                    c as i64
+                };
+                *o = m.from_i64(centered);
+            }
+            Poly::from_reduced_coeffs(coeffs, m).expect("power-of-two degree")
         });
         Self {
             polys,
@@ -385,24 +408,25 @@ impl RnsPoly {
         let q_last = ctx.modulus(self.level).value();
         let polys = uvpu_par::par_map_indexed(self.level, |i| {
             let m = ctx.modulus(i);
-            let q_last_inv = m.inv(m.reduce_u64(q_last)).expect("co-prime chain");
-            let coeffs: Vec<u64> = self.polys[i]
-                .coeffs()
-                .iter()
-                .zip(last.coeffs())
-                .map(|(&c_i, &c_last)| {
-                    // Centered representative of c mod q_last keeps the
-                    // rounding error at ±1/2.
-                    let centered = if c_last > q_last / 2 {
-                        c_last as i64 - q_last as i64
-                    } else {
-                        c_last as i64
-                    };
-                    let diff = m.sub(c_i, m.from_i64(centered));
-                    m.mul(diff, q_last_inv)
-                })
-                .collect();
-            Poly::from_coeffs(coeffs, m).expect("power-of-two degree")
+            // (q_ℓ mod q_i)⁻¹ is precomputed (with its Shoup quotient) in
+            // the context instead of being re-derived per limb per call.
+            let q_last_inv = ctx.rescale_inv(self.level, i);
+            let mut coeffs = pool::take_scratch(self.polys[i].n());
+            for (o, (&c_i, &c_last)) in coeffs
+                .iter_mut()
+                .zip(self.polys[i].coeffs().iter().zip(last.coeffs()))
+            {
+                // Centered representative of c mod q_last keeps the
+                // rounding error at ±1/2.
+                let centered = if c_last > q_last / 2 {
+                    c_last as i64 - q_last as i64
+                } else {
+                    c_last as i64
+                };
+                let diff = m.sub(c_i, m.from_i64(centered));
+                *o = q_last_inv.mul(diff, &m);
+            }
+            Poly::from_reduced_coeffs(coeffs, m).expect("power-of-two degree")
         });
         Ok(Self {
             polys,

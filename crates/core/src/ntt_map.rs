@@ -18,7 +18,7 @@ use crate::trace::{EwiseOp, MemDir, TraceSink};
 use crate::vpu::{PeaseStage, Vpu};
 use crate::CoreError;
 use uvpu_math::modular::Modulus;
-use uvpu_math::ntt::psi_twist;
+use uvpu_math::ntt::psi_twist_inplace;
 use uvpu_math::primes::min_root_of_unity;
 use uvpu_math::util::{bit_reverse, log2_exact};
 use uvpu_math::MathError;
@@ -607,24 +607,29 @@ impl NttPlan {
         let trace_names = vpus[0].sink().enabled();
 
         // state[code] = current value of the element with that digit code.
-        let mut state: Vec<u64> = vec![0; self.n];
+        // Every code is written before any read (the digit map is a
+        // bijection), so uninitialized pool scratch is safe here.
+        let mut state = uvpu_math::pool::take_scratch(self.n);
         match direction {
             Direction::Forward => {
-                let reduced: Vec<u64> = input.iter().map(|&x| self.modulus.reduce_u64(x)).collect();
-                let data = match psi {
+                let mut data = uvpu_math::pool::take_scratch(self.n);
+                for (o, &x) in data.iter_mut().zip(input) {
+                    *o = self.modulus.reduce_u64(x);
+                }
+                if let Some(psi) = psi {
                     // ψ-twist turns the negacyclic problem cyclic; the
                     // element-wise beats are charged below.
-                    Some(psi) => psi_twist(&reduced, psi, &self.modulus),
-                    None => reduced,
-                };
+                    psi_twist_inplace(&mut data, psi, &self.modulus);
+                }
                 for (code, slot) in state.iter_mut().enumerate() {
                     let digits = self.digits(code);
                     *slot = data[self.input_index(&digits)];
                 }
+                uvpu_math::pool::recycle(data);
             }
             Direction::Inverse => {
-                for (k, &x) in input.iter().enumerate() {
-                    state[k] = self.modulus.reduce_u64(x);
+                for (slot, &x) in state.iter_mut().zip(input) {
+                    *slot = self.modulus.reduce_u64(x);
                 }
             }
         }
@@ -695,27 +700,26 @@ impl NttPlan {
                 }
                 if let Some(psi) = psi {
                     let psi_inv = self.modulus.inv(psi)?;
-                    let mut out = vec![0u64; self.n];
+                    let mut out = uvpu_math::pool::take_scratch(self.n);
                     for (code, &val) in state.iter().enumerate() {
                         let digits = self.digits(code);
                         out[self.input_index(&digits)] = val;
                     }
+                    uvpu_math::pool::recycle(state);
                     vpus[0].span_begin("ntt.twist");
-                    let untwisted = psi_twist(&out, psi_inv, &self.modulus);
+                    psi_twist_inplace(&mut out, psi_inv, &self.modulus);
                     self.charge_elementwise(vpus, cols as u64)?;
                     vpus[0].span_end("ntt.twist");
                     vpus[0].span_end(phase);
                     let stats = self.delta_all(vpus, &starts);
-                    return Ok(NttExecution {
-                        output: untwisted,
-                        stats,
-                    });
+                    return Ok(NttExecution { output: out, stats });
                 }
-                let mut out = vec![0u64; self.n];
+                let mut out = uvpu_math::pool::take_scratch(self.n);
                 for (code, &val) in state.iter().enumerate() {
                     let digits = self.digits(code);
                     out[self.input_index(&digits)] = val;
                 }
+                uvpu_math::pool::recycle(state);
                 vpus[0].span_end(phase);
                 let stats = self.delta_all(vpus, &starts);
                 Ok(NttExecution { output: out, stats })

@@ -1,0 +1,441 @@
+//! Harvey lazy-reduction NTT kernels and fused RNS pipelines.
+//!
+//! The transforms in [`crate::ntt`] are the *golden model*: every
+//! butterfly fully reduces into `[0, q)`. This module is the hot path
+//! that [`NttTable::forward_inplace`](crate::ntt::NttTable::forward_inplace)
+//! and friends actually execute — the same butterflies with **lazy
+//! reduction** in the style of Harvey ("Faster arithmetic for
+//! number-theoretic transforms"):
+//!
+//! - the forward (Cooley–Tukey, merged-ψ) transform carries values in
+//!   `[0, 4q)` and defers reduction to a single correction pass at the
+//!   end ([`correct_lazy`]);
+//! - the inverse (Gentleman–Sande) transform carries values in `[0, 2q)`
+//!   and folds the final correction into the `N⁻¹` scaling multiply;
+//! - twiddle multiplies use the Shoup quotient that is already
+//!   precomputed in the cached tables, via
+//!   [`ShoupMul::mul_lazy`](crate::modular::ShoupMul::mul_lazy), whose
+//!   result lands in `[0, 2q)` for *any* `u64` input.
+//!
+//! Everything fits in 64 bits because [`crate::modular::MAX_MODULUS`]
+//! guarantees `q < 2⁶²`, hence `4q < 2⁶⁴`.
+//!
+//! # Bit-exactness and the audit mode
+//!
+//! Lazy reduction changes *representatives*, never residues: at every
+//! butterfly the lazy value is congruent mod `q` to the golden-model
+//! value, and the final correction pass maps it to the unique canonical
+//! representative in `[0, q)`. The outputs are therefore **byte-identical**
+//! to the reference path — which is what keeps the PR-3/PR-4 snapshot and
+//! fault baselines byte-stable. In debug builds every public entry point
+//! re-runs the fully-reduced reference on a copy of its input and
+//! `debug_assert!`s agreement, so the whole test suite doubles as a
+//! continuous audit of the invariants above.
+//!
+//! # Fused pipelines
+//!
+//! [`ntt_pointwise_intt`] (negacyclic multiply: two forwards, pointwise
+//! product, one inverse, with pooled scratch) and
+//! [`ntt_accumulate`] / [`ntt_accumulate_pair`] (forward once, then
+//! multiply-accumulate against evaluation-domain operands) replace the
+//! materialize-a-`Vec`-per-step pipelines in `RnsPoly::mul`, the
+//! keyswitch digit products, and the BFV `ring_mul_q`. Scratch comes
+//! from the slab pool in [`crate::pool`], so steady-state invocations
+//! perform **zero heap allocations**.
+
+use crate::modular::Modulus;
+use crate::ntt::NttTable;
+use crate::pool;
+
+/// Forward negacyclic NTT with lazy reduction, in place.
+///
+/// Input: coefficients in natural order, canonical (`< q`). Output:
+/// evaluations in bit-reversed order, **unreduced** — every element is
+/// in `[0, 4q)` and congruent mod `q` to the golden-model output. Run
+/// [`correct_lazy`] to land in `[0, q)`, or feed the lazy values
+/// straight into a `u128` pointwise product (see [`ntt_pointwise_intt`]).
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn forward_lazy(table: &NttTable, a: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    let q = table.modulus();
+    debug_assert!(
+        a.iter().all(|&x| x < q.value()),
+        "lazy forward NTT requires canonical input"
+    );
+    let two_q = 2 * q.value();
+    let mut t = n;
+    let mut m = 1;
+    while m < n {
+        t /= 2;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = table.root_powers[m + i];
+            for j in j1..j1 + t {
+                // Stage input is in [0, 4q); fold u into [0, 2q) so the
+                // outputs u + v and u + 2q − v stay below 4q.
+                let mut u = a[j];
+                if u >= two_q {
+                    u -= two_q;
+                }
+                // mul_lazy is valid for any u64 input and lands in [0, 2q).
+                let v = s.mul_lazy(a[j + t], &q);
+                a[j] = u + v;
+                a[j + t] = u + two_q - v;
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// Correction pass for [`forward_lazy`]: maps each element from
+/// `[0, 4q)` to its canonical representative in `[0, q)`.
+pub fn correct_lazy(q: &Modulus, a: &mut [u64]) {
+    let qv = q.value();
+    let two_q = 2 * qv;
+    for x in a.iter_mut() {
+        let mut y = *x;
+        if y >= two_q {
+            y -= two_q;
+        }
+        if y >= qv {
+            y -= qv;
+        }
+        *x = y;
+    }
+}
+
+/// Forward negacyclic NTT: lazy butterflies plus the final correction
+/// pass, producing canonical (`[0, q)`) bit-reversed evaluations —
+/// byte-identical to
+/// [`NttTable::forward_inplace_reference`](crate::ntt::NttTable::forward_inplace_reference).
+///
+/// In debug builds the reference path is re-run on a copy of the input
+/// and the results are compared (the audit mode).
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn forward_inplace(table: &NttTable, a: &mut [u64]) {
+    #[cfg(debug_assertions)]
+    let expect = {
+        let mut e = a.to_vec();
+        table.forward_inplace_reference(&mut e);
+        e
+    };
+    forward_lazy(table, a);
+    correct_lazy(&table.modulus(), a);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        a,
+        &expect[..],
+        "lazy forward NTT diverged from the fully-reduced reference"
+    );
+}
+
+/// Inverse negacyclic NTT with lazy reduction, in place.
+///
+/// Input: evaluations in bit-reversed order, canonical (`< q`). The
+/// Gentleman–Sande butterflies carry values in `[0, 2q)`; the final
+/// `N⁻¹` Shoup multiply performs the last correction, so the output is
+/// canonical coefficients in natural order — byte-identical to
+/// [`NttTable::inverse_inplace_reference`](crate::ntt::NttTable::inverse_inplace_reference).
+///
+/// In debug builds the reference path audits the result.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn inverse_inplace(table: &NttTable, a: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    let q = table.modulus();
+    debug_assert!(
+        a.iter().all(|&x| x < q.value()),
+        "lazy inverse NTT requires canonical input"
+    );
+    #[cfg(debug_assertions)]
+    let expect = {
+        let mut e = a.to_vec();
+        table.inverse_inplace_reference(&mut e);
+        e
+    };
+    let two_q = 2 * q.value();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let s = table.inv_root_powers[h + i];
+            for j in j1..j1 + t {
+                // u, v in [0, 2q); the sum folds back into [0, 2q) and
+                // the difference u + 2q − v < 4q feeds mul_lazy.
+                let u = a[j];
+                let v = a[j + t];
+                let mut s0 = u + v;
+                if s0 >= two_q {
+                    s0 -= two_q;
+                }
+                a[j] = s0;
+                a[j + t] = s.mul_lazy(u + two_q - v, &q);
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    // ShoupMul::mul fully reduces, so scaling doubles as the correction
+    // pass from [0, 2q) to [0, q).
+    for x in a.iter_mut() {
+        *x = table.n_inv.mul(*x, &q);
+    }
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        a,
+        &expect[..],
+        "lazy inverse NTT diverged from the fully-reduced reference"
+    );
+}
+
+/// Fused negacyclic ring multiply: `out = INTT(NTT(a) ⊙ NTT(b))`.
+///
+/// `a` and `b` are canonical coefficient-domain polynomials; `out`
+/// receives the canonical coefficient-domain product. Scratch for the
+/// two forward transforms is borrowed from the slab pool, so the
+/// steady-state call performs zero heap allocations. Only one operand
+/// is corrected after its lazy forward: the pointwise product of a
+/// `[0, 4q)` value with a `[0, q)` value is below `4q² < q·2⁶⁴`, which
+/// is exactly the precondition of `Modulus::reduce_u128`.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `table.n()`.
+pub fn ntt_pointwise_intt(table: &NttTable, a: &[u64], b: &[u64], out: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    assert_eq!(b.len(), n, "input length must equal ring degree");
+    assert_eq!(out.len(), n, "output length must equal ring degree");
+    let q = table.modulus();
+    let mut fa = pool::take_copy(a);
+    let mut fb = pool::take_copy(b);
+    forward_lazy(table, &mut fa);
+    forward_lazy(table, &mut fb);
+    // One corrected operand is enough to keep the product in range.
+    correct_lazy(&q, &mut fb);
+    for (o, (&x, &y)) in out.iter_mut().zip(fa.iter().zip(fb.iter())) {
+        *o = q.reduce_u128(u128::from(x) * u128::from(y));
+    }
+    pool::recycle(fa);
+    pool::recycle(fb);
+    inverse_inplace(table, out);
+}
+
+/// Fused evaluation-domain multiply-accumulate:
+/// `acc[k] += NTT(digit)[k] · key_eval[k] (mod q)`.
+///
+/// `digit` is a canonical coefficient-domain polynomial; `key_eval` and
+/// `acc` are canonical evaluation-domain (bit-reversed) polynomials.
+/// The forward transform of `digit` stays lazy — `[0, 4q)` times a
+/// canonical operand fits `reduce_u128` — so the only correction is the
+/// reduction inside the accumulate itself. Scratch is pooled.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `table.n()`.
+pub fn ntt_accumulate(table: &NttTable, digit: &[u64], key_eval: &[u64], acc: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(digit.len(), n, "input length must equal ring degree");
+    assert_eq!(key_eval.len(), n, "key length must equal ring degree");
+    assert_eq!(acc.len(), n, "accumulator length must equal ring degree");
+    let q = table.modulus();
+    #[cfg(debug_assertions)]
+    let expect = audit_accumulate(table, digit, key_eval, acc);
+    let mut s = pool::take_copy(digit);
+    forward_lazy(table, &mut s);
+    for (a, (&x, &k)) in acc.iter_mut().zip(s.iter().zip(key_eval.iter())) {
+        *a = q.add(*a, q.reduce_u128(u128::from(x) * u128::from(k)));
+    }
+    pool::recycle(s);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        acc,
+        &expect[..],
+        "fused accumulate diverged from the fully-reduced reference"
+    );
+}
+
+/// [`ntt_accumulate`] against two keys sharing one forward transform:
+/// `acc0 += NTT(digit) ⊙ key0`, `acc1 += NTT(digit) ⊙ key1`.
+///
+/// This is the keyswitch inner loop — each decomposition digit is
+/// multiplied against both halves of the switching key, so transforming
+/// it once halves the NTT count.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `table.n()`.
+pub fn ntt_accumulate_pair(
+    table: &NttTable,
+    digit: &[u64],
+    key0: &[u64],
+    key1: &[u64],
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+) {
+    let n = table.n();
+    assert_eq!(digit.len(), n, "input length must equal ring degree");
+    assert_eq!(key0.len(), n, "key length must equal ring degree");
+    assert_eq!(key1.len(), n, "key length must equal ring degree");
+    assert_eq!(acc0.len(), n, "accumulator length must equal ring degree");
+    assert_eq!(acc1.len(), n, "accumulator length must equal ring degree");
+    let q = table.modulus();
+    #[cfg(debug_assertions)]
+    let expect0 = audit_accumulate(table, digit, key0, acc0);
+    #[cfg(debug_assertions)]
+    let expect1 = audit_accumulate(table, digit, key1, acc1);
+    let mut s = pool::take_copy(digit);
+    forward_lazy(table, &mut s);
+    for ((a0, a1), (&x, (&k0, &k1))) in acc0
+        .iter_mut()
+        .zip(acc1.iter_mut())
+        .zip(s.iter().zip(key0.iter().zip(key1.iter())))
+    {
+        *a0 = q.add(*a0, q.reduce_u128(u128::from(x) * u128::from(k0)));
+        *a1 = q.add(*a1, q.reduce_u128(u128::from(x) * u128::from(k1)));
+    }
+    pool::recycle(s);
+    #[cfg(debug_assertions)]
+    {
+        debug_assert_eq!(
+            acc0,
+            &expect0[..],
+            "fused pair accumulate diverged from the fully-reduced reference"
+        );
+        debug_assert_eq!(
+            acc1,
+            &expect1[..],
+            "fused pair accumulate diverged from the fully-reduced reference"
+        );
+    }
+}
+
+/// Reference result of an accumulate, computed on the golden-model path.
+#[cfg(debug_assertions)]
+fn audit_accumulate(table: &NttTable, digit: &[u64], key_eval: &[u64], acc: &[u64]) -> Vec<u64> {
+    let q = table.modulus();
+    let mut d = digit.to_vec();
+    table.forward_inplace_reference(&mut d);
+    acc.iter()
+        .zip(d.iter().zip(key_eval.iter()))
+        .map(|(&a, (&x, &k))| q.add(a, q.mul(x, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::naive_negacyclic_mul;
+    use crate::primes::ntt_prime;
+
+    fn setup(n: usize, bits: u32) -> (Modulus, NttTable) {
+        let q = Modulus::new(ntt_prime(bits, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        (q, table)
+    }
+
+    #[test]
+    fn lazy_forward_matches_reference_after_correction() {
+        for (n, bits) in [(8usize, 20u32), (64, 30), (256, 50), (1024, 60)] {
+            let (q, table) = setup(n, bits);
+            let a: Vec<u64> = (0..n as u64)
+                .map(|i| q.reduce_u64(i * i * 31 + 7))
+                .collect();
+            let mut lazy = a.clone();
+            forward_lazy(&table, &mut lazy);
+            assert!(lazy.iter().all(|&x| x < 4 * q.value()));
+            correct_lazy(&q, &mut lazy);
+            let mut reference = a;
+            table.forward_inplace_reference(&mut reference);
+            assert_eq!(lazy, reference, "n={n} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn lazy_inverse_round_trips() {
+        let n = 128;
+        let (q, table) = setup(n, 50);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 977 + 13)).collect();
+        let mut v = a.clone();
+        forward_inplace(&table, &mut v);
+        inverse_inplace(&table, &mut v);
+        assert_eq!(v, a);
+    }
+
+    #[test]
+    fn fused_mul_matches_naive() {
+        let n = 64;
+        let (q, table) = setup(n, 30);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * i + 3)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 5 + 11)).collect();
+        let expect = naive_negacyclic_mul(&a, &b, &q);
+        let mut out = vec![0u64; n];
+        ntt_pointwise_intt(&table, &a, &b, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn accumulate_matches_separate_ops() {
+        let n = 32;
+        let (q, table) = setup(n, 30);
+        let digit: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 3 + 1)).collect();
+        let key: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 17 + 2)).collect();
+        let acc0: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i + 9)).collect();
+
+        let mut d = digit.clone();
+        table.forward_inplace_reference(&mut d);
+        let expect: Vec<u64> = acc0
+            .iter()
+            .zip(d.iter().zip(key.iter()))
+            .map(|(&a, (&x, &k))| q.add(a, q.mul(x, k)))
+            .collect();
+
+        let mut acc = acc0;
+        ntt_accumulate(&table, &digit, &key, &mut acc);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn accumulate_pair_matches_two_singles() {
+        let n = 32;
+        let (q, table) = setup(n, 40);
+        let digit: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 7 + 5)).collect();
+        let k0: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 11 + 1)).collect();
+        let k1: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 13 + 4)).collect();
+        let mut s0 = vec![1u64; n];
+        let mut s1 = vec![2u64; n];
+        let mut p0 = s0.clone();
+        let mut p1 = s1.clone();
+        ntt_accumulate(&table, &digit, &k0, &mut s0);
+        ntt_accumulate(&table, &digit, &k1, &mut s1);
+        ntt_accumulate_pair(&table, &digit, &k0, &k1, &mut p0, &mut p1);
+        assert_eq!(p0, s0);
+        assert_eq!(p1, s1);
+    }
+
+    #[test]
+    fn extreme_modulus_stays_in_bounds() {
+        // The largest cached-prime regime: q just under 2^61 exercises
+        // the 4q < 2^64 headroom.
+        let n = 64;
+        let (q, table) = setup(n, 61);
+        let a: Vec<u64> = (0..n as u64).map(|i| q.value() - 1 - i).collect();
+        let mut v = a.clone();
+        forward_inplace(&table, &mut v);
+        inverse_inplace(&table, &mut v);
+        assert_eq!(v, a);
+    }
+}

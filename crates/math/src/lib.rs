@@ -50,10 +50,12 @@
 pub mod automorphism;
 pub mod bigint;
 pub mod cache;
+pub mod kernel;
 pub mod modular;
 pub mod montgomery;
 pub mod ntt;
 pub mod poly;
+pub mod pool;
 pub mod primes;
 pub mod rns;
 pub mod sampling;

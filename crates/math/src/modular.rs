@@ -280,15 +280,30 @@ impl ShoupMul {
     #[inline]
     #[must_use]
     pub fn mul(&self, x: u64, q: &Modulus) -> u64 {
-        let q_hat = ((u128::from(x) * u128::from(self.quotient)) >> 64) as u64;
-        let r = x
-            .wrapping_mul(self.operand)
-            .wrapping_sub(q_hat.wrapping_mul(q.value()));
+        let r = self.mul_lazy(x, q);
         if r >= q.value() {
             r - q.value()
         } else {
             r
         }
+    }
+
+    /// Harvey's lazy constant product: returns `x·w mod q` **or**
+    /// `x·w mod q + q` — a value in `[0, 2q)` — skipping the final
+    /// conditional correction of [`Self::mul`].
+    ///
+    /// Valid for *any* `x: u64` (not just reduced operands): the Shoup
+    /// quotient under-estimates `⌊x·w/q⌋` by at most one, so the
+    /// remainder estimate lands in `[0, 2q)`. This is the butterfly
+    /// multiplier of the lazy-reduction NTT kernels
+    /// ([`crate::kernel`]), where values are carried unreduced through
+    /// the stages and corrected once at the end.
+    #[inline]
+    #[must_use]
+    pub fn mul_lazy(&self, x: u64, q: &Modulus) -> u64 {
+        let q_hat = ((u128::from(x) * u128::from(self.quotient)) >> 64) as u64;
+        x.wrapping_mul(self.operand)
+            .wrapping_sub(q_hat.wrapping_mul(q.value()))
     }
 }
 
@@ -432,6 +447,25 @@ mod tests {
                 let s = ShoupMul::new(w, &q);
                 for x in [0, 1, v / 3, v - 1] {
                     assert_eq!(s.mul(x, &q), q.mul(x, w), "q={v} w={w} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_lazy_is_within_one_correction() {
+        for q in moduli() {
+            let v = q.value();
+            for w in [0, 1, v / 2, v - 1] {
+                let s = ShoupMul::new(w, &q);
+                for x in [0u64, 1, v - 1, v, 2 * v - 1, u64::MAX] {
+                    let lazy = s.mul_lazy(x, &q);
+                    assert!(lazy < 2 * v, "q={v} w={w} x={x} lazy={lazy}");
+                    let exact = ((u128::from(x) * u128::from(w)) % u128::from(v)) as u64;
+                    assert!(
+                        lazy == exact || lazy == exact + v,
+                        "q={v} w={w} x={x}: {lazy} vs {exact}"
+                    );
                 }
             }
         }

@@ -49,11 +49,11 @@ pub struct NttTable {
     n: usize,
     log_n: u32,
     /// ψ^{brv(i)} with Shoup precomputation, ψ a primitive 2N-th root.
-    root_powers: Vec<ShoupMul>,
+    pub(crate) root_powers: Vec<ShoupMul>,
     /// ψ^{-brv(i)} with Shoup precomputation.
-    inv_root_powers: Vec<ShoupMul>,
+    pub(crate) inv_root_powers: Vec<ShoupMul>,
     /// N^{-1} mod q.
-    n_inv: ShoupMul,
+    pub(crate) n_inv: ShoupMul,
     psi: u64,
 }
 
@@ -124,10 +124,26 @@ impl NttTable {
     /// **bit-reversed** order (the "NTT domain" every element-wise FHE
     /// operation works in).
     ///
+    /// Executes the Harvey lazy-reduction kernel
+    /// ([`crate::kernel::forward_inplace`]); output is byte-identical to
+    /// [`Self::forward_inplace_reference`], and debug builds assert so
+    /// on every call.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward_inplace(&self, a: &mut [u64]) {
+        crate::kernel::forward_inplace(self, a);
+    }
+
+    /// Forward negacyclic NTT on the fully-reduced golden-model path:
+    /// every butterfly lands in `[0, q)`. Kept as the audit reference
+    /// for the lazy kernel; prefer [`Self::forward_inplace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_inplace_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let q = &self.modulus;
         let mut t = self.n;
@@ -153,10 +169,26 @@ impl NttTable {
     /// Input: evaluations in bit-reversed order (as produced by
     /// [`Self::forward_inplace`]). Output: coefficients in natural order.
     ///
+    /// Executes the Harvey lazy-reduction kernel
+    /// ([`crate::kernel::inverse_inplace`]); output is byte-identical to
+    /// [`Self::inverse_inplace_reference`], and debug builds assert so
+    /// on every call.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_inplace(&self, a: &mut [u64]) {
+        crate::kernel::inverse_inplace(self, a);
+    }
+
+    /// Inverse negacyclic NTT on the fully-reduced golden-model path.
+    /// Kept as the audit reference for the lazy kernel; prefer
+    /// [`Self::inverse_inplace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_inplace_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let q = &self.modulus;
         let mut t = 1;
@@ -216,7 +248,10 @@ pub struct CyclicNtt {
     n: usize,
     omega: u64,
     omega_inv: u64,
-    n_inv: u64,
+    /// N^{-1} mod q as a Shoup pair, so the inverse-transform scaling
+    /// pays one precomputed multiply per element instead of a Barrett
+    /// reduction.
+    n_inv: ShoupMul,
     /// `fwd_stages[s][j] = ω^{j·n/2^{s+1}}` as a Shoup pair: the twiddles
     /// of butterfly stage `s` (block length `2^{s+1}`), identical for
     /// every block of the stage. `n − 1` entries total per direction.
@@ -242,7 +277,7 @@ impl CyclicNtt {
             n,
             omega,
             omega_inv,
-            n_inv: modulus.inv(n as u64)?,
+            n_inv: ShoupMul::new(modulus.inv(n as u64)?, &modulus),
             fwd_stages: Self::stage_twiddles(&modulus, n, omega),
             inv_stages: Self::stage_twiddles(&modulus, n, omega_inv),
         })
@@ -332,7 +367,7 @@ impl CyclicNtt {
         assert_eq!(a.len(), self.n, "input length must equal transform length");
         self.transform(a, &self.inv_stages);
         for x in a.iter_mut() {
-            *x = self.modulus.mul(*x, self.n_inv);
+            *x = self.n_inv.mul(*x, &self.modulus);
         }
     }
 }
@@ -444,14 +479,18 @@ pub fn four_step_cyclic(a: &[u64], rows: usize, cols: usize, omega: u64, q: &Mod
 /// machinery only ever deals with cyclic transforms.
 #[must_use]
 pub fn psi_twist(a: &[u64], psi: u64, q: &Modulus) -> Vec<u64> {
+    let mut out = a.to_vec();
+    psi_twist_inplace(&mut out, psi, q);
+    out
+}
+
+/// In-place variant of [`psi_twist`], for callers holding pooled scratch.
+pub fn psi_twist_inplace(a: &mut [u64], psi: u64, q: &Modulus) {
     let mut acc = 1u64;
-    a.iter()
-        .map(|&x| {
-            let y = q.mul(x, acc);
-            acc = q.mul(acc, psi);
-            y
-        })
-        .collect()
+    for x in a.iter_mut() {
+        *x = q.mul(*x, acc);
+        acc = q.mul(acc, psi);
+    }
 }
 
 #[cfg(test)]

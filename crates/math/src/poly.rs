@@ -6,9 +6,9 @@
 //! **NTT/evaluation** form (what element-wise operations work in).
 
 use crate::automorphism::apply_galois_coeff;
-use crate::modular::Modulus;
+use crate::modular::{Modulus, ShoupMul};
 use crate::ntt::NttTable;
-use crate::MathError;
+use crate::{kernel, pool, MathError};
 
 /// Which domain a polynomial's data currently lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,13 +83,66 @@ impl Poly {
         Ok(p)
     }
 
-    /// The zero polynomial in coefficient form.
+    /// Creates a coefficient-form polynomial from values already reduced
+    /// into `[0, q)`, without a reduction pass — the fast path for data
+    /// produced by modular arithmetic into pooled scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] if the length is not a power of two.
+    pub fn from_reduced_coeffs(values: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        if !values.len().is_power_of_two() {
+            return Err(MathError::LengthNotPowerOfTwo {
+                length: values.len(),
+            });
+        }
+        debug_assert!(
+            values.iter().all(|&v| v < modulus.value()),
+            "from_reduced_coeffs requires canonical values"
+        );
+        Ok(Self {
+            coeffs: values,
+            modulus,
+            repr: Representation::Coefficient,
+        })
+    }
+
+    /// Creates an evaluation-form polynomial from values already reduced
+    /// into `[0, q)`, without a reduction pass — the fast path for data
+    /// coming out of an NTT or a pooled kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::LengthNotPowerOfTwo`] if the length is not a power of two.
+    pub fn from_reduced_evaluations(values: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        let mut p = Self::from_reduced_coeffs(values, modulus)?;
+        p.repr = Representation::Evaluation;
+        Ok(p)
+    }
+
+    /// The zero polynomial in coefficient form. Its buffer is borrowed
+    /// from the slab pool; return it with [`Self::recycle`] when done.
     ///
     /// # Errors
     ///
     /// [`MathError::LengthNotPowerOfTwo`] if `n` is not a power of two.
     pub fn zero(n: usize, modulus: Modulus) -> Result<Self, MathError> {
-        Self::from_coeffs(vec![0; n], modulus)
+        if !n.is_power_of_two() {
+            return Err(MathError::LengthNotPowerOfTwo { length: n });
+        }
+        Ok(Self {
+            coeffs: pool::take_zeroed(n),
+            modulus,
+            repr: Representation::Coefficient,
+        })
+    }
+
+    /// Consumes the polynomial and returns its buffer to the slab pool.
+    ///
+    /// Purely an optimization — dropping a `Poly` is always correct, the
+    /// next borrower just pays a fresh allocation.
+    pub fn recycle(self) {
+        pool::recycle(self.coeffs);
     }
 
     /// Ring degree `N`.
@@ -144,74 +197,113 @@ impl Poly {
         Ok(())
     }
 
-    /// Element-wise addition (valid in either representation).
+    /// Element-wise addition (valid in either representation). The
+    /// output buffer comes from the slab pool.
     ///
     /// # Errors
     ///
     /// Mismatched modulus, degree, or representation.
     pub fn add(&self, other: &Self) -> Result<Self, MathError> {
         self.check_compatible(other)?;
-        let coeffs = self
-            .coeffs
-            .iter()
-            .zip(&other.coeffs)
-            .map(|(&a, &b)| self.modulus.add(a, b))
-            .collect();
+        let q = self.modulus;
+        let mut coeffs = pool::take_scratch(self.n());
+        for (o, (&a, &b)) in coeffs.iter_mut().zip(self.coeffs.iter().zip(&other.coeffs)) {
+            *o = q.add(a, b);
+        }
         Ok(Self {
             coeffs,
-            modulus: self.modulus,
+            modulus: q,
             repr: self.repr,
         })
     }
 
-    /// Element-wise subtraction.
+    /// In-place element-wise addition: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched modulus, degree, or representation (self unchanged).
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        let q = self.modulus;
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = q.add(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Element-wise subtraction. The output buffer comes from the slab
+    /// pool.
     ///
     /// # Errors
     ///
     /// Mismatched modulus, degree, or representation.
     pub fn sub(&self, other: &Self) -> Result<Self, MathError> {
         self.check_compatible(other)?;
-        let coeffs = self
-            .coeffs
-            .iter()
-            .zip(&other.coeffs)
-            .map(|(&a, &b)| self.modulus.sub(a, b))
-            .collect();
+        let q = self.modulus;
+        let mut coeffs = pool::take_scratch(self.n());
+        for (o, (&a, &b)) in coeffs.iter_mut().zip(self.coeffs.iter().zip(&other.coeffs)) {
+            *o = q.sub(a, b);
+        }
         Ok(Self {
             coeffs,
-            modulus: self.modulus,
+            modulus: q,
             repr: self.repr,
         })
+    }
+
+    /// In-place element-wise subtraction: `self -= other`.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched modulus, degree, or representation (self unchanged).
+    pub fn sub_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        let q = self.modulus;
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = q.sub(*a, b);
+        }
+        Ok(())
     }
 
     /// Negation.
     #[must_use]
     pub fn neg(&self) -> Self {
-        Self {
-            coeffs: self.coeffs.iter().map(|&a| self.modulus.neg(a)).collect(),
-            modulus: self.modulus,
-            repr: self.repr,
+        let mut out = self.clone();
+        out.negate_assign();
+        out
+    }
+
+    /// In-place negation.
+    pub fn negate_assign(&mut self) {
+        let q = self.modulus;
+        for a in self.coeffs.iter_mut() {
+            *a = q.neg(*a);
         }
     }
 
     /// Multiplication by a scalar.
     #[must_use]
     pub fn scalar_mul(&self, k: u64) -> Self {
-        let k = self.modulus.reduce_u64(k);
-        Self {
-            coeffs: self
-                .coeffs
-                .iter()
-                .map(|&a| self.modulus.mul(a, k))
-                .collect(),
-            modulus: self.modulus,
-            repr: self.repr,
+        let mut out = self.clone();
+        out.scalar_mul_assign(k);
+        out
+    }
+
+    /// In-place multiplication by a scalar. The Shoup pair for `k` is
+    /// computed once per call, amortizing over all `N` coefficients.
+    pub fn scalar_mul_assign(&mut self, k: u64) {
+        let q = self.modulus;
+        let s = ShoupMul::new(q.reduce_u64(k), &q);
+        for a in self.coeffs.iter_mut() {
+            *a = s.mul(*a, &q);
         }
     }
 
     /// Ring multiplication. Both operands must be in evaluation form
     /// (where the product is element-wise); use [`Self::to_evaluation`]
-    /// first for coefficient-form operands.
+    /// first for coefficient-form operands, or
+    /// [`Self::negacyclic_mul`] for the fused coefficient-domain
+    /// pipeline. The output buffer comes from the slab pool.
     ///
     /// # Errors
     ///
@@ -221,16 +313,60 @@ impl Poly {
         if self.repr != Representation::Evaluation {
             return Err(MathError::ModulusMismatch);
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .zip(&other.coeffs)
-            .map(|(&a, &b)| self.modulus.mul(a, b))
-            .collect();
+        let q = self.modulus;
+        let mut coeffs = pool::take_scratch(self.n());
+        for (o, (&a, &b)) in coeffs.iter_mut().zip(self.coeffs.iter().zip(&other.coeffs)) {
+            *o = q.mul(a, b);
+        }
         Ok(Self {
             coeffs,
-            modulus: self.modulus,
+            modulus: q,
             repr: Representation::Evaluation,
+        })
+    }
+
+    /// In-place ring multiplication: `self ⊙= other` (evaluation form).
+    ///
+    /// # Errors
+    ///
+    /// Mismatched operands, or operands in coefficient form (self
+    /// unchanged).
+    pub fn mul_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        if self.repr != Representation::Evaluation {
+            return Err(MathError::ModulusMismatch);
+        }
+        let q = self.modulus;
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = q.mul(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Fused negacyclic product of two **coefficient-form** polynomials
+    /// via [`kernel::ntt_pointwise_intt`]: two lazy forward transforms,
+    /// a pointwise product, one inverse — no intermediate `Poly`
+    /// materializations and pooled scratch throughout.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched operands, or operands in evaluation form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different degree or modulus.
+    pub fn negacyclic_mul(&self, other: &Self, table: &NttTable) -> Result<Self, MathError> {
+        self.check_compatible(other)?;
+        if self.repr != Representation::Coefficient {
+            return Err(MathError::ModulusMismatch);
+        }
+        assert_eq!(table.modulus(), self.modulus, "NTT table modulus mismatch");
+        let mut out = pool::take_scratch(self.n());
+        kernel::ntt_pointwise_intt(table, &self.coeffs, &other.coeffs, &mut out);
+        Ok(Self {
+            coeffs: out,
+            modulus: self.modulus,
+            repr: Representation::Coefficient,
         })
     }
 
@@ -340,6 +476,61 @@ mod tests {
         let pb = Poly::from_coeffs(b, q).unwrap().to_evaluation(&table);
         let prod = pa.mul(&pb).unwrap().to_coefficient(&table);
         assert_eq!(prod.coeffs(), expect.as_slice());
+    }
+
+    #[test]
+    fn assign_variants_match_value_variants() {
+        let (q, table) = setup(16);
+        let a = Poly::from_coeffs((0..16).collect(), q).unwrap();
+        let b = Poly::from_coeffs((100..116).collect(), q).unwrap();
+
+        let mut x = a.clone();
+        x.add_assign(&b).unwrap();
+        assert_eq!(x, a.add(&b).unwrap());
+
+        let mut x = a.clone();
+        x.sub_assign(&b).unwrap();
+        assert_eq!(x, a.sub(&b).unwrap());
+
+        let mut x = a.clone();
+        x.negate_assign();
+        assert_eq!(x, a.neg());
+
+        let mut x = a.clone();
+        x.scalar_mul_assign(12345);
+        assert_eq!(x, a.scalar_mul(12345));
+
+        let ea = a.clone().to_evaluation(&table);
+        let eb = b.clone().to_evaluation(&table);
+        let mut x = ea.clone();
+        x.mul_assign(&eb).unwrap();
+        assert_eq!(x, ea.mul(&eb).unwrap());
+
+        let mut wrong = a.clone();
+        assert!(wrong.add_assign(&ea).is_err());
+        assert_eq!(wrong, a, "failed assign must leave self unchanged");
+    }
+
+    #[test]
+    fn negacyclic_mul_matches_transform_pipeline() {
+        let (q, table) = setup(32);
+        let a = Poly::from_coeffs((0..32).map(|i| i * i + 1).collect(), q).unwrap();
+        let b = Poly::from_coeffs((0..32).map(|i| 3 * i + 2).collect(), q).unwrap();
+        let fused = a.negacyclic_mul(&b, &table).unwrap();
+        let staged = a
+            .clone()
+            .to_evaluation(&table)
+            .mul(&b.clone().to_evaluation(&table))
+            .unwrap()
+            .to_coefficient(&table);
+        assert_eq!(fused, staged);
+        assert!(
+            b.clone()
+                .to_evaluation(&table)
+                .negacyclic_mul(&b, &table)
+                .is_err(),
+            "evaluation-form negacyclic_mul must fail"
+        );
     }
 
     #[test]

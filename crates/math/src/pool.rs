@@ -1,0 +1,282 @@
+//! Pooled polynomial scratch buffers.
+//!
+//! The RNS hot paths (`RnsPoly::mul`, keyswitch digit products, the BFV
+//! ring multiply, the VPU functional model) used to allocate a fresh
+//! `Vec<u64>` for every transform and every intermediate polynomial.
+//! This module replaces those allocations with a **thread-aware slab
+//! pool**: fixed-length `Box<[u64]>` slabs keyed by length, borrowed as
+//! ordinary `Vec<u64>`s and returned with [`recycle`].
+//!
+//! # Design
+//!
+//! - Each thread owns a private free-list (no locking on the fast
+//!   path). When a thread ends — including the scoped workers
+//!   `uvpu_par` spawns per parallel map — its slabs drain into a
+//!   process-wide overflow pool, so buffers survive the short-lived
+//!   workers and are rediscovered by later calls. The drain runs both
+//!   from the thread-local destructor and from a `uvpu_par` worker-exit
+//!   hook (registered under its own named slot on first use).
+//! - Borrows are plain `Vec<u64>` with `len == capacity == requested
+//!   length`; [`recycle`] turns them back into slabs without copying
+//!   (`Vec::into_boxed_slice` is free when `len == capacity`). A `Vec`
+//!   that is simply dropped is returned to the system allocator — the
+//!   pool never leaks, it just misses next time.
+//! - [`stats`] exposes the `kernel.pool.{hits,misses,bytes_live}`
+//!   counters surfaced through the metrics snapshot advisory section.
+//!
+//! Because slabs are reused, [`take_scratch`] hands out buffers with
+//! **unspecified contents** (stale `u64`s from a previous borrow) — use
+//! it only when every element is overwritten before being read, and
+//! [`take_zeroed`] / [`take_copy`] otherwise.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Pool-wide counters; see [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Borrows served from a free-list (no heap allocation).
+    pub hits: u64,
+    /// Borrows that had to allocate a fresh slab.
+    pub misses: u64,
+    /// Bytes currently sitting in free-lists (local + global), ready to
+    /// be handed out without touching the allocator.
+    pub bytes_live: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+
+/// Free slabs, keyed by length.
+type FreeLists = HashMap<usize, Vec<Box<[u64]>>>;
+
+/// Free slabs shared by all threads; the spill target for thread-local
+/// free-lists when a worker exits.
+static GLOBAL: OnceLock<Mutex<FreeLists>> = OnceLock::new();
+
+fn global() -> MutexGuard<'static, FreeLists> {
+    GLOBAL
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Upper bound on free slabs kept per length across the whole process —
+/// a backstop against pathological workloads hoarding memory. Generous:
+/// the deepest pipeline (keyswitch over a full RNS basis on a wide
+/// worker pool) borrows well under this many scratch buffers per length.
+const MAX_FREE_PER_LEN: usize = 64;
+
+struct LocalPool {
+    free: FreeLists,
+}
+
+impl Drop for LocalPool {
+    fn drop(&mut self) {
+        spill(&mut self.free);
+    }
+}
+
+/// Moves every slab of `free` into the global pool (bounded per length).
+fn spill(free: &mut FreeLists) {
+    if free.is_empty() {
+        return;
+    }
+    let mut shared = global();
+    for (len, slabs) in free.drain() {
+        let bucket = shared.entry(len).or_default();
+        for slab in slabs {
+            if bucket.len() < MAX_FREE_PER_LEN {
+                bucket.push(slab);
+            } else {
+                BYTES_LIVE.fetch_sub(8 * len as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalPool> = RefCell::new(LocalPool {
+        free: HashMap::new(),
+    });
+}
+
+/// Registers the pool's `uvpu_par` worker hooks exactly once.
+fn ensure_hooks() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        fn on_start() {}
+        uvpu_par::register_worker_hooks("uvpu-math-pool", on_start, flush_thread);
+    });
+}
+
+/// Takes a slab of exactly `len` words, with **unspecified contents**
+/// (stale data from a previous borrow). Every element must be written
+/// before it is read; use [`take_zeroed`] when that is not guaranteed.
+#[must_use]
+pub fn take_scratch(len: usize) -> Vec<u64> {
+    ensure_hooks();
+    let hit = LOCAL.with(|l| {
+        let mut pool = l.borrow_mut();
+        match pool.free.get_mut(&len).and_then(Vec::pop) {
+            Some(slab) => Some(slab),
+            None => global().get_mut(&len).and_then(Vec::pop),
+        }
+    });
+    match hit {
+        Some(slab) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            BYTES_LIVE.fetch_sub(8 * len as u64, Ordering::Relaxed);
+            slab.into_vec()
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            vec![0u64; len]
+        }
+    }
+}
+
+/// Takes a zero-filled slab of `len` words.
+#[must_use]
+pub fn take_zeroed(len: usize) -> Vec<u64> {
+    let mut v = take_scratch(len);
+    v.fill(0);
+    v
+}
+
+/// Takes a slab initialized as a copy of `src`.
+#[must_use]
+pub fn take_copy(src: &[u64]) -> Vec<u64> {
+    let mut v = take_scratch(src.len());
+    v.copy_from_slice(src);
+    v
+}
+
+/// Returns a borrowed buffer to the current thread's free-list.
+///
+/// Only full slabs round-trip for free (`len == capacity`, which holds
+/// for anything produced by the `take_*` functions); a `Vec` that was
+/// grown or shrunk is dropped instead of repacked.
+pub fn recycle(v: Vec<u64>) {
+    if v.is_empty() || v.len() != v.capacity() {
+        return;
+    }
+    let len = v.len();
+    BYTES_LIVE.fetch_add(8 * len as u64, Ordering::Relaxed);
+    LOCAL.with(|l| {
+        let bucket = l.borrow_mut();
+        let mut bucket = bucket;
+        let slabs = bucket.free.entry(len).or_default();
+        if slabs.len() < MAX_FREE_PER_LEN {
+            slabs.push(v.into_boxed_slice());
+        } else {
+            BYTES_LIVE.fetch_sub(8 * len as u64, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Drains the calling thread's free-list into the global pool.
+///
+/// Installed as a `uvpu_par` worker-exit hook so scratch borrowed inside
+/// short-lived pool workers survives into the next parallel map; safe to
+/// call from any thread at any time.
+pub fn flush_thread() {
+    // A worker can exit after its thread-local was already destroyed
+    // (destructor ordering is platform-defined); try_with tolerates it.
+    let _ = LOCAL.try_with(|l| spill(&mut l.borrow_mut().free));
+}
+
+/// Current pool counters: `(hits, misses, bytes_live)` as surfaced in
+/// the `kernel.pool.*` metrics family.
+#[must_use]
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bytes_live: BYTES_LIVE.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_reuses_slabs() {
+        // Unique length so concurrent tests cannot interfere.
+        let n = 4093;
+        let before = stats();
+        let a = take_scratch(n);
+        recycle(a);
+        let b = take_scratch(n);
+        let after = stats();
+        assert!(
+            after.hits > before.hits,
+            "second borrow of a recycled length must hit"
+        );
+        recycle(b);
+    }
+
+    #[test]
+    fn concurrent_borrows_never_alias() {
+        let n = 2039;
+        let a = take_scratch(n);
+        let b = take_scratch(n);
+        assert_ne!(
+            a.as_ptr(),
+            b.as_ptr(),
+            "two live borrows must be distinct slabs"
+        );
+        recycle(a);
+        recycle(b);
+    }
+
+    #[test]
+    fn zeroed_and_copy_initialize() {
+        let n = 509;
+        // Poison a slab, recycle it, and check the next takes see clean
+        // or copied data.
+        let mut p = take_scratch(n);
+        p.fill(0xDEAD_BEEF);
+        recycle(p);
+        let z = take_zeroed(n);
+        assert!(z.iter().all(|&x| x == 0));
+        recycle(z);
+        let src: Vec<u64> = (0..n as u64).collect();
+        let c = take_copy(&src);
+        assert_eq!(c, src);
+        recycle(c);
+    }
+
+    #[test]
+    fn worker_buffers_survive_into_the_global_pool() {
+        let n = 1021;
+        uvpu_par::with_threads(3, || {
+            let _ = uvpu_par::par_map_indexed(6, |i| {
+                let s = take_scratch(n);
+                let p = s.as_ptr() as usize;
+                recycle(s);
+                i + p % 2
+            });
+        });
+        // After the scoped workers exited, their slabs must be reachable
+        // from this thread (via the global spill), not lost.
+        let before = stats();
+        let again = take_scratch(n);
+        let after = stats();
+        assert!(after.hits > before.hits, "spilled slab should be reused");
+        recycle(again);
+    }
+
+    #[test]
+    fn grown_vectors_are_not_repacked() {
+        let mut v = take_scratch(17);
+        v.push(0); // len != capacity now (or reallocated)
+        let live_before = stats().bytes_live;
+        recycle(v);
+        assert!(stats().bytes_live <= live_before + 8 * 18);
+    }
+}

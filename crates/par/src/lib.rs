@@ -42,7 +42,7 @@
 #![forbid(unsafe_code)]
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -127,39 +127,61 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// `(on_start, on_exit)` pair run inside every pool worker.
 type WorkerHooks = (fn(), fn());
 
-static HOOKS: Mutex<Option<WorkerHooks>> = Mutex::new(None);
+/// The default slot name used by [`install_worker_hooks`].
+const DEFAULT_HOOK_SLOT: &str = "default";
+
+static HOOKS: Mutex<BTreeMap<&'static str, WorkerHooks>> = Mutex::new(BTreeMap::new());
 
 /// Registers hooks run at the start and end of every pool worker thread.
 ///
 /// The start hook runs before the worker takes its first work item; the
 /// exit hook runs when the worker is done (including when a work item
-/// panics). Replaces any previously installed pair. Plain `fn` pointers
-/// keep this registry dependency-free; state travels through process
-/// globals on the installer's side.
+/// panics). Replaces any previously installed pair *in the default
+/// slot*; independent subsystems should use [`register_worker_hooks`]
+/// with their own slot name instead. Plain `fn` pointers keep this
+/// registry dependency-free; state travels through process globals on
+/// the installer's side.
 pub fn install_worker_hooks(on_start: fn(), on_exit: fn()) {
-    *lock(&HOOKS) = Some((on_start, on_exit));
+    register_worker_hooks(DEFAULT_HOOK_SLOT, on_start, on_exit);
 }
 
-/// Removes the installed worker hooks, if any.
+/// Registers a named `(on_start, on_exit)` hook pair, replacing any pair
+/// previously registered under the same `slot`.
+///
+/// Multiple subsystems (trace-sink propagation, the `uvpu-math` buffer
+/// pool, …) can each own a slot without clobbering one another. Start
+/// hooks run in slot-name order; exit hooks run in reverse slot-name
+/// order (including when a work item panics).
+pub fn register_worker_hooks(slot: &'static str, on_start: fn(), on_exit: fn()) {
+    lock(&HOOKS).insert(slot, (on_start, on_exit));
+}
+
+/// Removes the hooks installed via [`install_worker_hooks`] (the default
+/// slot only — named slots from [`register_worker_hooks`] stay).
 pub fn clear_worker_hooks() {
-    *lock(&HOOKS) = None;
+    lock(&HOOKS).remove(DEFAULT_HOOK_SLOT);
 }
 
-/// Runs the start hook (if any) and returns a guard that runs the exit
-/// hook on drop.
+/// Removes the hooks registered under `slot`, if any.
+pub fn clear_worker_hooks_slot(slot: &'static str) {
+    lock(&HOOKS).remove(slot);
+}
+
+/// Runs every registered start hook (in slot-name order) and returns a
+/// guard that runs the exit hooks in reverse order on drop.
 fn enter_worker() -> WorkerGuard {
-    let hooks = *lock(&HOOKS);
-    if let Some((on_start, _)) = hooks {
+    let hooks: Vec<WorkerHooks> = lock(&HOOKS).values().copied().collect();
+    for (on_start, _) in &hooks {
         on_start();
     }
-    WorkerGuard(hooks.map(|(_, on_exit)| on_exit))
+    WorkerGuard(hooks)
 }
 
-struct WorkerGuard(Option<fn()>);
+struct WorkerGuard(Vec<WorkerHooks>);
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
-        if let Some(on_exit) = self.0 {
+        for (_, on_exit) in self.0.iter().rev() {
             on_exit();
         }
     }
@@ -472,6 +494,22 @@ mod tests {
             EXITS.load(Ordering::Relaxed)
         );
         assert!(STARTS.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn named_hook_slots_are_independent() {
+        static NAMED: AtomicU64 = AtomicU64::new(0);
+        fn named_start() {
+            NAMED.fetch_add(1, Ordering::Relaxed);
+        }
+        fn named_exit() {}
+        register_worker_hooks("test-slot", named_start, named_exit);
+        scope(|s| s.spawn(|| ()).join().unwrap());
+        assert!(NAMED.load(Ordering::Relaxed) >= 1);
+        clear_worker_hooks_slot("test-slot");
+        let before = NAMED.load(Ordering::Relaxed);
+        scope(|s| s.spawn(|| ()).join().unwrap());
+        assert_eq!(NAMED.load(Ordering::Relaxed), before);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Kernel benchmark + regression gate.
+#
+# Runs `bench_kernels`, which measures the fused lazy-reduction kernels
+# in steady state (output digests + heap allocations per op) and writes
+# the versioned BENCH_kernels.json snapshot. The deterministic core
+# (digests and allocs/op, schema uvpu-kernels/v1) is gated exactly
+# against the committed baseline; ns/op timing and the pool hit/miss
+# counters are advisory only and never gate.
+#
+# Usage: scripts/bench_kernels.sh [--smoke]
+#   --smoke runs the reduced-size variant (the CI fast path).
+#
+# To regenerate a baseline after an intentional kernel change:
+#   cargo run --release -p uvpu-bench --bin bench_kernels -- \
+#       [--smoke] --no-advisory --out BENCH_kernels_baseline[_smoke].json
+set -eu
+cd "$(dirname "$0")/.."
+
+variant=full
+variant_flag=""
+baseline=BENCH_kernels_baseline.json
+out=BENCH_kernels.json
+for arg in "$@"; do
+    case "$arg" in
+    --smoke)
+        variant=smoke
+        variant_flag="--smoke"
+        baseline=BENCH_kernels_baseline_smoke.json
+        out=BENCH_kernels_smoke.json
+        ;;
+    *)
+        echo "bench_kernels: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cargo build --release --offline -p uvpu-bench --bin bench_kernels
+
+# shellcheck disable=SC2086 # variant_flag is intentionally word-split
+./target/release/bench_kernels $variant_flag --out "$out" --check "$baseline"
+echo "bench_kernels: wrote $out (advisory included); gate vs $baseline passed ($variant)"

@@ -20,4 +20,8 @@ sh scripts/bench_metrics.sh --smoke
 # variant): fails if injection, detection, or recovery behavior drifts
 # from the committed baseline, or differs across UVPU_THREADS.
 sh scripts/bench_fault.sh --smoke
+# Kernel digest + allocations-per-op regression gate (smoke variant):
+# fails if any fused lazy-reduction kernel's output drifts or a
+# steady-state heap allocation sneaks back into a pooled hot path.
+sh scripts/bench_kernels.sh --smoke
 echo "ci: all green"

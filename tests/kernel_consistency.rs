@@ -1,0 +1,215 @@
+//! The contract of the lazy-reduction kernel layer (`uvpu_math::kernel`)
+//! and the polynomial pool (`uvpu_math::pool`):
+//!
+//! - the Harvey lazy-reduction transforms are **bit-exact** against the
+//!   fully-reduced reference transforms for random polynomials, across
+//!   the cached modulus/size combinations, at 1, 2, and 4 worker
+//!   threads;
+//! - the fused pipelines equal their unfused three-pass compositions;
+//! - pooled buffers never alias while concurrently borrowed, from any
+//!   mix of pool workers.
+
+use proptest::prelude::*;
+use uvpu::math::modular::Modulus;
+use uvpu::math::ntt::NttTable;
+use uvpu::math::primes::ntt_prime;
+use uvpu::math::{cache, kernel, pool};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Deterministic pseudo-random canonical polynomial.
+fn random_poly(mut seed: u64, n: usize, q: &Modulus) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            q.reduce_u64(seed)
+        })
+        .collect()
+}
+
+/// The reference negacyclic product via the fully-reduced transforms.
+fn reference_mul(table: &NttTable, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let q = table.modulus();
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    table.forward_inplace_reference(&mut fa);
+    table.forward_inplace_reference(&mut fb);
+    for (x, &y) in fa.iter_mut().zip(&fb) {
+        *x = q.mul(*x, y);
+    }
+    table.inverse_inplace_reference(&mut fa);
+    fa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Lazy forward/inverse transforms are bit-exact against the
+    /// reference for every cached modulus tried and any thread count
+    /// (the kernels also run *on* pool workers via `par_map_indexed`,
+    /// exercising the worker-local pool hooks).
+    #[test]
+    fn lazy_transforms_match_reference(
+        log_n in 3u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        for bits in [30u32, 50] {
+            let q = Modulus::new(ntt_prime(bits, n).unwrap()).unwrap();
+            let table = cache::ntt_table(q, n).unwrap();
+            let data = random_poly(seed ^ u64::from(bits), n, &q);
+
+            let mut fwd_ref = data.clone();
+            table.forward_inplace_reference(&mut fwd_ref);
+            let mut inv_ref = data.clone();
+            table.inverse_inplace_reference(&mut inv_ref);
+
+            for t in THREAD_COUNTS {
+                let (fwd, inv) = uvpu::par::with_threads(t, || {
+                    let outs = uvpu::par::par_map_indexed(2, |dir| {
+                        let mut a = pool::take_copy(&data);
+                        if dir == 0 {
+                            kernel::forward_inplace(&table, &mut a);
+                        } else {
+                            kernel::inverse_inplace(&table, &mut a);
+                        }
+                        a
+                    });
+                    let mut it = outs.into_iter();
+                    (it.next().unwrap(), it.next().unwrap())
+                });
+                prop_assert_eq!(&fwd, &fwd_ref);
+                prop_assert_eq!(&inv, &inv_ref);
+            }
+        }
+    }
+
+    /// The fused forward→pointwise→inverse pipeline equals the reference
+    /// three-pass product, at any thread count.
+    #[test]
+    fn fused_pointwise_matches_three_pass(
+        log_n in 3u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = cache::ntt_table(q, n).unwrap();
+        let a = random_poly(seed, n, &q);
+        let b = random_poly(seed.rotate_left(17) ^ 0x9e37, n, &q);
+        let expect = reference_mul(&table, &a, &b);
+        for t in THREAD_COUNTS {
+            let got = uvpu::par::with_threads(t, || {
+                let mut out = pool::take_scratch(n);
+                kernel::ntt_pointwise_intt(&table, &a, &b, &mut out);
+                out
+            });
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// Eval-domain accumulation (the keyswitch inner loop) equals the
+    /// coefficient-domain sum of reference products: for digits d_i and
+    /// keys k_i, `INTT(Σ NTT(d_i)⊙NTT(k_i)) == Σ INTT(NTT(d_i)⊙NTT(k_i))`.
+    #[test]
+    fn eval_domain_accumulation_is_linear(
+        log_n in 3u32..=9,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = cache::ntt_table(q, n).unwrap();
+        let digits: Vec<Vec<u64>> = (0..3)
+            .map(|i| random_poly(seed.wrapping_add(i), n, &q))
+            .collect();
+        let keys: Vec<Vec<u64>> = (0..3)
+            .map(|i| {
+                let mut k = random_poly(seed.rotate_left(7).wrapping_add(i), n, &q);
+                table.forward_inplace_reference(&mut k);
+                k
+            })
+            .collect();
+
+        // Reference: coefficient-domain sum of per-digit products.
+        let mut expect = vec![0u64; n];
+        for (d, k) in digits.iter().zip(&keys) {
+            let mut fd = d.clone();
+            table.forward_inplace_reference(&mut fd);
+            for (x, &y) in fd.iter_mut().zip(k) {
+                *x = q.mul(*x, y);
+            }
+            table.inverse_inplace_reference(&mut fd);
+            for (e, &p) in expect.iter_mut().zip(&fd) {
+                *e = q.add(*e, p);
+            }
+        }
+
+        // Kernel path: accumulate in the evaluation domain, one inverse.
+        let mut acc = pool::take_zeroed(n);
+        for (d, k) in digits.iter().zip(&keys) {
+            kernel::ntt_accumulate(&table, d, k, &mut acc);
+        }
+        kernel::inverse_inplace(&table, &mut acc);
+        prop_assert_eq!(&acc, &expect);
+    }
+}
+
+/// Concurrently borrowed pool buffers are disjoint allocations: every
+/// worker holds four buffers at once, fills each with its own pattern,
+/// and observes no cross-talk; the buffers' pointers are pairwise
+/// distinct while held.
+#[test]
+fn pooled_borrows_never_alias() {
+    for t in [1usize, 2, 4, 7] {
+        let oks = uvpu::par::with_threads(t, || {
+            uvpu::par::par_map_indexed(32, |i| {
+                let mut bufs: Vec<Vec<u64>> = (0..4).map(|_| pool::take_scratch(353)).collect();
+                let ptrs: Vec<*const u64> = bufs.iter().map(|b| b.as_ptr()).collect();
+                for w in 0..ptrs.len() {
+                    for v in w + 1..ptrs.len() {
+                        assert_ne!(ptrs[w], ptrs[v], "aliased concurrent borrows");
+                    }
+                }
+                for (j, b) in bufs.iter_mut().enumerate() {
+                    for (k, x) in b.iter_mut().enumerate() {
+                        *x = ((i as u64) << 32) | ((j as u64) << 16) | k as u64;
+                    }
+                }
+                let ok = bufs.iter().enumerate().all(|(j, b)| {
+                    b.iter()
+                        .enumerate()
+                        .all(|(k, &x)| x == ((i as u64) << 32) | ((j as u64) << 16) | k as u64)
+                });
+                for b in bufs {
+                    pool::recycle(b);
+                }
+                ok
+            })
+        });
+        assert!(
+            oks.iter().all(|&ok| ok),
+            "pool cross-talk detected at {t} threads"
+        );
+    }
+}
+
+/// Recycled buffers keep the pool's live-byte accounting consistent and
+/// get reused (hit counter climbs) instead of reallocated.
+#[test]
+fn pool_reuses_recycled_buffers() {
+    let len = 769usize; // unique length so other tests don't interfere
+    let before = pool::stats();
+    let first = pool::take_scratch(len);
+    let first_ptr = first.as_ptr() as usize;
+    pool::recycle(first);
+    let second = pool::take_scratch(len);
+    let second_ptr = second.as_ptr() as usize;
+    pool::recycle(second);
+    let after = pool::stats();
+    assert_eq!(
+        first_ptr, second_ptr,
+        "second borrow must reuse the recycled slab"
+    );
+    assert!(after.hits > before.hits, "reuse must count as a pool hit");
+}
