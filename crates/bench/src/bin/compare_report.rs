@@ -1,49 +1,50 @@
-//! Utilization & energy attribution report: runs the reference
-//! workload with a [`ProfilerSink`](uvpu_metrics::profiler::ProfilerSink)
-//! attached to every layer and writes the versioned
-//! `BENCH_metrics.json` snapshot (schema: [`uvpu_metrics::snapshot`]).
+//! Cross-accelerator comparison report: runs the reference workload
+//! with a `(ProfilerSink, CompareSink)` tee attached to every layer and
+//! writes the versioned `BENCH_compare.json` report (schema:
+//! [`uvpu_compare::report`]) covering the paper's five designs plus the
+//! RPU and BASALISC ports.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin metrics_report -- \
+//! cargo run --release --bin compare_report -- \
 //!     [--threads N] [--smoke] [--out PATH] [--no-advisory] [--check BASELINE]
 //! ```
 //!
-//! - `--threads N` pins the `uvpu-par` worker pool. The snapshot core is
+//! - `--threads N` pins the `uvpu-par` worker pool. The report core is
 //!   byte-identical for any value; only the advisory wall-clock changes.
 //! - `--smoke` runs the reduced-size variant (CI fast path).
-//! - `--out PATH` writes the snapshot there (default `BENCH_metrics.json`;
+//! - `--out PATH` writes the report there (default `BENCH_compare.json`;
 //!   `-` skips writing).
-//! - `--no-advisory` omits the advisory section, producing a file that is
-//!   byte-comparable with `cmp`.
-//! - `--check BASELINE` is the regression gate: after the run, the
-//!   deterministic core is diffed against the committed baseline
-//!   (advisory sections on either side are ignored). Any drift in cycle
-//!   totals, utilization, energy attribution, or schema prints
-//!   unified-diff hunks with ±3 lines of context — so the report names
-//!   *which section* drifted — and exits 1. Wall-clock never gates.
+//! - `--no-advisory` omits the advisory section, producing a file that
+//!   is byte-comparable with `cmp`.
+//! - `--check BASELINE` is the regression gate: the deterministic core
+//!   is diffed against the committed baseline (advisory sections on
+//!   either side ignored) and any drift is printed as unified-diff
+//!   hunks with ±3 context lines before exiting 1. Wall-clock never
+//!   gates.
 //!
-//! All usage errors (unknown flags, malformed values, unreadable
-//! baselines) exit 1 with a message on stderr — never a panic — so
-//! `set -e` shell gates fail cleanly and uniformly.
+//! Before rendering, the library asserts the `Ours` column bit-identical
+//! to the PR-3 profiler's attribution of the same stream — so a report
+//! that exists at all has already proven the metrics-consistency
+//! criterion at runtime.
 //!
 //! Prints one machine-readable summary line:
 //!
 //! ```text
-//! METRICS workload=ckks_mul_rescale variant=full threads=4 cycles=12345 utilization=0.8123 energy_pj=123456.7 wall_ms=81.2
+//! COMPARE workload=ckks_mul_rescale variant=full threads=4 backends=7 ours_cycles=12345 ours_energy_pj=123456.7 wall_ms=81.2
 //! ```
 
-use uvpu_bench::metrics_workload;
+use uvpu_bench::compare_workload;
 use uvpu_metrics::snapshot;
 
 fn fail(msg: &str) -> ! {
-    eprintln!("metrics_report: {msg}");
+    eprintln!("compare_report: {msg}");
     std::process::exit(1);
 }
 
 fn main() {
-    let mut out_path = "BENCH_metrics.json".to_string();
+    let mut out_path = "BENCH_compare.json".to_string();
     let mut smoke = false;
     let mut advisory = true;
     let mut check: Option<String> = None;
@@ -73,25 +74,21 @@ fn main() {
     }
 
     let threads = uvpu_par::max_threads();
-    let run = metrics_workload::run(smoke);
+    let run = compare_workload::run(smoke);
 
     println!(
-        "METRICS workload={} variant={} threads={threads} cycles={} \
-         utilization={:.4} energy_pj={:.1} wall_ms={:.1}",
-        metrics_workload::WORKLOAD,
+        "COMPARE workload={} variant={} threads={threads} backends={} \
+         ours_cycles={} ours_energy_pj={:.1} wall_ms={:.1}",
+        compare_workload::WORKLOAD,
         if smoke { "smoke" } else { "full" },
-        run.cycles,
-        run.utilization,
-        run.energy_pj,
+        run.backends,
+        run.ours_cycles,
+        run.ours_energy_pj,
         run.wall_ms
     );
 
     if out_path != "-" {
         let contents = if advisory {
-            // Pool counters are advisory: hit/miss splits depend on the
-            // thread count and warm-up history (only the outputs are
-            // required to be deterministic).
-            let pool = uvpu_math::pool::stats();
             snapshot::with_advisory(
                 &run.core_json,
                 &[
@@ -103,18 +100,15 @@ fn main() {
                             .map_or(0, std::num::NonZeroUsize::get)
                             .to_string(),
                     ),
-                    ("kernel.pool.hits", pool.hits.to_string()),
-                    ("kernel.pool.misses", pool.misses.to_string()),
-                    ("kernel.pool.bytes_live", pool.bytes_live.to_string()),
                 ],
             )
         } else {
             run.core_json.clone()
         };
         if std::fs::write(&out_path, &contents).is_err() {
-            fail(&format!("cannot write snapshot to {out_path}"));
+            fail(&format!("cannot write report to {out_path}"));
         }
-        println!("metrics: wrote {} bytes to {out_path}", contents.len());
+        println!("compare: wrote {} bytes to {out_path}", contents.len());
     }
 
     if let Some(baseline_path) = check {
@@ -122,15 +116,16 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
         let drift = snapshot::diff_context(&baseline, &run.core_json, 3, 60);
         if drift.is_empty() {
-            println!("gate: snapshot matches baseline {baseline_path} — OK");
+            println!("gate: report matches baseline {baseline_path} — OK");
         } else {
-            eprintln!("gate: snapshot drifted from baseline {baseline_path}:");
+            eprintln!("gate: report drifted from baseline {baseline_path}:");
             for line in &drift {
                 eprintln!("  {line}");
             }
             eprintln!(
-                "If the change is intentional, regenerate the baseline: \
-                 cargo run --release --bin metrics_report -- --no-advisory --out {baseline_path}"
+                "If the change is intentional, bump the schema if the core \
+                 format changed and regenerate: cargo run --release --bin \
+                 compare_report -- --no-advisory --out {baseline_path}"
             );
             std::process::exit(1);
         }

@@ -1,8 +1,11 @@
 //! End-to-end demonstration of the `uvpu-trace` layer: runs a paper
 //! workload with every sink attached, writes a Chrome trace-event /
-//! Perfetto JSON file, prints a per-phase utilization breakdown, and
-//! asserts that the cycle totals reconstructed purely from trace events
-//! are bit-identical to the VPU's own [`CycleStats`] accounting.
+//! Perfetto JSON file — including cumulative per-component **energy
+//! counter tracks** (`ph: 'C'`) plotted next to the spans that spent
+//! the energy — prints a per-phase utilization breakdown plus the
+//! ring-buffer tail's per-kind drop windows, and asserts that the cycle
+//! totals reconstructed purely from trace events are bit-identical to
+//! the VPU's own [`CycleStats`] accounting.
 //!
 //! Usage: `cargo run --release --bin trace_report -- [--threads N] [--bench] [--json PATH] [OUTPUT.json]`
 //! (default output: `uvpu_trace.json`; open it in `ui.perfetto.dev` or
@@ -38,14 +41,21 @@ use uvpu_accel::workload::FheOp;
 use uvpu_core::auto_map::AutomorphismMapping;
 use uvpu_core::ntt_map::NttPlan;
 use uvpu_core::stats::CycleStats;
-use uvpu_core::trace::{self, CounterSink, PerfettoSink, SyncSink};
+use uvpu_core::trace::{self, CounterSink, RingBufferSink, SyncSink};
 use uvpu_core::vpu::Vpu;
 use uvpu_math::modular::Modulus;
 use uvpu_math::primes::ntt_prime;
+use uvpu_metrics::timeline::EnergyTimelineSink;
 
 /// Track id for the cycle-level VPU, clear of the accelerator's
 /// scheduler slots (0..vpu_count) and [`trace::SCHEME_TRACK`].
 const VPU_TRACK: u32 = 10;
+/// Track id of the energy counter samples in the Perfetto export.
+const ENERGY_TRACK: u32 = 50;
+/// Capacity of the demonstration ring-buffer tail — deliberately small
+/// so the reference workload overflows it and the per-kind
+/// `dropped_since_last_read` windows show real numbers.
+const RING_CAPACITY: usize = 4096;
 
 fn breakdown_row(name: &str, stats: &CycleStats) -> String {
     let util = if stats.total() == 0 {
@@ -184,12 +194,18 @@ fn main() {
     let log_n = 12u32;
     let n = 1usize << log_n;
 
-    // One sink pair shared by the cycle-level VPU (as its inline sink)
+    // One sink trio shared by the cycle-level VPU (as its inline sink)
     // and by the scheme/scheduler layers (as the global sink): the
-    // counters check consistency, the exporter writes JSON. The sync
-    // install propagates the sink into `uvpu-par` pool workers, so
-    // spans emitted off the main thread are captured too.
-    let shared = SyncSink::new((CounterSink::new(), PerfettoSink::new()));
+    // counters check consistency, the ring buffer keeps a bounded event
+    // tail (demonstrating the per-kind drop accounting), and the energy
+    // timeline wraps the Perfetto exporter with cumulative
+    // per-component pJ counter tracks. The sync install propagates the
+    // sink into `uvpu-par` pool workers, so spans emitted off the main
+    // thread are captured too.
+    let shared = SyncSink::new((
+        (CounterSink::new(), RingBufferSink::new(RING_CAPACITY)),
+        EnergyTimelineSink::new(m, ENERGY_TRACK),
+    ));
     trace::install_global_sync(shared.clone());
 
     // --- Workload 1: negacyclic NTT + automorphism on one VPU ---------
@@ -248,7 +264,7 @@ fn main() {
     let vpu_stats = *vpu.stats();
 
     // --- Consistency: trace-derived totals vs the VPU's own counters --
-    let (traced, butterfly, loads, stores) = shared.with(|(counter, _)| {
+    let (traced, butterfly, loads, stores) = shared.with(|((counter, _), _)| {
         (
             *counter.running(),
             counter.butterfly_beats(),
@@ -280,7 +296,7 @@ fn main() {
         "  {:<28} {:>10} {:>10} {:>10} {:>10} {:>8}",
         "phase", "butterfly", "ewise", "move", "total", "util"
     );
-    shared.with(|(counter, _)| {
+    shared.with(|((counter, _), _)| {
         for (name, stats) in counter.phases() {
             println!("{}", breakdown_row(name, stats));
         }
@@ -292,10 +308,24 @@ fn main() {
         traced.total()
     );
 
-    // --- Perfetto export ---------------------------------------------
-    let (json, events) = shared.with(|(_, perfetto)| {
-        let json = perfetto.to_json();
-        (json, perfetto.event_count())
+    // --- Ring-buffer tail: bounded retention with drop accounting -----
+    let (kept, drop_beats, drop_mems, drop_spans) = shared.with(|((_, ring), _)| {
+        let (beats, mems, spans) = ring.dropped_since_last_read_by_kind();
+        let kept = ring.events().len();
+        ring.mark_read();
+        (kept, beats, mems, spans)
+    });
+    println!(
+        "ring buffer: kept last {kept}/{RING_CAPACITY} events; dropped since last read: \
+         {drop_beats} beats, {drop_mems} mems, {drop_spans} spans"
+    );
+
+    // --- Perfetto export (with energy counter tracks) -----------------
+    let (json, events, samples, energy_pj) = shared.with(|(_, timeline)| {
+        let samples = timeline.sample_count();
+        let energy_pj = timeline.energy_total_pj();
+        let json = timeline.to_json();
+        (json, timeline.event_count(), samples, energy_pj)
     });
     assert!(
         json.starts_with("{\"displayTimeUnit\"") && json.ends_with("]}"),
@@ -306,11 +336,15 @@ fn main() {
         "perfetto: wrote {events} events ({} bytes) to {out_path} — open in ui.perfetto.dev",
         json.len()
     );
+    println!(
+        "energy: {samples} counter samples on track {ENERGY_TRACK} \
+         (cumulative per-component pJ; total {energy_pj:.1} pJ)"
+    );
 
     // --- Machine-readable phase breakdown (shared snapshot schema) ---
     if let Some(path) = json_path {
-        let phases =
-            shared.with(|(counter, _)| uvpu_metrics::snapshot::phases_to_json(counter.phases(), 2));
+        let phases = shared
+            .with(|((counter, _), _)| uvpu_metrics::snapshot::phases_to_json(counter.phases(), 2));
         let doc = format!(
             "{{\n  \"schema\": \"{}\",\n  \"workload\": \"trace_report\",\n  \"phases\": {phases}\n}}\n",
             uvpu_metrics::snapshot::SCHEMA

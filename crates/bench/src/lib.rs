@@ -145,25 +145,133 @@ mod tests {
     }
 }
 
-/// The profiled reference workload behind `metrics_report`,
-/// `tests/metrics_consistency.rs`, and the CI regression gate.
+/// Drives the full reference stack — cycle-level NTT + automorphism,
+/// an accelerator batch, a CKKS multiply/rescale, and a BFV multiply —
+/// with `shared` attached everywhere a sink can go: inline on the
+/// cycle-level VPU and (through the global install) as the sink seen by
+/// the accelerator scheduler, the scheme layers, and `uvpu-par` pool
+/// workers. Returns the wall-clock of the driven region and the VPU's
+/// own cycle accounting, for the trace-consistency assert every caller
+/// performs.
 ///
-/// One function runs the full stack with a single [`ProfilerSink`]
-/// attached everywhere a sink can go — inline on the cycle-level VPU,
-/// and (through [`SyncSink`]) as the process-global sink seen by the
-/// accelerator scheduler and the CKKS/BFV scheme layers — and returns
-/// the deterministic snapshot. Keeping the workload in the library (not
-/// the binary) is what makes the determinism tests meaningful: the test
-/// and the report profile literally the same code.
-pub mod metrics_workload {
-    use super::*;
+/// This is the *one* workload behind both `metrics_workload` (PR-3
+/// snapshot gate) and `compare_workload` (cross-backend report gate):
+/// sharing the driver is what makes "the Ours column reproduces the
+/// metrics snapshot" a structural identity rather than a coincidence of
+/// two codepaths.
+fn drive_stack<S>(
+    smoke: bool,
+    shared: &uvpu_core::trace::SyncSink<S>,
+) -> (f64, uvpu_core::stats::CycleStats)
+where
+    S: uvpu_core::trace::TraceSink + Send + 'static,
+{
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::time::Instant;
     use uvpu_accel::config::AcceleratorConfig;
     use uvpu_accel::machine::Accelerator;
     use uvpu_accel::workload::FheOp;
-    use uvpu_core::trace::{self, SyncSink};
+    use uvpu_core::trace;
+
+    let (m, log_n) = (64usize, if smoke { 10u32 } else { 12u32 });
+    let n = 1usize << log_n;
+
+    // One sink shared by every layer. `SyncSink` makes it both
+    // cloneable (same instance inline on the VPU and installed
+    // globally) and `Send` (the global install propagates into
+    // `uvpu-par` pool workers).
+    trace::install_global_sync(shared.clone());
+    let start = Instant::now();
+
+    // --- Cycle-level: negacyclic NTT + automorphism on one VPU ----
+    let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
+    let plan = NttPlan::new(q, n, m).expect("plan");
+    let mut vpu = Vpu::with_sink(m, q, 8, shared.clone()).expect("vpu");
+    vpu.set_track(metrics_workload::VPU_TRACK);
+    let data: Vec<u64> = (0..n as u64).collect();
+    plan.execute_forward_negacyclic(&mut vpu, &data)
+        .expect("ntt run");
+    AutomorphismMapping::new(n, m, 5, 0)
+        .expect("auto plan")
+        .execute(&mut vpu, &data)
+        .expect("auto run");
+
+    // --- Scheduler-level: a batch on the multi-VPU accelerator ----
+    Accelerator::new(AcceleratorConfig::default())
+        .expect("accel")
+        .run(&[
+            FheOp::HMult { n, limbs: 3 },
+            FheOp::HRot { n, limbs: 3 },
+            FheOp::Ntt { n },
+            FheOp::Automorphism { n },
+        ])
+        .expect("accel run");
+
+    // --- Scheme-level: CKKS multiply + rescale ---------------------
+    {
+        use uvpu_ckks::encoder::{Encoder, C64};
+        use uvpu_ckks::keys::KeyGenerator;
+        use uvpu_ckks::ops::Evaluator;
+        use uvpu_ckks::params::{CkksContext, CkksParams};
+
+        let ctx =
+            CkksContext::new(CkksParams::new(1 << 6, 3, 40).expect("params")).expect("context");
+        let enc = Encoder::new(&ctx);
+        let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).expect("pk");
+        let rlk = kg.relin_key(&sk).expect("rlk");
+        let eval = Evaluator::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<C64> = (0..32).map(|j| C64::from(1.0 + j as f64 * 0.01)).collect();
+        let ct = eval
+            .encrypt(&pk, &enc.encode(&ctx, 3, &x).expect("encode"), &mut rng)
+            .expect("encrypt");
+        let sum = eval.add(&ct, &ct).expect("add");
+        let _ = eval
+            .rescale(&eval.mul(&sum, &ct, &rlk).expect("mul"))
+            .expect("rescale");
+    }
+
+    // --- Scheme-level: a BFV multiply ------------------------------
+    {
+        use uvpu_bfv::cipher::Evaluator;
+        use uvpu_bfv::encoder::BatchEncoder;
+        use uvpu_bfv::keys::KeyGenerator;
+        use uvpu_bfv::params::BfvParams;
+
+        let params = BfvParams::new(1 << 6, 50).expect("bfv params");
+        let enc = BatchEncoder::new(&params).expect("bfv encoder");
+        let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(3));
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk).expect("bfv pk");
+        let rlk = kg.relin_key(&sk).expect("bfv rlk");
+        let eval = Evaluator::new(&params);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ct = eval
+            .encrypt(&pk, &enc.encode(&[41]).expect("encode"), &mut rng)
+            .expect("bfv encrypt");
+        let sum = eval.add(&ct, &ct);
+        let _ = eval.mul(&sum, &ct, &rlk).expect("bfv mul");
+    }
+
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    trace::take_global_sync();
+    (wall_ms, *vpu.stats())
+}
+
+/// The profiled reference workload behind `metrics_report`,
+/// `tests/metrics_consistency.rs`, and the CI regression gate.
+///
+/// One function runs the full stack (via the crate-private
+/// `drive_stack` driver shared with [`compare_workload`]) with a single
+/// [`ProfilerSink`] attached everywhere a sink can go and returns the
+/// deterministic snapshot. Keeping the workload in the library (not the
+/// binary) is what makes the determinism tests meaningful: the test and
+/// the report profile literally the same code.
+pub mod metrics_workload {
+    use uvpu_core::trace::SyncSink;
     use uvpu_metrics::profiler::ProfilerSink;
 
     /// Workload identifier stamped into the snapshot.
@@ -171,6 +279,8 @@ pub mod metrics_workload {
     /// Track id for the cycle-level VPU, clear of the accelerator's
     /// scheduler slots and `SCHEME_TRACK`.
     pub const VPU_TRACK: u32 = 10;
+    /// Lane count of the reference workload's VPUs.
+    pub const LANES: usize = 64;
 
     /// One profiled run.
     #[derive(Debug, Clone)]
@@ -204,92 +314,8 @@ pub mod metrics_workload {
     #[must_use]
     pub fn run(smoke: bool) -> WorkloadRun {
         let variant = if smoke { "smoke" } else { "full" };
-        let (m, log_n) = (64usize, if smoke { 10u32 } else { 12u32 });
-        let n = 1usize << log_n;
-
-        // One profiler shared by every layer. `SyncSink` makes it both
-        // cloneable (same instance inline on the VPU and installed
-        // globally) and `Send` (the global install propagates into
-        // `uvpu-par` pool workers).
-        let shared = SyncSink::new(ProfilerSink::new(m));
-        trace::install_global_sync(shared.clone());
-        let start = Instant::now();
-
-        // --- Cycle-level: negacyclic NTT + automorphism on one VPU ----
-        let q = Modulus::new(ntt_prime(50, n).expect("prime")).expect("modulus");
-        let plan = NttPlan::new(q, n, m).expect("plan");
-        let mut vpu = Vpu::with_sink(m, q, 8, shared.clone()).expect("vpu");
-        vpu.set_track(VPU_TRACK);
-        let data: Vec<u64> = (0..n as u64).collect();
-        plan.execute_forward_negacyclic(&mut vpu, &data)
-            .expect("ntt run");
-        AutomorphismMapping::new(n, m, 5, 0)
-            .expect("auto plan")
-            .execute(&mut vpu, &data)
-            .expect("auto run");
-
-        // --- Scheduler-level: a batch on the multi-VPU accelerator ----
-        Accelerator::new(AcceleratorConfig::default())
-            .expect("accel")
-            .run(&[
-                FheOp::HMult { n, limbs: 3 },
-                FheOp::HRot { n, limbs: 3 },
-                FheOp::Ntt { n },
-                FheOp::Automorphism { n },
-            ])
-            .expect("accel run");
-
-        // --- Scheme-level: CKKS multiply + rescale ---------------------
-        {
-            use uvpu_ckks::encoder::{Encoder, C64};
-            use uvpu_ckks::keys::KeyGenerator;
-            use uvpu_ckks::ops::Evaluator;
-            use uvpu_ckks::params::{CkksContext, CkksParams};
-
-            let ctx =
-                CkksContext::new(CkksParams::new(1 << 6, 3, 40).expect("params")).expect("context");
-            let enc = Encoder::new(&ctx);
-            let mut kg = KeyGenerator::new(&ctx, StdRng::seed_from_u64(1));
-            let sk = kg.secret_key();
-            let pk = kg.public_key(&sk).expect("pk");
-            let rlk = kg.relin_key(&sk).expect("rlk");
-            let eval = Evaluator::new(&ctx);
-            let mut rng = StdRng::seed_from_u64(2);
-            let x: Vec<C64> = (0..32).map(|j| C64::from(1.0 + j as f64 * 0.01)).collect();
-            let ct = eval
-                .encrypt(&pk, &enc.encode(&ctx, 3, &x).expect("encode"), &mut rng)
-                .expect("encrypt");
-            let sum = eval.add(&ct, &ct).expect("add");
-            let _ = eval
-                .rescale(&eval.mul(&sum, &ct, &rlk).expect("mul"))
-                .expect("rescale");
-        }
-
-        // --- Scheme-level: a BFV multiply ------------------------------
-        {
-            use uvpu_bfv::cipher::Evaluator;
-            use uvpu_bfv::encoder::BatchEncoder;
-            use uvpu_bfv::keys::KeyGenerator;
-            use uvpu_bfv::params::BfvParams;
-
-            let params = BfvParams::new(1 << 6, 50).expect("bfv params");
-            let enc = BatchEncoder::new(&params).expect("bfv encoder");
-            let mut kg = KeyGenerator::new(&params, StdRng::seed_from_u64(3));
-            let sk = kg.secret_key();
-            let pk = kg.public_key(&sk).expect("bfv pk");
-            let rlk = kg.relin_key(&sk).expect("bfv rlk");
-            let eval = Evaluator::new(&params);
-            let mut rng = StdRng::seed_from_u64(4);
-            let ct = eval
-                .encrypt(&pk, &enc.encode(&[41]).expect("encode"), &mut rng)
-                .expect("bfv encrypt");
-            let sum = eval.add(&ct, &ct);
-            let _ = eval.mul(&sum, &ct, &rlk).expect("bfv mul");
-        }
-
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        trace::take_global_sync();
-        let vpu_stats = *vpu.stats();
+        let shared = SyncSink::new(ProfilerSink::new(LANES));
+        let (wall_ms, vpu_stats) = crate::drive_stack(smoke, &shared);
 
         let (core_json, cycles, utilization, energy_pj) = shared.with(|p| {
             assert_eq!(
@@ -310,6 +336,102 @@ pub mod metrics_workload {
             cycles,
             utilization,
             energy_pj,
+        }
+    }
+}
+
+/// The cross-backend comparison workload behind `compare_report`,
+/// `tests/compare_consistency.rs`, and the `bench_compare.sh` CI gate.
+///
+/// Runs the *same* stack as [`metrics_workload`] (literally the same
+/// crate-private driver) with a `(ProfilerSink, CompareSink)` tee: the
+/// profiler provides the PR-3 ground truth, the comparison sink
+/// attributes the identical event stream to all seven modeled backends
+/// in one pass. Before rendering, the Ours lane is asserted
+/// bit-identical to the profiler — cycles, component counts, and every
+/// phase — so a report that renders at all has already proven its
+/// acceptance criterion at runtime.
+pub mod compare_workload {
+    use uvpu_compare::report;
+    use uvpu_compare::sink::CompareSink;
+    use uvpu_core::trace::SyncSink;
+    use uvpu_metrics::energy::Component;
+    use uvpu_metrics::profiler::ProfilerSink;
+
+    pub use super::metrics_workload::{LANES, WORKLOAD};
+
+    /// One comparison run.
+    #[derive(Debug, Clone)]
+    pub struct CompareRun {
+        /// The deterministic report core (no advisory section) —
+        /// byte-identical across runs and `UVPU_THREADS` settings.
+        pub core_json: String,
+        /// Wall-clock of the driven region (advisory only).
+        pub wall_ms: f64,
+        /// Number of modeled backends in the report.
+        pub backends: usize,
+        /// Total cycles on the paper's design (for the summary line).
+        pub ours_cycles: u64,
+        /// Total energy on the paper's design, pJ (for the summary
+        /// line).
+        pub ours_energy_pj: f64,
+    }
+
+    /// Runs the comparison workload and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage of the stack fails, or if the Ours lane of
+    /// the comparison diverges from the profiler's attribution in any
+    /// integer count — the structural identity the report's acceptance
+    /// rests on.
+    #[must_use]
+    pub fn run(smoke: bool) -> CompareRun {
+        let variant = if smoke { "smoke" } else { "full" };
+        let shared = SyncSink::new((ProfilerSink::new(LANES), CompareSink::suite(LANES)));
+        let (wall_ms, vpu_stats) = crate::drive_stack(smoke, &shared);
+
+        let (core_json, backends, ours_cycles, ours_energy_pj) = shared.with(|sinks| {
+            let (profiler, compare) = (&sinks.0, &sinks.1);
+            assert_eq!(
+                *profiler.running(),
+                vpu_stats,
+                "trace-derived cycle totals must be bit-identical to CycleStats"
+            );
+            let ours = compare.ours();
+            assert_eq!(
+                ours.cycles(),
+                profiler.running(),
+                "Ours cycles must equal the profiler's"
+            );
+            for c in Component::ALL {
+                assert_eq!(
+                    ours.components()[c.index()],
+                    profiler.component_count(c),
+                    "Ours component count {} must equal the profiler's",
+                    c.name()
+                );
+            }
+            for (name, bins) in ours.phases() {
+                assert_eq!(
+                    &bins.cycles,
+                    &profiler.phases()[name],
+                    "Ours phase {name} must equal the profiler's"
+                );
+            }
+            (
+                report::render(compare, WORKLOAD, variant),
+                compare.backends().len(),
+                ours.cycles().total(),
+                ours.energy_total_pj(),
+            )
+        });
+        CompareRun {
+            core_json,
+            wall_ms,
+            backends,
+            ours_cycles,
+            ours_energy_pj,
         }
     }
 }

@@ -1,0 +1,48 @@
+//! `uvpu-compare` — cross-accelerator attribution and deterministic
+//! comparison reports.
+//!
+//! The paper's comparison methodology (§V-A) ports every competing
+//! permutation approach onto the *same* `m`-lane VPU and measures the
+//! same workloads on each. This crate operationalizes that: a
+//! [`sink::CompareSink`] is a [`TraceSink`](uvpu_core::trace::TraceSink)
+//! that replays one PR-1 trace stream through the
+//! [`CostModel`](uvpu_hw_model::cost::CostModel) of **every** modeled
+//! backend simultaneously — the paper's five designs plus the RPU and
+//! BASALISC ports — attributing cycles and per-component energy to each
+//! in a single pass over the events.
+//!
+//! Determinism is inherited from the PR-3 profiler discipline: the sink
+//! stores only integer activation counts and integer cycle totals;
+//! energy pricing and ratio derivation happen at render time
+//! ([`report`]), with the same fixed-precision formatters as the metrics
+//! snapshots. Two runs of the same workload at any `UVPU_THREADS`
+//! setting render byte-identical reports, which is what lets
+//! `scripts/bench_compare.sh` gate on a committed baseline with a plain
+//! byte diff.
+//!
+//! The **Ours** column is special by construction: its cost model uses
+//! the exact arithmetic of the `uvpu-metrics`
+//! [`EnergyModel`](uvpu_metrics::energy::EnergyModel), so the numbers it
+//! reports are identical — not just close — to the PR-3 metrics snapshot
+//! of the same workload.
+//!
+//! # Example
+//!
+//! ```
+//! use uvpu_compare::sink::CompareSink;
+//! use uvpu_core::trace::{BeatKind, TraceSink};
+//!
+//! let mut sink = CompareSink::suite(64);
+//! sink.span_begin(0, 0, "ntt");
+//! sink.beats(0, 0, BeatKind::Butterfly, 96);
+//! sink.span_end(0, 96, "ntt");
+//! let report = uvpu_compare::report::render(&sink, "example", "doc");
+//! assert!(report.contains("\"schema\": \"uvpu-compare/v1\""));
+//! assert!(report.contains("\"RPU\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sink;

@@ -1,0 +1,360 @@
+//! The versioned `uvpu-compare/v1` comparison-report schema.
+//!
+//! A report is the machine-readable result of replaying one workload's
+//! trace through every backend's cost model. Like the metrics snapshots
+//! it is **deterministic by construction**: fixed field order, sorted
+//! backend and phase keys, and the *same* fixed-precision formatters as
+//! `uvpu-metrics` ([`fmt_pj`](uvpu_metrics::snapshot::fmt_pj),
+//! [`fmt_ratio`](uvpu_metrics::snapshot::fmt_ratio)) — so the `Ours`
+//! column of a comparison report reproduces the metrics snapshot of the
+//! same workload digit for digit, and repeated runs at any
+//! `UVPU_THREADS` produce byte-identical text.
+//!
+//! ## Versioning rules
+//!
+//! The `"schema"` field is `uvpu-compare/v<N>`. Any change that alters
+//! the rendered bytes of the deterministic core for an unchanged
+//! workload — a new or renamed field, a float precision change, a
+//! cost-model recalibration, adding or removing a backend — must bump
+//! `N` **and** regenerate the committed `BENCH_compare_baseline*.json`
+//! files in the same commit. Advisory-only changes don't bump the
+//! version. The `scripts/bench_compare.sh` gate compares byte-for-byte,
+//! so unversioned drift fails loudly.
+//!
+//! ## Adding a backend
+//!
+//! 1. Add a [`BackendKind`](uvpu_hw_model::cost::BackendKind) variant
+//!    with its structural parameters and citation, and extend
+//!    `BackendKind::ALL` + the `BackendModel::new` match;
+//! 2. the suite sink and this report pick it up automatically (keys are
+//!    sorted by backend name);
+//! 3. bump the schema version and regenerate the baselines — a new
+//!    backend changes the rendered bytes.
+//!
+//! ## Layout (2-space indent)
+//!
+//! ```json
+//! {
+//!   "schema": "uvpu-compare/v1",
+//!   "workload": "ckks_mul_rescale",
+//!   "variant": "full",
+//!   "lanes": 64,
+//!   "backends": {
+//!     "<name>": {
+//!       "provenance": "…",
+//!       "model": { "network_area_um2": …, "network_power_mw": …, "vpu_area_um2": …, "vpu_power_mw": … },
+//!       "cycles": { "butterfly": …, …, "utilization": … },
+//!       "energy": { "components_pj": { … }, "total_pj": … },
+//!       "phases": { "<span name>": {"cycles": { … }, "components_pj": { … }}, … }
+//!     }, …
+//!   },
+//!   "ratios_vs_ours": {
+//!     "<name>": { "cycles": …, "energy_pj": …, "network_area": …, "network_power": …, "vpu_area": …, "vpu_power": … }, …
+//!   }
+//! }
+//! ```
+//!
+//! Backend keys sort alphabetically (ARK, BASALISC, BTS, F1, Ours, RPU,
+//! SHARP). Ratios are `backend / Ours`, so the Ours row reads
+//! `1.000000` everywhere and a value above one is a cost — more cycles,
+//! more energy, more area — relative to the paper's design.
+
+use crate::sink::{BackendLane, CompareSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use uvpu_hw_model::cost::{CostComponent, CostModel};
+use uvpu_metrics::snapshot::{cycle_stats_json, escape, fmt_pj, fmt_ratio};
+
+/// Current schema identifier.
+pub const SCHEMA: &str = "uvpu-compare/v1";
+
+/// Fixed-precision rendering for the model's area/power statics — two
+/// decimals, matching the paper's tables.
+#[must_use]
+pub fn fmt_model(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders one backend's per-component energy as a single-line JSON
+/// object (keys in [`CostComponent::ALL`] order — the metrics snapshot
+/// order, not alphabetical, so the bins read in datapath order).
+fn components_pj_json(lane: &BackendLane) -> String {
+    let mut out = String::from("{");
+    for (i, c) in CostComponent::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}\": {}",
+            c.name(),
+            fmt_pj(lane.model().component_pj(*c, lane.components()[c.index()]))
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn phase_components_pj_json(lane: &BackendLane, components: &[u64]) -> String {
+    let mut out = String::from("{");
+    for (i, c) in CostComponent::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}\": {}",
+            c.name(),
+            fmt_pj(lane.model().component_pj(*c, components[c.index()]))
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn ratio_or_null(numer: f64, denom: f64) -> String {
+    if denom == 0.0 {
+        "null".to_string()
+    } else {
+        fmt_ratio(numer / denom)
+    }
+}
+
+/// Renders the deterministic report core (no advisory section; ends
+/// with `}` and a newline). Compose with the shared
+/// [`with_advisory`](uvpu_metrics::snapshot::with_advisory) /
+/// [`strip_advisory`](uvpu_metrics::snapshot::strip_advisory) /
+/// [`diff_context`](uvpu_metrics::snapshot::diff_context) helpers for
+/// run-dependent fields and baseline gating.
+///
+/// # Panics
+///
+/// Panics if the sink models no "Ours" backend (ratios need the
+/// reference column).
+#[must_use]
+pub fn render(sink: &CompareSink, workload: &str, variant: &str) -> String {
+    let ours = sink.ours();
+    let by_name: BTreeMap<&str, &BackendLane> = sink
+        .backends()
+        .iter()
+        .map(|b| (b.model().name(), b))
+        .collect();
+
+    let mut out = String::with_capacity(8192);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(workload));
+    let _ = writeln!(out, "  \"variant\": \"{}\",", escape(variant));
+    let _ = writeln!(out, "  \"lanes\": {},", sink.lanes());
+
+    out.push_str("  \"backends\": {\n");
+    for (i, (name, lane)) in by_name.iter().enumerate() {
+        let model = lane.model();
+        let _ = writeln!(out, "    \"{}\": {{", escape(name));
+        let _ = writeln!(
+            out,
+            "      \"provenance\": \"{}\",",
+            escape(model.provenance())
+        );
+        let _ = writeln!(
+            out,
+            "      \"model\": {{\"network_area_um2\": {}, \"network_power_mw\": {}, \"vpu_area_um2\": {}, \"vpu_power_mw\": {}}},",
+            fmt_model(model.network_area_um2()),
+            fmt_model(model.network_power_mw()),
+            fmt_model(model.vpu_area_um2()),
+            fmt_model(model.vpu_power_mw())
+        );
+        let _ = writeln!(
+            out,
+            "      \"cycles\": {},",
+            cycle_stats_json(lane.cycles())
+        );
+        let _ = writeln!(
+            out,
+            "      \"energy\": {{\"components_pj\": {}, \"total_pj\": {}}},",
+            components_pj_json(lane),
+            fmt_pj(lane.energy_total_pj())
+        );
+        if lane.phases().is_empty() {
+            out.push_str("      \"phases\": {}\n");
+        } else {
+            out.push_str("      \"phases\": {\n");
+            let n = lane.phases().len();
+            for (j, (phase, bins)) in lane.phases().iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        \"{}\": {{\"cycles\": {}, \"components_pj\": {}}}",
+                    escape(phase),
+                    cycle_stats_json(&bins.cycles),
+                    phase_components_pj_json(lane, &bins.components)
+                );
+                out.push_str(if j + 1 < n { ",\n" } else { "\n" });
+            }
+            out.push_str("      }\n");
+        }
+        out.push_str(if i + 1 < by_name.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  },\n");
+
+    // Derived ratios: backend / Ours. Above 1.0 = costlier than the
+    // paper's design.
+    let ours_model = ours.model();
+    out.push_str("  \"ratios_vs_ours\": {\n");
+    for (i, (name, lane)) in by_name.iter().enumerate() {
+        let model = lane.model();
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"cycles\": {}, \"energy_pj\": {}, \"network_area\": {}, \"network_power\": {}, \"vpu_area\": {}, \"vpu_power\": {}}}",
+            escape(name),
+            ratio_or_null(lane.cycles().total() as f64, ours.cycles().total() as f64),
+            ratio_or_null(lane.energy_total_pj(), ours.energy_total_pj()),
+            ratio_or_null(model.network_area_um2(), ours_model.network_area_um2()),
+            ratio_or_null(model.network_power_mw(), ours_model.network_power_mw()),
+            ratio_or_null(model.vpu_area_um2(), ours_model.vpu_area_um2()),
+            ratio_or_null(model.vpu_power_mw(), ours_model.vpu_power_mw())
+        );
+        out.push_str(if i + 1 < by_name.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n");
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::{BeatKind, MemDir, NetKind, TraceSink};
+    use uvpu_metrics::profiler::ProfilerSink;
+    use uvpu_metrics::snapshot::{diff_context, strip_advisory, with_advisory};
+
+    fn sample_sink() -> CompareSink {
+        let mut sink = CompareSink::suite(64);
+        sink.span_begin(0, 0, "ntt.forward");
+        sink.beats(0, 0, BeatKind::Butterfly, 96);
+        sink.beats(0, 96, BeatKind::NetworkMove(NetKind::Shift), 32);
+        sink.span_end(0, 128, "ntt.forward");
+        sink.mem(0, 128, MemDir::Load, 0, 64);
+        sink
+    }
+
+    /// Cheap structural validity probe: balanced braces outside strings.
+    fn assert_balanced_json(json: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced at: …{json}");
+        }
+        assert_eq!(depth, 0, "unbalanced: {json}");
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn render_is_valid_sorted_and_repeatable() {
+        let sink = sample_sink();
+        let a = render(&sink, "unit", "test");
+        assert_eq!(a, render(&sink, "unit", "test"));
+        assert_balanced_json(&a);
+        assert!(a.starts_with("{\n  \"schema\": \"uvpu-compare/v1\""));
+        // Backend keys in sorted order.
+        let order = ["ARK", "BASALISC", "BTS", "F1", "Ours", "RPU", "SHARP"];
+        let mut last = 0;
+        for name in order {
+            let pos = a.find(&format!("\"{name}\": {{")).unwrap_or_else(|| {
+                panic!("backend {name} missing from report");
+            });
+            assert!(pos > last, "{name} out of order");
+            last = pos;
+        }
+        // Ours ratios are exactly 1.
+        assert!(a.contains("\"Ours\": {\"cycles\": 1.000000, \"energy_pj\": 1.000000"));
+    }
+
+    #[test]
+    fn ours_column_matches_the_metrics_snapshot() {
+        // The energy numbers in the Ours column must be the exact
+        // strings the metrics snapshot prints for the same stream.
+        let sink = sample_sink();
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(0, 0, "ntt.forward");
+        p.beats(0, 0, BeatKind::Butterfly, 96);
+        p.beats(0, 96, BeatKind::NetworkMove(NetKind::Shift), 32);
+        p.span_end(0, 128, "ntt.forward");
+        p.mem(0, 128, MemDir::Load, 0, 64);
+        let report = render(&sink, "unit", "test");
+        let snapshot = p.snapshot("unit", "test");
+        // Both documents contain the identical cycles line…
+        let cycles = cycle_stats_json(p.running());
+        assert!(report.contains(&format!("\"cycles\": {cycles}")));
+        assert!(snapshot.contains(&cycles));
+        // …and identical per-component energy strings.
+        for c in uvpu_metrics::energy::Component::ALL {
+            let rendered = fmt_pj(p.component_pj(c));
+            let key = format!("\"{}\": {}", c.name(), rendered);
+            assert!(snapshot.contains(&key), "metrics: {key}");
+            assert!(report.contains(&key), "compare: {key}");
+        }
+        let total = fmt_pj(p.energy_total_pj());
+        assert!(report.contains(&format!("\"total_pj\": {total}")));
+    }
+
+    #[test]
+    fn ratios_flag_costlier_backends() {
+        let sink = sample_sink();
+        let report = render(&sink, "unit", "test");
+        // F1's network is bigger and its cycles higher: every ratio in
+        // its row must exceed 1.
+        let row = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("\"F1\": {\"cycles\""))
+            .expect("F1 ratio row");
+        for field in ["cycles", "energy_pj", "network_area", "network_power"] {
+            let tag = format!("\"{field}\": ");
+            let start = row.find(&tag).expect(field) + tag.len();
+            let value: f64 = row[start..]
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .parse()
+                .expect(field);
+            assert!(value > 1.0, "F1 {field} ratio {value}");
+        }
+    }
+
+    #[test]
+    fn advisory_helpers_compose() {
+        let sink = sample_sink();
+        let core = render(&sink, "unit", "test");
+        let full = with_advisory(&core, &[("wall_ms", "3.25".to_string())]);
+        assert_balanced_json(&full);
+        assert_eq!(strip_advisory(&full), core);
+        assert!(diff_context(&core, &full, 3, 10).is_empty());
+        let drifted = core.replacen("\"lanes\": 64", "\"lanes\": 32", 1);
+        assert!(!diff_context(&core, &drifted, 3, 10).is_empty());
+    }
+
+    #[test]
+    fn empty_sink_renders_cleanly() {
+        let sink = CompareSink::suite(4);
+        let report = render(&sink, "empty", "test");
+        assert_balanced_json(&report);
+        assert!(report.contains("\"phases\": {}"));
+        assert!(report.contains("\"utilization\": null"));
+        // Zero totals: cycle/energy ratios are null, statics still real.
+        assert!(report.contains("\"cycles\": null, \"energy_pj\": null"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The comparison sink: one trace stream, every backend's ledger.
+//!
+//! [`CompareSink`] holds one [`BackendLane`] per modeled backend. Each
+//! trace event is charged into every lane through that lane's
+//! [`CostModel`]: beats add backend-specific cycles (per-beat integer
+//! factors) and component activations; register-file transfers add
+//! word counts; spans snapshot each lane at `span_begin` and attribute
+//! the delta at `span_end`, exactly like the `uvpu-metrics` profiler.
+//!
+//! Everything accumulated here is an integer, so attribution is
+//! independent of event arrival order across worker threads (the same
+//! argument as the PR-3 profiler: addition of `u64` counters commutes).
+
+use std::collections::BTreeMap;
+use uvpu_core::stats::CycleStats;
+use uvpu_core::trace::{BeatKind, MemDir, TraceSink};
+use uvpu_hw_model::cost::{BackendModel, CostModel, COST_COMPONENTS};
+use uvpu_hw_model::tech::TechParams;
+
+/// Integer cycle/component bins of one phase (span name) on one backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBins {
+    /// Cycles the backend spends inside spans of this name.
+    pub cycles: CycleStats,
+    /// Component activations charged inside spans of this name.
+    pub components: [u64; COST_COMPONENTS],
+}
+
+/// One backend's running ledger.
+#[derive(Debug, Clone)]
+pub struct BackendLane {
+    model: BackendModel,
+    cycles: CycleStats,
+    components: [u64; COST_COMPONENTS],
+    phases: BTreeMap<String, PhaseBins>,
+}
+
+impl BackendLane {
+    /// The cost model this lane charges through.
+    #[must_use]
+    pub const fn model(&self) -> &BackendModel {
+        &self.model
+    }
+
+    /// Total cycles this backend needs for the replayed stream.
+    #[must_use]
+    pub const fn cycles(&self) -> &CycleStats {
+        &self.cycles
+    }
+
+    /// Total component activation counts (beats; words for the
+    /// register-file bin).
+    #[must_use]
+    pub const fn components(&self) -> &[u64; COST_COMPONENTS] {
+        &self.components
+    }
+
+    /// Per-phase attribution keyed by span name.
+    #[must_use]
+    pub const fn phases(&self) -> &BTreeMap<String, PhaseBins> {
+        &self.phases
+    }
+
+    /// Total energy this backend dissipates (pJ), priced at call time.
+    #[must_use]
+    pub fn energy_total_pj(&self) -> f64 {
+        uvpu_hw_model::cost::CostComponent::ALL
+            .iter()
+            .map(|&c| self.model.component_pj(c, self.components[c.index()]))
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    track: u32,
+    name: String,
+    /// Per-lane `(cycles, components)` snapshot at `span_begin`, in
+    /// lane order.
+    at_begin: Vec<(CycleStats, [u64; COST_COMPONENTS])>,
+}
+
+/// A [`TraceSink`] attributing one event stream to every modeled
+/// backend in a single pass.
+///
+/// See the [crate docs](crate) for the determinism argument and the
+/// [module docs](self) for the charging model.
+#[derive(Debug, Clone)]
+pub struct CompareSink {
+    lanes: usize,
+    backends: Vec<BackendLane>,
+    open: Vec<OpenSpan>,
+    unmatched_ends: u64,
+}
+
+impl CompareSink {
+    /// The standard seven-backend suite (the paper's five designs plus
+    /// RPU and BASALISC) at `m` lanes, priced with the calibrated ASAP7
+    /// constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn suite(m: usize) -> Self {
+        Self::with_models(m, BackendModel::suite(m, &TechParams::asap7()))
+    }
+
+    /// A sink over an explicit backend list (all must model `m` lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any model's lane count differs from `m`.
+    #[must_use]
+    pub fn with_models(m: usize, models: Vec<BackendModel>) -> Self {
+        let backends = models
+            .into_iter()
+            .map(|model| {
+                assert_eq!(model.lanes(), m, "{} models a different VPU", model.name());
+                BackendLane {
+                    model,
+                    cycles: CycleStats::new(),
+                    components: [0; COST_COMPONENTS],
+                    phases: BTreeMap::new(),
+                }
+            })
+            .collect();
+        Self {
+            lanes: m,
+            backends,
+            open: Vec::new(),
+            unmatched_ends: 0,
+        }
+    }
+
+    /// Lane count of the modeled VPUs.
+    #[must_use]
+    pub const fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// All backend ledgers, in construction order.
+    #[must_use]
+    pub fn backends(&self) -> &[BackendLane] {
+        &self.backends
+    }
+
+    /// The ledger of the backend named `name`, if modeled.
+    #[must_use]
+    pub fn backend(&self, name: &str) -> Option<&BackendLane> {
+        self.backends.iter().find(|b| b.model.name() == name)
+    }
+
+    /// The paper's design — present in every [`suite`](Self::suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink was built without an "Ours" backend.
+    #[must_use]
+    pub fn ours(&self) -> &BackendLane {
+        self.backend("Ours").expect("suite includes Ours")
+    }
+
+    /// `span_end` events that matched no open span (counted, not
+    /// silently dropped — mirrors the profiler's
+    /// `span.unmatched_end`).
+    #[must_use]
+    pub const fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+}
+
+impl TraceSink for CompareSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, _track: u32, _cycle: u64, kind: BeatKind, count: u64) {
+        for lane in &mut self.backends {
+            let cycles = lane.model.beat_cycles(kind, count);
+            match kind {
+                BeatKind::Butterfly => lane.cycles.butterfly += cycles,
+                BeatKind::Elementwise(_) => lane.cycles.elementwise += cycles,
+                BeatKind::NetworkMove(_) => lane.cycles.network_move += cycles,
+            }
+            lane.model.charge_beats(kind, count, &mut lane.components);
+        }
+    }
+
+    fn mem(&mut self, _track: u32, _cycle: u64, dir: MemDir, _addr: usize, lanes: usize) {
+        for lane in &mut self.backends {
+            lane.model
+                .charge_mem(dir, lanes as u64, &mut lane.components);
+        }
+    }
+
+    fn span_begin(&mut self, track: u32, _ts: u64, name: &str) {
+        let at_begin = self
+            .backends
+            .iter()
+            .map(|b| (b.cycles, b.components))
+            .collect();
+        self.open.push(OpenSpan {
+            track,
+            name: name.to_string(),
+            at_begin,
+        });
+    }
+
+    fn span_end(&mut self, track: u32, _ts: u64, name: &str) {
+        // Same matching discipline as the profiler: innermost open span
+        // with (track, name), falling back to name-only for
+        // hand-emitted pairs with inconsistent tracks.
+        let pos = self
+            .open
+            .iter()
+            .rposition(|s| s.track == track && s.name == name)
+            .or_else(|| self.open.iter().rposition(|s| s.name == name));
+        let Some(pos) = pos else {
+            self.unmatched_ends += 1;
+            return;
+        };
+        let span = self.open.remove(pos);
+        for (lane, (cycles0, components0)) in self.backends.iter_mut().zip(&span.at_begin) {
+            let bins = lane.phases.entry(span.name.clone()).or_default();
+            bins.cycles += lane.cycles.delta(cycles0);
+            for (i, total) in lane.components.iter().enumerate() {
+                bins.components[i] += total - components0[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::{EwiseOp, NetKind};
+    use uvpu_hw_model::cost::CostComponent;
+    use uvpu_metrics::energy::{Component, EnergyModel};
+    use uvpu_metrics::profiler::ProfilerSink;
+
+    fn drive(sink: &mut impl TraceSink) {
+        sink.span_begin(0, 0, "ntt");
+        sink.beats(0, 0, BeatKind::Butterfly, 96);
+        sink.beats(0, 96, BeatKind::NetworkMove(NetKind::CgShuffleShift), 8);
+        sink.span_end(0, 104, "ntt");
+        sink.span_begin(0, 104, "rescale");
+        sink.beats(0, 104, BeatKind::Elementwise(EwiseOp::Mul), 20);
+        sink.beats(0, 124, BeatKind::NetworkMove(NetKind::Shift), 4);
+        sink.span_end(0, 128, "rescale");
+        sink.mem(0, 128, MemDir::Load, 0, 64);
+    }
+
+    #[test]
+    fn suite_charges_all_seven_backends() {
+        let mut sink = CompareSink::suite(64);
+        assert_eq!(sink.backends().len(), 7);
+        drive(&mut sink);
+        for lane in sink.backends() {
+            assert!(lane.cycles().total() > 0, "{}", lane.model().name());
+            assert!(lane.energy_total_pj() > 0.0, "{}", lane.model().name());
+            assert_eq!(lane.phases().len(), 2, "{}", lane.model().name());
+            assert_eq!(
+                lane.components()[CostComponent::RegFile.index()],
+                64,
+                "{}",
+                lane.model().name()
+            );
+        }
+        assert_eq!(sink.unmatched_ends(), 0);
+    }
+
+    #[test]
+    fn ours_lane_is_bit_identical_to_the_profiler() {
+        // The acceptance criterion of the comparison report: the Ours
+        // column must reproduce the PR-3 metrics numbers exactly, which
+        // starts with identical integer counts.
+        let mut sink = CompareSink::suite(64);
+        let mut profiler = ProfilerSink::new(64);
+        drive(&mut sink);
+        drive(&mut profiler);
+        let ours = sink.ours();
+        assert_eq!(ours.cycles(), profiler.running());
+        for c in Component::ALL {
+            assert_eq!(
+                ours.components()[c.index()],
+                profiler.component_count(c),
+                "{}",
+                c.name()
+            );
+        }
+        // …and with identical pricing arithmetic.
+        let em = EnergyModel::asap7(64);
+        for (c, k) in Component::ALL.iter().zip(CostComponent::ALL) {
+            assert_eq!(
+                ours.model().component_pj(k, 1000).to_bits(),
+                em.component_pj(*c, 1000).to_bits(),
+                "{}",
+                c.name()
+            );
+        }
+        for (name, bins) in ours.phases() {
+            assert_eq!(bins.cycles, profiler.phases()[name], "{name}");
+        }
+    }
+
+    #[test]
+    fn backends_differentiate_on_the_same_stream() {
+        let mut sink = CompareSink::suite(64);
+        drive(&mut sink);
+        let ours = sink.ours().cycles().total();
+        let f1 = sink.backend("F1").unwrap().cycles().total();
+        let rpu = sink.backend("RPU").unwrap().cycles().total();
+        let bas = sink.backend("BASALISC").unwrap().cycles().total();
+        assert!(f1 > ours, "F1 double-pumps butterfly CG traversals");
+        assert!(rpu > ours, "RPU decomposes butterflies into 3 ops");
+        assert!(bas > ours, "BASALISC remaps shifts through memory");
+    }
+
+    #[test]
+    fn phase_bins_sum_to_totals() {
+        let mut sink = CompareSink::suite(64);
+        drive(&mut sink);
+        for lane in sink.backends() {
+            let mut cycles = CycleStats::new();
+            let mut comps = [0u64; COST_COMPONENTS];
+            for bins in lane.phases().values() {
+                cycles += bins.cycles;
+                for (acc, c) in comps.iter_mut().zip(bins.components) {
+                    *acc += c;
+                }
+            }
+            // The mem event fell outside all spans: only its regfile
+            // words are missing from the per-phase sums.
+            assert_eq!(&cycles, lane.cycles(), "{}", lane.model().name());
+            for (i, c) in CostComponent::ALL.iter().enumerate() {
+                let expected = if *c == CostComponent::RegFile {
+                    lane.components()[i] - 64
+                } else {
+                    lane.components()[i]
+                };
+                assert_eq!(comps[i], expected, "{} {}", lane.model().name(), c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_ends_are_counted() {
+        let mut sink = CompareSink::suite(4);
+        sink.span_end(0, 1, "never-opened");
+        assert_eq!(sink.unmatched_ends(), 1);
+        // Track-mismatched pairs still close via the name fallback.
+        sink.span_begin(3, 0, "x");
+        sink.span_end(9, 5, "x");
+        assert_eq!(sink.unmatched_ends(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "models a different VPU")]
+    fn rejects_mixed_lane_counts() {
+        let models = BackendModel::suite(16, &TechParams::asap7());
+        let _ = CompareSink::with_models(64, models);
+    }
+}

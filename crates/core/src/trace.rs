@@ -678,6 +678,7 @@ pub struct RingBufferSink {
     dropped_mems: u64,
     dropped_spans: u64,
     dropped_since_read: u64,
+    dropped_since_read_by_kind: [u64; 3],
 }
 
 impl RingBufferSink {
@@ -693,16 +694,24 @@ impl RingBufferSink {
             dropped_mems: 0,
             dropped_spans: 0,
             dropped_since_read: 0,
+            dropped_since_read_by_kind: [0; 3],
         }
     }
 
     fn push(&mut self, event: TraceEvent) {
         if self.buf.len() == self.capacity {
             match self.buf.pop_front() {
-                Some(TraceEvent::Beat { .. }) => self.dropped_beats += 1,
-                Some(TraceEvent::Mem { .. }) => self.dropped_mems += 1,
+                Some(TraceEvent::Beat { .. }) => {
+                    self.dropped_beats += 1;
+                    self.dropped_since_read_by_kind[0] += 1;
+                }
+                Some(TraceEvent::Mem { .. }) => {
+                    self.dropped_mems += 1;
+                    self.dropped_since_read_by_kind[1] += 1;
+                }
                 Some(TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. }) => {
                     self.dropped_spans += 1;
+                    self.dropped_since_read_by_kind[2] += 1;
                 }
                 None => {}
             }
@@ -741,10 +750,26 @@ impl RingBufferSink {
         self.dropped_since_read
     }
 
+    /// The current `dropped_since_last_read` window split by event kind:
+    /// `(beats, mems, spans)`. Sums to
+    /// [`dropped_since_last_read`](Self::dropped_since_last_read); span
+    /// drops are the ones that corrupt downstream phase attribution, so
+    /// a poller can alarm on them specifically while tolerating beat
+    /// evictions.
+    #[must_use]
+    pub const fn dropped_since_last_read_by_kind(&self) -> (u64, u64, u64) {
+        (
+            self.dropped_since_read_by_kind[0],
+            self.dropped_since_read_by_kind[1],
+            self.dropped_since_read_by_kind[2],
+        )
+    }
+
     /// Starts a new `dropped_since_last_read` window. Lifetime drop
     /// totals ([`dropped`](Self::dropped), per-kind bins) are untouched.
     pub fn mark_read(&mut self) {
         self.dropped_since_read = 0;
+        self.dropped_since_read_by_kind = [0; 3];
     }
 
     /// Discards all retained events and resets every drop counter,
@@ -757,6 +782,7 @@ impl RingBufferSink {
         self.dropped_mems = 0;
         self.dropped_spans = 0;
         self.dropped_since_read = 0;
+        self.dropped_since_read_by_kind = [0; 3];
     }
 
     /// Maximum number of retained events.
@@ -821,6 +847,8 @@ struct ChromeEvent {
     ts: u64,
     dur: Option<u64>,
     tid: u32,
+    /// Pre-rendered `"args"` object body (`"k":v,…`, already escaped).
+    args: Option<String>,
 }
 
 /// A run of consecutive identical beats being coalesced.
@@ -871,8 +899,37 @@ impl PerfettoSink {
                 ts: p.start,
                 dur: Some(p.count),
                 tid: p.track,
+                args: None,
             });
         }
+    }
+
+    /// Emits a counter sample (`ph: 'C'`): one data point per series of
+    /// the counter named `name` at `ts`. Perfetto renders each `series`
+    /// key as a stacked band of the counter track. Values are
+    /// pre-rendered by the caller (fixed-precision strings keep exports
+    /// deterministic; they must be valid JSON number literals).
+    pub fn counter(&mut self, track: u32, ts: u64, name: &str, series: &[(&str, String)]) {
+        self.flush_pending();
+        let mut args = String::with_capacity(series.len() * 24);
+        for (i, (key, value)) in series.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push('"');
+            escape_json_into(&mut args, key);
+            args.push_str("\":");
+            args.push_str(value);
+        }
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: "counter",
+            ph: 'C',
+            ts,
+            dur: None,
+            tid: track,
+            args: Some(args),
+        });
     }
 
     /// Number of events emitted so far (after coalescing, excluding one
@@ -906,6 +963,11 @@ impl PerfettoSink {
             }
             if e.ph == 'i' {
                 out.push_str(",\"s\":\"t\"");
+            }
+            if let Some(args) = &e.args {
+                out.push_str(",\"args\":{");
+                out.push_str(args);
+                out.push('}');
             }
             out.push_str(",\"pid\":1,\"tid\":");
             out.push_str(&e.tid.to_string());
@@ -970,6 +1032,7 @@ impl TraceSink for PerfettoSink {
             ts: cycle,
             dur: None,
             tid: track,
+            args: None,
         });
     }
 
@@ -982,6 +1045,7 @@ impl TraceSink for PerfettoSink {
             ts,
             dur: None,
             tid: track,
+            args: None,
         });
     }
 
@@ -994,6 +1058,7 @@ impl TraceSink for PerfettoSink {
             ts,
             dur: None,
             tid: track,
+            args: None,
         });
     }
 }

@@ -1,0 +1,847 @@
+//! The [`CostModel`] seam: one trace stream, N accelerator cost models.
+//!
+//! [`DesignModel`](crate::designs::DesignModel) answers *static*
+//! questions (area and power of a design's permutation hardware). This
+//! module extracts the *dynamic* half into a trait: given the PR-1 trace
+//! events of a workload (butterfly / element-wise / network-move beats
+//! and register-file transfers), how many cycles does backend X need and
+//! how many picojoules does each hardware component dissipate?
+//!
+//! The trait is implemented by [`BackendModel`] for seven backends:
+//!
+//! - the paper's five designs (**Ours**, **F1**, **BTS**, **ARK**,
+//!   **SHARP**), whose structures come straight from
+//!   [`DesignModel::structure`](crate::designs::DesignModel::structure)
+//!   so a fully-active network traversal costs exactly the Table II
+//!   network power (the same identity the `uvpu-metrics` energy model
+//!   maintains for "Ours");
+//! - two modeled competitors from outside the paper, ported onto the
+//!   same `m`-lane 64-bit VPU with the paper's §V-A methodology (same
+//!   lanes, different permutation hardware): **RPU** and **BASALISC**
+//!   (structural parameters cited on [`BackendKind::Rpu`] and
+//!   [`BackendKind::Basalisc`]).
+//!
+//! ## The charging model
+//!
+//! Every backend replays the *same* beat stream — the workload is fixed;
+//! only the hardware interpreting it differs:
+//!
+//! - **cycles**: each beat kind carries a per-backend integer cycle
+//!   factor. The unified network does any permutation in one traversal;
+//!   SRAM-transpose designs (F1, SHARP) double-pump permutations (write
+//!   the tile, read it transposed); ARK's two separate networks must be
+//!   traversed back-to-back for a fused shuffle+shift; RPU's ring ISA
+//!   has no fused butterfly instruction and decomposes it into three
+//!   vector ALU ops; BASALISC routes automorphisms through the memory
+//!   hierarchy (store + load with address remapping).
+//! - **energy**: each beat activates component bins
+//!   ([`CostComponent`]), and each backend prices a bin activation from
+//!   its own structure. Integer activation *counts* accumulate; pricing
+//!   happens at render time — so attribution is independent of event
+//!   arrival order across worker threads, exactly like the PR-3
+//!   profiler.
+//!
+//! The per-backend parameters are deliberately coarse (integer factors,
+//! affine structure costs): the goal is a deterministic, auditable
+//! comparison in the style of the paper's Table II/IV, not a
+//! cycle-accurate alien simulator.
+
+use crate::designs::{DesignKind, DesignModel, NetworkStructure};
+use crate::tech::TechParams;
+use uvpu_core::trace::{BeatKind, MemDir, NetKind};
+
+/// Number of component bins ([`CostComponent::ALL`]).
+pub const COST_COMPONENTS: usize = 7;
+
+/// A component bin of the cross-backend energy breakdown.
+///
+/// The bins generalize the `uvpu-metrics` attribution: `NetCg` is "the
+/// hardware that realizes NTT-internal permutations" (CG stages for
+/// Ours/ARK/BASALISC, the transpose SRAM for F1/SHARP, the crossbar for
+/// BTS/RPU) and `NetShift` is "the hardware that realizes automorphism
+/// shifts" (shift stages, Beneš networks, or memory-level remapping).
+/// For "Ours" the names coincide with the physical stage groups, which
+/// is what keeps the Ours column bit-identical to the PR-3 metrics
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostComponent {
+    /// Lane ALUs during butterfly beats.
+    LanesButterfly,
+    /// Lane ALUs during element-wise beats.
+    LanesEwise,
+    /// NTT-permutation hardware (CG stages / transpose SRAM / crossbar).
+    NetCg,
+    /// Automorphism-shift hardware (shift stages / Beneš / remap SRAM).
+    NetShift,
+    /// Per-lane network ports (drivers and vertical wiring).
+    NetPorts,
+    /// Shared network periphery (affine fit constant + control stores).
+    NetBase,
+    /// Register-file ⇄ SRAM word transfers.
+    RegFile,
+}
+
+impl CostComponent {
+    /// All components, in snapshot rendering order.
+    pub const ALL: [Self; COST_COMPONENTS] = [
+        Self::LanesButterfly,
+        Self::LanesEwise,
+        Self::NetCg,
+        Self::NetShift,
+        Self::NetPorts,
+        Self::NetBase,
+        Self::RegFile,
+    ];
+
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::LanesButterfly => 0,
+            Self::LanesEwise => 1,
+            Self::NetCg => 2,
+            Self::NetShift => 3,
+            Self::NetPorts => 4,
+            Self::NetBase => 5,
+            Self::RegFile => 6,
+        }
+    }
+
+    /// Stable snapshot name — identical to the `uvpu-metrics` component
+    /// names so the "Ours" column of a comparison report lines up with
+    /// the metrics snapshot key-for-key.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::LanesButterfly => "lanes.butterfly",
+            Self::LanesEwise => "lanes.ewise",
+            Self::NetCg => "net.cg_stages",
+            Self::NetShift => "net.shift_stages",
+            Self::NetPorts => "net.ports",
+            Self::NetBase => "net.base",
+            Self::RegFile => "regfile",
+        }
+    }
+}
+
+/// A backend whose cost model can replay a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// One of the paper's five designs (Table II).
+    Design(DesignKind),
+    /// RPU — the Ring Processing Unit (arXiv:2303.17118).
+    ///
+    /// Ported structure: RPU executes FHE kernels on wide vector ALUs
+    /// fed from a multi-bank vector register file; data rearrangement is
+    /// done by explicit `shuffle`-class ring-ISA instructions through
+    /// the bank↔lane crossbar interconnect (RPU §IV, "permute/shuffle
+    /// support"), with the permutation patterns themselves held in a
+    /// small on-chip pattern store. On an `m`-lane 64-bit VPU that is a
+    /// full `m×m` crossbar (`64·m·(m−1)` crosspoint bits, as for BTS)
+    /// plus an `m`-word pattern SRAM (`64·m` bits). Because the ISA has
+    /// no fused butterfly-with-route instruction, one CT butterfly
+    /// decomposes into three vector ops (modmul + modadd + modsub),
+    /// charged as three lane activations and three cycles.
+    Rpu,
+    /// BASALISC — programmable BGV accelerator (arXiv:2205.14017).
+    ///
+    /// Ported structure: BASALISC runs NTTs on dedicated pipelined
+    /// butterfly datapaths with fixed (constant-geometry-style)
+    /// connections, but performs automorphisms "for free" in the memory
+    /// hierarchy by address-remapping ciphertext polynomials during
+    /// SRAM transfers (BASALISC §III, conflict-free memory access /
+    /// permutation-on-the-move). On an `m`-lane VPU that is two CG mux
+    /// rows (`64·m·2` bits) for the NTT connections plus an `m×m`-word
+    /// staging SRAM (`64·m²` bits) for the remapped transfer, with the
+    /// NTT unit and the memory path each bringing their own `m` lane
+    /// ports. A remapped transfer is a store + load, so shift-class
+    /// network moves cost two cycles.
+    Basalisc,
+}
+
+impl BackendKind {
+    /// All modeled backends: the paper's five designs in Table II row
+    /// order, then the two external competitors.
+    pub const ALL: [Self; 7] = [
+        Self::Design(DesignKind::F1),
+        Self::Design(DesignKind::Bts),
+        Self::Design(DesignKind::Ark),
+        Self::Design(DesignKind::Sharp),
+        Self::Design(DesignKind::Ours),
+        Self::Rpu,
+        Self::Basalisc,
+    ];
+
+    /// Stable display name (report keys).
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Self::Design(d) => d.name(),
+            Self::Rpu => "RPU",
+            Self::Basalisc => "BASALISC",
+        }
+    }
+}
+
+/// Per-event cycle and energy charging plus the static area/power of one
+/// accelerator backend — the seam a comparison sink (and, later, a
+/// service layer's per-tenant attribution) programs against.
+///
+/// Implementations must be pure functions of `(kind, count)`: charging
+/// is called from trace sinks that require bit-identical results
+/// regardless of event arrival order across worker threads.
+pub trait CostModel {
+    /// Stable backend name (report keys).
+    fn name(&self) -> &'static str;
+
+    /// Lane count of the modeled VPU.
+    fn lanes(&self) -> usize;
+
+    /// Cycles this backend needs for `count` beats of `kind`.
+    fn beat_cycles(&self, kind: BeatKind, count: u64) -> u64;
+
+    /// Adds the component activations of `count` beats of `kind` into
+    /// `counts` (indexed by [`CostComponent::index`]).
+    fn charge_beats(&self, kind: BeatKind, count: u64, counts: &mut [u64; COST_COMPONENTS]);
+
+    /// Adds a register-file transfer of `words` words into `counts`.
+    fn charge_mem(&self, dir: MemDir, words: u64, counts: &mut [u64; COST_COMPONENTS]);
+
+    /// Prices one component's activation count in pJ.
+    fn component_pj(&self, component: CostComponent, count: u64) -> f64;
+
+    /// Area of the permutation network (µm²).
+    fn network_area_um2(&self) -> f64;
+
+    /// Power of the permutation network (mW), workload activity applied.
+    fn network_power_mw(&self) -> f64;
+
+    /// Area of the full VPU (lanes + network) (µm²).
+    fn vpu_area_um2(&self) -> f64;
+
+    /// Peak power of the full VPU (mW).
+    fn vpu_power_mw(&self) -> f64;
+
+    /// One-line citation for the structural parameters.
+    fn provenance(&self) -> &'static str;
+}
+
+/// Integer cycle factors per beat class (all ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CycleFactors {
+    /// Cycles per butterfly beat.
+    butterfly: u64,
+    /// Cycles per element-wise beat.
+    ewise: u64,
+    /// Cycles per CG-class network pass (NTT-internal permutation).
+    cg_pass: u64,
+    /// Cycles per shift-class network pass (automorphisms, routes).
+    shift_pass: u64,
+    /// Cycles per fused shuffle+shift pass.
+    combined_pass: u64,
+}
+
+/// Per-activation energy quanta (pJ), one per component bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EnergyQuanta {
+    lane_beat_pj: f64,
+    cg_beat_pj: f64,
+    shift_beat_pj: f64,
+    ports_beat_pj: f64,
+    base_beat_pj: f64,
+    regfile_word_pj: f64,
+}
+
+/// The concrete [`CostModel`] for every [`BackendKind`].
+///
+/// # Example
+///
+/// ```
+/// use uvpu_hw_model::cost::{BackendKind, BackendModel, CostModel};
+/// use uvpu_hw_model::tech::TechParams;
+///
+/// let tech = TechParams::asap7();
+/// let ours = BackendModel::new(BackendKind::Design(
+///     uvpu_hw_model::designs::DesignKind::Ours), 64, &tech);
+/// let rpu = BackendModel::new(BackendKind::Rpu, 64, &tech);
+/// // The crossbar-based RPU port pays quadratic network area.
+/// assert!(rpu.network_area_um2() > 2.0 * ours.network_area_um2());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendModel {
+    kind: BackendKind,
+    lanes: usize,
+    factors: CycleFactors,
+    quanta: EnergyQuanta,
+    /// Whether one physical traversal serves both the CG and shift roles
+    /// (crossbar backends): a fused shuffle+shift then activates only
+    /// the CG bin, not both.
+    single_traversal: bool,
+    /// How many lane activations one butterfly beat costs (3 for RPU's
+    /// decomposed mul/add/sub, 1 everywhere else).
+    butterfly_lane_acts: u64,
+    /// How many network traversals one butterfly beat costs (2 for the
+    /// SRAM-transpose designs' write+read, 1 everywhere else).
+    butterfly_net_acts: u64,
+    network_area: f64,
+    network_power: f64,
+    vpu_area: f64,
+    vpu_power: f64,
+}
+
+impl BackendModel {
+    /// Builds the cost model of `kind` for an `m`-lane VPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two ≥ 4 (the
+    /// [`DesignModel::new`] domain).
+    #[must_use]
+    pub fn new(kind: BackendKind, m: usize, tech: &TechParams) -> Self {
+        assert!(
+            m.is_power_of_two() && m >= 4,
+            "m = {m} must be a power of two >= 4"
+        );
+        let w = f64::from(tech.word_bits);
+        let mf = m as f64;
+        let log_m = f64::from((m as u64).trailing_zeros());
+
+        // Structure and the split of its power into the cg/shift bins.
+        // `cg_pj`/`shift_pj` carry the NTT-permutation and shift
+        // hardware; ports/base carry the rest. The activity factor
+        // multiplies everything, preserving the identity
+        // "fully-active traversal == network_power".
+        let (structure, cg_raw, shift_raw, base_extra, single, lane_acts, net_acts, factors) =
+            match kind {
+                BackendKind::Design(design) => {
+                    let s = DesignModel::new(design, m).structure(tech);
+                    match design {
+                        DesignKind::Ours => (
+                            s,
+                            tech.mux_power_per_bit * w * mf * 2.0,
+                            tech.mux_power_per_bit * w * mf * log_m,
+                            0.0,
+                            false,
+                            1,
+                            1,
+                            CycleFactors {
+                                butterfly: 1,
+                                ewise: 1,
+                                cg_pass: 1,
+                                shift_pass: 1,
+                                combined_pass: 1,
+                            },
+                        ),
+                        DesignKind::F1 => (
+                            s,
+                            // NTT permutation = the quadrant-swap SRAM.
+                            tech.sram_power_per_bit * s.sram_bits,
+                            // Shifts = the log m cyclic-shift mux stages.
+                            tech.mux_power_per_bit * s.mux_bits,
+                            0.0,
+                            false,
+                            1,
+                            2,
+                            CycleFactors {
+                                butterfly: 2,
+                                ewise: 1,
+                                cg_pass: 2,
+                                shift_pass: 1,
+                                combined_pass: 3,
+                            },
+                        ),
+                        DesignKind::Bts => (
+                            s,
+                            // One crossbar serves both roles.
+                            tech.mux_power_per_bit
+                                * tech.crosspoint_power_factor
+                                * s.crosspoint_bits,
+                            tech.mux_power_per_bit
+                                * tech.crosspoint_power_factor
+                                * s.crosspoint_bits,
+                            0.0,
+                            true,
+                            1,
+                            1,
+                            CycleFactors {
+                                butterfly: 1,
+                                ewise: 1,
+                                cg_pass: 1,
+                                shift_pass: 1,
+                                combined_pass: 1,
+                            },
+                        ),
+                        DesignKind::Ark => (
+                            s,
+                            // Dedicated CG NTT connections: 2 mux rows.
+                            tech.mux_power_per_bit * w * mf * 2.0,
+                            // Separate Beneš automorphism network.
+                            tech.mux_power_per_bit * w * mf * (2.0 * log_m - 1.0),
+                            0.0,
+                            false,
+                            1,
+                            1,
+                            CycleFactors {
+                                butterfly: 1,
+                                ewise: 1,
+                                cg_pass: 1,
+                                shift_pass: 1,
+                                // Two separate units back-to-back.
+                                combined_pass: 2,
+                            },
+                        ),
+                        DesignKind::Sharp => (
+                            s,
+                            // NTT permutation = the banked transpose SRAM.
+                            tech.sram_power_per_bit * s.sram_bits,
+                            // Shifts = ARK's Beneš network.
+                            tech.mux_power_per_bit * s.mux_bits,
+                            0.0,
+                            false,
+                            1,
+                            2,
+                            CycleFactors {
+                                butterfly: 2,
+                                ewise: 1,
+                                cg_pass: 2,
+                                shift_pass: 1,
+                                combined_pass: 3,
+                            },
+                        ),
+                    }
+                }
+                BackendKind::Rpu => {
+                    // Crossbar between VRF banks and lanes + an m-word
+                    // pattern store (see the BackendKind docs for the
+                    // citation). Activity as BTS: pass-gate crossbar.
+                    let s = NetworkStructure {
+                        mux_bits: 0.0,
+                        crosspoint_bits: w * mf * (mf - 1.0),
+                        sram_bits: w * mf,
+                        port_lanes: m,
+                        activity: 0.85,
+                    };
+                    (
+                        s,
+                        tech.mux_power_per_bit * tech.crosspoint_power_factor * s.crosspoint_bits,
+                        tech.mux_power_per_bit * tech.crosspoint_power_factor * s.crosspoint_bits,
+                        // Pattern store streams with the periphery.
+                        tech.sram_power_per_bit * s.sram_bits,
+                        true,
+                        3,
+                        1,
+                        CycleFactors {
+                            butterfly: 3,
+                            ewise: 1,
+                            cg_pass: 1,
+                            shift_pass: 1,
+                            combined_pass: 1,
+                        },
+                    )
+                }
+                BackendKind::Basalisc => {
+                    // Dedicated CG NTT connections + automorphism-by-
+                    // address-remap staging SRAM; NTT unit and memory
+                    // path each bring their own lane ports.
+                    let s = NetworkStructure {
+                        mux_bits: w * mf * 2.0,
+                        crosspoint_bits: 0.0,
+                        sram_bits: mf * mf * w,
+                        port_lanes: 2 * m,
+                        activity: 1.0,
+                    };
+                    (
+                        s,
+                        tech.mux_power_per_bit * s.mux_bits,
+                        tech.sram_power_per_bit * s.sram_bits,
+                        0.0,
+                        false,
+                        1,
+                        1,
+                        CycleFactors {
+                            butterfly: 1,
+                            ewise: 1,
+                            cg_pass: 2,
+                            shift_pass: 2,
+                            combined_pass: 4,
+                        },
+                    )
+                }
+            };
+
+        let network_area = structure_area(tech, &structure);
+        let network_power = structure_power(tech, &structure);
+        let quanta = EnergyQuanta {
+            lane_beat_pj: tech.lane_power * mf,
+            cg_beat_pj: cg_raw * structure.activity,
+            shift_beat_pj: shift_raw * structure.activity,
+            ports_beat_pj: tech.port_power_per_lane
+                * structure.port_lanes as f64
+                * structure.activity,
+            base_beat_pj: (tech.base_power + base_extra) * structure.activity,
+            regfile_word_pj: tech.sram_power_per_bit * w,
+        };
+        Self {
+            kind,
+            lanes: m,
+            factors,
+            quanta,
+            single_traversal: single,
+            butterfly_lane_acts: lane_acts,
+            butterfly_net_acts: net_acts,
+            network_area,
+            network_power,
+            vpu_area: tech.lane_area * mf + network_area,
+            vpu_power: tech.lane_power * mf + network_power,
+        }
+    }
+
+    /// The backend being modeled.
+    #[must_use]
+    pub const fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Energy of a fully-active network traversal (pJ): by construction
+    /// equal to [`network_power_mw`](CostModel::network_power_mw) read
+    /// in pJ/cycle (1 mW / 1 GHz = 1 pJ). For crossbar backends the
+    /// CG and shift bins alias the same hardware, so only one of them
+    /// participates.
+    #[must_use]
+    pub fn network_active_pj(&self) -> f64 {
+        let q = &self.quanta;
+        let stages = if self.single_traversal {
+            q.cg_beat_pj
+        } else {
+            q.cg_beat_pj + q.shift_beat_pj
+        };
+        stages + q.ports_beat_pj + q.base_beat_pj
+    }
+
+    /// Whether one physical traversal serves both permutation roles
+    /// (crossbar backends).
+    #[must_use]
+    pub const fn is_single_traversal(&self) -> bool {
+        self.single_traversal
+    }
+
+    /// The standard suite of all seven backends at `m` lanes, in
+    /// [`BackendKind::ALL`] order.
+    #[must_use]
+    pub fn suite(m: usize, tech: &TechParams) -> Vec<Self> {
+        BackendKind::ALL
+            .iter()
+            .map(|&k| Self::new(k, m, tech))
+            .collect()
+    }
+}
+
+impl CostModel for BackendModel {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn beat_cycles(&self, kind: BeatKind, count: u64) -> u64 {
+        let per = match kind {
+            BeatKind::Butterfly => self.factors.butterfly,
+            BeatKind::Elementwise(_) => self.factors.ewise,
+            BeatKind::NetworkMove(net) => match net {
+                NetKind::CgShuffle | NetKind::CgUnshuffle => self.factors.cg_pass,
+                NetKind::Route | NetKind::Shift => self.factors.shift_pass,
+                NetKind::CgShuffleShift | NetKind::CgUnshuffleShift => self.factors.combined_pass,
+            },
+        };
+        per * count
+    }
+
+    fn charge_beats(&self, kind: BeatKind, count: u64, counts: &mut [u64; COST_COMPONENTS]) {
+        match kind {
+            BeatKind::Butterfly => {
+                counts[CostComponent::LanesButterfly.index()] += self.butterfly_lane_acts * count;
+                counts[CostComponent::NetCg.index()] += self.butterfly_net_acts * count;
+                counts[CostComponent::NetPorts.index()] += self.butterfly_net_acts * count;
+                counts[CostComponent::NetBase.index()] += self.butterfly_net_acts * count;
+            }
+            BeatKind::Elementwise(_) => {
+                counts[CostComponent::LanesEwise.index()] += count;
+            }
+            BeatKind::NetworkMove(net) => {
+                counts[CostComponent::NetPorts.index()] += count;
+                counts[CostComponent::NetBase.index()] += count;
+                match net {
+                    NetKind::Route => {}
+                    NetKind::CgShuffle | NetKind::CgUnshuffle => {
+                        counts[CostComponent::NetCg.index()] += count;
+                    }
+                    NetKind::Shift => {
+                        counts[CostComponent::NetShift.index()] += count;
+                    }
+                    NetKind::CgShuffleShift | NetKind::CgUnshuffleShift => {
+                        counts[CostComponent::NetCg.index()] += count;
+                        // One crossbar traversal serves both roles: do
+                        // not double-charge the same hardware.
+                        if !self.single_traversal {
+                            counts[CostComponent::NetShift.index()] += count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn charge_mem(&self, _dir: MemDir, words: u64, counts: &mut [u64; COST_COMPONENTS]) {
+        counts[CostComponent::RegFile.index()] += words;
+    }
+
+    fn component_pj(&self, component: CostComponent, count: u64) -> f64 {
+        let per = match component {
+            CostComponent::LanesButterfly | CostComponent::LanesEwise => self.quanta.lane_beat_pj,
+            CostComponent::NetCg => self.quanta.cg_beat_pj,
+            CostComponent::NetShift => self.quanta.shift_beat_pj,
+            CostComponent::NetPorts => self.quanta.ports_beat_pj,
+            CostComponent::NetBase => self.quanta.base_beat_pj,
+            CostComponent::RegFile => self.quanta.regfile_word_pj,
+        };
+        per * count as f64
+    }
+
+    fn network_area_um2(&self) -> f64 {
+        self.network_area
+    }
+
+    fn network_power_mw(&self) -> f64 {
+        self.network_power
+    }
+
+    fn vpu_area_um2(&self) -> f64 {
+        self.vpu_area
+    }
+
+    fn vpu_power_mw(&self) -> f64 {
+        self.vpu_power
+    }
+
+    fn provenance(&self) -> &'static str {
+        match self.kind {
+            BackendKind::Design(DesignKind::Ours) => {
+                "This paper, Tables II/IV (unified CG + shift network)"
+            }
+            BackendKind::Design(DesignKind::F1) => {
+                "F1 [MICRO'21], ported per paper SV-A (SRAM transpose + cyclic shifts)"
+            }
+            BackendKind::Design(DesignKind::Bts) => {
+                "BTS [ISCA'22], ported per paper SV-A (full crossbar)"
+            }
+            BackendKind::Design(DesignKind::Ark) => {
+                "ARK [MICRO'22], ported per paper SV-A (dedicated NTT + Benes networks)"
+            }
+            BackendKind::Design(DesignKind::Sharp) => {
+                "SHARP [ISCA'23], ported per paper SV-A (banked transpose + Benes)"
+            }
+            BackendKind::Rpu => {
+                "RPU [arXiv:2303.17118 SIV], ring-ISA crossbar port (see BackendKind::Rpu)"
+            }
+            BackendKind::Basalisc => {
+                "BASALISC [arXiv:2205.14017 SIII], BGV pipeline port (see BackendKind::Basalisc)"
+            }
+        }
+    }
+}
+
+/// Area of a [`NetworkStructure`] (µm²) — the formula previously inlined
+/// in [`DesignModel::network_area`], extracted so external backends
+/// price their structures with the same calibrated constants.
+#[must_use]
+pub fn structure_area(tech: &TechParams, s: &NetworkStructure) -> f64 {
+    tech.mux_area_per_bit * (s.mux_bits + tech.crosspoint_area_factor * s.crosspoint_bits)
+        + tech.sram_area_per_bit * s.sram_bits
+        + tech.port_area_per_lane * s.port_lanes as f64
+        + tech.base_area
+}
+
+/// Power of a [`NetworkStructure`] (mW), activity factor applied — the
+/// formula previously inlined in [`DesignModel::network_power`].
+#[must_use]
+pub fn structure_power(tech: &TechParams, s: &NetworkStructure) -> f64 {
+    let structural = tech.mux_power_per_bit
+        * (s.mux_bits + tech.crosspoint_power_factor * s.crosspoint_bits)
+        + tech.sram_power_per_bit * s.sram_bits
+        + tech.port_power_per_lane * s.port_lanes as f64
+        + tech.base_power;
+    structural * s.activity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::EwiseOp;
+
+    fn tech() -> TechParams {
+        TechParams::asap7()
+    }
+
+    #[test]
+    fn suite_covers_seven_distinct_backends() {
+        let suite = BackendModel::suite(64, &tech());
+        assert_eq!(suite.len(), 7);
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "backend names must be unique");
+        for b in &suite {
+            assert!(!b.provenance().is_empty());
+            assert!(b.network_area_um2() > 0.0, "{}", b.name());
+            assert!(b.network_power_mw() > 0.0, "{}", b.name());
+            assert!(b.vpu_area_um2() > b.network_area_um2());
+            assert!(b.vpu_power_mw() > b.network_power_mw());
+        }
+    }
+
+    #[test]
+    fn design_backends_match_design_model_statics() {
+        // The extracted area/power must be bit-identical to what
+        // DesignModel computes — the trait is a refactor, not a fork.
+        let t = tech();
+        for design in DesignKind::ALL {
+            let d = DesignModel::new(design, 64);
+            let b = BackendModel::new(BackendKind::Design(design), 64, &t);
+            assert_eq!(b.network_area_um2(), d.network_area(&t), "{design:?}");
+            assert_eq!(b.network_power_mw(), d.network_power(&t), "{design:?}");
+            assert_eq!(b.vpu_area_um2(), d.vpu_area(&t), "{design:?}");
+            assert_eq!(b.vpu_power_mw(), d.vpu_power(&t), "{design:?}");
+        }
+    }
+
+    #[test]
+    fn fully_active_traversal_costs_the_table2_power() {
+        // The metrics-layer identity, generalized to every backend: a
+        // beat that exercises the whole permutation network costs
+        // exactly that backend's network power read in pJ/cycle.
+        let t = tech();
+        for m in [4usize, 16, 64, 256] {
+            for b in BackendModel::suite(m, &t) {
+                let active = b.network_active_pj();
+                let table = b.network_power_mw();
+                assert!(
+                    (active - table).abs() < 1e-9,
+                    "{} m={m}: {active} vs {table}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ours_charging_matches_the_unified_network() {
+        let b = BackendModel::new(BackendKind::Design(DesignKind::Ours), 64, &tech());
+        assert_eq!(b.beat_cycles(BeatKind::Butterfly, 5), 5);
+        assert_eq!(
+            b.beat_cycles(BeatKind::NetworkMove(NetKind::CgShuffleShift), 3),
+            3,
+            "the unified network fuses shuffle+shift into one traversal"
+        );
+        let mut counts = [0u64; COST_COMPONENTS];
+        b.charge_beats(BeatKind::Butterfly, 2, &mut counts);
+        b.charge_beats(
+            BeatKind::NetworkMove(NetKind::CgShuffleShift),
+            1,
+            &mut counts,
+        );
+        b.charge_beats(BeatKind::Elementwise(EwiseOp::Mul), 4, &mut counts);
+        b.charge_mem(MemDir::Load, 64, &mut counts);
+        assert_eq!(counts[CostComponent::LanesButterfly.index()], 2);
+        assert_eq!(counts[CostComponent::LanesEwise.index()], 4);
+        assert_eq!(counts[CostComponent::NetCg.index()], 3);
+        assert_eq!(counts[CostComponent::NetShift.index()], 1);
+        assert_eq!(counts[CostComponent::NetPorts.index()], 3);
+        assert_eq!(counts[CostComponent::RegFile.index()], 64);
+    }
+
+    #[test]
+    fn competitor_cycle_factors_differentiate() {
+        let t = tech();
+        let ours = BackendModel::new(BackendKind::Design(DesignKind::Ours), 64, &t);
+        let f1 = BackendModel::new(BackendKind::Design(DesignKind::F1), 64, &t);
+        let rpu = BackendModel::new(BackendKind::Rpu, 64, &t);
+        let bas = BackendModel::new(BackendKind::Basalisc, 64, &t);
+        // SRAM-transpose designs double-pump CG passes.
+        assert_eq!(
+            f1.beat_cycles(BeatKind::NetworkMove(NetKind::CgShuffle), 10),
+            2 * ours.beat_cycles(BeatKind::NetworkMove(NetKind::CgShuffle), 10)
+        );
+        // RPU decomposes butterflies into three vector ops.
+        assert_eq!(rpu.beat_cycles(BeatKind::Butterfly, 7), 21);
+        // BASALISC routes shifts through the memory hierarchy.
+        assert_eq!(bas.beat_cycles(BeatKind::NetworkMove(NetKind::Shift), 4), 8);
+        // ...but its dedicated NTT unit keeps butterflies single-cycle.
+        assert_eq!(bas.beat_cycles(BeatKind::Butterfly, 4), 4);
+    }
+
+    #[test]
+    fn crossbar_backends_do_not_double_charge_fused_passes() {
+        let t = tech();
+        for b in [
+            BackendModel::new(BackendKind::Design(DesignKind::Bts), 64, &t),
+            BackendModel::new(BackendKind::Rpu, 64, &t),
+        ] {
+            assert!(b.is_single_traversal());
+            let mut counts = [0u64; COST_COMPONENTS];
+            b.charge_beats(
+                BeatKind::NetworkMove(NetKind::CgShuffleShift),
+                1,
+                &mut counts,
+            );
+            assert_eq!(counts[CostComponent::NetCg.index()], 1, "{}", b.name());
+            assert_eq!(counts[CostComponent::NetShift.index()], 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn rpu_butterfly_charges_three_lane_activations() {
+        let b = BackendModel::new(BackendKind::Rpu, 64, &tech());
+        let mut counts = [0u64; COST_COMPONENTS];
+        b.charge_beats(BeatKind::Butterfly, 2, &mut counts);
+        assert_eq!(counts[CostComponent::LanesButterfly.index()], 6);
+        assert_eq!(counts[CostComponent::NetCg.index()], 2);
+    }
+
+    #[test]
+    fn rpu_scales_like_a_crossbar() {
+        let t = tech();
+        let a64 = BackendModel::new(BackendKind::Rpu, 64, &t).network_area_um2();
+        let a256 = BackendModel::new(BackendKind::Rpu, 256, &t).network_area_um2();
+        assert!(a256 / a64 > 12.0, "crossbar port scales quadratically");
+    }
+
+    #[test]
+    fn component_names_match_metrics_bins() {
+        // The Ours column of a comparison report must line up with the
+        // PR-3 metrics snapshot key-for-key.
+        let names: Vec<&str> = CostComponent::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "lanes.butterfly",
+                "lanes.ewise",
+                "net.cg_stages",
+                "net.shift_stages",
+                "net.ports",
+                "net.base",
+                "regfile"
+            ]
+        );
+        for (i, c) in CostComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_lane_count() {
+        let _ = BackendModel::new(BackendKind::Rpu, 48, &tech());
+    }
+}

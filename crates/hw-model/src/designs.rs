@@ -25,7 +25,7 @@ use crate::tech::TechParams;
 use uvpu_math::util::log2_exact;
 
 /// Which prior design (or ours) to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DesignKind {
     /// This paper's unified inter-lane network.
     Ours,
@@ -226,23 +226,13 @@ impl DesignModel {
     /// Area of the permutation network (µm²) — paper Table II column 1.
     #[must_use]
     pub fn network_area(&self, tech: &TechParams) -> f64 {
-        let s = self.structure(tech);
-        tech.mux_area_per_bit * (s.mux_bits + tech.crosspoint_area_factor * s.crosspoint_bits)
-            + tech.sram_area_per_bit * s.sram_bits
-            + tech.port_area_per_lane * s.port_lanes as f64
-            + tech.base_area
+        crate::cost::structure_area(tech, &self.structure(tech))
     }
 
     /// Power of the permutation network (mW) — paper Table II column 3.
     #[must_use]
     pub fn network_power(&self, tech: &TechParams) -> f64 {
-        let s = self.structure(tech);
-        let structural = tech.mux_power_per_bit
-            * (s.mux_bits + tech.crosspoint_power_factor * s.crosspoint_bits)
-            + tech.sram_power_per_bit * s.sram_bits
-            + tech.port_power_per_lane * s.port_lanes as f64
-            + tech.base_power;
-        structural * s.activity
+        crate::cost::structure_power(tech, &self.structure(tech))
     }
 
     /// Area of the full VPU: the `m` lanes (identical across designs, as

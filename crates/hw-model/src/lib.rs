@@ -11,6 +11,9 @@
 //!   numbers (Table IV "Ours" + the F1 SRAM row) and then frozen;
 //! - [`designs`]: the primitive counts of Ours / F1 / BTS / ARK / SHARP
 //!   and their resulting network and full-VPU area/power;
+//! - [`cost`]: the dynamic half — a [`cost::CostModel`] trait charging
+//!   per-event cycles/energy, implemented for the five designs plus the
+//!   modeled RPU and BASALISC competitors;
 //! - [`tables`]: typed rows regenerating the paper's Tables I, II and IV;
 //! - [`chip`]: the full Fig 1(a) accelerator roll-up (VPUs + SRAM + NoC).
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chip;
+pub mod cost;
 pub mod designs;
 pub mod tables;
 pub mod tech;

@@ -35,7 +35,9 @@
 //! - [`profiler`] — the [`TraceSink`](uvpu_core::trace::TraceSink)
 //!   implementation doing the attribution;
 //! - [`snapshot`] — the versioned `BENCH_*.json` schema: rendering,
-//!   advisory-section handling, and baseline diffing.
+//!   advisory-section handling, and baseline diffing;
+//! - [`timeline`] — a Perfetto exporter wrapper adding cumulative
+//!   per-component energy counter tracks to the trace timeline.
 //!
 //! # Example
 //!
@@ -69,6 +71,7 @@ pub mod energy;
 pub mod profiler;
 pub mod registry;
 pub mod snapshot;
+pub mod timeline;
 
 // The doc-test above needs uvpu-math paths; re-export for convenience.
 #[doc(hidden)]

@@ -54,18 +54,28 @@ pub const SCHEMA: &str = "uvpu-metrics/v1";
 /// Marker introducing the advisory section (always the last key).
 const ADVISORY_MARKER: &str = ",\n  \"advisory\": {";
 
-/// Fixed-precision rendering for ratios (utilization, shares).
-fn fmt_ratio(x: f64) -> String {
+/// Fixed-precision rendering for ratios (utilization, shares). Public
+/// because every downstream deterministic-JSON renderer (the
+/// `uvpu-compare` report, `trace_report --json`) must format ratios with
+/// the *same* precision for cross-report numbers to be comparable
+/// byte-for-byte.
+#[must_use]
+pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.6}")
 }
 
-/// Fixed-precision rendering for energies (pJ).
-fn fmt_pj(x: f64) -> String {
+/// Fixed-precision rendering for energies (pJ). Public for the same
+/// reason as [`fmt_ratio`]: the `uvpu-compare` report's `Ours` column is
+/// required to reproduce this crate's snapshot numbers exactly, which
+/// only holds if both render through one function.
+#[must_use]
+pub fn fmt_pj(x: f64) -> String {
     format!("{x:.3}")
 }
 
 /// Escapes a string for a JSON literal.
-fn escape(s: &str) -> String {
+#[must_use]
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -364,6 +374,73 @@ pub fn diff(baseline: &str, current: &str, limit: usize) -> Vec<String> {
     out
 }
 
+/// Context diff of two snapshots' deterministic cores, unified-diff
+/// style: each drift region is reported as a `@@ lines A-B @@` hunk with
+/// `context` unchanged lines on both sides, baseline lines prefixed
+/// `-`, current lines prefixed `+`. Returns render-ready lines (empty =
+/// identical). At most `limit` differing line pairs are expanded; a
+/// summary line reports the remainder when truncated.
+///
+/// Prefer this over [`diff`] for human-facing gate output: seeing the
+/// surrounding energy/phase keys tells the reader *which section*
+/// drifted without opening the files.
+#[must_use]
+pub fn diff_context(baseline: &str, current: &str, context: usize, limit: usize) -> Vec<String> {
+    let a = strip_advisory(baseline);
+    let b = strip_advisory(current);
+    if a == b {
+        return Vec::new();
+    }
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let len = la.len().max(lb.len());
+    let differs = |i: usize| la.get(i) != lb.get(i);
+    let diff_indices: Vec<usize> = (0..len).filter(|&i| differs(i)).collect();
+    if diff_indices.is_empty() {
+        return vec!["snapshots differ in whitespace/line structure".to_string()];
+    }
+
+    // Group differing indices into hunks: runs whose context windows
+    // touch or overlap merge into one region.
+    let mut hunks: Vec<(usize, usize)> = Vec::new();
+    for &i in &diff_indices {
+        match hunks.last_mut() {
+            Some((_, end)) if i <= *end + 2 * context + 1 => *end = i,
+            _ => hunks.push((i, i)),
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut expanded = 0usize;
+    let total = diff_indices.len();
+    'hunks: for (first, last) in hunks {
+        let lo = first.saturating_sub(context);
+        let hi = (last + context + 1).min(len);
+        out.push(format!("@@ lines {}-{} @@", lo + 1, hi));
+        for i in lo..hi {
+            let x = la.get(i).copied();
+            let y = lb.get(i).copied();
+            if x == y {
+                if let Some(line) = x {
+                    out.push(format!("  {line}"));
+                }
+            } else {
+                if expanded >= limit {
+                    out.push(format!("… and {} more differing lines", total - expanded));
+                    break 'hunks;
+                }
+                expanded += 1;
+                if let Some(line) = x {
+                    out.push(format!("- {line}"));
+                }
+                if let Some(line) = y {
+                    out.push(format!("+ {line}"));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +542,56 @@ mod tests {
         let d1 = diff(&core, &drifted, 0);
         assert_eq!(d1.len(), 1);
         assert!(d1[0].contains("more differing lines"), "{d1:?}");
+    }
+
+    #[test]
+    fn context_diff_shows_surrounding_lines() {
+        let p = sample_profiler();
+        let core = render(&p, "unit", "test");
+        assert!(diff_context(&core, &core, 3, 20).is_empty());
+        // Advisory differences stay invisible.
+        let a = with_advisory(&core, &[("wall_ms", "1.0".to_string())]);
+        let b = with_advisory(&core, &[("wall_ms", "999.0".to_string())]);
+        assert!(diff_context(&a, &b, 3, 20).is_empty());
+        // One drifted line yields one hunk with ±3 context lines.
+        let drifted = core.replacen("\"butterfly\": 96", "\"butterfly\": 97", 1);
+        let d = diff_context(&core, &drifted, 3, 20);
+        assert!(d[0].starts_with("@@ lines "), "{d:?}");
+        assert_eq!(d.iter().filter(|l| l.starts_with("- ")).count(), 1);
+        assert_eq!(d.iter().filter(|l| l.starts_with("+ ")).count(), 1);
+        let ctx = d.iter().filter(|l| l.starts_with("  ")).count();
+        assert!((3..=6).contains(&ctx), "context lines around hunk: {d:?}");
+        let minus = d.iter().find(|l| l.starts_with("- ")).unwrap();
+        assert!(minus.contains("\"butterfly\": 96"));
+        // Truncation keeps the summary.
+        let d0 = diff_context(&core, &drifted, 3, 0);
+        assert!(
+            d0.iter().any(|l| l.contains("more differing lines")),
+            "{d0:?}"
+        );
+    }
+
+    #[test]
+    fn context_diff_merges_nearby_hunks() {
+        let base = (0..30).map(|i| format!("line{i}")).collect::<Vec<_>>();
+        let mut near = base.clone();
+        near[10] = "changedA".into();
+        near[12] = "changedB".into();
+        let d = diff_context(&base.join("\n"), &near.join("\n"), 3, 20);
+        assert_eq!(
+            d.iter().filter(|l| l.starts_with("@@")).count(),
+            1,
+            "two drifts 2 lines apart share one hunk: {d:?}"
+        );
+        let mut far = base.clone();
+        far[2] = "changedA".into();
+        far[25] = "changedB".into();
+        let d = diff_context(&base.join("\n"), &far.join("\n"), 3, 20);
+        assert_eq!(
+            d.iter().filter(|l| l.starts_with("@@")).count(),
+            2,
+            "distant drifts get separate hunks: {d:?}"
+        );
     }
 
     #[test]

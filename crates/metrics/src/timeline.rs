@@ -1,0 +1,216 @@
+//! Energy counter tracks for Perfetto timelines.
+//!
+//! [`EnergyTimelineSink`] wraps a [`PerfettoSink`] and, alongside the
+//! usual beat slices and span events, emits Chrome **counter** samples
+//! (`ph: 'C'`) carrying the cumulative per-component energy in pJ — one
+//! series per [`Component`] bin. Opened in `ui.perfetto.dev`, the
+//! counter track plots energy growing next to the spans that spent it,
+//! so "which phase burned the pJ" is visible without leaving the
+//! timeline.
+//!
+//! Samples are taken on beat events (one sample per `beat`/`beats`
+//! call, at the event's timestamp). Register-file transfers update the
+//! cumulative counts without emitting a sample of their own (`mem`
+//! events are far more numerous than beat batches); the final state is
+//! flushed as one last sample by [`EnergyTimelineSink::to_json`], so
+//! the terminal counter values always equal the exact totals.
+//!
+//! Values are rendered with the shared fixed-precision
+//! [`fmt_pj`](crate::snapshot::fmt_pj), keeping the export
+//! deterministic for identical event streams.
+
+use crate::energy::{Component, EnergyModel};
+use uvpu_core::trace::{BeatKind, MemDir, PerfettoSink, TraceSink};
+
+/// A [`PerfettoSink`] wrapper adding cumulative per-component energy
+/// counter tracks.
+///
+/// # Example
+///
+/// ```
+/// use uvpu_core::trace::{BeatKind, TraceSink};
+/// use uvpu_metrics::timeline::EnergyTimelineSink;
+///
+/// let mut sink = EnergyTimelineSink::new(64, 50);
+/// sink.beats(0, 0, BeatKind::Butterfly, 8);
+/// let json = sink.to_json();
+/// assert!(json.contains("\"ph\":\"C\""));
+/// assert!(json.contains("lanes.butterfly"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyTimelineSink {
+    energy: EnergyModel,
+    inner: PerfettoSink,
+    counts: [u64; 7],
+    track: u32,
+    samples: usize,
+    last_ts: u64,
+}
+
+impl EnergyTimelineSink {
+    /// Counter name shown on the Perfetto track.
+    pub const COUNTER_NAME: &'static str = "energy_pj";
+
+    /// A fresh sink pricing `lanes` lanes with the calibrated ASAP7
+    /// model; counter samples are emitted on `track`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn new(lanes: usize, track: u32) -> Self {
+        Self::with_energy_model(EnergyModel::asap7(lanes), track)
+    }
+
+    /// A fresh sink with an explicit energy model.
+    #[must_use]
+    pub fn with_energy_model(energy: EnergyModel, track: u32) -> Self {
+        Self {
+            energy,
+            inner: PerfettoSink::new(),
+            counts: [0; 7],
+            track,
+            samples: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// Counter samples emitted so far (excluding the final flush).
+    #[must_use]
+    pub const fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Cumulative activation counts per [`Component`] (beats; words for
+    /// [`Component::RegFile`]).
+    #[must_use]
+    pub const fn component_counts(&self) -> &[u64; 7] {
+        &self.counts
+    }
+
+    /// Total attributed energy so far (pJ).
+    #[must_use]
+    pub fn energy_total_pj(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.energy.component_pj(c, self.counts[c.index()]))
+            .sum()
+    }
+
+    /// Events in the wrapped exporter (slices, spans, and counter
+    /// samples, after coalescing).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.inner.event_count()
+    }
+
+    fn sample(&mut self, ts: u64) {
+        self.last_ts = self.last_ts.max(ts);
+        let series: Vec<(&str, String)> = Component::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c.name(),
+                    crate::snapshot::fmt_pj(self.energy.component_pj(c, self.counts[c.index()])),
+                )
+            })
+            .collect();
+        self.inner
+            .counter(self.track, ts, Self::COUNTER_NAME, &series);
+        self.samples += 1;
+    }
+
+    /// Serializes the wrapped trace, appending one final counter sample
+    /// so the terminal values equal the exact cumulative totals (they
+    /// can otherwise lag by the register-file words charged since the
+    /// last beat).
+    #[must_use]
+    pub fn to_json(&mut self) -> String {
+        self.sample(self.last_ts);
+        self.inner.to_json()
+    }
+}
+
+impl TraceSink for EnergyTimelineSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.inner.beats(track, cycle, kind, count);
+        EnergyModel::charge_beats(kind, count, &mut self.counts);
+        self.sample(cycle.saturating_add(count));
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.inner.mem(track, cycle, dir, addr, lanes);
+        self.counts[Component::RegFile.index()] += lanes as u64;
+        self.last_ts = self.last_ts.max(cycle);
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.inner.span_begin(track, ts, name);
+        self.last_ts = self.last_ts.max(ts);
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.inner.span_end(track, ts, name);
+        self.last_ts = self.last_ts.max(ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::NetKind;
+
+    #[test]
+    fn counter_samples_carry_all_components() {
+        let mut sink = EnergyTimelineSink::new(64, 50);
+        sink.beats(0, 0, BeatKind::Butterfly, 10);
+        sink.beats(0, 10, BeatKind::NetworkMove(NetKind::Shift), 2);
+        sink.mem(0, 12, MemDir::Load, 0, 64);
+        assert_eq!(sink.sample_count(), 2, "one sample per beat batch");
+        assert_eq!(sink.component_counts()[Component::RegFile.index()], 64);
+        let json = sink.to_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"energy_pj\""));
+        assert!(json.contains("\"tid\":50"));
+        for c in Component::ALL {
+            assert!(json.contains(c.name()), "series {} present", c.name());
+        }
+        // The final flush carries the regfile words charged by `mem`.
+        let expected =
+            crate::snapshot::fmt_pj(EnergyModel::asap7(64).component_pj(Component::RegFile, 64));
+        assert!(
+            json.contains(&format!("\"regfile\":{expected}")),
+            "final sample has exact totals: {json}"
+        );
+    }
+
+    #[test]
+    fn beat_slices_still_exported() {
+        let mut sink = EnergyTimelineSink::new(64, 50);
+        sink.span_begin(0, 0, "phase");
+        sink.beats(0, 0, BeatKind::Butterfly, 4);
+        sink.span_end(0, 4, "phase");
+        let json = sink.to_json();
+        assert!(json.contains("\"name\":\"butterfly\""), "{json}");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn totals_match_the_energy_model() {
+        let mut sink = EnergyTimelineSink::new(64, 50);
+        sink.beats(0, 0, BeatKind::Butterfly, 100);
+        sink.mem(0, 100, MemDir::Store, 0, 64);
+        let em = EnergyModel::asap7(64);
+        let expected = em.component_pj(Component::LanesButterfly, 100)
+            + em.component_pj(Component::NetCg, 100)
+            + em.component_pj(Component::NetPorts, 100)
+            + em.component_pj(Component::NetBase, 100)
+            + em.component_pj(Component::RegFile, 64);
+        assert!((sink.energy_total_pj() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Cross-accelerator comparison report + regression gate.
+#
+# 1. Determinism sweep: the reference workload is attributed to all seven
+#    backend cost models at 1, 2, and 4 worker threads with
+#    `--no-advisory`; the report files must be byte-identical (`cmp`) —
+#    per-backend cycles, energy bins, and ratios may not depend on
+#    UVPU_THREADS.
+# 2. Report: writes BENCH_compare.json (with the advisory wall-clock /
+#    thread-count section) for humans and dashboards.
+# 3. Gate: diffs the deterministic core against the committed baseline
+#    (BENCH_compare_baseline.json / BENCH_compare_baseline_smoke.json).
+#    Per-backend cycles, component energy, model area/power, and the
+#    ratios-vs-Ours table gate exactly; wall-clock is advisory only and
+#    never gates.
+#
+# Usage: scripts/bench_compare.sh [--smoke]
+#   --smoke runs the reduced-size variant (the CI fast path).
+#
+# To regenerate a baseline after an intentional cost-model change (bump
+# the uvpu-compare schema first if the core format changed):
+#   cargo run --release -p uvpu-bench --bin compare_report -- \
+#       [--smoke] --no-advisory --out BENCH_compare_baseline[_smoke].json
+set -eu
+cd "$(dirname "$0")/.."
+
+variant=full
+variant_flag=""
+baseline=BENCH_compare_baseline.json
+out=BENCH_compare.json
+for arg in "$@"; do
+    case "$arg" in
+    --smoke)
+        variant=smoke
+        variant_flag="--smoke"
+        baseline=BENCH_compare_baseline_smoke.json
+        out=BENCH_compare_smoke.json
+        ;;
+    *)
+        echo "bench_compare: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cargo build --release --offline -p uvpu-bench --bin compare_report
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for t in 1 2 4; do
+    # shellcheck disable=SC2086 # variant_flag is intentionally word-split
+    ./target/release/compare_report --threads "$t" $variant_flag \
+        --no-advisory --out "$tmpdir/report_t$t.json" >/dev/null
+done
+for t in 2 4; do
+    if ! cmp -s "$tmpdir/report_t1.json" "$tmpdir/report_t$t.json"; then
+        echo "bench_compare: FAIL — report differs between 1 and $t threads:" >&2
+        diff "$tmpdir/report_t1.json" "$tmpdir/report_t$t.json" >&2 || true
+        exit 1
+    fi
+done
+echo "bench_compare: reports byte-identical at 1/2/4 threads ($variant)"
+
+# shellcheck disable=SC2086
+./target/release/compare_report $variant_flag --out "$out" --check "$baseline"
+echo "bench_compare: wrote $out (advisory included); gate vs $baseline passed"

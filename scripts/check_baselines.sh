@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Orphan-baseline check: every committed BENCH_*baseline*.json in the
+# repository root must be named literally by at least one gate script in
+# scripts/ — a baseline no gate reads is dead weight that silently stops
+# pinning anything. Run from anywhere; exits 1 listing any orphans.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+found=0
+for baseline in BENCH_*baseline*.json; do
+    # No baselines at all: the glob stays unexpanded.
+    [ -e "$baseline" ] || continue
+    found=$((found + 1))
+    referenced=0
+    for script in scripts/*.sh; do
+        [ "$script" = "scripts/check_baselines.sh" ] && continue
+        if grep -q "$baseline" "$script"; then
+            referenced=1
+            break
+        fi
+    done
+    if [ "$referenced" -eq 0 ]; then
+        echo "check_baselines: ORPHAN — $baseline is not referenced by any gate in scripts/" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_baselines: all $found committed baselines are wired into a gate"
+fi
+exit "$status"

@@ -24,4 +24,11 @@ sh scripts/bench_fault.sh --smoke
 # fails if any fused lazy-reduction kernel's output drifts or a
 # steady-state heap allocation sneaks back into a pooled hot path.
 sh scripts/bench_kernels.sh --smoke
+# Cross-accelerator comparison determinism sweep + report regression
+# gate (smoke variant): fails if any backend's attributed cycles,
+# component energy, model area/power, or ratio vs Ours drifts from the
+# committed baseline, or differs across UVPU_THREADS.
+sh scripts/bench_compare.sh --smoke
+# Every committed BENCH_*baseline*.json must be read by some gate above.
+sh scripts/check_baselines.sh
 echo "ci: all green"

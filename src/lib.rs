@@ -14,6 +14,7 @@
 //! | [`vpu`] | `uvpu-core` | **the paper's contribution**: lanes, inter-lane network, control solver, NTT/automorphism mapping |
 //! | [`hw_model`] | `uvpu-hw-model` | calibrated area/power models of Ours / F1 / BTS / ARK / SHARP |
 //! | [`metrics`] | `uvpu-metrics` | utilization & energy attribution profiler with deterministic JSON snapshots |
+//! | [`compare`] | `uvpu-compare` | cross-accelerator attribution sink and deterministic comparison reports |
 //! | [`ckks`] | `uvpu-ckks` | a full RNS-CKKS scheme as the workload generator |
 //! | [`bfv`] | `uvpu-bfv` | an exact-arithmetic BFV scheme (the paper's "similarly supported" claim) |
 //! | [`accel`] | `uvpu-accel` | the multi-VPU accelerator simulator (NoC + SRAM + scheduler) |
@@ -44,6 +45,7 @@
 pub use uvpu_accel as accel;
 pub use uvpu_bfv as bfv;
 pub use uvpu_ckks as ckks;
+pub use uvpu_compare as compare;
 pub use uvpu_core as vpu;
 pub use uvpu_fault as fault;
 pub use uvpu_hw_model as hw_model;

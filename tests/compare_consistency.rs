@@ -1,0 +1,104 @@
+//! Determinism gates for the uvpu-compare report: the deterministic core
+//! of `BENCH_compare.json` must be byte-identical regardless of the
+//! worker-pool size and across repeated runs — the property the
+//! `scripts/bench_compare.sh` gate relies on.
+
+use uvpu_bench::compare_workload;
+
+/// Render the smoke-variant report core with the pool pinned to `threads`.
+fn report_at(threads: usize) -> String {
+    uvpu::par::with_threads(threads, || compare_workload::run(true).core_json)
+}
+
+#[test]
+fn report_core_is_byte_identical_across_thread_counts() {
+    let reference = report_at(1);
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            report_at(threads),
+            reference,
+            "thread count {threads} changed the deterministic report core"
+        );
+    }
+}
+
+#[test]
+fn report_core_is_stable_across_repeated_runs() {
+    let first = report_at(2);
+    let second = report_at(2);
+    assert_eq!(first, second, "same pool size, different report");
+}
+
+#[test]
+fn report_has_the_expected_shape() {
+    let core = report_at(2);
+
+    assert!(
+        core.starts_with("{\n  \"schema\": \"uvpu-compare/v1\""),
+        "schema header missing:\n{}",
+        &core[..core.len().min(200)]
+    );
+
+    // All seven backends present, and in sorted key order.
+    let names = ["ARK", "BASALISC", "BTS", "F1", "Ours", "RPU", "SHARP"];
+    let mut last = 0;
+    for name in names {
+        let key = format!("\"{name}\": {{\n");
+        let at = core
+            .find(&key)
+            .unwrap_or_else(|| panic!("backend {name} missing"));
+        assert!(at > last, "backend {name} out of sorted order");
+        last = at;
+    }
+
+    // The Ours ratio row is exactly 1 in every column.
+    assert!(
+        core.contains("\"Ours\": {\"cycles\": 1.000000, \"energy_pj\": 1.000000"),
+        "Ours ratio row must be the identity"
+    );
+
+    // Phases from every layer of the stack are attributed. (Wall-clock
+    // `task.*` spans are advisory-only in the profiler and carry no
+    // cycle deltas, so they never appear here.)
+    for phase in [
+        "ntt.forward_negacyclic",
+        "noc.transfer",
+        "ckks.rescale",
+        "bfv.mul",
+    ] {
+        assert!(
+            core.contains(&format!("\"{phase}\"")),
+            "phase {phase} missing"
+        );
+    }
+
+    // Every cost component appears in the per-backend energy bins.
+    for component in [
+        "lanes.butterfly",
+        "lanes.ewise",
+        "net.cg_stages",
+        "net.shift_stages",
+        "net.ports",
+        "net.base",
+        "regfile",
+    ] {
+        assert!(
+            core.contains(&format!("\"{component}\"")),
+            "component {component} missing"
+        );
+    }
+
+    // The deterministic core never carries the advisory section.
+    assert!(
+        !core.contains("\"advisory\""),
+        "advisory leaked into the core"
+    );
+}
+
+#[test]
+fn advisory_wrapper_never_gates() {
+    let core = report_at(2);
+    let with = uvpu::metrics::snapshot::with_advisory(&core, &[("wall_ms", "1.0".into())]);
+    assert_ne!(with, core);
+    assert!(uvpu::metrics::snapshot::diff_context(&core, &with, 3, 60).is_empty());
+}
