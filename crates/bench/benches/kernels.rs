@@ -40,6 +40,36 @@ fn lazy_vs_reference_forward(c: &mut Criterion) {
     group.finish();
 }
 
+fn fourstep_vs_direct_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward_large");
+    for log_n in [14u32, 16, 17] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| q.reduce_u64(i * 7 + 3)).collect();
+        // `forward_inplace` dispatches to the cache-blocked four-step
+        // path at these sizes; `forward_inplace_direct` is the
+        // single-array stage loop it replaces.
+        group.bench_with_input(BenchmarkId::new("four_step", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pool::take_copy(&data);
+                kernel::forward_inplace(&table, &mut a);
+                black_box(&a);
+                pool::recycle(a);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = pool::take_copy(&data);
+                kernel::forward_inplace_direct(&table, &mut a);
+                black_box(&a);
+                pool::recycle(a);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn fused_vs_three_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("negacyclic_mul");
     for log_n in [10u32, 12] {
@@ -73,5 +103,10 @@ fn fused_vs_three_pass(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, lazy_vs_reference_forward, fused_vs_three_pass);
+criterion_group!(
+    benches,
+    lazy_vs_reference_forward,
+    fourstep_vs_direct_forward,
+    fused_vs_three_pass
+);
 criterion_main!(benches);

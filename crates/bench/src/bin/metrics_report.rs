@@ -92,6 +92,15 @@ fn main() {
             // thread count and warm-up history (only the outputs are
             // required to be deterministic).
             let pool = uvpu_math::pool::stats();
+            // Compact capacity-class census, e.g. "4096:2+1,8192:0+3"
+            // (len:local+global). Advisory and an undercount by design:
+            // only the calling thread's free-list and the global spill
+            // are visible from here.
+            let classes = uvpu_math::pool::class_stats()
+                .iter()
+                .map(|c| format!("{}:{}+{}", c.len, c.local, c.global))
+                .collect::<Vec<_>>()
+                .join(",");
             snapshot::with_advisory(
                 &run.core_json,
                 &[
@@ -106,6 +115,8 @@ fn main() {
                     ("kernel.pool.hits", pool.hits.to_string()),
                     ("kernel.pool.misses", pool.misses.to_string()),
                     ("kernel.pool.bytes_live", pool.bytes_live.to_string()),
+                    ("kernel.pool.bytes_peak", pool.bytes_peak.to_string()),
+                    ("kernel.pool.classes", format!("\"{classes}\"")),
                 ],
             )
         } else {

@@ -3,11 +3,53 @@
 //! This is the `N × L` slice of the paper's `2 × N × L` ciphertext
 //! tensor — the unit of data every vector kernel operates on.
 
+use std::cell::RefCell;
+
 use crate::params::CkksContext;
 use crate::CkksError;
 use rand::Rng;
 use uvpu_math::poly::{Poly, Representation};
 use uvpu_math::pool;
+
+thread_local! {
+    /// Recycled `Vec<Poly>` residue containers. The residue *buffers*
+    /// already round-trip through `uvpu_math::pool`; this free-list does
+    /// the same for the outer `Vec` so the steady-state `mul` → `recycle`
+    /// cycle performs zero heap allocations (the last alloc/op the
+    /// `ckks_rns_mul` bench gate used to report).
+    static POLY_CONTAINERS: RefCell<Vec<Vec<Poly>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Backstop against hoarding: matches the spirit of the slab pool's
+/// per-length cap. Containers are tiny (a few pointers per residue), so
+/// a small cap loses nothing.
+const MAX_FREE_CONTAINERS: usize = 32;
+
+/// Takes an empty residue container with capacity for at least `cap`
+/// polynomials, reusing a recycled one when available.
+fn take_poly_container(cap: usize) -> Vec<Poly> {
+    let reused = POLY_CONTAINERS.with(|c| c.borrow_mut().pop());
+    match reused {
+        Some(mut v) => {
+            v.reserve(cap);
+            v
+        }
+        None => Vec::with_capacity(cap),
+    }
+}
+
+/// Returns a residue container to the thread-local free-list. The
+/// caller must have drained the `Poly`s already (so their coefficient
+/// buffers went back to the slab pool, not the allocator).
+fn recycle_poly_container(mut v: Vec<Poly>) {
+    v.clear();
+    POLY_CONTAINERS.with(|c| {
+        let mut free = c.borrow_mut();
+        if free.len() < MAX_FREE_CONTAINERS {
+            free.push(v);
+        }
+    });
+}
 
 /// A polynomial under an RNS basis (`level + 1` residue polynomials).
 ///
@@ -229,9 +271,11 @@ impl RnsPoly {
     /// intermediate polynomials can recycle them so the next borrow is a
     /// pool hit instead of a fresh heap allocation.
     pub fn recycle(self) {
-        for p in self.polys {
+        let mut polys = self.polys;
+        for p in polys.drain(..) {
             p.recycle();
         }
+        recycle_poly_container(polys);
     }
 
     /// Residue-wise ring multiplication (both operands in evaluation form).
@@ -241,14 +285,37 @@ impl RnsPoly {
     /// Level mismatch or coefficient-form operands.
     pub fn mul(&self, other: &Self) -> Result<Self, CkksError> {
         self.check(other)?;
+        // Validate every residue pair up front so the per-limb map below
+        // is infallible and can stream straight into a recycled
+        // container — together with the pooled coefficient buffers this
+        // makes the steady-state multiply allocation-free.
+        for (a, b) in self.polys.iter().zip(&other.polys) {
+            if a.n() != b.n() {
+                return Err(CkksError::Math(uvpu_math::MathError::LengthMismatch {
+                    left: a.n(),
+                    right: b.n(),
+                }));
+            }
+            if a.modulus() != b.modulus()
+                || a.representation() != Representation::Evaluation
+                || b.representation() != Representation::Evaluation
+            {
+                return Err(CkksError::Math(uvpu_math::MathError::ModulusMismatch));
+            }
+        }
         // RNS residues are independent; the per-limb products run on the
         // worker pool (collected in limb order, so bit-exact at any
         // thread count).
-        let polys =
-            uvpu_par::par_map_indexed(self.polys.len(), |i| self.polys[i].mul(&other.polys[i]))
-                .into_iter()
-                .collect::<Result<_, _>>()
-                .map_err(CkksError::Math)?;
+        let mut polys = take_poly_container(self.polys.len());
+        uvpu_par::par_map_indexed_into(
+            self.polys.len(),
+            |i| {
+                self.polys[i]
+                    .mul(&other.polys[i])
+                    .expect("residues prechecked compatible")
+            },
+            &mut polys,
+        );
         Ok(Self {
             polys,
             level: self.level,

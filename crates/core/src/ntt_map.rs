@@ -1169,6 +1169,43 @@ mod tests {
     }
 
     #[test]
+    fn negacyclic_plan_matches_fourstep_kernel_bit_exactly() {
+        // N = 2¹⁴ is past FOURSTEP_MIN_N, so the host table transform
+        // below runs the cache-blocked four-step kernel. The functional
+        // model must agree with it element-for-element — the plan emits
+        // natural order, the table bit-reversed, so plan[k] pairs with
+        // table[brv(k)] — and the plan's own inverse must close the
+        // round trip.
+        let n = 1 << 14;
+        let m = 64;
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let plan = NttPlan::new(q, n, m).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| q.reduce_u64(i.wrapping_mul(0x9E37_79B9) + 5))
+            .collect();
+
+        let mut vpu = Vpu::new(m, q, 8).unwrap();
+        let fwd = plan
+            .execute_forward_negacyclic(&mut vpu, &data)
+            .unwrap()
+            .output;
+
+        let mut kern = data.clone();
+        table.forward_inplace(&mut kern);
+        let bits = log2_exact(n);
+        for (k, &x) in fwd.iter().enumerate() {
+            assert_eq!(x, kern[bit_reverse(k, bits)], "k={k}");
+        }
+
+        let back = plan
+            .execute_inverse_negacyclic(&mut vpu, &fwd)
+            .unwrap()
+            .output;
+        assert_eq!(back, data);
+    }
+
+    #[test]
     fn compiled_ntt_programs_match_direct_execution() {
         let q = modulus_for(16);
         let ntt = SmallNtt::new(q, 16).unwrap();

@@ -16,12 +16,14 @@ use std::sync::Arc;
 
 use uvpu_par::Memo;
 
+use crate::kernel::fourstep::{self, FourStepTables};
 use crate::modular::Modulus;
 use crate::ntt::{CyclicNtt, NttTable};
 use crate::MathError;
 
 static NTT_TABLES: Memo<(u64, usize), NttTable> = Memo::new();
 static CYCLIC_NTTS: Memo<(u64, usize), CyclicNtt> = Memo::new();
+static FOURSTEP_TABLES: Memo<(u64, usize, usize), FourStepTables> = Memo::new();
 
 /// Returns the process-wide negacyclic [`NttTable`] for `(q, n)`,
 /// building it on first use.
@@ -42,6 +44,24 @@ pub fn ntt_table(q: Modulus, n: usize) -> Result<Arc<NttTable>, MathError> {
 /// Propagates [`CyclicNtt::new`]'s errors; failures are not cached.
 pub fn cyclic_ntt(q: Modulus, n: usize) -> Result<Arc<CyclicNtt>, MathError> {
     CYCLIC_NTTS.get_or_try_insert_with(&(q.value(), n), || CyclicNtt::new(q, n))
+}
+
+/// Returns the process-wide four-step relayout tables for splitting
+/// `table`'s ring into `n1` rows of `n/n1` columns, building them on
+/// first use. Keyed by `(q, n, n1)`: the relayout is fully determined
+/// by the (deterministically constructed) base table and the split.
+///
+/// # Panics
+///
+/// Panics if `n1` is not a power of two in `[2, n/2]` (see
+/// [`FourStepTables::new`]).
+#[must_use]
+pub fn fourstep_tables(table: &NttTable, n1: usize) -> Arc<FourStepTables> {
+    let key = (table.modulus().value(), table.n(), n1);
+    match FOURSTEP_TABLES.get_or_try_insert_with(&key, || fourstep::build_tables(table, n1)) {
+        Ok(tables) => tables,
+        Err(infallible) => match infallible {},
+    }
 }
 
 #[cfg(test)]

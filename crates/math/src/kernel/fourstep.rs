@@ -1,0 +1,644 @@
+//! Cache-blocked four-step (2D) decomposition of the lazy NTT kernels.
+//!
+//! # Layout
+//!
+//! A size-`N = n1·n2` polynomial is viewed **in place** as an `n1 × n2`
+//! row-major matrix: element `(r, c)` lives at `a[r·n2 + c]`. No data
+//! is ever transposed; the decomposition lives entirely in the loop
+//! structure. The merged-ψ Cooley–Tukey stages split cleanly along the
+//! matrix axes:
+//!
+//! - stages `m = 1 .. n1/2` (butterfly distance `t ≥ n2`) only ever
+//!   pair elements in the *same column* — the **column pass**;
+//! - stages `m = n1 .. N/2` (`t < n2`) only pair elements in the *same
+//!   row* — the **row pass**.
+//!
+//! The column pass is executed over tiles of `cw` adjacent columns,
+//! gathered into a contiguous `n1 × cw` pooled scratch buffer (row
+//! stride `cw` instead of the conflict-miss-prone power-of-two stride
+//! `n2`), transformed through all `log₂ n1` column stages, and
+//! scattered back. The row pass then runs the remaining `log₂ n2`
+//! stages on each naturally contiguous, cache-resident row.
+//!
+//! # Twiddle correction, fused by relayout
+//!
+//! In the classic four-step formulation the two passes are followed by
+//! an explicit `ω^{r·c}` twiddle-correction multiply. Here that multiply
+//! is **fused into the row pass via table relayout**: at global stage
+//! `m = m'·n1`, row `r`'s block `i'` is global block `i = r·m' + i'`, so
+//! its twiddle is `root_powers[m'·(n1 + r) + i']`. [`FourStepTables`]
+//! precomputes, per row, the gathered sequence
+//!
+//! ```text
+//! row_fwd[r·n2 + m' + i'] = root_powers[m'·(n1 + r) + i']   (m' = 1, 2, 4, …)
+//! ```
+//!
+//! (a permutation of `root_powers[n1..N]`, Shoup pairs included), so the
+//! row pass indexes its twiddles exactly like a standalone size-`n2`
+//! transform and no correction multiply ever materializes. The inverse
+//! tables mirror this with `h' = h/n1` and `inv_root_powers`.
+//!
+//! # Bitwise identity with the direct kernels
+//!
+//! Reordering the stage iteration (all column stages per tile, then all
+//! row stages per row) only permutes butterflies *within* a stage and
+//! regroups independent per-element dependency chains; every element
+//! still traverses its stages in the original order with the original
+//! operands. The lazy representatives — forward in `[0, 4q)`, inverse
+//! in `[0, 2q)` — are therefore **bitwise identical** to the direct
+//! kernels at every pass boundary, not merely congruent mod `q`: the
+//! same fold-to-`[0, 2q)` guards fire on the same values. Debug builds
+//! assert this against the fully-reduced reference on every call, and
+//! the committed bench digests pin it across thread counts.
+//!
+//! # Parallel waves
+//!
+//! Column tiles and rows are mutually independent, so both passes fan
+//! out over [`uvpu_par::par_map_indexed`], whose index-ordered
+//! collection keeps the scatter order deterministic. Workers write into
+//! pooled scratch and results are copied back in index order — the
+//! bytes are identical to the sequential in-place path at any
+//! `UVPU_THREADS`.
+
+use std::convert::Infallible;
+
+use crate::modular::{Modulus, ShoupMul};
+use crate::ntt::NttTable;
+use crate::pool;
+
+/// Row length targeted by [`default_n1`]: `2¹² · 8 B = 32 KiB` rows sit
+/// in L1d for the whole row pass.
+pub const DEFAULT_ROW_LEN: usize = 1 << 12;
+
+/// Column-tile budget in bytes (half a typical 64 KiB L1d, leaving room
+/// for the twiddle stream).
+const TILE_BYTES: usize = 1 << 15;
+
+/// The default row/column split for a size-`n` transform: rows of
+/// [`DEFAULT_ROW_LEN`], i.e. `n1 = n / 2¹²`, clamped to a valid
+/// factorization (`2 ≤ n1 ≤ n/2`).
+#[must_use]
+pub fn default_n1(n: usize) -> usize {
+    (n / DEFAULT_ROW_LEN).clamp(2, n / 2)
+}
+
+/// Width in columns of one gathered tile: as many columns as keep the
+/// `n1 × cw` tile under [`TILE_BYTES`], at least 4 (the unroll width)
+/// but never more than the full row (`max` before `min`, since rows
+/// shorter than 4 are legal for extreme splits). Powers of two in,
+/// powers of two out, so tiles always divide `n2` evenly. Shared with
+/// the blocked [`crate::ntt::CyclicNtt`] column pass.
+pub(crate) fn tile_cols(n1: usize, n2: usize) -> usize {
+    (TILE_BYTES / (8 * n1)).max(4).min(n2)
+}
+
+/// Precomputed per-row twiddle relayouts for one `(q, n, n1)` split; see
+/// the module docs for the index algebra. Obtain shared instances via
+/// [`crate::cache::fourstep_tables`].
+#[derive(Debug, Clone)]
+pub struct FourStepTables {
+    n1: usize,
+    n2: usize,
+    /// `row_fwd[r·n2 + m' + i'] = root_powers[m'·(n1 + r) + i']`; slot
+    /// `r·n2` is padding (stage indices start at 1), kept zero.
+    row_fwd: Vec<ShoupMul>,
+    /// Same relayout over `inv_root_powers` (`h'` in place of `m'`).
+    row_inv: Vec<ShoupMul>,
+}
+
+impl FourStepTables {
+    /// Builds the relayout tables for splitting `table`'s ring into
+    /// `n1` rows of `n/n1` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n1` is a power of two with `2 ≤ n1 ≤ n/2`.
+    #[must_use]
+    pub fn new(table: &NttTable, n1: usize) -> Self {
+        let n = table.n();
+        assert!(
+            n1.is_power_of_two() && n1 >= 2 && n1 <= n / 2,
+            "four-step split must be a power of two in [2, n/2]"
+        );
+        let n2 = n / n1;
+        let q = table.modulus();
+        let pad = ShoupMul::new(0, &q);
+        let mut row_fwd = vec![pad; n];
+        let mut row_inv = vec![pad; n];
+        for r in 0..n1 {
+            let base = r * n2;
+            let mut m = 1;
+            while m < n2 {
+                for i in 0..m {
+                    row_fwd[base + m + i] = table.root_powers[m * (n1 + r) + i];
+                    row_inv[base + m + i] = table.inv_root_powers[m * (n1 + r) + i];
+                }
+                m *= 2;
+            }
+        }
+        Self {
+            n1,
+            n2,
+            row_fwd,
+            row_inv,
+        }
+    }
+
+    /// Number of rows (`n1`) of the decomposition.
+    #[must_use]
+    pub const fn n1(&self) -> usize {
+        self.n1
+    }
+
+    /// Row length (`n2 = n / n1`) of the decomposition.
+    #[must_use]
+    pub const fn n2(&self) -> usize {
+        self.n2
+    }
+}
+
+/// Builds [`FourStepTables`] through a fallible constructor signature so
+/// the memo in [`crate::cache`] can share the `get_or_try_insert_with`
+/// plumbing; the build itself cannot fail for a valid split.
+pub(crate) fn build_tables(table: &NttTable, n1: usize) -> Result<FourStepTables, Infallible> {
+    Ok(FourStepTables::new(table, n1))
+}
+
+/// Four contiguous forward butterflies sharing one twiddle, plus a
+/// scalar tail: the 4-wide unroll keeps four independent `mul_lazy`
+/// chains in flight, which is what feeds the multiplier on rows much
+/// longer than its latency.
+#[inline]
+fn butterflies_fwd(top: &mut [u64], bot: &mut [u64], s: ShoupMul, q: &Modulus, two_q: u64) {
+    debug_assert_eq!(top.len(), bot.len());
+    let mut ts = top.chunks_exact_mut(4);
+    let mut bs = bot.chunks_exact_mut(4);
+    for (ct, cb) in ts.by_ref().zip(bs.by_ref()) {
+        let mut u0 = ct[0];
+        let mut u1 = ct[1];
+        let mut u2 = ct[2];
+        let mut u3 = ct[3];
+        if u0 >= two_q {
+            u0 -= two_q;
+        }
+        if u1 >= two_q {
+            u1 -= two_q;
+        }
+        if u2 >= two_q {
+            u2 -= two_q;
+        }
+        if u3 >= two_q {
+            u3 -= two_q;
+        }
+        let v0 = s.mul_lazy(cb[0], q);
+        let v1 = s.mul_lazy(cb[1], q);
+        let v2 = s.mul_lazy(cb[2], q);
+        let v3 = s.mul_lazy(cb[3], q);
+        ct[0] = u0 + v0;
+        ct[1] = u1 + v1;
+        ct[2] = u2 + v2;
+        ct[3] = u3 + v3;
+        cb[0] = u0 + two_q - v0;
+        cb[1] = u1 + two_q - v1;
+        cb[2] = u2 + two_q - v2;
+        cb[3] = u3 + two_q - v3;
+    }
+    for (t, b) in ts
+        .into_remainder()
+        .iter_mut()
+        .zip(bs.into_remainder().iter_mut())
+    {
+        let mut u = *t;
+        if u >= two_q {
+            u -= two_q;
+        }
+        let v = s.mul_lazy(*b, q);
+        *t = u + v;
+        *b = u + two_q - v;
+    }
+}
+
+/// Inverse (Gentleman–Sande) counterpart of [`butterflies_fwd`]: values
+/// stay in `[0, 2q)`, differences `u + 2q − v < 4q` feed `mul_lazy`.
+#[inline]
+fn butterflies_inv(top: &mut [u64], bot: &mut [u64], s: ShoupMul, q: &Modulus, two_q: u64) {
+    debug_assert_eq!(top.len(), bot.len());
+    let mut ts = top.chunks_exact_mut(4);
+    let mut bs = bot.chunks_exact_mut(4);
+    for (ct, cb) in ts.by_ref().zip(bs.by_ref()) {
+        let (u0, u1, u2, u3) = (ct[0], ct[1], ct[2], ct[3]);
+        let (v0, v1, v2, v3) = (cb[0], cb[1], cb[2], cb[3]);
+        let mut s0 = u0 + v0;
+        let mut s1 = u1 + v1;
+        let mut s2 = u2 + v2;
+        let mut s3 = u3 + v3;
+        if s0 >= two_q {
+            s0 -= two_q;
+        }
+        if s1 >= two_q {
+            s1 -= two_q;
+        }
+        if s2 >= two_q {
+            s2 -= two_q;
+        }
+        if s3 >= two_q {
+            s3 -= two_q;
+        }
+        ct[0] = s0;
+        ct[1] = s1;
+        ct[2] = s2;
+        ct[3] = s3;
+        cb[0] = s.mul_lazy(u0 + two_q - v0, q);
+        cb[1] = s.mul_lazy(u1 + two_q - v1, q);
+        cb[2] = s.mul_lazy(u2 + two_q - v2, q);
+        cb[3] = s.mul_lazy(u3 + two_q - v3, q);
+    }
+    for (t, b) in ts
+        .into_remainder()
+        .iter_mut()
+        .zip(bs.into_remainder().iter_mut())
+    {
+        let u = *t;
+        let v = *b;
+        let mut s0 = u + v;
+        if s0 >= two_q {
+            s0 -= two_q;
+        }
+        *t = s0;
+        *b = s.mul_lazy(u + two_q - v, q);
+    }
+}
+
+/// Copies `cw` columns starting at `c0` of the `n1 × n2` matrix in `a`
+/// into the contiguous `n1 × cw` tile.
+fn gather(a: &[u64], tile: &mut [u64], n1: usize, n2: usize, c0: usize, cw: usize) {
+    for r in 0..n1 {
+        tile[r * cw..(r + 1) * cw].copy_from_slice(&a[r * n2 + c0..r * n2 + c0 + cw]);
+    }
+}
+
+/// Inverse of [`gather`].
+fn scatter(a: &mut [u64], tile: &[u64], n1: usize, n2: usize, c0: usize, cw: usize) {
+    for r in 0..n1 {
+        a[r * n2 + c0..r * n2 + c0 + cw].copy_from_slice(&tile[r * cw..(r + 1) * cw]);
+    }
+}
+
+/// All forward column stages (`m = 1 .. n1/2`) on one gathered tile.
+/// Twiddles come straight from `root_powers[..n1]` — column stages need
+/// no relayout because their blocks span whole rows.
+fn tile_stages_fwd(table: &NttTable, tile: &mut [u64], n1: usize, cw: usize, two_q: u64) {
+    let q = table.modulus();
+    let mut tr = n1;
+    let mut m = 1;
+    while m < n1 {
+        tr /= 2;
+        for i in 0..m {
+            let s = table.root_powers[m + i];
+            for j in 2 * i * tr..2 * i * tr + tr {
+                let (top, bot) = tile.split_at_mut((j + tr) * cw);
+                butterflies_fwd(&mut top[j * cw..(j + 1) * cw], &mut bot[..cw], s, &q, two_q);
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// All inverse column stages (`h = n1/2 .. 1`) on one gathered tile.
+fn tile_stages_inv(table: &NttTable, tile: &mut [u64], n1: usize, cw: usize, two_q: u64) {
+    let q = table.modulus();
+    let mut tr = 1;
+    let mut m = n1;
+    while m > 1 {
+        let h = m / 2;
+        for i in 0..h {
+            let s = table.inv_root_powers[h + i];
+            for j in 2 * i * tr..2 * i * tr + tr {
+                let (top, bot) = tile.split_at_mut((j + tr) * cw);
+                butterflies_inv(&mut top[j * cw..(j + 1) * cw], &mut bot[..cw], s, &q, two_q);
+            }
+        }
+        tr *= 2;
+        m = h;
+    }
+}
+
+/// All forward row stages (`m' = 1 .. n2/2`) on one contiguous row,
+/// using that row's relayout slice of [`FourStepTables::row_fwd`].
+fn row_stages_fwd(rt: &[ShoupMul], row: &mut [u64], q: &Modulus, two_q: u64) {
+    let n2 = row.len();
+    let mut t = n2;
+    let mut m = 1;
+    while m < n2 {
+        t /= 2;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let (top, bot) = row.split_at_mut(j1 + t);
+            butterflies_fwd(&mut top[j1..j1 + t], &mut bot[..t], rt[m + i], q, two_q);
+        }
+        m *= 2;
+    }
+}
+
+/// All inverse row stages (`h' = n2/2 .. 1`) on one contiguous row.
+fn row_stages_inv(rt: &[ShoupMul], row: &mut [u64], q: &Modulus, two_q: u64) {
+    let n2 = row.len();
+    let mut t = 1;
+    let mut m = n2;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let (top, bot) = row.split_at_mut(j1 + t);
+            butterflies_inv(&mut top[j1..j1 + t], &mut bot[..t], rt[h + i], q, two_q);
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+}
+
+/// Largest row count for which the sequential column pass runs **in
+/// place**: the whole matrix is the degenerate `cw = n2` tile, so each
+/// column stage streams contiguous row pairs with no gather/scatter
+/// copies. With more rows than this, `log₂ n1` full-array streams cost
+/// more than the two copies a gathered tile pays once, so the tiled
+/// path takes over.
+const ROWPAIR_MAX_ROWS: usize = 64;
+
+/// The column pass, forward or inverse. A column-stage butterfly pairs
+/// whole rows (contiguous `n2`-slices), so three executions are
+/// available, all running the same butterflies in the same stage order
+/// (hence bitwise-identical results):
+///
+/// - sequential with `n1 ≤` [`ROWPAIR_MAX_ROWS`]: in place, the matrix
+///   itself as one `cw = n2` tile — zero copies;
+/// - sequential with many rows: gathered `n1 × cw` tiles, so every
+///   stage hits a compact scratch block instead of `n1` far-apart rows;
+/// - parallel: the tiles fan out over `uvpu_par`, transformed as pooled
+///   copies and scattered back in index order.
+fn column_pass(table: &NttTable, n1: usize, n2: usize, a: &mut [u64], two_q: u64, forward: bool) {
+    let run = |tile: &mut [u64], cw: usize| {
+        if forward {
+            tile_stages_fwd(table, tile, n1, cw, two_q);
+        } else {
+            tile_stages_inv(table, tile, n1, cw, two_q);
+        }
+    };
+    if uvpu_par::max_threads() <= 1 && n1 <= ROWPAIR_MAX_ROWS {
+        run(a, n2);
+        return;
+    }
+    let tw = tile_cols(n1, n2);
+    let tiles = n2.div_ceil(tw);
+    if uvpu_par::max_threads() > 1 && tiles > 1 {
+        let src: &[u64] = a;
+        let done = uvpu_par::par_map_indexed(tiles, |ti| {
+            let c0 = ti * tw;
+            let cw = tw.min(n2 - c0);
+            let mut tile = pool::take_scratch(n1 * cw);
+            gather(src, &mut tile, n1, n2, c0, cw);
+            run(&mut tile, cw);
+            tile
+        });
+        for (ti, tile) in done.into_iter().enumerate() {
+            let c0 = ti * tw;
+            let cw = tw.min(n2 - c0);
+            scatter(a, &tile, n1, n2, c0, cw);
+            pool::recycle(tile);
+        }
+    } else {
+        for ti in 0..tiles {
+            let c0 = ti * tw;
+            let cw = tw.min(n2 - c0);
+            let mut tile = pool::take_scratch(n1 * cw);
+            gather(a, &mut tile, n1, n2, c0, cw);
+            run(&mut tile, cw);
+            scatter(a, &tile, n1, n2, c0, cw);
+            pool::recycle(tile);
+        }
+    }
+}
+
+/// The row pass, forward or inverse, fanned out over `uvpu_par`. Rows
+/// are disjoint `n2`-slices; the parallel wave transforms pooled copies
+/// and writes them back in index order.
+fn row_pass(fs: &FourStepTables, a: &mut [u64], q: &Modulus, two_q: u64, forward: bool) {
+    let (n1, n2) = (fs.n1, fs.n2);
+    let tables = if forward { &fs.row_fwd } else { &fs.row_inv };
+    let run = |r: usize, row: &mut [u64]| {
+        let rt = &tables[r * n2..(r + 1) * n2];
+        if forward {
+            row_stages_fwd(rt, row, q, two_q);
+        } else {
+            row_stages_inv(rt, row, q, two_q);
+        }
+    };
+    if uvpu_par::max_threads() > 1 && n1 > 1 {
+        let src: &[u64] = a;
+        let done = uvpu_par::par_map_indexed(n1, |r| {
+            let mut row = pool::take_copy(&src[r * n2..(r + 1) * n2]);
+            run(r, &mut row);
+            row
+        });
+        for (r, row) in done.into_iter().enumerate() {
+            a[r * n2..(r + 1) * n2].copy_from_slice(&row);
+            pool::recycle(row);
+        }
+    } else {
+        for r in 0..n1 {
+            run(r, &mut a[r * n2..(r + 1) * n2]);
+        }
+    }
+}
+
+/// Four-step forward negacyclic NTT with lazy reduction: column pass
+/// (stages `m < n1`) then row pass (stages `m ≥ n1`). Output is bitwise
+/// identical to [`super::forward_lazy_direct`] — every element in
+/// `[0, 4q)`, bit-reversed order; run [`super::correct_lazy`] to land in
+/// `[0, q)`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()` or `fs` was built for a different
+/// ring degree.
+pub fn forward_lazy(table: &NttTable, fs: &FourStepTables, a: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    assert_eq!(
+        fs.n1 * fs.n2,
+        n,
+        "four-step tables built for a different ring degree"
+    );
+    let q = table.modulus();
+    debug_assert!(
+        a.iter().all(|&x| x < q.value()),
+        "lazy forward NTT requires canonical input"
+    );
+    let two_q = 2 * q.value();
+    column_pass(table, fs.n1, fs.n2, a, two_q, true);
+    row_pass(fs, a, &q, two_q, true);
+}
+
+/// Four-step forward negacyclic NTT into canonical `[0, q)` output —
+/// byte-identical to the reference transform; debug builds assert so.
+///
+/// # Panics
+///
+/// See [`forward_lazy`].
+pub fn forward_inplace(table: &NttTable, fs: &FourStepTables, a: &mut [u64]) {
+    #[cfg(debug_assertions)]
+    let expect = {
+        let mut e = a.to_vec();
+        table.forward_inplace_reference(&mut e);
+        e
+    };
+    forward_lazy(table, fs, a);
+    super::correct_lazy(&table.modulus(), a);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        a,
+        &expect[..],
+        "four-step forward NTT diverged from the fully-reduced reference"
+    );
+}
+
+/// Four-step inverse negacyclic NTT: row pass (stages `h ≥ n1`) then
+/// column pass (stages `h < n1`), then the `N⁻¹` scaling that doubles as
+/// the final correction — byte-identical to
+/// [`super::inverse_inplace_direct`]; debug builds assert so.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()` or `fs` was built for a different
+/// ring degree.
+pub fn inverse_inplace(table: &NttTable, fs: &FourStepTables, a: &mut [u64]) {
+    let n = table.n();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    assert_eq!(
+        fs.n1 * fs.n2,
+        n,
+        "four-step tables built for a different ring degree"
+    );
+    let q = table.modulus();
+    debug_assert!(
+        a.iter().all(|&x| x < q.value()),
+        "lazy inverse NTT requires canonical input"
+    );
+    #[cfg(debug_assertions)]
+    let expect = {
+        let mut e = a.to_vec();
+        table.inverse_inplace_reference(&mut e);
+        e
+    };
+    let two_q = 2 * q.value();
+    row_pass(fs, a, &q, two_q, false);
+    column_pass(table, fs.n1, fs.n2, a, two_q, false);
+    for x in a.iter_mut() {
+        *x = table.n_inv.mul(*x, &q);
+    }
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        a,
+        &expect[..],
+        "four-step inverse NTT diverged from the fully-reduced reference"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel;
+    use crate::primes::ntt_prime;
+
+    fn setup(n: usize, bits: u32) -> (Modulus, NttTable) {
+        let q = Modulus::new(ntt_prime(bits, n).unwrap()).unwrap();
+        let table = NttTable::new(q, n).unwrap();
+        (q, table)
+    }
+
+    fn random_poly(mut seed: u64, n: usize, q: &Modulus) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q.reduce_u64(seed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lazy_values_bitwise_match_direct_kernel() {
+        // Not just congruent: the raw [0, 4q) forward representatives
+        // must equal the direct kernel's, stage reordering or not.
+        let n = 1 << 10;
+        let (q, table) = setup(n, 50);
+        let data = random_poly(0xF0, n, &q);
+        for n1 in [2usize, 8, 32, 512] {
+            let fs = FourStepTables::new(&table, n1);
+            let mut direct = data.clone();
+            kernel::forward_lazy_direct(&table, &mut direct);
+            let mut four = data.clone();
+            forward_lazy(&table, &fs, &mut four);
+            assert_eq!(four, direct, "n1={n1}");
+        }
+    }
+
+    #[test]
+    fn every_split_matches_reference_both_directions() {
+        let n = 1 << 8;
+        for bits in [30u32, 50] {
+            let (q, table) = setup(n, bits);
+            let data = random_poly(u64::from(bits), n, &q);
+            let mut fwd_ref = data.clone();
+            table.forward_inplace_reference(&mut fwd_ref);
+            let mut inv_ref = data.clone();
+            table.inverse_inplace_reference(&mut inv_ref);
+            let mut n1 = 2;
+            while n1 <= n / 2 {
+                let fs = FourStepTables::new(&table, n1);
+                let mut f = data.clone();
+                forward_inplace(&table, &fs, &mut f);
+                assert_eq!(f, fwd_ref, "forward n1={n1} bits={bits}");
+                let mut i = data.clone();
+                inverse_inplace(&table, &fs, &mut i);
+                assert_eq!(i, inv_ref, "inverse n1={n1} bits={bits}");
+                n1 *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_across_thread_counts() {
+        let n = 1 << 9;
+        let (q, table) = setup(n, 61);
+        let data = random_poly(7, n, &q);
+        let fs = FourStepTables::new(&table, 16);
+        for t in [1usize, 2, 4, 7] {
+            let out = uvpu_par::with_threads(t, || {
+                let mut v = data.clone();
+                forward_inplace(&table, &fs, &mut v);
+                inverse_inplace(&table, &fs, &mut v);
+                v
+            });
+            assert_eq!(out, data, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn default_split_keeps_rows_at_target_length() {
+        assert_eq!(default_n1(1 << 14), 4);
+        assert_eq!(default_n1(1 << 16), 16);
+        assert_eq!(default_n1(1 << 17), 32);
+        // Clamped at the small end: never below a 2-row split.
+        assert_eq!(default_n1(1 << 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two in [2, n/2]")]
+    fn rejects_degenerate_split() {
+        let (_, table) = setup(64, 30);
+        let _ = FourStepTables::new(&table, 64);
+    }
+}

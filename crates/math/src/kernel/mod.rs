@@ -42,10 +42,31 @@
 //! keyswitch digit products, and the BFV `ring_mul_q`. Scratch comes
 //! from the slab pool in [`crate::pool`], so steady-state invocations
 //! perform **zero heap allocations**.
+//!
+//! # Large rings: the four-step dispatch
+//!
+//! The stage-major loops below stream the whole polynomial once per
+//! stage, which collapses once `8N` bytes outgrow the cache hierarchy
+//! (bootstrapping-grade rings, `N = 2¹⁴..2¹⁷`). At
+//! [`FOURSTEP_MIN_N`] and above, [`forward_lazy`] / [`forward_inplace`]
+//! / [`inverse_inplace`] transparently reroute to the cache-blocked
+//! four-step decomposition in [`fourstep`], which executes the *same*
+//! butterflies in a locality-friendly order and is therefore **bitwise
+//! identical** to the direct kernels — lazy intermediates included. The
+//! `*_direct` entry points keep the stage-major loops reachable for
+//! benches and differential tests at any size.
 
 use crate::modular::Modulus;
 use crate::ntt::NttTable;
 use crate::pool;
+
+pub mod fourstep;
+
+/// Smallest ring degree routed to the four-step decomposition. Below
+/// this, `8N` bytes sit comfortably in L1/L2 and the stage-major loops
+/// win; at and above it, the tiled row/column passes do (see
+/// ARCHITECTURE.md §14 for the measured crossover).
+pub const FOURSTEP_MIN_N: usize = 1 << 14;
 
 /// Forward negacyclic NTT with lazy reduction, in place.
 ///
@@ -59,6 +80,23 @@ use crate::pool;
 ///
 /// Panics if `a.len() != table.n()`.
 pub fn forward_lazy(table: &NttTable, a: &mut [u64]) {
+    if table.n() >= FOURSTEP_MIN_N {
+        let fs = crate::cache::fourstep_tables(table, fourstep::default_n1(table.n()));
+        fourstep::forward_lazy(table, &fs, a);
+    } else {
+        forward_lazy_direct(table, a);
+    }
+}
+
+/// Stage-major [`forward_lazy`] without the four-step dispatch: one full
+/// sweep of the polynomial per butterfly stage, at any size. This is
+/// the kernel of record for small rings and the differential baseline
+/// the four-step path is benchmarked and tested against.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn forward_lazy_direct(table: &NttTable, a: &mut [u64]) {
     let n = table.n();
     assert_eq!(a.len(), n, "input length must equal ring degree");
     let q = table.modulus();
@@ -136,6 +174,17 @@ pub fn forward_inplace(table: &NttTable, a: &mut [u64]) {
     );
 }
 
+/// [`forward_inplace`] on the stage-major path, bypassing the four-step
+/// dispatch (see [`forward_lazy_direct`]).
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn forward_inplace_direct(table: &NttTable, a: &mut [u64]) {
+    forward_lazy_direct(table, a);
+    correct_lazy(&table.modulus(), a);
+}
+
 /// Inverse negacyclic NTT with lazy reduction, in place.
 ///
 /// Input: evaluations in bit-reversed order, canonical (`< q`). The
@@ -150,6 +199,21 @@ pub fn forward_inplace(table: &NttTable, a: &mut [u64]) {
 ///
 /// Panics if `a.len() != table.n()`.
 pub fn inverse_inplace(table: &NttTable, a: &mut [u64]) {
+    if table.n() >= FOURSTEP_MIN_N {
+        let fs = crate::cache::fourstep_tables(table, fourstep::default_n1(table.n()));
+        fourstep::inverse_inplace(table, &fs, a);
+    } else {
+        inverse_inplace_direct(table, a);
+    }
+}
+
+/// Stage-major [`inverse_inplace`] without the four-step dispatch, at
+/// any size (see [`forward_lazy_direct`] for why it is kept public).
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn inverse_inplace_direct(table: &NttTable, a: &mut [u64]) {
     let n = table.n();
     assert_eq!(a.len(), n, "input length must equal ring degree");
     let q = table.modulus();

@@ -17,6 +17,7 @@
 //! - Naive `O(N²)` references used only by tests.
 
 use crate::modular::{Modulus, ShoupMul};
+use crate::pool;
 use crate::primes::min_root_of_unity;
 use crate::util::{bit_reverse, log2_exact};
 use crate::MathError;
@@ -332,8 +333,19 @@ impl CyclicNtt {
     }
 
     fn transform(&self, a: &mut [u64], stages: &[Vec<ShoupMul>]) {
-        let q = &self.modulus;
         crate::util::bit_reverse_permute(a);
+        if self.n >= crate::kernel::FOURSTEP_MIN_N {
+            self.stages_blocked(a, stages);
+        } else {
+            self.stages_direct(a, stages);
+        }
+    }
+
+    /// The stage-major butterfly sweep: one full pass over `a` per
+    /// stage. Fine while `8n` bytes are cache-resident; large sizes go
+    /// through [`Self::stages_blocked`] instead.
+    fn stages_direct(&self, a: &mut [u64], stages: &[Vec<ShoupMul>]) {
+        let q = &self.modulus;
         let mut len = 2;
         for twiddles in stages {
             for start in (0..self.n).step_by(len) {
@@ -345,6 +357,72 @@ impl CyclicNtt {
                 }
             }
             len *= 2;
+        }
+    }
+
+    /// Cache-blocked sweep for large `n`, mirroring the four-step
+    /// kernel dispatch: view `a` (post bit-reversal) as `rows` chunks of
+    /// `chunk` elements. Stages with block length `≤ chunk` stay inside
+    /// one chunk — run them all per chunk while it is cache-resident
+    /// (the row pass). The remaining stages pair equal offsets of
+    /// chunks `len/(2·chunk)` apart — run them per tile of gathered
+    /// offset columns (the column pass). Butterflies, twiddles, and the
+    /// per-element stage order are unchanged, so the output is bitwise
+    /// identical to [`Self::stages_direct`].
+    fn stages_blocked(&self, a: &mut [u64], stages: &[Vec<ShoupMul>]) {
+        let q = &self.modulus;
+        let n = self.n;
+        let chunk = crate::kernel::fourstep::DEFAULT_ROW_LEN.min(n / 2);
+        let small = log2_exact(chunk) as usize;
+        // Row pass: stages 0..small (block length 2^{s+1} ≤ chunk).
+        for row in a.chunks_exact_mut(chunk) {
+            let mut len = 2;
+            for twiddles in &stages[..small] {
+                for start in (0..chunk).step_by(len) {
+                    for (j, w) in twiddles.iter().enumerate() {
+                        let u = row[start + j];
+                        let v = w.mul(row[start + j + len / 2], q);
+                        row[start + j] = q.add(u, v);
+                        row[start + j + len / 2] = q.sub(u, v);
+                    }
+                }
+                len *= 2;
+            }
+        }
+        // Column pass: remaining stages, tiled over chunk offsets. An
+        // element at chunk r, offset c is position (r mod len/chunk)·chunk + c
+        // inside its block, so its twiddle index is rj·chunk + c.
+        let rows = n / chunk;
+        let tcw = crate::kernel::fourstep::tile_cols(rows, chunk);
+        for c0 in (0..chunk).step_by(tcw) {
+            let cw = tcw.min(chunk - c0);
+            let mut tile = pool::take_scratch(rows * cw);
+            for r in 0..rows {
+                tile[r * cw..(r + 1) * cw].copy_from_slice(&a[r * chunk + c0..r * chunk + c0 + cw]);
+            }
+            let mut len = 2 * chunk;
+            for twiddles in &stages[small..] {
+                let half_rows = (len / 2) / chunk;
+                for br in (0..rows).step_by(2 * half_rows) {
+                    for rj in 0..half_rows {
+                        let rt = br + rj;
+                        let (top, bot) = tile.split_at_mut((rt + half_rows) * cw);
+                        let top = &mut top[rt * cw..(rt + 1) * cw];
+                        let tw = &twiddles[rj * chunk + c0..rj * chunk + c0 + cw];
+                        for ((t, b), w) in top.iter_mut().zip(bot.iter_mut()).zip(tw) {
+                            let u = *t;
+                            let v = w.mul(*b, q);
+                            *t = q.add(u, v);
+                            *b = q.sub(u, v);
+                        }
+                    }
+                }
+                len *= 2;
+            }
+            for r in 0..rows {
+                a[r * chunk + c0..r * chunk + c0 + cw].copy_from_slice(&tile[r * cw..(r + 1) * cw]);
+            }
+            pool::recycle(tile);
         }
     }
 
@@ -620,6 +698,28 @@ mod tests {
         x.sort_unstable();
         y.sort_unstable();
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn cyclic_blocked_matches_direct_at_dispatch_size() {
+        // n = 2^14 routes through stages_blocked; the stage-major loop
+        // must produce the same bytes, and the round trip must close.
+        let n = 1 << 14;
+        let q = Modulus::new(ntt_prime(30, n).unwrap()).unwrap();
+        let ntt = CyclicNtt::new(q, n).unwrap();
+        let a: Vec<u64> = (0..n as u64)
+            .map(|i| q.reduce_u64(i * 2654435761 + 9))
+            .collect();
+
+        let mut blocked = a.clone();
+        ntt.forward_inplace(&mut blocked);
+        let mut direct = a.clone();
+        crate::util::bit_reverse_permute(&mut direct);
+        ntt.stages_direct(&mut direct, &ntt.fwd_stages);
+        assert_eq!(blocked, direct, "blocked cyclic sweep diverged");
+
+        ntt.inverse_inplace(&mut blocked);
+        assert_eq!(blocked, a, "blocked cyclic round trip failed");
     }
 
     #[test]

@@ -44,11 +44,28 @@ pub struct PoolStats {
     /// Bytes currently sitting in free-lists (local + global), ready to
     /// be handed out without touching the allocator.
     pub bytes_live: u64,
+    /// High-water mark of `bytes_live` over the process lifetime — the
+    /// peak footprint of pooled scratch (e.g. the four-step column
+    /// tiles and row copies at `N = 2¹⁷`), never reset.
+    pub bytes_peak: u64,
+}
+
+/// Free-slab census for one capacity class, as reported by
+/// [`class_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Slab length in `u64` words (the free-list key).
+    pub len: usize,
+    /// Free slabs on the calling thread's local free-list.
+    pub local: usize,
+    /// Free slabs in the process-wide overflow pool.
+    pub global: usize,
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+static BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
 
 /// Free slabs, keyed by length.
 type FreeLists = HashMap<usize, Vec<Box<[u64]>>>;
@@ -165,17 +182,20 @@ pub fn recycle(v: Vec<u64>) {
         return;
     }
     let len = v.len();
-    BYTES_LIVE.fetch_add(8 * len as u64, Ordering::Relaxed);
-    LOCAL.with(|l| {
-        let bucket = l.borrow_mut();
-        let mut bucket = bucket;
+    let accepted = LOCAL.with(|l| {
+        let mut bucket = l.borrow_mut();
         let slabs = bucket.free.entry(len).or_default();
         if slabs.len() < MAX_FREE_PER_LEN {
             slabs.push(v.into_boxed_slice());
+            true
         } else {
-            BYTES_LIVE.fetch_sub(8 * len as u64, Ordering::Relaxed);
+            false
         }
     });
+    if accepted {
+        let live = BYTES_LIVE.fetch_add(8 * len as u64, Ordering::Relaxed) + 8 * len as u64;
+        BYTES_PEAK.fetch_max(live, Ordering::Relaxed);
+    }
 }
 
 /// Drains the calling thread's free-list into the global pool.
@@ -189,15 +209,39 @@ pub fn flush_thread() {
     let _ = LOCAL.try_with(|l| spill(&mut l.borrow_mut().free));
 }
 
-/// Current pool counters: `(hits, misses, bytes_live)` as surfaced in
-/// the `kernel.pool.*` metrics family.
+/// Current pool counters: `(hits, misses, bytes_live, bytes_peak)` as
+/// surfaced in the `kernel.pool.*` metrics family.
 #[must_use]
 pub fn stats() -> PoolStats {
     PoolStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         bytes_live: BYTES_LIVE.load(Ordering::Relaxed),
+        bytes_peak: BYTES_PEAK.load(Ordering::Relaxed),
     }
+}
+
+/// Per-capacity-class census of free slabs, sorted by length: the
+/// calling thread's free-list plus the global overflow pool. Advisory
+/// only — other threads' local free-lists are invisible (counting them
+/// would mean cross-thread locks on the fast path), so the sum can
+/// undershoot `bytes_live`.
+#[must_use]
+pub fn class_stats() -> Vec<ClassStats> {
+    let mut classes: std::collections::BTreeMap<usize, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    let _ = LOCAL.try_with(|l| {
+        for (&len, slabs) in &l.borrow().free {
+            classes.entry(len).or_default().0 = slabs.len();
+        }
+    });
+    for (&len, slabs) in global().iter() {
+        classes.entry(len).or_default().1 = slabs.len();
+    }
+    classes
+        .into_iter()
+        .map(|(len, (local, global))| ClassStats { len, local, global })
+        .collect()
 }
 
 #[cfg(test)]
@@ -269,6 +313,28 @@ mod tests {
         let after = stats();
         assert!(after.hits > before.hits, "spilled slab should be reused");
         recycle(again);
+    }
+
+    #[test]
+    fn peak_and_class_stats_see_recycled_slabs() {
+        let len = 6151; // unique length so other tests don't interfere
+        let a = take_scratch(len);
+        recycle(a);
+        let s = stats();
+        assert!(
+            s.bytes_peak >= 8 * len as u64,
+            "peak must cover the recycled slab"
+        );
+        let classes = class_stats();
+        let class = classes
+            .iter()
+            .find(|c| c.len == len)
+            .expect("recycled capacity class must be visible");
+        assert!(class.local + class.global >= 1);
+        assert!(
+            classes.windows(2).all(|w| w[0].len < w[1].len),
+            "classes must be sorted by length"
+        );
     }
 
     #[test]

@@ -296,6 +296,29 @@ where
         .collect()
 }
 
+/// [`par_map_indexed`] into a caller-provided buffer: clears `out`,
+/// then fills it with `f(0), f(1), …` in index order.
+///
+/// The sequential path (effective thread count 1, or `len <= 1`)
+/// performs **no heap allocation** when `out` already has capacity for
+/// `len` results — this is what lets pooled callers like
+/// `RnsPoly::mul` reach zero steady-state allocs/op. The parallel path
+/// allocates its usual scheduling scaffolding but still places results
+/// by index, so the contents of `out` are bit-exact across thread
+/// counts.
+pub fn par_map_indexed_into<R, F>(len: usize, f: F, out: &mut Vec<R>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    out.clear();
+    if max_threads().min(len) <= 1 {
+        out.extend((0..len).map(f));
+    } else {
+        out.extend(par_map_indexed(len, f));
+    }
+}
+
 /// Consuming parallel map: moves each element of `items` into `f`
 /// exactly once, returning results in the original order.
 ///
@@ -445,6 +468,26 @@ mod tests {
             });
             assert_eq!(got, expect, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn par_map_indexed_into_is_ordered_and_alloc_free_when_sequential() {
+        let expect: Vec<usize> = (0..37).map(|i| i * 3).collect();
+        for threads in [1, 2, 5] {
+            let mut out = Vec::with_capacity(64);
+            out.push(usize::MAX); // stale content must be cleared
+            with_threads(threads, || {
+                par_map_indexed_into(37, |i| i * 3, &mut out);
+            });
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+        // Sequential path with sufficient capacity: the buffer is not
+        // reallocated (same backing pointer before and after).
+        let mut out: Vec<usize> = Vec::with_capacity(37);
+        let before = out.as_ptr();
+        with_threads(1, || par_map_indexed_into(37, |i| i + 1, &mut out));
+        assert_eq!(out.as_ptr(), before, "sequential fill must not realloc");
+        assert_eq!(out[36], 37);
     }
 
     #[test]

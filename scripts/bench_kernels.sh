@@ -8,6 +8,11 @@
 # against the committed baseline; ns/op timing and the pool hit/miss
 # counters are advisory only and never gate.
 #
+# Large rings (N = 2^14 in smoke; 2^14/2^16/2^17 in full) are measured
+# through both the four-step dispatch path and the direct stage loop;
+# the binary asserts the two digests are byte-identical at every size
+# before the gate even runs.
+#
 # Usage: scripts/bench_kernels.sh [--smoke]
 #   --smoke runs the reduced-size variant (the CI fast path).
 #

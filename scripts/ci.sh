@@ -23,6 +23,8 @@ sh scripts/bench_fault.sh --smoke
 # Kernel digest + allocations-per-op regression gate (smoke variant):
 # fails if any fused lazy-reduction kernel's output drifts or a
 # steady-state heap allocation sneaks back into a pooled hot path.
+# Includes one large-ring case (N=2^14) where the four-step transform
+# must produce a digest byte-identical to the direct stage loop.
 sh scripts/bench_kernels.sh --smoke
 # Cross-accelerator comparison determinism sweep + report regression
 # gate (smoke variant): fails if any backend's attributed cycles,

@@ -10,6 +10,7 @@
 //!   mix of pool workers.
 
 use proptest::prelude::*;
+use uvpu::math::kernel::fourstep;
 use uvpu::math::modular::Modulus;
 use uvpu::math::ntt::NttTable;
 use uvpu::math::primes::ntt_prime;
@@ -109,6 +110,36 @@ proptest! {
         }
     }
 
+    /// Every power-of-two (n1, n2) factorization of the four-step
+    /// decomposition produces output bitwise equal to the direct kernel,
+    /// in both directions, across the cached modulus widths.
+    #[test]
+    fn fourstep_every_split_matches_direct(seed in any::<u64>()) {
+        let n = 1usize << 12;
+        for bits in [30u32, 50] {
+            let q = Modulus::new(ntt_prime(bits, n).unwrap()).unwrap();
+            let table = cache::ntt_table(q, n).unwrap();
+            let data = random_poly(seed ^ u64::from(bits), n, &q);
+
+            let mut fwd_direct = data.clone();
+            kernel::forward_inplace_direct(&table, &mut fwd_direct);
+            let mut inv_direct = data.clone();
+            kernel::inverse_inplace_direct(&table, &mut inv_direct);
+
+            let mut n1 = 2usize;
+            while n1 <= n / 2 {
+                let fs = cache::fourstep_tables(&table, n1);
+                let mut fwd = data.clone();
+                fourstep::forward_inplace(&table, &fs, &mut fwd);
+                prop_assert_eq!(&fwd, &fwd_direct);
+                let mut inv = data.clone();
+                fourstep::inverse_inplace(&table, &fs, &mut inv);
+                prop_assert_eq!(&inv, &inv_direct);
+                n1 *= 2;
+            }
+        }
+    }
+
     /// Eval-domain accumulation (the keyswitch inner loop) equals the
     /// coefficient-domain sum of reference products: for digits d_i and
     /// keys k_i, `INTT(Σ NTT(d_i)⊙NTT(k_i)) == Σ INTT(NTT(d_i)⊙NTT(k_i))`.
@@ -191,6 +222,77 @@ fn pooled_borrows_never_alias() {
             oks.iter().all(|&ok| ok),
             "pool cross-talk detected at {t} threads"
         );
+    }
+}
+
+/// 64-bit FNV-1a over a residue vector, for compact digest comparison.
+fn fnv_digest(a: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in a {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// At the sizes the public entry points hand to the four-step path
+/// (N = 2^16 and 2^17), the dispatched transform is bitwise equal to
+/// the direct kernel — for the default split and for explicit
+/// non-default ones — and the forward/inverse pair round-trips.
+#[test]
+fn fourstep_dispatch_matches_direct_at_large_sizes() {
+    for log_n in [16u32, 17] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+        let table = cache::ntt_table(q, n).unwrap();
+        let data = random_poly(0xF0CA_CC1A ^ n as u64, n, &q);
+
+        let mut via_direct = data.clone();
+        kernel::forward_inplace_direct(&table, &mut via_direct);
+
+        assert!(n >= kernel::FOURSTEP_MIN_N, "sizes here must dispatch");
+        let mut via_dispatch = data.clone();
+        kernel::forward_inplace(&table, &mut via_dispatch);
+        assert_eq!(via_dispatch, via_direct, "dispatched forward at n={n}");
+
+        for n1 in [4usize, 256] {
+            let fs = cache::fourstep_tables(&table, n1);
+            let mut a = data.clone();
+            fourstep::forward_inplace(&table, &fs, &mut a);
+            assert_eq!(a, via_direct, "explicit split n1={n1} at n={n}");
+        }
+
+        kernel::inverse_inplace(&table, &mut via_dispatch);
+        assert_eq!(via_dispatch, data, "round trip at n={n}");
+    }
+}
+
+/// Output digests of the dispatched four-step transforms are identical
+/// at 1, 2, and 4 worker threads: the parallel column/row passes
+/// permute only the butterfly schedule, never the arithmetic.
+#[test]
+fn fourstep_digests_invariant_across_thread_counts() {
+    let n = 1usize << 14;
+    let q = Modulus::new(ntt_prime(50, n).unwrap()).unwrap();
+    let table = cache::ntt_table(q, n).unwrap();
+    let data = random_poly(0xD16E_5715, n, &q);
+
+    let digests_at = |t: usize| {
+        uvpu::par::with_threads(t, || {
+            let mut a = data.clone();
+            kernel::forward_inplace(&table, &mut a);
+            let fwd = fnv_digest(&a);
+            kernel::inverse_inplace(&table, &mut a);
+            assert_eq!(a, data, "round trip at {t} threads");
+            (fwd, fnv_digest(&a))
+        })
+    };
+
+    let base = digests_at(1);
+    for t in [2usize, 4] {
+        assert_eq!(digests_at(t), base, "digest drift at {t} threads");
     }
 }
 
