@@ -119,6 +119,13 @@ impl TaskGraph {
         let mut memo_hits = 0u64;
         let mut memo_misses = 0u64;
         let tracing = trace::global_enabled();
+        if tracing {
+            // Same per-slot `accel.batch` parent as the flat scheduler,
+            // so DAG schedules produce the same tree-path grammar.
+            for slot in 0..v {
+                trace::global_span_begin_at(slot as u32, "accel.batch", 0);
+            }
+        }
         let mut remaining = n_tasks;
         while remaining > 0 {
             let mut progressed = false;
@@ -168,6 +175,11 @@ impl TaskGraph {
                 progressed = true;
             }
             assert!(progressed, "cycle in task graph");
+        }
+        if tracing {
+            for (slot, &free_at) in vpu_free.iter().enumerate() {
+                trace::global_span_end_at(slot as u32, "accel.batch", free_at);
+            }
         }
         Ok(AccelReport {
             makespan: finish.into_iter().max().unwrap_or(0),

@@ -179,6 +179,15 @@ impl Accelerator {
         // a span on its VPU slot's track: the NoC transfer followed by
         // the compute window, timestamped from the scheduler timeline.
         let tracing = trace::global_enabled();
+        if tracing {
+            // One `accel.batch` parent per slot track wraps the whole
+            // schedule, so tree-building sinks key the task spans below
+            // under `accel.batch/…` and the batch end timestamp measures
+            // the slot's total occupancy.
+            for slot in 0..v {
+                trace::global_span_begin_at(slot as u32, "accel.batch", 0);
+            }
+        }
         for task in tasks {
             if first_seen.insert((task.kind, task.n)) {
                 memo_misses += 1;
@@ -213,6 +222,11 @@ impl Accelerator {
             noc_cycles += transfer;
             traffic += task.noc_bytes as u64;
             agg += stats;
+        }
+        if tracing {
+            for (slot, &free_at) in vpu_free_at.iter().enumerate() {
+                trace::global_span_end_at(slot as u32, "accel.batch", free_at);
+            }
         }
         Ok(AccelReport {
             makespan: vpu_free_at.iter().copied().max().unwrap_or(0),

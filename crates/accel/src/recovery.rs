@@ -176,6 +176,13 @@ impl Accelerator {
         let mut check_total = 0u64;
         let mut digests = Vec::with_capacity(tasks.len());
         let tracing = trace::global_enabled();
+        if tracing {
+            // Per-slot `accel.batch` parents, as in the fault-free
+            // schedulers, so recovery runs share the tree-path grammar.
+            for slot in 0..v {
+                trace::global_span_begin_at(slot as u32, "accel.batch", 0);
+            }
+        }
         let earliest_healthy = |free: &[u64], quarantined: &[bool]| -> usize {
             free.iter()
                 .enumerate()
@@ -246,6 +253,11 @@ impl Accelerator {
                     task_index,
                     attempts: policy.max_retries + 1,
                 });
+            }
+        }
+        if tracing {
+            for (slot, &free_at) in vpu_free_at.iter().enumerate() {
+                trace::global_span_end_at(slot as u32, "accel.batch", free_at);
             }
         }
         Ok(RecoveryReport {

@@ -1,0 +1,172 @@
+//! Observability report: runs the reference workload with a
+//! [`TreeProfilerSink`](uvpu_metrics::treeprof::TreeProfilerSink)
+//! attached to every layer and writes the versioned `BENCH_obs.json`
+//! call-tree snapshot (schema: [`uvpu_metrics::report`]), plus optional
+//! flamegraph / Perfetto artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin obs_report -- \
+//!     [--threads N] [--smoke] [--out PATH] [--no-advisory] \
+//!     [--flame PATH] [--perfetto PATH] [--check BASELINE]
+//! ```
+//!
+//! - `--threads N` pins the `uvpu-par` worker pool. The snapshot core
+//!   and the flamegraph are byte-identical for any value; only the
+//!   advisory wall-clock changes.
+//! - `--smoke` runs the reduced-size variant (CI fast path).
+//! - `--out PATH` writes the snapshot there (default `BENCH_obs.json`;
+//!   `-` skips writing).
+//! - `--no-advisory` omits the advisory section, producing a file that
+//!   is byte-comparable with `cmp`.
+//! - `--flame PATH` writes the collapsed-stack flamegraph text
+//!   (`seg;seg;leaf cycles` per line — feed it to `flamegraph.pl`,
+//!   inferno, or speedscope). The snapshot's FNV-1a digest pins these
+//!   bytes, so the `--check` gate covers the flamegraph transitively.
+//! - `--perfetto PATH` writes the Perfetto-compatible tree summary
+//!   (open at `ui.perfetto.dev`).
+//! - `--check BASELINE` is the regression gate: the deterministic core
+//!   is diffed against the committed baseline (advisory sections on
+//!   either side ignored) and any drift is printed as unified-diff
+//!   hunks with ±3 context lines before exiting 1. Wall-clock never
+//!   gates.
+//!
+//! Before rendering, the library asserts the tree's self cycles and
+//! per-component counts sum to the embedded flat profiler's bins
+//! bit-exactly — so a report that exists at all has already proven the
+//! obs-consistency criterion at runtime.
+//!
+//! Prints one machine-readable summary line:
+//!
+//! ```text
+//! OBS workload=ckks_mul_rescale variant=full threads=4 paths=23 events=1234 cycles=12345 wall_ms=81.2
+//! ```
+
+use uvpu_bench::obs_workload;
+use uvpu_metrics::snapshot;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_report: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut out_path = "BENCH_obs.json".to_string();
+    let mut flame_path: Option<String> = None;
+    let mut perfetto_path: Option<String> = None;
+    let mut smoke = false;
+    let mut advisory = true;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| fail("--threads needs a value"));
+                let t: usize = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads takes a positive integer"));
+                uvpu_par::set_thread_override(Some(t));
+            }
+            "--smoke" => smoke = true,
+            "--no-advisory" => advisory = false,
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out needs a path")),
+            "--flame" => {
+                flame_path = Some(args.next().unwrap_or_else(|| fail("--flame needs a path")));
+            }
+            "--perfetto" => {
+                perfetto_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--perfetto needs a path")),
+                );
+            }
+            "--check" => {
+                check = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--check needs a baseline path")),
+                );
+            }
+            other => fail(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let threads = uvpu_par::max_threads();
+    let run = obs_workload::run(smoke);
+
+    println!(
+        "OBS workload={} variant={} threads={threads} paths={} events={} cycles={} wall_ms={:.1}",
+        obs_workload::WORKLOAD,
+        if smoke { "smoke" } else { "full" },
+        run.paths,
+        run.events,
+        run.cycles,
+        run.wall_ms
+    );
+
+    if out_path != "-" {
+        let contents = if advisory {
+            snapshot::with_advisory(
+                &run.core_json,
+                &[
+                    ("wall_ms", format!("{:.1}", run.wall_ms)),
+                    ("events", run.events.to_string()),
+                    ("threads", threads.to_string()),
+                    (
+                        "host_cores",
+                        std::thread::available_parallelism()
+                            .map_or(0, std::num::NonZeroUsize::get)
+                            .to_string(),
+                    ),
+                ],
+            )
+        } else {
+            run.core_json.clone()
+        };
+        if std::fs::write(&out_path, &contents).is_err() {
+            fail(&format!("cannot write snapshot to {out_path}"));
+        }
+        println!("obs: wrote {} bytes to {out_path}", contents.len());
+    }
+
+    if let Some(path) = flame_path {
+        if std::fs::write(&path, &run.flamegraph).is_err() {
+            fail(&format!("cannot write flamegraph to {path}"));
+        }
+        println!(
+            "obs: wrote {} flamegraph lines to {path}",
+            run.flamegraph.lines().count()
+        );
+    }
+
+    if let Some(path) = perfetto_path {
+        if std::fs::write(&path, &run.perfetto_json).is_err() {
+            fail(&format!("cannot write perfetto trace to {path}"));
+        }
+        println!(
+            "obs: wrote {} bytes of perfetto trace to {path}",
+            run.perfetto_json.len()
+        );
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
+        let drift = snapshot::diff_context(&baseline, &run.core_json, 3, 60);
+        if drift.is_empty() {
+            println!("gate: snapshot matches baseline {baseline_path} — OK");
+        } else {
+            eprintln!("gate: snapshot drifted from baseline {baseline_path}:");
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            eprintln!(
+                "If the change is intentional, bump the schema if the core \
+                 format changed and regenerate: cargo run --release --bin \
+                 obs_report -- --no-advisory --out {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

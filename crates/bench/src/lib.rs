@@ -436,6 +436,87 @@ pub mod compare_workload {
     }
 }
 
+/// The observability workload behind `obs_report`,
+/// `tests/obs_consistency.rs`, and the `bench_obs.sh` CI gate.
+///
+/// Runs the *same* stack as [`metrics_workload`] (literally the same
+/// crate-private driver) with a single
+/// [`TreeProfilerSink`](uvpu_metrics::treeprof::TreeProfilerSink)
+/// attached everywhere a sink can go. The tree embeds a flat
+/// `ProfilerSink` fed every event first, and
+/// [`uvpu_metrics::report::render`] asserts the tree's self totals
+/// reproduce the flat bins bit-exactly before rendering — so a report
+/// that renders at all has already proven the acceptance criterion at
+/// runtime.
+pub mod obs_workload {
+    use uvpu_core::trace::SyncSink;
+    use uvpu_metrics::report;
+    use uvpu_metrics::treeprof::TreeProfilerSink;
+
+    pub use super::metrics_workload::{LANES, WORKLOAD};
+
+    /// One observability run.
+    #[derive(Debug, Clone)]
+    pub struct ObsRun {
+        /// The deterministic `uvpu-obs/v1` snapshot core (no advisory
+        /// section) — byte-identical across runs and `UVPU_THREADS`.
+        pub core_json: String,
+        /// Collapsed-stack flamegraph text (`seg;seg;leaf cycles` per
+        /// line), pinned by the snapshot's FNV-1a digest.
+        pub flamegraph: String,
+        /// Perfetto-compatible call-tree summary JSON.
+        pub perfetto_json: String,
+        /// Wall-clock of the profiled region (advisory only).
+        pub wall_ms: f64,
+        /// Distinct tree paths.
+        pub paths: usize,
+        /// Trace events observed by the sink.
+        pub events: u64,
+        /// Total attributed cycles (for the summary line).
+        pub cycles: u64,
+    }
+
+    /// Runs the observability workload and returns its artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage of the stack fails, if the trace-derived
+    /// cycle totals diverge from the VPU's own accounting, or if the
+    /// tree's self totals diverge from the embedded flat profiler's
+    /// bins (checked inside [`report::render`]).
+    #[must_use]
+    pub fn run(smoke: bool) -> ObsRun {
+        let variant = if smoke { "smoke" } else { "full" };
+        let shared = SyncSink::new(TreeProfilerSink::new(LANES));
+        let (wall_ms, vpu_stats) = crate::drive_stack(smoke, &shared);
+
+        let (core_json, flamegraph, perfetto_json, paths, events, cycles) = shared.with(|tree| {
+            assert_eq!(
+                *tree.flat().running(),
+                vpu_stats,
+                "trace-derived cycle totals must be bit-identical to CycleStats"
+            );
+            (
+                report::render(tree, WORKLOAD, variant),
+                report::flamegraph(tree),
+                report::perfetto_tree(tree),
+                tree.nodes().len(),
+                tree.events_observed(),
+                tree.flat().running().total(),
+            )
+        });
+        ObsRun {
+            core_json,
+            flamegraph,
+            perfetto_json,
+            wall_ms,
+            paths,
+            events,
+            cycles,
+        }
+    }
+}
+
 /// Minimal JSON emission for the flat table rows (keeps the evaluation
 /// harness dependency-free; all values are numbers or plain strings).
 pub mod json {

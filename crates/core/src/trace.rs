@@ -1392,6 +1392,30 @@ pub fn global_span_at(track: u32, name: &str, start: u64, end: u64) {
     });
 }
 
+/// Emits the begin half of a span with an explicit timestamp against the
+/// global sink. Pair with [`global_span_end_at`]; unlike
+/// [`global_span_at`] the span stays open across other emissions, so
+/// tree-building sinks see events in between as *children* of this span
+/// (the scheduler wraps each slot's task timeline in an `accel.batch`
+/// parent this way). No-op without a sink.
+pub fn global_span_begin_at(track: u32, name: &str, ts: u64) {
+    GLOBAL_SINK.with(|slot| {
+        if let Some(sink) = slot.borrow_mut().as_mut() {
+            sink.span_begin(track, ts, name);
+        }
+    });
+}
+
+/// Emits the end half of a span opened with [`global_span_begin_at`].
+/// No-op without a sink.
+pub fn global_span_end_at(track: u32, name: &str, ts: u64) {
+    GLOBAL_SINK.with(|slot| {
+        if let Some(sink) = slot.borrow_mut().as_mut() {
+            sink.span_end(track, ts, name);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

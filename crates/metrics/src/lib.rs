@@ -36,6 +36,12 @@
 //!   implementation doing the attribution;
 //! - [`snapshot`] — the versioned `BENCH_*.json` schema: rendering,
 //!   advisory-section handling, and baseline diffing;
+//! - [`treeprof`] — `uvpu-obs`: the hierarchical call-tree profiler
+//!   (full span *paths*, self vs. inclusive cycles, per-path latency
+//!   histograms), wrapping a flat [`profiler::ProfilerSink`] whose bins
+//!   its totals reproduce bit-exactly;
+//! - [`report`] — the versioned `uvpu-obs/v1` snapshot, collapsed-stack
+//!   flamegraph text, and Perfetto tree summary;
 //! - [`timeline`] — a Perfetto exporter wrapper adding cumulative
 //!   per-component energy counter tracks to the trace timeline.
 //!
@@ -70,8 +76,10 @@
 pub mod energy;
 pub mod profiler;
 pub mod registry;
+pub mod report;
 pub mod snapshot;
 pub mod timeline;
+pub mod treeprof;
 
 // The doc-test above needs uvpu-math paths; re-export for convenience.
 #[doc(hidden)]

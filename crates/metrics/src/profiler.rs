@@ -298,6 +298,72 @@ mod tests {
     }
 
     #[test]
+    fn unmatched_ends_are_counted_not_attributed() {
+        let mut p = ProfilerSink::new(64);
+        p.span_end(0, 5, "never-opened");
+        p.span_end(1, 6, "also-never-opened");
+        assert_eq!(p.registry().counter("span.unmatched_end"), 2);
+        assert!(p.phases().is_empty(), "nothing was attributed");
+        assert!(p.registry().family("span.count").is_empty());
+        // A matched end after unmatched ones still attributes normally.
+        p.span_begin(0, 7, "real");
+        p.beat(0, 7, BeatKind::Butterfly);
+        p.span_end(0, 8, "real");
+        assert_eq!(p.phases()["real"].butterfly, 1);
+        assert_eq!(p.registry().counter("span.unmatched_end"), 2);
+    }
+
+    #[test]
+    fn nested_same_name_spans_close_innermost_first() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(0, 0, "x");
+        p.beat(0, 0, BeatKind::Butterfly);
+        p.span_begin(0, 1, "x");
+        p.beats(0, 1, BeatKind::NetworkMove(NetKind::Shift), 3);
+        // First end closes the INNER x (rposition): it observed only the
+        // 3 network beats; the outer x observed all 4.
+        p.span_end(0, 4, "x");
+        p.span_end(0, 5, "x");
+        assert_eq!(p.phases()["x"].total(), 4 + 3, "outer(4) + inner(3)");
+        assert_eq!(p.registry().family("span.count")["x"], 2);
+        assert_eq!(p.registry().counter("span.unmatched_end"), 0);
+    }
+
+    #[test]
+    fn cross_track_end_falls_back_to_name_only_matching() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(2, 100, "task.ntt n=64");
+        p.beat(2, 100, BeatKind::Butterfly);
+        // End arrives on a different track: the (track, name) match
+        // fails, the name-only fallback closes the open span — and the
+        // task duration uses the matched span's own begin timestamp.
+        p.span_end(7, 160, "task.ntt n=64");
+        assert_eq!(p.registry().counter("span.unmatched_end"), 0);
+        assert_eq!(p.phases()["task.ntt n=64"].butterfly, 1);
+        let rec = p.tasks()["ntt n=64"];
+        assert_eq!(rec.count, 1);
+        assert_eq!(rec.cycles, 60, "duration from the matched begin ts");
+    }
+
+    #[test]
+    fn exact_track_match_beats_newer_name_only_match() {
+        let mut p = ProfilerSink::new(64);
+        p.span_begin(0, 0, "task.x n=1");
+        p.span_begin(1, 100, "task.x n=1");
+        // Track 0's end must close track 0's span (begin ts 0 → duration
+        // 110, log₂ bucket 6; then 130-100=30, bucket 4) even though
+        // track 1's same-name span is more recent. Pure name-only
+        // matching would mispair them as 10 (bucket 3) + 130 (bucket 7).
+        p.span_end(0, 110, "task.x n=1");
+        p.span_end(1, 130, "task.x n=1");
+        assert_eq!(p.registry().counter("span.unmatched_end"), 0);
+        let h = p.registry().histogram("task.cycle_hist").unwrap();
+        assert_eq!(h.buckets[6], 1, "110-cycle duration from exact match");
+        assert_eq!(h.buckets[4], 1, "30-cycle duration from exact match");
+        assert_eq!(h.buckets[3] + h.buckets[7], 0, "no name-only mispairing");
+    }
+
+    #[test]
     fn mem_words_price_the_register_file() {
         let mut p = ProfilerSink::new(64);
         p.mem(0, 0, MemDir::Load, 3, 64);

@@ -72,6 +72,60 @@ impl Histogram {
         }
     }
 
+    /// The value at percentile `p` (in percent, `0.0..=100.0`), or
+    /// `None` when the histogram is empty.
+    ///
+    /// Because observations are stored log₂-bucketed, the exact value is
+    /// gone; this returns the **bucket upper bound** of the bucket that
+    /// contains the percentile rank — a deterministic, conservative
+    /// (never under-reporting) convention:
+    ///
+    /// - the zero bucket reports `0`;
+    /// - bucket `k` (holding `2^k ..= 2^(k+1)-1`) reports `2^(k+1) - 1`;
+    /// - bucket 63 reports `u64::MAX`.
+    ///
+    /// The rank is `ceil(p/100 · count)` clamped to `[1, count]`
+    /// (nearest-rank definition), so `percentile(0.0)` and
+    /// `percentile(100.0)` are the smallest and largest buckets touched.
+    /// Integer-only given integer inputs: the only float op is the rank
+    /// computation, which is exact for counts below 2^52.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return Some(0);
+        }
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Some(if k == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                });
+            }
+        }
+        // Unreachable when count is consistent with the buckets; fall
+        // back to the top bucket bound rather than panicking.
+        Some(u64::MAX)
+    }
+
+    /// `(p50, p90, p99)` bucket upper bounds, or `None` when empty.
+    /// See [`Self::percentile`] for the convention.
+    #[must_use]
+    pub fn p50_p90_p99(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.percentile(50.0)?,
+            self.percentile(90.0)?,
+            self.percentile(99.0)?,
+        ))
+    }
+
     /// The non-empty buckets as `(label, count)` pairs, zeros first.
     #[must_use]
     pub fn nonzero_buckets(&self) -> Vec<(String, u64)> {
@@ -234,6 +288,58 @@ mod tests {
         assert_eq!(h.sum, u64::MAX, "sum saturates instead of overflowing");
         let labels: Vec<String> = h.nonzero_buckets().into_iter().map(|(l, _)| l).collect();
         assert_eq!(labels, ["0", "2^0", "2^1", "2^10", "2^63"]);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p50_p90_p99(), None);
+    }
+
+    #[test]
+    fn percentile_of_single_observation_is_its_bucket_bound() {
+        let mut h = Histogram::default();
+        h.observe(1500); // bucket 10 (1024..=2047) → upper bound 2047
+        assert_eq!(h.percentile(0.0), Some(2047));
+        assert_eq!(h.percentile(50.0), Some(2047));
+        assert_eq!(h.percentile(100.0), Some(2047));
+        assert_eq!(h.p50_p90_p99(), Some((2047, 2047, 2047)));
+
+        let mut z = Histogram::default();
+        z.observe(0);
+        assert_eq!(z.p50_p90_p99(), Some((0, 0, 0)));
+    }
+
+    #[test]
+    fn percentile_of_saturated_top_bucket_is_u64_max() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX); // bucket 63
+        h.observe(u64::MAX - 7);
+        assert_eq!(h.percentile(50.0), Some(u64::MAX));
+        assert_eq!(h.percentile(99.0), Some(u64::MAX));
+        assert_eq!(h.sum, u64::MAX, "sum saturates; percentiles still work");
+    }
+
+    #[test]
+    fn percentile_walks_zeros_then_buckets_by_rank() {
+        let mut h = Histogram::default();
+        // 2 zeros, 6 ones, 2 large: ranks 1-2 → 0, 3-8 → 1, 9-10 → 2^11-1.
+        for _ in 0..2 {
+            h.observe(0);
+        }
+        for _ in 0..6 {
+            h.observe(1);
+        }
+        for _ in 0..2 {
+            h.observe(1u64 << 10);
+        }
+        assert_eq!(h.percentile(10.0), Some(0), "rank 1 lands in zeros");
+        assert_eq!(h.percentile(20.0), Some(0), "rank 2 lands in zeros");
+        assert_eq!(h.percentile(50.0), Some(1), "rank 5 lands in bucket 0");
+        assert_eq!(h.percentile(80.0), Some(1), "rank 8 lands in bucket 0");
+        assert_eq!(h.percentile(90.0), Some(2047), "rank 9 lands in bucket 10");
+        assert_eq!(h.p50_p90_p99(), Some((1, 2047, 2047)));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The versioned `uvpu-obs/v1` observability report: deterministic JSON
+//! snapshot, collapsed-stack flamegraph text, and a Perfetto-compatible
+//! tree summary, all rendered from one [`TreeProfilerSink`].
+//!
+//! ## Versioning rules
+//!
+//! Same contract as [`crate::snapshot`]: the `"schema"` field is
+//! `uvpu-obs/v<N>`; any change that alters the rendered bytes of the
+//! deterministic core for an unchanged workload bumps `N` and
+//! regenerates the committed `BENCH_obs_baseline*.json` in the same
+//! commit. Advisory sections (appended by the caller via
+//! [`crate::snapshot::with_advisory`]) never gate.
+//!
+//! ## Layout (one tree node per line, sorted by path)
+//!
+//! ```json
+//! {
+//!   "schema": "uvpu-obs/v1",
+//!   "workload": "ckks_mul_rescale",
+//!   "variant": "full",
+//!   "lanes": 64,
+//!   "cycles": { …flat running totals… },
+//!   "tree": {
+//!     "<path>": { "count": …, "depth": …, "self": {…}, "incl": {…},
+//!                 "self_pj": {…, "total": …}, "latency": {…, "p50": …} },
+//!     …
+//!   },
+//!   "flamegraph": { "lines": …, "total_cycles": …, "digest": "0x…" },
+//!   "overhead": { "spans": …, "unmatched_ends": …,
+//!                 "paths": …, "max_depth": …, "bytes_retained": … }
+//! }
+//! ```
+//!
+//! The raw sink-invocation count
+//! ([`TreeProfilerSink::events_observed`]) is deliberately **not** in
+//! the core: worker pools batch `beats` calls differently per thread
+//! count, so the call count varies even though every aggregate is
+//! byte-identical. Report binaries surface it in the advisory section
+//! alongside wall-clock.
+//!
+//! Latency percentiles are log₂-bucket **upper bounds**
+//! ([`Histogram::percentile`](crate::registry::Histogram::percentile));
+//! `null` when the node never completed a span. The flamegraph digest
+//! is FNV-1a 64 over the exact flamegraph text, so the snapshot gate
+//! transitively pins the flamegraph bytes without committing every line
+//! into the JSON.
+//!
+//! [`render`] calls [`TreeProfilerSink::assert_matches_flat`] first, so
+//! every emitted snapshot has proven Σ self == flat bins at runtime.
+
+use crate::energy::Component;
+use crate::snapshot::{cycle_stats_json, escape, fmt_pj};
+use crate::treeprof::{PathNode, TreeProfilerSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use uvpu_core::trace::{PerfettoSink, TraceSink};
+
+/// Current schema identifier.
+pub const SCHEMA: &str = "uvpu-obs/v1";
+
+/// FNV-1a 64-bit hash (offset-basis / prime per the reference spec) —
+/// dependency-free content digest for the flamegraph text.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders the collapsed-stack flamegraph text: one
+/// `seg;seg;…;leaf self_cycles` line per tree node with nonzero self
+/// cycles, sorted by path. Directly consumable by standard flamegraph
+/// tooling (`flamegraph.pl`, inferno, speedscope).
+#[must_use]
+pub fn flamegraph(tree: &TreeProfilerSink) -> String {
+    let mut out = String::new();
+    for (path, node) in tree.nodes() {
+        let cycles = node.self_cycles.total();
+        if cycles > 0 {
+            let _ = writeln!(out, "{} {}", path.replace('/', ";"), cycles);
+        }
+    }
+    out
+}
+
+/// Renders one node's latency histogram as a single-line JSON object
+/// with derived percentiles (`null` when empty).
+fn latency_json(node: &PathNode) -> String {
+    let h = &node.latency;
+    let (p50, p90, p99) = h.p50_p90_p99().map_or_else(
+        || ("null".to_string(), "null".to_string(), "null".to_string()),
+        |(a, b, c)| (a.to_string(), b.to_string(), c.to_string()),
+    );
+    let mut out = format!(
+        "{{\"count\": {}, \"sum\": {}, \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"buckets\": {{",
+        h.count, h.sum
+    );
+    for (i, (label, c)) in h.nonzero_buckets().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{label}\": {c}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the deterministic `uvpu-obs/v1` snapshot core. No advisory
+/// section; the result ends with `}` and a newline, so
+/// [`crate::snapshot::with_advisory`] /
+/// [`crate::snapshot::strip_advisory`] /
+/// [`crate::snapshot::diff_context`] apply unchanged.
+///
+/// # Panics
+///
+/// Panics when the tree's self totals diverge from the embedded flat
+/// profiler's bins ([`TreeProfilerSink::assert_matches_flat`]) — a
+/// snapshot is only ever rendered from a consistent tree.
+#[must_use]
+pub fn render(tree: &TreeProfilerSink, workload: &str, variant: &str) -> String {
+    tree.assert_matches_flat();
+    let flame = flamegraph(tree);
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", escape(SCHEMA));
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(workload));
+    let _ = writeln!(out, "  \"variant\": \"{}\",", escape(variant));
+    let _ = writeln!(out, "  \"lanes\": {},", tree.flat().energy_model().lanes());
+    let _ = writeln!(
+        out,
+        "  \"cycles\": {},",
+        cycle_stats_json(tree.flat().running())
+    );
+
+    if tree.nodes().is_empty() {
+        out.push_str("  \"tree\": {},\n");
+    } else {
+        out.push_str("  \"tree\": {\n");
+        let n = tree.nodes().len();
+        for (i, (path, node)) in tree.nodes().iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"depth\": {}, \"self\": {}, \"incl\": {}, \"self_pj\": {{",
+                escape(path),
+                node.count,
+                node.depth,
+                cycle_stats_json(&node.self_cycles),
+                cycle_stats_json(&node.incl_cycles)
+            );
+            for c in Component::ALL {
+                let _ = write!(
+                    out,
+                    "\"{}\": {}, ",
+                    c.name(),
+                    fmt_pj(tree.node_component_pj(node, c))
+                );
+            }
+            let _ = write!(
+                out,
+                "\"total\": {}}}, \"latency\": {}}}",
+                fmt_pj(tree.node_energy_pj(node)),
+                latency_json(node)
+            );
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n");
+    }
+
+    let _ = writeln!(
+        out,
+        "  \"flamegraph\": {{\"lines\": {}, \"total_cycles\": {}, \"digest\": \"0x{:016x}\"}},",
+        flame.lines().count(),
+        tree.flat().running().total(),
+        fnv1a(flame.as_bytes())
+    );
+    let _ = writeln!(
+        out,
+        "  \"overhead\": {{\"spans\": {}, \"unmatched_ends\": {}, \"paths\": {}, \"max_depth\": {}, \"bytes_retained\": {}}}",
+        tree.span_events(),
+        tree.unmatched_ends(),
+        tree.nodes().len(),
+        tree.max_depth(),
+        tree.bytes_retained()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Synthetic layout duration for one subtree: a node must be wide
+/// enough for its own inclusive cycles, its observed latency, and all
+/// of its children laid end to end.
+fn layout_dur(
+    path: &str,
+    nodes: &BTreeMap<String, PathNode>,
+    children: &BTreeMap<&str, Vec<&str>>,
+) -> u64 {
+    let own = nodes.get(path).map_or(0, |n| {
+        n.incl_cycles
+            .total()
+            .max(n.latency.sum)
+            .max(n.self_cycles.total())
+    });
+    let kids: u64 = children
+        .get(path)
+        .map(|c| c.iter().map(|k| layout_dur(k, nodes, children)).sum())
+        .unwrap_or(0);
+    own.max(kids)
+}
+
+/// Emits one subtree as `B`/`E` slices at `cursor`, children laid out
+/// left-to-right in path order, and returns the subtree's width.
+fn layout_emit(
+    path: &str,
+    cursor: u64,
+    sink: &mut PerfettoSink,
+    nodes: &BTreeMap<String, PathNode>,
+    children: &BTreeMap<&str, Vec<&str>>,
+) -> u64 {
+    let dur = layout_dur(path, nodes, children);
+    let leaf = crate::treeprof::leaf_of(path);
+    sink.span_begin(0, cursor, leaf);
+    let mut at = cursor;
+    if let Some(kids) = children.get(path) {
+        for kid in kids {
+            at += layout_emit(kid, at, sink, nodes, children);
+        }
+    }
+    sink.span_end(0, cursor + dur, leaf);
+    dur
+}
+
+/// Renders the call tree as a Perfetto-compatible trace: one synthetic
+/// track, each path a `B`/`E` slice pair whose width is the subtree's
+/// aggregate weight, children nested left-to-right in path order. The
+/// timestamps are a deterministic *layout*, not a replay — the tree has
+/// aggregated away individual span instances — but the nesting and the
+/// proportions are exactly the call-tree attribution, viewable at
+/// `ui.perfetto.dev`.
+#[must_use]
+pub fn perfetto_tree(tree: &TreeProfilerSink) -> String {
+    let nodes = tree.nodes();
+    let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut roots: Vec<&str> = Vec::new();
+    for path in nodes.keys() {
+        match path.rfind('/') {
+            Some(cut) if nodes.contains_key(&path[..cut]) => {
+                children.entry(&path[..cut]).or_default().push(path);
+            }
+            _ => roots.push(path),
+        }
+    }
+    let mut sink = PerfettoSink::new();
+    let mut cursor = 0u64;
+    for root in roots {
+        cursor += layout_emit(root, cursor, &mut sink, nodes, &children);
+    }
+    sink.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::BeatKind;
+
+    fn sample_tree() -> TreeProfilerSink {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "ntt.forward");
+        t.beats(0, 0, BeatKind::Butterfly, 96);
+        t.span_begin(0, 96, "twiddle");
+        t.beats(0, 96, BeatKind::Butterfly, 16);
+        t.span_end(0, 112, "twiddle");
+        t.span_end(0, 112, "ntt.forward");
+        t.span_begin(3, 100, "task.ntt n=1024");
+        t.span_end(3, 228, "task.ntt n=1024");
+        t
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn flamegraph_collapses_paths_with_self_cycles() {
+        let t = sample_tree();
+        let flame = flamegraph(&t);
+        assert!(flame.contains("ntt.forward 96\n"), "{flame}");
+        assert!(flame.contains("ntt.forward;twiddle 16\n"), "{flame}");
+        assert!(
+            !flame.contains("task.ntt"),
+            "zero-self nodes are omitted: {flame}"
+        );
+        let total: u64 = flame
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, t.flat().running().total());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_advisory_compatible() {
+        let t = sample_tree();
+        let a = render(&t, "unit", "test");
+        let b = render(&t, "unit", "test");
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"uvpu-obs/v1\""));
+        assert!(a.contains("\"ntt.forward/twiddle\""));
+        assert!(a.contains("\"p50\": "));
+        assert!(a.ends_with("}\n"));
+        let full = crate::snapshot::with_advisory(&a, &[("wall_ms", "1.0".into())]);
+        assert_eq!(crate::snapshot::strip_advisory(&full), a);
+        assert!(crate::snapshot::diff_context(&a, &full, 3, 60).is_empty());
+    }
+
+    #[test]
+    fn render_pins_the_flamegraph_via_digest() {
+        let t = sample_tree();
+        let core = render(&t, "unit", "test");
+        let digest = format!("0x{:016x}", fnv1a(flamegraph(&t).as_bytes()));
+        assert!(core.contains(&digest), "digest {digest} not in:\n{core}");
+    }
+
+    #[test]
+    fn perfetto_tree_nests_children() {
+        let t = sample_tree();
+        let json = perfetto_tree(&t);
+        assert!(json.contains("\"name\":\"ntt.forward\""));
+        assert!(json.contains("\"name\":\"twiddle\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        // Begin events: one per tree node.
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), t.nodes().len());
+    }
+
+    #[test]
+    fn empty_tree_renders_cleanly() {
+        let t = TreeProfilerSink::new(64);
+        let core = render(&t, "unit", "test");
+        assert!(core.contains("\"tree\": {}"), "{core}");
+        assert!(core.contains("\"paths\": 0"));
+        assert_eq!(flamegraph(&t), "");
+    }
+}

@@ -1,0 +1,541 @@
+//! Hierarchical call-tree profiling: the `uvpu-obs` aggregation sink.
+//!
+//! The flat [`ProfilerSink`] keys cycles and energy by span **name**, so
+//! `task.ntt` cycles spent inside `ckks.keyswitch` are indistinguishable
+//! from standalone NTTs. A [`TreeProfilerSink`] keeps the live span
+//! stack **per track** and aggregates into a call tree keyed by the full
+//! span *path* (segments joined by `/`, e.g.
+//! `ckks.keyswitch/task.ntt n=8192`), with:
+//!
+//! - **self** cycles and per-component activation counts: every beat /
+//!   mem event is charged to the innermost span open on the event's own
+//!   track at arrival (the reserved `(untracked)` node when none is), so
+//!   each event is attributed exactly once and the tree's self totals
+//!   sum to the flat profiler's bins *by construction*;
+//! - **inclusive** cycles: the same global
+//!   [`CycleStats::delta`] computation the flat profiler uses for its
+//!   phase attribution, accumulated per path instead of per name;
+//! - a per-path log₂-bucket **latency histogram** (timestamp deltas on
+//!   cycle-clocked tracks; inclusive beat-cycles on the scheme track,
+//!   whose logical sequence clock is not time);
+//! - **self-measurement**: events observed, span events, unmatched span
+//!   ends, and an estimate of bytes retained by the aggregation state.
+//!
+//! Energy is *not* accumulated as floats: the tree keeps integer
+//! activation counts per [`Component`] and prices them through the same
+//! [`EnergyModel`] quanta at render time, so per-path pJ figures are
+//! bit-equal to what the flat profiler reports for the same counts.
+//!
+//! The embedded flat profiler is fed every event **first**, so a
+//! `TreeProfilerSink` is a strict superset of a [`ProfilerSink`] on the
+//! same stream — and [`TreeProfilerSink::assert_matches_flat`] checks
+//! the structural identities (Σ self == flat totals, per-leaf Σ incl ==
+//! flat phases) at runtime. [`crate::report::render`] calls it before
+//! every render, so an `uvpu-obs/v1` snapshot that exists at all has
+//! already proven consistency with the `uvpu-metrics/v1` attribution.
+//!
+//! ## Span matching
+//!
+//! `span_end` closes the innermost open span with the same name on the
+//! event's track; when the track has no match, it falls back to the
+//! most recently opened matching name on *any* track (the same span the
+//! flat profiler's arrival-ordered `rposition` fallback picks, since
+//! begin serials are arrival-ordered); a genuinely unmatched end is
+//! counted, never dropped silently. A span's path is fixed at begin
+//! time, so a cross-track fallback close never retroactively moves
+//! already-attributed children.
+
+use crate::energy::{Component, EnergyModel};
+use crate::profiler::ProfilerSink;
+use crate::registry::Histogram;
+use std::collections::BTreeMap;
+use uvpu_core::stats::CycleStats;
+use uvpu_core::trace::{BeatKind, MemDir, TraceSink, SCHEME_TRACK};
+
+/// Path key for events arriving on a track with no open span.
+pub const UNTRACKED: &str = "(untracked)";
+
+/// Aggregated call-tree node, keyed by full span path.
+#[derive(Debug, Clone, Default)]
+pub struct PathNode {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Path depth (number of `/`-separated segments; 1 = root).
+    pub depth: usize,
+    /// Cycles charged while this path was the innermost open span on
+    /// the event's track.
+    pub self_cycles: CycleStats,
+    /// Global-delta cycles over completed spans (children included) —
+    /// the flat profiler's phase attribution, keyed by path.
+    pub incl_cycles: CycleStats,
+    /// Integer activation counts per [`Component`], charged at event
+    /// arrival; priced via [`EnergyModel::component_pj`] at render time.
+    pub self_components: [u64; 7],
+    /// Per-completion latency: timestamp deltas on cycle-clocked
+    /// tracks, inclusive beat-cycles on [`SCHEME_TRACK`].
+    pub latency: Histogram,
+}
+
+/// One live (open) span on a track's stack.
+#[derive(Debug, Clone)]
+struct OpenNode {
+    path: String,
+    name: String,
+    begin_ts: u64,
+    at_begin: CycleStats,
+    /// Arrival order of the begin event, for the cross-track fallback.
+    serial: u64,
+}
+
+/// The call-tree profiler. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct TreeProfilerSink {
+    flat: ProfilerSink,
+    stacks: BTreeMap<u32, Vec<OpenNode>>,
+    nodes: BTreeMap<String, PathNode>,
+    next_serial: u64,
+    events_observed: u64,
+    span_events: u64,
+    unmatched_ends: u64,
+    max_depth: usize,
+}
+
+impl TreeProfilerSink {
+    /// A fresh tree profiler pricing energy for `lanes` lanes with the
+    /// calibrated ASAP7 model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        Self::with_energy_model(EnergyModel::asap7(lanes))
+    }
+
+    /// A fresh tree profiler with an explicit energy model.
+    #[must_use]
+    pub fn with_energy_model(energy: EnergyModel) -> Self {
+        Self {
+            flat: ProfilerSink::with_energy_model(energy),
+            stacks: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            next_serial: 0,
+            events_observed: 0,
+            span_events: 0,
+            unmatched_ends: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// The embedded flat profiler (fed every event first).
+    #[must_use]
+    pub const fn flat(&self) -> &ProfilerSink {
+        &self.flat
+    }
+
+    /// The aggregated call tree, keyed by full span path (sorted).
+    #[must_use]
+    pub const fn nodes(&self) -> &BTreeMap<String, PathNode> {
+        &self.nodes
+    }
+
+    /// Total trace events observed (beats, mems, span begins/ends).
+    #[must_use]
+    pub const fn events_observed(&self) -> u64 {
+        self.events_observed
+    }
+
+    /// Span begin/end events observed.
+    #[must_use]
+    pub const fn span_events(&self) -> u64 {
+        self.span_events
+    }
+
+    /// Span ends that matched no open span anywhere.
+    #[must_use]
+    pub const fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+
+    /// Deepest path observed (segments).
+    #[must_use]
+    pub const fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Estimated bytes retained by the aggregation state: path keys plus
+    /// fixed node size for the tree, plus any still-open span stacks.
+    /// Deterministic (no allocator introspection) so it can live in the
+    /// snapshot core.
+    #[must_use]
+    pub fn bytes_retained(&self) -> u64 {
+        let nodes: u64 = self
+            .nodes
+            .keys()
+            .map(|p| (p.len() + std::mem::size_of::<PathNode>()) as u64)
+            .sum();
+        let open: u64 = self
+            .stacks
+            .values()
+            .flatten()
+            .map(|o| (o.path.len() + o.name.len() + std::mem::size_of::<OpenNode>()) as u64)
+            .sum();
+        nodes + open
+    }
+
+    /// Energy priced for one node's activation counts (pJ) — the same
+    /// integer-count × quantum path as the flat profiler.
+    #[must_use]
+    pub fn node_component_pj(&self, node: &PathNode, component: Component) -> f64 {
+        self.flat
+            .energy_model()
+            .component_pj(component, node.self_components[component.index()])
+    }
+
+    /// Total self energy of one node (pJ).
+    #[must_use]
+    pub fn node_energy_pj(&self, node: &PathNode) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.node_component_pj(node, c))
+            .sum()
+    }
+
+    /// The innermost open path on `track`, or [`UNTRACKED`].
+    fn current_path(&self, track: u32) -> (String, usize) {
+        match self.stacks.get(&track).and_then(|s| s.last()) {
+            Some(open) => (open.path.clone(), depth_of(&open.path)),
+            None => (UNTRACKED.to_string(), 1),
+        }
+    }
+
+    /// Charges an event's self-cost to the innermost open node on
+    /// `track`, creating the node entry on first charge.
+    fn charge_self(&mut self, track: u32, f: impl FnOnce(&mut PathNode)) {
+        let (path, depth) = self.current_path(track);
+        self.max_depth = self.max_depth.max(depth);
+        let node = self.nodes.entry(path).or_default();
+        node.depth = depth;
+        f(node);
+    }
+
+    /// Asserts the structural identities between the tree and the
+    /// embedded flat profiler. Called by [`crate::report::render`]
+    /// before every render.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending key) when any identity fails:
+    ///
+    /// 1. Σ node self cycles == flat running totals (bit-exact);
+    /// 2. Σ node self component counts == flat component counts (so the
+    ///    priced pJ are bit-equal too — same integer counts through the
+    ///    same quanta);
+    /// 3. for every flat phase name, Σ inclusive cycles over tree nodes
+    ///    with that leaf name == the flat phase entry;
+    /// 4. unmatched span-end counts agree.
+    pub fn assert_matches_flat(&self) {
+        let mut self_sum = CycleStats::new();
+        let mut comp_sum = [0u64; 7];
+        for node in self.nodes.values() {
+            self_sum += node.self_cycles;
+            for (i, &c) in node.self_components.iter().enumerate() {
+                comp_sum[i] += c;
+            }
+        }
+        assert_eq!(
+            self_sum,
+            *self.flat.running(),
+            "tree self-cycle sum diverged from flat running totals"
+        );
+        for c in Component::ALL {
+            assert_eq!(
+                comp_sum[c.index()],
+                self.flat.component_count(c),
+                "tree component count diverged from flat for {}",
+                c.name()
+            );
+        }
+        let mut incl_by_leaf: BTreeMap<&str, CycleStats> = BTreeMap::new();
+        for (path, node) in &self.nodes {
+            if node.count > 0 {
+                *incl_by_leaf.entry(leaf_of(path)).or_default() += node.incl_cycles;
+            }
+        }
+        for (name, flat_stats) in self.flat.phases() {
+            let tree_stats = incl_by_leaf.get(name.as_str()).copied().unwrap_or_default();
+            assert_eq!(
+                tree_stats, *flat_stats,
+                "tree inclusive sum diverged from flat phase {name:?}"
+            );
+        }
+        assert_eq!(
+            self.unmatched_ends,
+            self.flat.registry().counter("span.unmatched_end"),
+            "unmatched span-end counts diverged"
+        );
+    }
+}
+
+/// Number of `/`-separated segments in a path.
+fn depth_of(path: &str) -> usize {
+    path.split('/').count()
+}
+
+/// The last `/`-separated segment of a path (the span name).
+#[must_use]
+pub fn leaf_of(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Span names become path segments: `/` (the path separator) and `;`
+/// (the flamegraph separator) are mapped to `_` so the grammar stays
+/// unambiguous whatever the instrumentation emits.
+fn sanitize(name: &str) -> String {
+    name.replace(['/', ';'], "_")
+}
+
+impl TraceSink for TreeProfilerSink {
+    fn beat(&mut self, track: u32, cycle: u64, kind: BeatKind) {
+        self.beats(track, cycle, kind, 1);
+    }
+
+    fn beats(&mut self, track: u32, cycle: u64, kind: BeatKind, count: u64) {
+        self.flat.beats(track, cycle, kind, count);
+        self.events_observed += 1;
+        self.charge_self(track, |node| {
+            kind.charge(&mut node.self_cycles, count);
+            EnergyModel::charge_beats(kind, count, &mut node.self_components);
+        });
+    }
+
+    fn mem(&mut self, track: u32, cycle: u64, dir: MemDir, addr: usize, lanes: usize) {
+        self.flat.mem(track, cycle, dir, addr, lanes);
+        self.events_observed += 1;
+        self.charge_self(track, |node| {
+            node.self_components[Component::RegFile.index()] += lanes as u64;
+        });
+    }
+
+    fn span_begin(&mut self, track: u32, ts: u64, name: &str) {
+        self.flat.span_begin(track, ts, name);
+        self.events_observed += 1;
+        self.span_events += 1;
+        let at_begin = *self.flat.running();
+        let stack = self.stacks.entry(track).or_default();
+        let segment = sanitize(name);
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, segment),
+            None => segment,
+        };
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        stack.push(OpenNode {
+            path,
+            name: name.to_string(),
+            begin_ts: ts,
+            at_begin,
+            serial,
+        });
+    }
+
+    fn span_end(&mut self, track: u32, ts: u64, name: &str) {
+        self.flat.span_end(track, ts, name);
+        self.events_observed += 1;
+        self.span_events += 1;
+        // Innermost same-name span on this track; else the most recently
+        // opened same-name span on any track (matching the flat
+        // profiler's arrival-ordered fallback); else unmatched.
+        let own = self
+            .stacks
+            .get(&track)
+            .and_then(|s| s.iter().rposition(|o| o.name == name))
+            .map(|pos| (track, pos));
+        let found = own.or_else(|| {
+            self.stacks
+                .iter()
+                .flat_map(|(&t, stack)| {
+                    stack
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, o)| o.name == name)
+                        .map(move |(pos, o)| (o.serial, t, pos))
+                })
+                .max_by_key(|&(serial, _, _)| serial)
+                .map(|(_, t, pos)| (t, pos))
+        });
+        let Some((t, pos)) = found else {
+            self.unmatched_ends += 1;
+            return;
+        };
+        let open = self
+            .stacks
+            .get_mut(&t)
+            .expect("matched stack exists")
+            .remove(pos);
+        let incl = self.flat.running().delta(&open.at_begin);
+        let depth = depth_of(&open.path);
+        self.max_depth = self.max_depth.max(depth);
+        let node = self.nodes.entry(open.path).or_default();
+        node.depth = depth;
+        node.count += 1;
+        node.incl_cycles += incl;
+        // Latency: timestamp deltas are cycles on scheduler/VPU tracks;
+        // the scheme track's sequence clock is not time, so observe the
+        // inclusive beat-cycles there instead.
+        let latency = if t == SCHEME_TRACK {
+            incl.total()
+        } else {
+            ts.saturating_sub(open.begin_ts)
+        };
+        node.latency.observe(latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvpu_core::trace::{EwiseOp, NetKind};
+
+    #[test]
+    fn paths_nest_per_track() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "outer");
+        t.beat(0, 0, BeatKind::Butterfly);
+        t.span_begin(0, 1, "inner");
+        t.beats(0, 1, BeatKind::NetworkMove(NetKind::Shift), 3);
+        t.span_end(0, 4, "inner");
+        t.beat(0, 4, BeatKind::Elementwise(EwiseOp::Mul));
+        t.span_end(0, 5, "outer");
+        let nodes = t.nodes();
+        assert_eq!(nodes["outer"].self_cycles.total(), 2, "own beats only");
+        assert_eq!(nodes["outer"].incl_cycles.total(), 5, "children included");
+        assert_eq!(nodes["outer/inner"].self_cycles.network_move, 3);
+        assert_eq!(nodes["outer/inner"].depth, 2);
+        assert_eq!(t.max_depth(), 2);
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn untracked_events_get_the_reserved_root() {
+        let mut t = TreeProfilerSink::new(64);
+        t.beat(5, 0, BeatKind::Butterfly);
+        t.mem(5, 1, MemDir::Load, 0, 64);
+        assert_eq!(t.nodes()[UNTRACKED].self_cycles.butterfly, 1);
+        assert_eq!(
+            t.nodes()[UNTRACKED].self_components[Component::RegFile.index()],
+            64
+        );
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn tracks_have_independent_stacks() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "a");
+        t.span_begin(1, 0, "b");
+        t.beat(0, 0, BeatKind::Butterfly);
+        t.beat(1, 0, BeatKind::Butterfly);
+        t.span_end(1, 1, "b");
+        t.span_end(0, 1, "a");
+        // Track 1's span is NOT a child of track 0's: per-track stacks.
+        assert!(t.nodes().contains_key("a"));
+        assert!(t.nodes().contains_key("b"));
+        assert!(!t.nodes().contains_key("a/b"));
+        assert_eq!(t.nodes()["a"].self_cycles.butterfly, 1);
+        assert_eq!(t.nodes()["b"].self_cycles.butterfly, 1);
+        // Inclusive uses the global delta (flat-phase semantics), so the
+        // concurrent beat on the other track is observed by both.
+        assert_eq!(t.nodes()["a"].incl_cycles.total(), 2);
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn nested_same_name_spans_stack_in_the_path() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "x");
+        t.span_begin(0, 1, "x");
+        t.beat(0, 1, BeatKind::Butterfly);
+        t.span_end(0, 2, "x");
+        t.span_end(0, 3, "x");
+        assert_eq!(t.nodes()["x/x"].self_cycles.butterfly, 1);
+        assert_eq!(t.nodes()["x/x"].count, 1);
+        assert_eq!(t.nodes()["x"].count, 1);
+        assert_eq!(t.nodes()["x"].self_cycles.total(), 0);
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn cross_track_fallback_matches_most_recent_begin() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "s");
+        t.span_begin(1, 5, "s");
+        // End arrives on a third track: falls back to track 1's span
+        // (most recently opened), exactly as the flat profiler's
+        // name-only rposition fallback does.
+        t.span_end(9, 10, "s");
+        assert_eq!(t.nodes()["s"].count, 1);
+        assert_eq!(
+            t.nodes()["s"].latency.sum,
+            5,
+            "latency from the matched span's own begin timestamp"
+        );
+        t.span_end(0, 11, "s");
+        t.span_end(0, 12, "s");
+        assert_eq!(t.unmatched_ends(), 1, "third end matches nothing");
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn scheme_track_latency_is_inclusive_cycles_not_sequence_deltas() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(SCHEME_TRACK, 100, "ckks.mul");
+        t.beats(SCHEME_TRACK, 0, BeatKind::Butterfly, 7);
+        t.span_end(SCHEME_TRACK, 900, "ckks.mul");
+        let node = &t.nodes()["ckks.mul"];
+        assert_eq!(node.latency.sum, 7, "beat-cycles, not 800 sequence ticks");
+        t.span_begin(2, 100, "task.ntt n=64");
+        t.span_end(2, 350, "task.ntt n=64");
+        assert_eq!(t.nodes()["task.ntt n=64"].latency.sum, 250, "ts delta");
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn path_separators_in_names_are_sanitized() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "weird/name;x");
+        t.span_end(0, 1, "weird/name;x");
+        assert!(t.nodes().contains_key("weird_name_x"));
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn self_measurement_counts_events_and_bytes() {
+        let mut t = TreeProfilerSink::new(64);
+        assert_eq!(t.bytes_retained(), 0);
+        t.span_begin(0, 0, "a");
+        t.beat(0, 0, BeatKind::Butterfly);
+        t.span_end(0, 1, "a");
+        assert_eq!(t.events_observed(), 3);
+        assert_eq!(t.span_events(), 2);
+        assert!(t.bytes_retained() > 0);
+        t.assert_matches_flat();
+    }
+
+    #[test]
+    fn node_energy_prices_through_the_flat_quanta() {
+        let mut t = TreeProfilerSink::new(64);
+        t.span_begin(0, 0, "k");
+        t.beats(0, 0, BeatKind::Butterfly, 100);
+        t.span_end(0, 100, "k");
+        let node = t.nodes()["k"].clone();
+        let total: f64 = Component::ALL
+            .iter()
+            .map(|&c| t.node_component_pj(&node, c))
+            .sum();
+        assert!((t.node_energy_pj(&node) - total).abs() < 1e-12);
+        // Single-node tree: node energy == flat total, bit-for-bit
+        // (same integer counts through the same pricing function).
+        assert_eq!(t.node_energy_pj(&node), t.flat().energy_total_pj());
+    }
+}

@@ -23,15 +23,14 @@
 #       [--smoke] --no-advisory --out BENCH_compare_baseline[_smoke].json
 set -eu
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
-variant=full
 variant_flag=""
 baseline=BENCH_compare_baseline.json
 out=BENCH_compare.json
 for arg in "$@"; do
     case "$arg" in
     --smoke)
-        variant=smoke
         variant_flag="--smoke"
         baseline=BENCH_compare_baseline_smoke.json
         out=BENCH_compare_smoke.json
@@ -43,25 +42,12 @@ for arg in "$@"; do
     esac
 done
 
-cargo build --release --offline -p uvpu-bench --bin compare_report
+bench_build compare_report
+bench_tmpdir
 
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
-
-for t in 1 2 4; do
-    # shellcheck disable=SC2086 # variant_flag is intentionally word-split
-    ./target/release/compare_report --threads "$t" $variant_flag \
-        --no-advisory --out "$tmpdir/report_t$t.json" >/dev/null
-done
-for t in 2 4; do
-    if ! cmp -s "$tmpdir/report_t1.json" "$tmpdir/report_t$t.json"; then
-        echo "bench_compare: FAIL — report differs between 1 and $t threads:" >&2
-        diff "$tmpdir/report_t1.json" "$tmpdir/report_t$t.json" >&2 || true
-        exit 1
-    fi
-done
-echo "bench_compare: reports byte-identical at 1/2/4 threads ($variant)"
-
+# shellcheck disable=SC2086 # variant_flag is intentionally word-split
+bench_sweep bench_compare "--out" "1 2 4" \
+    ./target/release/compare_report $variant_flag --no-advisory
 # shellcheck disable=SC2086
-./target/release/compare_report $variant_flag --out "$out" --check "$baseline"
-echo "bench_compare: wrote $out (advisory included); gate vs $baseline passed"
+bench_gate bench_compare "$out" "$baseline" \
+    ./target/release/compare_report $variant_flag

@@ -20,6 +20,7 @@
 #       --smoke --out BENCH_fault_baseline_smoke.json
 set -eu
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
 smoke_only=0
 for arg in "$@"; do
@@ -32,27 +33,13 @@ for arg in "$@"; do
     esac
 done
 
-cargo build --release --offline -p uvpu-bench --bin fault_campaign
+bench_build fault_campaign
+bench_tmpdir
 
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
-
-for t in 1 2 4; do
-    ./target/release/fault_campaign --smoke --threads "$t" \
-        --out "$tmpdir/fault_t$t.json" >/dev/null
-done
-for t in 2 4; do
-    if ! cmp -s "$tmpdir/fault_t1.json" "$tmpdir/fault_t$t.json"; then
-        echo "bench_fault: FAIL — campaign report differs between 1 and $t threads:" >&2
-        diff "$tmpdir/fault_t1.json" "$tmpdir/fault_t$t.json" >&2 || true
-        exit 1
-    fi
-done
-echo "bench_fault: campaign reports byte-identical at 1/2/4 threads (smoke)"
-
-./target/release/fault_campaign --smoke --out - \
-    --check BENCH_fault_baseline_smoke.json
-echo "bench_fault: gate vs BENCH_fault_baseline_smoke.json passed"
+bench_sweep bench_fault "--out" "1 2 4" \
+    ./target/release/fault_campaign --smoke
+bench_gate bench_fault - BENCH_fault_baseline_smoke.json \
+    ./target/release/fault_campaign --smoke
 
 if [ "$smoke_only" -eq 0 ]; then
     ./target/release/fault_campaign --out BENCH_fault.json

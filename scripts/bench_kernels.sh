@@ -5,8 +5,9 @@
 # in steady state (output digests + heap allocations per op) and writes
 # the versioned BENCH_kernels.json snapshot. The deterministic core
 # (digests and allocs/op, schema uvpu-kernels/v1) is gated exactly
-# against the committed baseline; ns/op timing and the pool hit/miss
-# counters are advisory only and never gate.
+# against the committed baseline (BENCH_kernels_baseline.json /
+# BENCH_kernels_baseline_smoke.json); ns/op timing and the pool
+# hit/miss counters are advisory only and never gate.
 #
 # Large rings (N = 2^14 in smoke; 2^14/2^16/2^17 in full) are measured
 # through both the four-step dispatch path and the direct stage loop;
@@ -21,15 +22,14 @@
 #       [--smoke] --no-advisory --out BENCH_kernels_baseline[_smoke].json
 set -eu
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
-variant=full
 variant_flag=""
 baseline=BENCH_kernels_baseline.json
 out=BENCH_kernels.json
 for arg in "$@"; do
     case "$arg" in
     --smoke)
-        variant=smoke
         variant_flag="--smoke"
         baseline=BENCH_kernels_baseline_smoke.json
         out=BENCH_kernels_smoke.json
@@ -41,8 +41,7 @@ for arg in "$@"; do
     esac
 done
 
-cargo build --release --offline -p uvpu-bench --bin bench_kernels
-
+bench_build bench_kernels
 # shellcheck disable=SC2086 # variant_flag is intentionally word-split
-./target/release/bench_kernels $variant_flag --out "$out" --check "$baseline"
-echo "bench_kernels: wrote $out (advisory included); gate vs $baseline passed ($variant)"
+bench_gate bench_kernels "$out" "$baseline" \
+    ./target/release/bench_kernels $variant_flag

@@ -1,0 +1,86 @@
+# Shared helpers for the bench_*.sh gate scripts. POSIX sh; source it
+# after `cd`-ing to the repo root:
+#
+#     . scripts/bench_lib.sh
+#
+# Provides:
+#   bench_build BIN
+#       Release-build one uvpu-bench binary, offline.
+#   bench_tmpdir
+#       Create a temp directory in $tmpdir, removed on exit.
+#   bench_sweep NAME "OUTFLAG..." "THREAD..." CMD...
+#       Determinism sweep: run CMD once per thread count with
+#       `--threads T` plus one fresh temp file per OUTFLAG (e.g.
+#       "--out", or "--out --flame" for binaries with two artifacts),
+#       then require every produced file to be byte-identical across
+#       the sweep (`cmp`). Prints the diff and exits 1 on divergence.
+#       Requires bench_tmpdir to have run first.
+#   bench_gate NAME OUT BASELINE CMD...
+#       Regression gate: run CMD with `--out OUT --check BASELINE`
+#       (advisory included) and report. OUT may be "-" to skip the
+#       snapshot write. The binary itself prints the drift hunks and
+#       exits 1 on mismatch.
+#
+# Conventions the helpers assume (all bench binaries follow them):
+# `--threads N` pins the worker pool, `--out PATH` writes the snapshot
+# ("-" skips), `--check PATH` diffs the deterministic core against a
+# committed baseline and exits 1 with ±3-line context hunks on drift.
+#
+# Note for check_baselines.sh: every gate script must keep naming its
+# BENCH_*baseline*.json files literally (the orphan check greps
+# scripts/*.sh for the literal filename) — so baseline selection stays
+# in each script, not here.
+
+bench_build() {
+    cargo build --release --offline -p uvpu-bench --bin "$1"
+}
+
+bench_tmpdir() {
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+}
+
+bench_sweep() {
+    _name=$1
+    _outflags=$2
+    _threads=$3
+    shift 3
+    _first=""
+    for _t in $_threads; do
+        [ -z "$_first" ] && _first=$_t
+        _outargs=""
+        _i=0
+        for _flag in $_outflags; do
+            _i=$((_i + 1))
+            _outargs="$_outargs $_flag $tmpdir/sweep_${_i}_t$_t"
+        done
+        # shellcheck disable=SC2086 # _outargs is intentionally word-split
+        "$@" --threads "$_t" $_outargs >/dev/null
+    done
+    _i=0
+    for _flag in $_outflags; do
+        _i=$((_i + 1))
+        for _t in $_threads; do
+            [ "$_t" = "$_first" ] && continue
+            if ! cmp -s "$tmpdir/sweep_${_i}_t$_first" "$tmpdir/sweep_${_i}_t$_t"; then
+                echo "$_name: FAIL — $_flag output differs between $_first and $_t threads:" >&2
+                diff "$tmpdir/sweep_${_i}_t$_first" "$tmpdir/sweep_${_i}_t$_t" >&2 || true
+                exit 1
+            fi
+        done
+    done
+    echo "$_name: outputs byte-identical at threads $_threads"
+}
+
+bench_gate() {
+    _name=$1
+    _out=$2
+    _baseline=$3
+    shift 3
+    "$@" --out "$_out" --check "$_baseline"
+    if [ "$_out" = "-" ]; then
+        echo "$_name: gate vs $_baseline passed"
+    else
+        echo "$_name: wrote $_out (advisory included); gate vs $_baseline passed"
+    fi
+}

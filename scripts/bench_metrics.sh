@@ -20,15 +20,14 @@
 #       [--smoke] --no-advisory --out BENCH_metrics_baseline[_smoke].json
 set -eu
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
-variant=full
 variant_flag=""
 baseline=BENCH_metrics_baseline.json
 out=BENCH_metrics.json
 for arg in "$@"; do
     case "$arg" in
     --smoke)
-        variant=smoke
         variant_flag="--smoke"
         baseline=BENCH_metrics_baseline_smoke.json
         out=BENCH_metrics_smoke.json
@@ -40,25 +39,12 @@ for arg in "$@"; do
     esac
 done
 
-cargo build --release --offline -p uvpu-bench --bin metrics_report
+bench_build metrics_report
+bench_tmpdir
 
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
-
-for t in 1 2 4; do
-    # shellcheck disable=SC2086 # variant_flag is intentionally word-split
-    ./target/release/metrics_report --threads "$t" $variant_flag \
-        --no-advisory --out "$tmpdir/snap_t$t.json" >/dev/null
-done
-for t in 2 4; do
-    if ! cmp -s "$tmpdir/snap_t1.json" "$tmpdir/snap_t$t.json"; then
-        echo "bench_metrics: FAIL — snapshot differs between 1 and $t threads:" >&2
-        diff "$tmpdir/snap_t1.json" "$tmpdir/snap_t$t.json" >&2 || true
-        exit 1
-    fi
-done
-echo "bench_metrics: snapshots byte-identical at 1/2/4 threads ($variant)"
-
+# shellcheck disable=SC2086 # variant_flag is intentionally word-split
+bench_sweep bench_metrics "--out" "1 2 4" \
+    ./target/release/metrics_report $variant_flag --no-advisory
 # shellcheck disable=SC2086
-./target/release/metrics_report $variant_flag --out "$out" --check "$baseline"
-echo "bench_metrics: wrote $out (advisory included); gate vs $baseline passed"
+bench_gate bench_metrics "$out" "$baseline" \
+    ./target/release/metrics_report $variant_flag

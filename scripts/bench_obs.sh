@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Observability (call-tree profiling) report + regression gate.
+#
+# 1. Determinism sweep: the reference workload is profiled through the
+#    hierarchical TreeProfilerSink at 1, 2, 4, and 7 worker threads with
+#    `--no-advisory`; both the uvpu-obs/v1 snapshot AND the
+#    collapsed-stack flamegraph text must be byte-identical (`cmp`) —
+#    the call tree, latency percentiles, and per-path energy may not
+#    depend on UVPU_THREADS.
+# 2. Artifacts: writes BENCH_obs.json (with the advisory wall-clock /
+#    event-count section) plus the flamegraph text and the
+#    Perfetto-compatible tree summary for humans and dashboards.
+# 3. Gate: diffs the deterministic core against the committed baseline
+#    (BENCH_obs_baseline.json / BENCH_obs_baseline_smoke.json). Tree
+#    shape, self/inclusive cycles, per-path pJ, latency percentiles,
+#    and the flamegraph digest gate exactly; wall-clock and raw sink
+#    event counts are advisory only and never gate. The obs_report
+#    binary additionally asserts — before rendering — that summing the
+#    tree's self cycles and per-component counts reproduces the flat
+#    ProfilerSink bins bit-exactly.
+#
+# Usage: scripts/bench_obs.sh [--smoke]
+#   --smoke runs the reduced-size variant (the CI fast path).
+#
+# To regenerate a baseline after an intentional instrumentation change
+# (bump the uvpu-obs schema first if the core format changed):
+#   cargo run --release -p uvpu-bench --bin obs_report -- \
+#       [--smoke] --no-advisory --out BENCH_obs_baseline[_smoke].json
+set -eu
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+variant_flag=""
+baseline=BENCH_obs_baseline.json
+out=BENCH_obs.json
+flame=BENCH_obs_flame.txt
+perfetto=BENCH_obs_perfetto.json
+for arg in "$@"; do
+    case "$arg" in
+    --smoke)
+        variant_flag="--smoke"
+        baseline=BENCH_obs_baseline_smoke.json
+        out=BENCH_obs_smoke.json
+        flame=BENCH_obs_flame_smoke.txt
+        perfetto=BENCH_obs_perfetto_smoke.json
+        ;;
+    *)
+        echo "bench_obs: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+bench_build obs_report
+bench_tmpdir
+
+# shellcheck disable=SC2086 # variant_flag is intentionally word-split
+bench_sweep bench_obs "--out --flame" "1 2 4 7" \
+    ./target/release/obs_report $variant_flag --no-advisory
+# shellcheck disable=SC2086
+bench_gate bench_obs "$out" "$baseline" \
+    ./target/release/obs_report $variant_flag --flame "$flame" --perfetto "$perfetto"
+echo "bench_obs: wrote $flame and $perfetto"

@@ -31,6 +31,13 @@ sh scripts/bench_kernels.sh --smoke
 # component energy, model area/power, or ratio vs Ours drifts from the
 # committed baseline, or differs across UVPU_THREADS.
 sh scripts/bench_compare.sh --smoke
+# Observability determinism sweep + call-tree snapshot regression gate
+# (smoke variant): fails if the hierarchical profile — tree shape,
+# self/inclusive cycles, per-path energy, latency percentiles, or the
+# flamegraph digest — drifts from the committed baseline, or differs
+# across UVPU_THREADS (swept at 1/2/4/7). The binary also asserts the
+# tree sums reproduce the flat profiler bins bit-exactly.
+sh scripts/bench_obs.sh --smoke
 # Every committed BENCH_*baseline*.json must be read by some gate above.
 sh scripts/check_baselines.sh
 echo "ci: all green"

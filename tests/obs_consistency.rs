@@ -1,0 +1,189 @@
+//! Determinism and structural-identity contract of the observability
+//! layer: the `BENCH_obs.json` call-tree snapshot core AND the
+//! collapsed-stack flamegraph are pure functions of the workload —
+//! byte-identical across repeated runs and across every `UVPU_THREADS`
+//! setting — and the tree is a lossless refinement of the flat
+//! profiler: summing self cycles over every path reproduces the flat
+//! running totals bit-exactly.
+//!
+//! The workload under test is the library function behind the
+//! `obs_report` binary, so these tests exercise exactly what the CI
+//! gate measures. (`obs_workload::run` itself asserts the tree-vs-flat
+//! identities at runtime via `TreeProfilerSink::assert_matches_flat`;
+//! the tests here additionally re-derive the headline identity from
+//! the rendered artifact text, so a rendering bug cannot hide it.)
+
+use uvpu_bench::{metrics_workload, obs_workload};
+use uvpu_metrics::{report, snapshot};
+
+/// Runs the smoke workload under a pinned worker count.
+/// `with_threads` serializes the runs internally, which also keeps the
+/// process-global trace sink installs from interleaving.
+fn run_at(threads: usize) -> obs_workload::ObsRun {
+    uvpu::par::with_threads(threads, || obs_workload::run(true))
+}
+
+/// Extracts the integer after the first `"total": ` inside the
+/// `"self": {…}` object of one rendered tree-node line.
+fn self_total(line: &str) -> u64 {
+    let start = line
+        .find("\"self\": {")
+        .expect("node line has a self object")
+        + 9;
+    let end = start + line[start..].find('}').expect("self object closes");
+    let obj = &line[start..end];
+    let digits = obj
+        .split("\"total\": ")
+        .nth(1)
+        .expect("self object has a total");
+    digits
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("self total parses")
+}
+
+/// Extracts the top-level flat `"cycles"` line of a snapshot core.
+fn cycles_line(core: &str) -> &str {
+    core.lines()
+        .find(|l| l.trim_start().starts_with("\"cycles\""))
+        .expect("snapshot has a flat cycles line")
+}
+
+/// Extracts the flat running total from the top-level cycles line.
+fn flat_total(core: &str) -> u64 {
+    cycles_line(core)
+        .split("\"total\": ")
+        .nth(1)
+        .expect("cycles line has a total")
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("cycles total parses")
+}
+
+#[test]
+fn snapshot_and_flamegraph_are_bit_identical_across_thread_counts() {
+    let reference = run_at(1);
+    for threads in [2usize, 4, 7] {
+        let other = run_at(threads);
+        assert_eq!(
+            reference.core_json, other.core_json,
+            "snapshot core must not depend on the worker count (threads = {threads})"
+        );
+        assert_eq!(
+            reference.flamegraph, other.flamegraph,
+            "flamegraph must not depend on the worker count (threads = {threads})"
+        );
+        assert_eq!(
+            reference.perfetto_json, other.perfetto_json,
+            "perfetto summary must not depend on the worker count (threads = {threads})"
+        );
+    }
+}
+
+#[test]
+fn snapshot_is_bit_identical_across_repeated_runs() {
+    let a = run_at(4);
+    let b = run_at(4);
+    assert_eq!(a.core_json, b.core_json);
+    assert_eq!(a.flamegraph, b.flamegraph);
+}
+
+#[test]
+fn snapshot_has_the_expected_shape_and_content() {
+    let run = run_at(2);
+    let core = &run.core_json;
+    assert!(core.starts_with("{\n  \"schema\": \"uvpu-obs/v1\""));
+    assert!(core.contains("\"workload\": \"ckks_mul_rescale\""));
+    assert!(core.contains("\"variant\": \"smoke\""));
+    // Hierarchical paths: scheduler batches parent their tasks, and the
+    // four-step NTT decomposition parents its stages.
+    assert!(core.contains("\"accel.batch/task.ntt n=1024\""));
+    assert!(core.contains("\"ntt.forward_negacyclic/ntt.dim0\""));
+    // Latency percentiles and per-path energy are rendered.
+    assert!(core.contains("\"p50\":"));
+    assert!(core.contains("\"p99\":"));
+    assert!(core.contains("\"self_pj\":"));
+    // Flamegraph digest and sink self-measurement sections exist.
+    assert!(core.contains("\"flamegraph\":"));
+    assert!(core.contains("\"overhead\":"));
+    assert!(core.contains("\"unmatched_ends\": 0"));
+    // The advisory section is not part of the core.
+    assert!(!core.contains("\"advisory\""));
+}
+
+#[test]
+fn tree_self_totals_reproduce_flat_running_totals_bit_exactly() {
+    let run = run_at(1);
+    let core = &run.core_json;
+    let flat = flat_total(core);
+    let tree_sum: u64 = core
+        .lines()
+        .filter(|l| l.contains("\"count\": ") && l.contains("\"self\": {"))
+        .map(self_total)
+        .sum();
+    assert_eq!(
+        tree_sum, flat,
+        "summing self cycles over every tree path must equal the flat running total"
+    );
+    assert_eq!(run.cycles, flat, "ObsRun.cycles reports the same total");
+}
+
+#[test]
+fn flamegraph_is_pinned_by_digest_and_sums_to_the_flat_total() {
+    let run = run_at(1);
+    let digest_field = run
+        .core_json
+        .split("\"digest\": \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("snapshot has a flamegraph digest")
+        .to_string();
+    assert_eq!(
+        digest_field,
+        format!("0x{:016x}", report::fnv1a(run.flamegraph.as_bytes())),
+        "the snapshot digest must pin the exact flamegraph bytes"
+    );
+    let flame_sum: u64 = run
+        .flamegraph
+        .lines()
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+                .expect("flamegraph line ends in a cycle count")
+        })
+        .sum();
+    assert_eq!(
+        flame_sum,
+        flat_total(&run.core_json),
+        "collapsed-stack leaf cycles must sum to the flat running total"
+    );
+}
+
+#[test]
+fn obs_and_metrics_snapshots_agree_on_the_flat_cycle_totals() {
+    let obs = run_at(2);
+    let metrics = uvpu::par::with_threads(2, || metrics_workload::run(true));
+    assert_eq!(
+        cycles_line(&obs.core_json),
+        cycles_line(&metrics.core_json),
+        "the obs snapshot embeds the same flat totals the metrics snapshot gates on"
+    );
+}
+
+#[test]
+fn advisory_section_never_affects_the_gate() {
+    let core = run_at(1).core_json;
+    let a = snapshot::with_advisory(&core, &[("events", "640".into())]);
+    let b = snapshot::with_advisory(&core, &[("events", "512".into())]);
+    assert_ne!(a, b, "advisory fields do differ as bytes");
+    assert!(
+        snapshot::diff(&a, &b, 10).is_empty(),
+        "but the gate's diff must not see them"
+    );
+    assert_eq!(snapshot::strip_advisory(&a), core);
+}
